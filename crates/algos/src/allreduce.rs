@@ -1,0 +1,309 @@
+//! All-reduce: every processor ends with the global sum.
+//!
+//! Not a named example in the paper, but the natural composition of its
+//! two §3.3 primitives — a summation into the root followed by the
+//! optimal broadcast — and the workhorse of iterative numerical codes.
+//! Two strategies:
+//!
+//! * **reduce + broadcast**: binomial combine to processor 0, then the
+//!   optimal LogP broadcast tree back out;
+//! * **recursive doubling (butterfly)**: `⌈log2 P⌉` rounds of pairwise
+//!   exchange — twice the bandwidth, half the rounds; which wins depends
+//!   on the machine point, exactly the kind of adaptivity the paper
+//!   advocates.
+
+use logp_core::broadcast::optimal_broadcast_tree;
+use logp_core::{Cycles, LogP, ProcId};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use std::collections::HashMap;
+
+const TAG_UP: u32 = 0x91;
+const TAG_DOWN: u32 = 0x92;
+const TAG_XCHG: u32 = 0x93;
+
+/// Outcome: every processor's final value and completion time.
+#[derive(Debug, Clone, Default)]
+pub struct AllReduceOutcome {
+    pub finals: Vec<(ProcId, f64, Cycles)>,
+}
+
+/// Result of an all-reduce run.
+#[derive(Debug, Clone)]
+pub struct AllReduceRun {
+    /// The reduced value (identical on every processor, asserted).
+    pub value: f64,
+    pub completion: Cycles,
+    pub messages: u64,
+}
+
+// ---------------------------------------------------------------------
+// Strategy 1: binomial reduce, then optimal broadcast.
+// ---------------------------------------------------------------------
+
+struct ReduceBcast {
+    value: f64,
+    expect_up: u32,
+    got_up: u32,
+    up_parent: Option<ProcId>,
+    down_children: Vec<ProcId>,
+    reduced: bool,
+    out: SharedCell<AllReduceOutcome>,
+}
+
+impl ReduceBcast {
+    fn try_send_up(&mut self, ctx: &mut Ctx<'_>) {
+        if self.got_up == self.expect_up && !self.reduced {
+            self.reduced = true;
+            match self.up_parent {
+                Some(p) => ctx.send(p, TAG_UP, Data::F64(self.value)),
+                None => self.distribute(ctx), // root: switch to broadcast
+            }
+        }
+    }
+
+    fn distribute(&mut self, ctx: &mut Ctx<'_>) {
+        for &c in &self.down_children {
+            ctx.send(c, TAG_DOWN, Data::F64(self.value));
+        }
+        let rec = (ctx.me(), self.value, ctx.now());
+        self.out.with(|o| o.finals.push(rec));
+    }
+}
+
+impl Process for ReduceBcast {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.try_send_up(ctx);
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        match msg.tag {
+            TAG_UP => {
+                self.value += msg.data.as_f64();
+                self.got_up += 1;
+                // One combine addition per received partial sum.
+                ctx.compute(1, 0);
+            }
+            TAG_DOWN => {
+                self.value = msg.data.as_f64();
+                self.distribute(ctx);
+            }
+            other => unreachable!("unknown tag {other}"),
+        }
+    }
+
+    fn on_compute_done(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        self.try_send_up(ctx);
+    }
+}
+
+/// Reduce-then-broadcast all-reduce over one value per processor.
+pub fn run_allreduce_reduce_bcast(
+    m: &LogP,
+    values: &[f64],
+    config: SimConfig,
+) -> AllReduceRun {
+    let p = m.p;
+    assert_eq!(values.len(), p as usize);
+    // Up tree: binomial (trailing-zeros convention); down tree: the
+    // optimal broadcast tree — arrival-ordered ids happen to be 0..P, and
+    // tree node ids coincide with processor ids here.
+    let bt = optimal_broadcast_tree(m);
+    let down = bt.children();
+    let out: SharedCell<AllReduceOutcome> = SharedCell::new();
+    let mut sim = Sim::new(*m, config);
+    for q in 0..p {
+        let expect_up = logp_core::broadcast::binomial_children(q, p).len() as u32;
+        let up_parent = if q == 0 {
+            None
+        } else {
+            Some(logp_core::broadcast::binomial_parent(q))
+        };
+        sim.set_process(
+            q,
+            Box::new(ReduceBcast {
+                value: values[q as usize],
+                expect_up,
+                got_up: 0,
+                up_parent,
+                down_children: down[q as usize].clone(),
+                reduced: false,
+                out: out.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("all-reduce terminates");
+    finish(out, result.stats.completion, result.stats.total_msgs, p, values)
+}
+
+// ---------------------------------------------------------------------
+// Strategy 2: recursive doubling (butterfly exchange).
+// ---------------------------------------------------------------------
+
+struct Doubling {
+    value: f64,
+    round: u32,
+    rounds: u32,
+    sent_round: u32,
+    pending: HashMap<u32, f64>,
+    out: SharedCell<AllReduceOutcome>,
+}
+
+impl Doubling {
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        while self.round < self.rounds {
+            let r = self.round;
+            let peer = me ^ (1 << r);
+            if peer >= ctx.procs() {
+                // Non-power-of-two P is not supported by the butterfly.
+                unreachable!("doubling requires power-of-two P");
+            }
+            if self.sent_round == r {
+                self.sent_round = r + 1;
+                ctx.send(peer, TAG_XCHG, Data::Pair(r as u64, self.value.to_bits()));
+            }
+            if let Some(v) = self.pending.remove(&r) {
+                self.value += v;
+                ctx.compute(1, 0); // the combine addition
+                self.round += 1;
+                continue;
+            }
+            return;
+        }
+        let rec = (me, self.value, ctx.now());
+        self.out.with(|o| o.finals.push(rec));
+    }
+}
+
+impl Process for Doubling {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.advance(ctx);
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let (r, bits) = msg.data.as_pair();
+        self.pending.insert(r as u32, f64::from_bits(bits));
+        self.advance(ctx);
+    }
+}
+
+/// Recursive-doubling all-reduce (requires power-of-two `P`).
+pub fn run_allreduce_doubling(m: &LogP, values: &[f64], config: SimConfig) -> AllReduceRun {
+    let p = m.p;
+    assert!((p as u64).is_power_of_two(), "doubling requires power-of-two P");
+    assert_eq!(values.len(), p as usize);
+    let rounds = logp_core::cost::log2_exact(p as u64);
+    let out: SharedCell<AllReduceOutcome> = SharedCell::new();
+    let mut sim = Sim::new(*m, config);
+    for q in 0..p {
+        sim.set_process(
+            q,
+            Box::new(Doubling {
+                value: values[q as usize],
+                round: 0,
+                rounds,
+                sent_round: 0,
+                pending: HashMap::new(),
+                out: out.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("all-reduce terminates");
+    finish(out, result.stats.completion, result.stats.total_msgs, p, values)
+}
+
+fn finish(
+    out: SharedCell<AllReduceOutcome>,
+    completion: Cycles,
+    messages: u64,
+    p: u32,
+    values: &[f64],
+) -> AllReduceRun {
+    let oc = out.get();
+    assert_eq!(oc.finals.len(), p as usize, "every processor must finish");
+    let expect: f64 = values.iter().sum();
+    // Different processors combine in different orders (especially under
+    // recursive doubling), so totals agree only up to floating-point
+    // association — the standard all-reduce caveat.
+    let tol = 1e-12 * expect.abs().max(1.0);
+    for (q, v, _) in &oc.finals {
+        assert!(
+            (*v - expect).abs() <= tol,
+            "processor {q} holds a wrong total: {v} vs {expect}"
+        );
+    }
+    let done = oc.finals.iter().map(|f| f.2).max().unwrap_or(completion);
+    AllReduceRun { value: expect, completion: done, messages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(p: u32) -> Vec<f64> {
+        (0..p).map(|i| i as f64 + 1.0).collect()
+    }
+
+    #[test]
+    fn both_strategies_agree_on_the_value() {
+        let m = LogP::new(6, 2, 4, 16).unwrap();
+        let v = vals(16);
+        let a = run_allreduce_reduce_bcast(&m, &v, SimConfig::default());
+        let b = run_allreduce_doubling(&m, &v, SimConfig::default());
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.value, 136.0);
+    }
+
+    #[test]
+    fn doubling_uses_more_messages_fewer_rounds() {
+        let m = LogP::new(6, 2, 4, 16).unwrap();
+        let v = vals(16);
+        let a = run_allreduce_reduce_bcast(&m, &v, SimConfig::default());
+        let b = run_allreduce_doubling(&m, &v, SimConfig::default());
+        // Reduce+broadcast: 2(P-1) messages; doubling: P·log2 P.
+        assert_eq!(a.messages, 30);
+        assert_eq!(b.messages, 64);
+        // With cheap bandwidth (small g), the shallower butterfly wins.
+        assert!(b.completion < a.completion, "doubling {} vs r+b {}", b.completion, a.completion);
+    }
+
+    #[test]
+    fn crossover_depends_on_the_machine() {
+        // With expensive bandwidth (large g) the message-frugal
+        // reduce+broadcast catches up or wins — the paper's adaptivity
+        // argument. (At minimum the gap must shrink.)
+        let v = vals(16);
+        let cheap = LogP::new(6, 2, 1, 16).unwrap();
+        let dear = LogP::new(6, 2, 60, 16).unwrap();
+        let ratio = |m: &LogP| {
+            let a = run_allreduce_reduce_bcast(m, &v, SimConfig::default());
+            let b = run_allreduce_doubling(m, &v, SimConfig::default());
+            a.completion as f64 / b.completion as f64
+        };
+        assert!(
+            ratio(&dear) < ratio(&cheap),
+            "expensive bandwidth must favor the frugal strategy"
+        );
+    }
+
+    #[test]
+    fn correct_under_jitter() {
+        let m = LogP::new(10, 2, 3, 8).unwrap();
+        let v = vals(8);
+        for seed in 0..4 {
+            let cfg = SimConfig::default().with_jitter(8).with_seed(seed);
+            let a = run_allreduce_reduce_bcast(&m, &v, cfg.clone());
+            let b = run_allreduce_doubling(&m, &v, cfg);
+            assert_eq!(a.value, 36.0, "seed {seed}");
+            assert_eq!(b.value, 36.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_value_edge() {
+        let m = LogP::new(6, 2, 4, 1).unwrap();
+        let run = run_allreduce_reduce_bcast(&m, &[5.0], SimConfig::default());
+        assert_eq!(run.value, 5.0);
+        assert_eq!(run.messages, 0);
+    }
+}

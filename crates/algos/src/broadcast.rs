@@ -1,0 +1,164 @@
+//! Executable broadcast algorithms (§3.3, Figure 3).
+//!
+//! The analytic trees come from `logp-core::broadcast`; this module turns
+//! any child-list tree into a simulator program and runs it, so the
+//! simulated completion can be checked against (and visualized beside)
+//! the closed-form prediction.
+
+use logp_core::broadcast::{optimal_broadcast_tree, shape_children, TreeShape};
+use logp_core::{Cycles, LogP, ProcId};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig, SimResult};
+
+/// Tag used by broadcast messages.
+pub const TAG_BCAST: u32 = 0x42;
+
+/// The per-processor broadcast program: on receiving the datum (or at
+/// start, for the root), forward it to the precomputed children.
+pub struct BroadcastProc {
+    children: Vec<ProcId>,
+    is_root: bool,
+    datum: Option<u64>,
+    received_at: SharedCell<Vec<(ProcId, Cycles)>>,
+}
+
+impl BroadcastProc {
+    fn fan_out(&self, ctx: &mut Ctx<'_>) {
+        let v = self.datum.expect("fan-out requires the datum");
+        for &c in &self.children {
+            ctx.send(c, TAG_BCAST, Data::U64(v));
+        }
+    }
+}
+
+impl Process for BroadcastProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_root {
+            let me = ctx.me();
+            self.received_at.with(|v| v.push((me, 0)));
+            self.fan_out(ctx);
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        assert_eq!(msg.tag, TAG_BCAST);
+        assert!(self.datum.is_none(), "no processor receives the datum twice");
+        self.datum = Some(msg.data.as_u64());
+        let (me, now) = (ctx.me(), ctx.now());
+        self.received_at.with(|v| v.push((me, now)));
+        self.fan_out(ctx);
+    }
+}
+
+/// Outcome of a simulated broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastRun {
+    /// Simulated completion time (last processor holds the datum).
+    pub completion: Cycles,
+    /// Per-processor (id, time-held) pairs in arrival order.
+    pub arrivals: Vec<(ProcId, Cycles)>,
+    /// Messages delivered (must be `P - 1`).
+    pub messages: u64,
+}
+
+/// Run a broadcast along explicit child lists.
+pub fn run_tree_broadcast(
+    m: &LogP,
+    children: &[Vec<ProcId>],
+    config: SimConfig,
+) -> BroadcastRun {
+    let cell: SharedCell<Vec<(ProcId, Cycles)>> = SharedCell::new();
+    let mut sim = Sim::new(*m, config);
+    sim.set_all(|p| {
+        Box::new(BroadcastProc {
+            children: children[p as usize].clone(),
+            is_root: p == 0,
+            datum: if p == 0 { Some(0xBEEF) } else { None },
+            received_at: cell.clone(),
+        })
+    });
+    let SimResult { stats, .. } = sim.run().expect("broadcast program terminates");
+    let arrivals = cell.get();
+    assert_eq!(
+        arrivals.len(),
+        m.p as usize,
+        "every processor must receive the datum exactly once"
+    );
+    let completion = arrivals.iter().map(|a| a.1).max().unwrap_or(0);
+    BroadcastRun { completion, arrivals, messages: stats.total_msgs }
+}
+
+/// Run the optimal broadcast of §3.3.
+pub fn run_optimal_broadcast(m: &LogP, config: SimConfig) -> BroadcastRun {
+    let tree = optimal_broadcast_tree(m);
+    run_tree_broadcast(m, &tree.children(), config)
+}
+
+/// Run a baseline tree shape.
+pub fn run_shape_broadcast(m: &LogP, shape: TreeShape, config: SimConfig) -> BroadcastRun {
+    run_tree_broadcast(m, &shape_children(shape, m.p), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logp_core::broadcast::{optimal_broadcast_time, shape_broadcast_time, tree_broadcast_times};
+
+    #[test]
+    fn figure3_simulated_equals_analytic() {
+        let m = LogP::fig3();
+        let run = run_optimal_broadcast(&m, SimConfig::default());
+        assert_eq!(run.completion, 24);
+        assert_eq!(run.completion, optimal_broadcast_time(&m));
+        assert_eq!(run.messages, 7);
+        let mut times: Vec<Cycles> = run.arrivals.iter().map(|a| a.1).collect();
+        times.sort_unstable();
+        assert_eq!(times, vec![0, 10, 14, 18, 20, 22, 24, 24]);
+    }
+
+    #[test]
+    fn simulation_matches_analysis_across_machines_and_shapes() {
+        for (l, o, g, p) in [(6, 2, 4, 8), (5, 2, 4, 16), (12, 3, 4, 33), (2, 1, 2, 64)] {
+            let m = LogP::new(l, o, g, p).unwrap();
+            for shape in [
+                TreeShape::Flat,
+                TreeShape::Linear,
+                TreeShape::Binary,
+                TreeShape::Binomial,
+            ] {
+                let run = run_shape_broadcast(&m, shape, SimConfig::default());
+                assert_eq!(
+                    run.completion,
+                    shape_broadcast_time(&m, shape),
+                    "simulated vs analytic mismatch for {shape:?} on {m}"
+                );
+            }
+            let run = run_optimal_broadcast(&m, SimConfig::default());
+            assert_eq!(run.completion, optimal_broadcast_time(&m));
+        }
+    }
+
+    #[test]
+    fn per_processor_arrivals_match_tree_times() {
+        let m = LogP::new(9, 2, 3, 12).unwrap();
+        let children = shape_children(TreeShape::Binomial, m.p);
+        let run = run_tree_broadcast(&m, &children, SimConfig::default());
+        let analytic = tree_broadcast_times(&m, &children);
+        for (p, t) in &run.arrivals {
+            assert_eq!(*t, analytic[*p as usize], "processor {p}");
+        }
+    }
+
+    #[test]
+    fn broadcast_correct_under_latency_jitter() {
+        // Jitter shortens latencies; the broadcast still covers everyone
+        // and cannot take longer than the deterministic bound.
+        let m = LogP::new(10, 2, 3, 32).unwrap();
+        let bound = optimal_broadcast_time(&m);
+        for seed in 0..5 {
+            let cfg = SimConfig::default().with_jitter(9).with_seed(seed);
+            let run = run_optimal_broadcast(&m, cfg);
+            assert_eq!(run.arrivals.len(), 32);
+            assert!(run.completion <= bound);
+        }
+    }
+}

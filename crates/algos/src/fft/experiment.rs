@@ -1,0 +1,210 @@
+//! The Figure 6/7/8 experiment driver: phase-resolved timings of the
+//! hybrid FFT at CM-5 scale.
+//!
+//! At the paper's sizes (millions of points, P = 128) carrying real
+//! complex data through the simulator is wasteful — phase computation is
+//! fully local, so it is charged via the [`ComputeModel`] while the remap
+//! runs message-by-message on the simulator with the chosen schedule.
+//! (Correctness of the dataflow is established separately by
+//! `fft::parallel` at smaller sizes.)
+
+use super::compute_model::{ComputeModel, BYTES_PER_POINT};
+use crate::remap::{run_remap, RemapSchedule, RemapSpec};
+use logp_core::{cost, Cycles, LogP, MachinePreset};
+use logp_sim::SimConfig;
+
+/// Phase-resolved timing of one hybrid FFT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPhases {
+    pub n: u64,
+    pub p: u32,
+    /// Phase I (cyclic, one n/P-point local FFT per processor), cycles.
+    pub compute1: Cycles,
+    /// The remap, cycles (simulated).
+    pub remap: Cycles,
+    /// The paper's predicted remap time `n/P·max(local+2o, g) + L`.
+    pub remap_predicted: Cycles,
+    /// Phase III (blocked, n/P² P-point FFTs per processor), cycles.
+    pub compute3: Cycles,
+    /// Aggregate stall cycles during the remap.
+    pub remap_stall: Cycles,
+    /// Effective Mflops per processor during each compute phase.
+    pub mflops1: f64,
+    pub mflops3: f64,
+}
+
+impl FftPhases {
+    pub fn total(&self) -> Cycles {
+        self.compute1 + self.remap + self.compute3
+    }
+
+    /// Elements each processor actually moves through the network:
+    /// `n/P - n/P²` (its own destination block stays local).
+    pub fn moved_elems_per_proc(&self) -> u64 {
+        let n1 = self.n / self.p as u64;
+        n1 - n1 / self.p as u64
+    }
+
+    /// Per-processor remap bandwidth in MB/s for a preset's payload size.
+    pub fn remap_mb_per_s(&self, preset: &MachinePreset) -> f64 {
+        let bytes = self.moved_elems_per_proc() * BYTES_PER_POINT;
+        let us = preset.cycles_to_us(self.remap);
+        if us == 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / us // bytes per µs == MB/s
+    }
+
+    /// The predicted bandwidth curve of Figure 8.
+    pub fn predicted_mb_per_s(&self, preset: &MachinePreset) -> f64 {
+        let bytes = self.moved_elems_per_proc() * BYTES_PER_POINT;
+        let us = preset.cycles_to_us(self.remap_predicted);
+        bytes as f64 / us
+    }
+}
+
+/// Run the phase-timing experiment for one size/schedule.
+pub fn fft_phases(
+    model: &LogP,
+    compute: &ComputeModel,
+    local_cost: Cycles,
+    n: u64,
+    schedule: RemapSchedule,
+    config: SimConfig,
+) -> FftPhases {
+    let p = model.p;
+    assert!(n >= (p as u64) * (p as u64), "hybrid layout requires n >= P²");
+    let n1 = n / p as u64;
+    let block = n1 / p as u64;
+    let remap_run = run_remap(
+        model,
+        &RemapSpec { elems_per_pair: block, local_cost, schedule },
+        config,
+    );
+    FftPhases {
+        n,
+        p,
+        compute1: compute.phase_cycles(n1, 1),
+        remap: remap_run.completion,
+        remap_predicted: cost::staggered_remap_time(model, n1 - block, local_cost),
+        compute3: compute.phase_cycles(p as u64, block),
+        remap_stall: remap_run.total_stall,
+        mflops1: compute.phase_mflops(n1, 1),
+        mflops3: compute.phase_mflops(p as u64, block),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cm5(p: u32) -> (LogP, ComputeModel) {
+        (LogP::new(60, 20, 40, p).unwrap(), ComputeModel::cm5())
+    }
+
+    #[test]
+    fn staggered_remap_is_far_below_compute_naive_is_not() {
+        // Figure 6's shape: with the naive schedule the remap dwarfs the
+        // staggered remap; with staggering it is a small fraction of
+        // compute.
+        let (m, cm) = small_cm5(16);
+        let n = 1 << 14;
+        let stag = fft_phases(&m, &cm, 10, n, RemapSchedule::Staggered, SimConfig::default());
+        let naive = fft_phases(&m, &cm, 10, n, RemapSchedule::Naive, SimConfig::default());
+        assert!(
+            naive.remap > 2 * stag.remap,
+            "naive {} vs staggered {}",
+            naive.remap,
+            stag.remap
+        );
+        assert!(
+            stag.remap < stag.compute1 + stag.compute3,
+            "staggered remap should be well under compute"
+        );
+    }
+
+    #[test]
+    fn staggered_tracks_prediction() {
+        let (m, cm) = small_cm5(8);
+        for n in [1u64 << 10, 1 << 12, 1 << 14] {
+            let ph = fft_phases(&m, &cm, 10, n, RemapSchedule::Staggered, SimConfig::default());
+            let ratio = ph.remap as f64 / ph.remap_predicted as f64;
+            assert!(
+                (0.85..=1.25).contains(&ratio),
+                "n={n}: remap {} vs predicted {}",
+                ph.remap,
+                ph.remap_predicted
+            );
+        }
+    }
+
+    #[test]
+    fn mflops_drop_past_cache_capacity() {
+        // Figure 7: phase I runs one n/P-point FFT; past 4096 points
+        // (64 KB) per processor the rate drops 2.8 → 2.2.
+        let (m, cm) = small_cm5(16);
+        let small = fft_phases(&m, &cm, 10, 1 << 14, RemapSchedule::Staggered, SimConfig::default());
+        assert_eq!(small.mflops1, 2.8); // n/P = 1024 points
+        let large = fft_phases(&m, &cm, 10, 1 << 18, RemapSchedule::Staggered, SimConfig::default());
+        assert_eq!(large.mflops1, 2.2); // n/P = 16384 points = 256 KB
+        // Phase III's small FFTs degrade only to the streaming rate.
+        assert!(large.mflops3 >= 2.5);
+    }
+
+    #[test]
+    fn skew_droops_staggered_but_barriers_restore_it() {
+        // Figure 8's drift story: cumulative per-processor skew degrades
+        // the staggered schedule's bandwidth at large n; a barrier per
+        // destination block resynchronizes.
+        let (m, cm) = small_cm5(16);
+        let n = 1 << 16;
+        let clean = fft_phases(&m, &cm, 10, n, RemapSchedule::Staggered, SimConfig::default());
+        let skewed = || SimConfig::default().with_skew(20).with_drift(20).with_seed(42);
+        let drooped = fft_phases(&m, &cm, 10, n, RemapSchedule::Staggered, skewed());
+        let synced = fft_phases(&m, &cm, 10, n, RemapSchedule::StaggeredBarrier, skewed());
+        assert!(
+            drooped.remap as f64 > 1.1 * clean.remap as f64,
+            "skew must cost the staggered schedule: {} vs clean {}",
+            drooped.remap,
+            clean.remap
+        );
+        assert!(
+            (synced.remap as f64) < 1.05 * clean.remap as f64,
+            "barriers must restore the schedule: {} vs clean {}",
+            synced.remap,
+            clean.remap
+        );
+    }
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        let (m, cm) = small_cm5(8);
+        let ph = fft_phases(&m, &cm, 10, 1 << 10, RemapSchedule::Staggered, SimConfig::default());
+        assert_eq!(ph.total(), ph.compute1 + ph.remap + ph.compute3);
+    }
+
+    #[test]
+    fn bandwidth_approaches_predicted_asymptote() {
+        // Figure 8: the predicted staggered bandwidth tends to 16 B /
+        // max(1 + 2·2, 4) µs = 3.2 MB/s on CM-5 parameters; the simulated
+        // staggered schedule should approach it from below-or-near.
+        let preset = MachinePreset::cm5();
+        let m = preset.logp.with_p(8);
+        let cm = ComputeModel::cm5();
+        let ph = fft_phases(
+            &m,
+            &cm,
+            preset.local_elem_cost,
+            1 << 14,
+            RemapSchedule::Staggered,
+            SimConfig::default(),
+        );
+        let predicted = ph.predicted_mb_per_s(&preset);
+        assert!((predicted - 3.2).abs() < 0.15, "predicted {predicted}");
+        let measured = ph.remap_mb_per_s(&preset);
+        assert!(
+            measured > 2.0 && measured <= predicted * 1.1,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+}

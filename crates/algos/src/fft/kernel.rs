@@ -1,0 +1,205 @@
+//! Sequential complex FFT kernels.
+//!
+//! The parallel hybrid-layout algorithm (§4.1) is built from local FFTs
+//! plus one remap; this module provides the local pieces: an iterative
+//! radix-2 decimation-in-time FFT, a direct O(n²) DFT for verification,
+//! and the twiddle scaling of the four-step (Cooley–Tukey n = n1·n2)
+//! factorization the hybrid layout realizes.
+
+use std::f64::consts::PI;
+
+/// A complex number. (Kept local: the approved dependency set has no
+/// complex-arithmetic crate, and the FFT needs only a handful of ops.)
+/// The `add`/`sub`/`mul` inherent methods intentionally mirror the
+/// operator names without implementing the traits — value semantics stay
+/// explicit in the butterfly kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    pub re: f64,
+    pub im: f64,
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Cplx {
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Cplx { re, im }
+    }
+
+    /// `e^{-2πi k / n}` — the forward-transform root of unity.
+    pub fn omega(k: u64, n: u64) -> Self {
+        let theta = -2.0 * PI * (k % n) as f64 / n as f64;
+        Cplx { re: theta.cos(), im: theta.sin() }
+    }
+
+    pub fn add(self, o: Cplx) -> Cplx {
+        Cplx { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    pub fn sub(self, o: Cplx) -> Cplx {
+        Cplx { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    pub fn mul(self, o: Cplx) -> Cplx {
+        Cplx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    /// Euclidean magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// In-place iterative radix-2 DIT FFT. `data.len()` must be a power of
+/// two. Forward transform (negative exponent), no normalization.
+pub fn fft_in_place(data: &mut [Cplx]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let step = Cplx::omega(1, len as u64);
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = Cplx::new(1.0, 0.0);
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let t = b.mul(w);
+                *b = a.sub(t);
+                *a = a.add(t);
+                w = w.mul(step);
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Permute `data` into bit-reversed index order.
+pub fn bit_reverse_permute(data: &mut [Cplx]) {
+    let n = data.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() as usize >> (64 - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Direct O(n²) DFT, the verification oracle.
+pub fn dft_naive(data: &[Cplx]) -> Vec<Cplx> {
+    let n = data.len() as u64;
+    (0..n)
+        .map(|k| {
+            let mut acc = Cplx::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                acc = acc.add(x.mul(Cplx::omega(j as u64 * k, n)));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Maximum elementwise error between two complex vectors.
+pub fn max_error(a: &[Cplx], b: &[Cplx]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x.sub(*y).abs()).fold(0.0, f64::max)
+}
+
+/// Number of complex butterflies an n-point radix-2 FFT performs:
+/// `(n/2)·log2 n`. Each is 10 real flops in the paper's accounting.
+pub fn butterfly_count(n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    (n / 2) * logp_core::cost::log2_exact(n) as u64
+}
+
+/// Real floating-point operations per complex butterfly (paper §4.1.4:
+/// "10 floating-point operations per butterfly").
+pub const FLOPS_PER_BUTTERFLY: u64 = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn impulse(n: usize) -> Vec<Cplx> {
+        let mut v = vec![Cplx::ZERO; n];
+        v[0] = Cplx::new(1.0, 0.0);
+        v
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut v = impulse(16);
+        fft_in_place(&mut v);
+        for x in &v {
+            assert!((x.re - 1.0).abs() < 1e-12 && x.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let data: Vec<Cplx> = (0..n)
+                .map(|i| Cplx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let mut fast = data.clone();
+            fft_in_place(&mut fast);
+            let slow = dft_naive(&data);
+            assert!(
+                max_error(&fast, &slow) < 1e-9 * n as f64,
+                "n = {n}: error {}",
+                max_error(&fast, &slow)
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 128usize;
+        let data: Vec<Cplx> =
+            (0..n).map(|i| Cplx::new((i as f64).sin(), 0.0)).collect();
+        let mut f = data.clone();
+        fft_in_place(&mut f);
+        let e_time: f64 = data.iter().map(|x| x.abs() * x.abs()).sum();
+        let e_freq: f64 = f.iter().map(|x| x.abs() * x.abs()).sum();
+        assert!((e_freq - n as f64 * e_time).abs() < 1e-6 * e_freq.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        fft_in_place(&mut [Cplx::ZERO; 6]);
+    }
+
+    #[test]
+    fn bit_reverse_is_an_involution() {
+        let data: Vec<Cplx> = (0..32).map(|i| Cplx::new(i as f64, -(i as f64))).collect();
+        let mut v = data.clone();
+        bit_reverse_permute(&mut v);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, data);
+    }
+
+    #[test]
+    fn butterfly_counts() {
+        assert_eq!(butterfly_count(1), 0);
+        assert_eq!(butterfly_count(2), 1);
+        assert_eq!(butterfly_count(8), 12);
+        assert_eq!(butterfly_count(1024), 512 * 10);
+    }
+
+    #[test]
+    fn omega_is_periodic() {
+        let a = Cplx::omega(3, 8);
+        let b = Cplx::omega(11, 8);
+        assert!((a.re - b.re).abs() < 1e-15 && (a.im - b.im).abs() < 1e-15);
+    }
+}

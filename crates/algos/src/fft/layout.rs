@@ -1,0 +1,228 @@
+//! Butterfly layouts (§4.1.1, Figure 5).
+//!
+//! The n-input butterfly has n rows × (log n + 1) columns; node `(r, c)`
+//! has edges to `(r, c+1)` and `(r̄_c, c+1)` where `r̄_c` complements the
+//! `(c+1)`-th most significant bit of `r`. Laying rows out across `P`
+//! processors determines which column transitions need remote data:
+//!
+//! * **cyclic** (`proc = r mod P`): the first `log(n/P)` columns are
+//!   local, the last `log P` need one remote datum per node;
+//! * **blocked** (`proc = r / (n/P)`): the first `log P` columns are
+//!   remote, the rest local;
+//! * **hybrid**: cyclic through some column in `[log P, log(n/P)]`, then
+//!   remapped to blocked — a single all-to-all of `n/P²` elements per
+//!   processor pair between two fully local phases.
+
+use logp_core::cost::log2_exact;
+use logp_core::ProcId;
+
+/// Row-to-processor layouts for the n-row butterfly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Row `r` on processor `r mod P`.
+    Cyclic,
+    /// Row `r` on processor `r / (n/P)`.
+    Blocked,
+    /// Cyclic for the first columns, blocked after the remap column.
+    Hybrid {
+        /// The column (counted in `0..=log n`) at which the remap occurs;
+        /// must lie in `[log P, log(n/P)]` with `n >= P²`.
+        remap_at: u32,
+    },
+}
+
+/// The butterfly-with-layout description used for communication analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ButterflyLayout {
+    pub n: u64,
+    pub p: u32,
+    pub layout: Layout,
+}
+
+impl ButterflyLayout {
+    pub fn new(n: u64, p: u32, layout: Layout) -> Self {
+        assert!(n.is_power_of_two() && (p as u64).is_power_of_two());
+        assert!(n >= p as u64, "need at least one row per processor");
+        if let Layout::Hybrid { remap_at } = layout {
+            let logp = log2_exact(p as u64);
+            let log_n_over_p = log2_exact(n / p as u64);
+            assert!(
+                n >= (p as u64) * (p as u64),
+                "hybrid layout requires n >= P² (n={n}, P={p})"
+            );
+            assert!(
+                remap_at >= logp && remap_at <= log_n_over_p,
+                "remap column {remap_at} outside [log P, log n/P] = [{logp}, {log_n_over_p}]"
+            );
+        }
+        ButterflyLayout { n, p, layout }
+    }
+
+    /// Owner of row `r` *before* column `c`'s computation (i.e. for the
+    /// data feeding column `c`).
+    pub fn owner(&self, r: u64, c: u32) -> ProcId {
+        let p = self.p as u64;
+        let rows_per = self.n / p;
+        match self.layout {
+            Layout::Cyclic => (r % p) as ProcId,
+            Layout::Blocked => (r / rows_per) as ProcId,
+            Layout::Hybrid { remap_at } => {
+                if c <= remap_at {
+                    (r % p) as ProcId
+                } else {
+                    (r / rows_per) as ProcId
+                }
+            }
+        }
+    }
+
+    /// Whether computing column `c` (producing column-`c+1`... in paper
+    /// terms, the transition from column `c` to `c+1`) requires a remote
+    /// datum for each node: the partner row `r̄_c` lives on a different
+    /// processor.
+    pub fn column_is_remote(&self, c: u32) -> bool {
+        let log_n = log2_exact(self.n);
+        assert!(c < log_n, "column transitions are 0..log n");
+        // Transition c complements bit (log n - 1 - c) (0 = LSB).
+        let flipped_bit = log_n - 1 - c;
+        let partner_of = |r: u64| r ^ (1u64 << flipped_bit);
+        // Check a representative row; ownership is bit-structured so one
+        // representative suffices, but verify across a few rows for
+        // robustness in debug builds.
+        let remote = self.owner(0, c + 1) != self.owner(partner_of(0), c + 1)
+            || self.owner(1, c + 1) != self.owner(partner_of(1), c + 1);
+        debug_assert!({
+            let step = (self.n / 64).max(1);
+            (0..self.n).step_by(step as usize).all(|r| {
+                (self.owner(r, c + 1) != self.owner(partner_of(r), c + 1)) == remote
+            })
+        });
+        remote
+    }
+
+    /// Number of column transitions requiring remote data.
+    pub fn remote_columns(&self) -> u32 {
+        let log_n = log2_exact(self.n);
+        (0..log_n).filter(|&c| self.column_is_remote(c)).count() as u32
+    }
+
+    /// Total remote data references per processor over the whole
+    /// transform: one remote datum per node in each remote column, `n/P`
+    /// nodes per processor per column — plus, for the hybrid layout, the
+    /// remap itself (`n/P` elements, `n/P²` to each other processor).
+    pub fn remote_refs_per_proc(&self) -> u64 {
+        let per_col = self.n / self.p as u64;
+        match self.layout {
+            Layout::Hybrid { .. } => {
+                debug_assert_eq!(self.remote_columns(), 0);
+                // The remap moves each element once (elements staying on
+                // the same processor are free but there are only n/P² of
+                // those).
+                per_col - per_col / self.p as u64
+            }
+            _ => self.remote_columns() as u64 * per_col,
+        }
+    }
+}
+
+/// The Figure 5 highlight: nodes assigned to processor 0 for an 8-input
+/// butterfly, P = 2, hybrid with remap between columns 2 and 3. Returns,
+/// per column 0..=log n, the rows processor `q` owns.
+pub fn figure5_assignment(q: ProcId) -> Vec<Vec<u64>> {
+    let bl = ButterflyLayout::new(8, 2, Layout::Hybrid { remap_at: 2 });
+    (0..=3u32)
+        .map(|c| (0..8).filter(|&r| bl.owner(r, c) == q).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_layout_remote_columns_are_the_last_logp() {
+        let bl = ButterflyLayout::new(1024, 16, Layout::Cyclic);
+        // log n = 10, log P = 4: transitions 0..6 local, 6..10 remote.
+        for c in 0..6 {
+            assert!(!bl.column_is_remote(c), "column {c} should be local");
+        }
+        for c in 6..10 {
+            assert!(bl.column_is_remote(c), "column {c} should be remote");
+        }
+        assert_eq!(bl.remote_columns(), 4);
+    }
+
+    #[test]
+    fn blocked_layout_remote_columns_are_the_first_logp() {
+        let bl = ButterflyLayout::new(1024, 16, Layout::Blocked);
+        for c in 0..4 {
+            assert!(bl.column_is_remote(c), "column {c} should be remote");
+        }
+        for c in 4..10 {
+            assert!(!bl.column_is_remote(c), "column {c} should be local");
+        }
+    }
+
+    #[test]
+    fn hybrid_layout_has_no_remote_columns() {
+        for remap_at in 4..=6 {
+            let bl = ButterflyLayout::new(1024, 16, Layout::Hybrid { remap_at });
+            assert_eq!(bl.remote_columns(), 0, "remap at {remap_at}");
+        }
+    }
+
+    #[test]
+    fn hybrid_remote_refs_are_lower_by_log_p() {
+        // §4.1.1: hybrid communication volume is a factor log P lower.
+        let n = 1 << 14;
+        let p = 16;
+        let cyclic = ButterflyLayout::new(n, p, Layout::Cyclic).remote_refs_per_proc();
+        let hybrid =
+            ButterflyLayout::new(n, p, Layout::Hybrid { remap_at: 4 }).remote_refs_per_proc();
+        let ratio = cyclic as f64 / hybrid as f64;
+        assert!(
+            ratio > 3.9 && ratio < 4.4,
+            "expected ~log P = 4, got {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires n >= P²")]
+    fn hybrid_needs_enough_rows() {
+        ButterflyLayout::new(64, 16, Layout::Hybrid { remap_at: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn hybrid_remap_column_is_range_checked() {
+        ButterflyLayout::new(1024, 16, Layout::Hybrid { remap_at: 2 });
+    }
+
+    #[test]
+    fn figure5_processor0_rows() {
+        // 8-input butterfly, P = 2, remap between columns 2 and 3:
+        // columns 0..=2 cyclic (even rows), column 3 blocked (rows 0..4).
+        let cols = figure5_assignment(0);
+        assert_eq!(cols[0], vec![0, 2, 4, 6]);
+        assert_eq!(cols[1], vec![0, 2, 4, 6]);
+        assert_eq!(cols[2], vec![0, 2, 4, 6]);
+        assert_eq!(cols[3], vec![0, 1, 2, 3]);
+        // Complementary assignment for processor 1.
+        let cols1 = figure5_assignment(1);
+        assert_eq!(cols1[0], vec![1, 3, 5, 7]);
+        assert_eq!(cols1[3], vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn every_row_has_exactly_one_owner() {
+        let bl = ButterflyLayout::new(256, 8, Layout::Hybrid { remap_at: 3 });
+        for c in 0..=8 {
+            let mut count = 0;
+            for q in 0..8 {
+                count +=
+                    (0..256).filter(|&r| bl.owner(r, c) == q).count();
+            }
+            assert_eq!(count, 256, "column {c}");
+        }
+    }
+}

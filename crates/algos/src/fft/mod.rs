@@ -1,0 +1,22 @@
+//! The fast Fourier transform under LogP (§4.1) — the paper's flagship
+//! worked example.
+//!
+//! * [`kernel`] — sequential radix-2 FFT and the naive-DFT oracle;
+//! * [`layout`] — cyclic/blocked/hybrid butterfly layouts (Figure 5) and
+//!   their communication structure;
+//! * [`compute_model`] — the cache-knee compute-rate model of Figure 7;
+//! * [`parallel`] — the data-carrying hybrid FFT (four-step
+//!   factorization) on the simulator, verified against the oracle;
+//! * [`experiment`] — the phase-timing driver behind Figures 6 and 8.
+
+pub mod compute_model;
+pub mod experiment;
+pub mod kernel;
+pub mod layout;
+pub mod parallel;
+
+pub use compute_model::ComputeModel;
+pub use experiment::{fft_phases, FftPhases};
+pub use kernel::Cplx;
+pub use layout::{ButterflyLayout, Layout};
+pub use parallel::{run_parallel_fft, FftRun, FftRunSpec};

@@ -1,0 +1,50 @@
+//! # logp-algos — portable parallel algorithms under LogP
+//!
+//! Executable versions of every algorithm the paper designs or analyzes,
+//! running on the `logp-sim` machine. Every algorithm is verified for
+//! *correctness under message reordering* (the paper's criterion: correct
+//! results "under all interleavings of messages consistent with the upper
+//! bound of L on latency") and, where the paper gives one, checked
+//! against its closed-form time.
+//!
+//! | Module | Paper | Contents |
+//! |---|---|---|
+//! | [`am`] | §3.2 | shared-memory veneer: remote read 2L+4o, prefetch, fetch-add |
+//! | [`broadcast`] | §3.3, Fig. 3 | optimal tree + fixed-shape baselines |
+//! | [`reduce`] | §3.3, Fig. 4 | optimal summation schedules, binomial baseline |
+//! | [`allreduce`] | — | reduce+broadcast vs recursive doubling |
+//! | [`scan`] | §6.2 | block parallel prefix by recursive doubling |
+//! | [`gather`] | §6.6 | scatter / gather / ring all-gather primitives |
+//! | [`kbroadcast`] | §3.3 ext. | k-item broadcast: pipelined trees vs scatter+all-gather |
+//! | [`remap`] | §4.1.2–4 | all-to-all schedules: naive/staggered/barrier |
+//! | [`fft`] | §4.1 | hybrid-layout FFT with real data + Fig. 6/7/8 driver |
+//! | [`lu`] | §4.2.1 | pivoted LU, column-cyclic executable + layout costs |
+//! | [`sort`] | §4.2.2 | splitter (sample) sort vs bitonic |
+//! | [`radix`] | §4.2.2 \[7\] | distributed LSD radix sort, per-digit remaps |
+//! | [`cc`] | §4.2.3 | connected components, hot-spot contention + combining |
+//! | [`multithread`] | §3.2 | latency masking bounded by the capacity window |
+//! | [`bulk`] | §5.4 | long messages as trains + reorder-tolerant reassembly |
+//! | [`measure`] | §7 | black-box extraction of L, o, g from a machine |
+//! | [`stencil`] | §6.4 | 1D Jacobi halo exchange; surface-to-volume economics |
+//! | [`stencil2d`] | §6.4 | 5-point Jacobi on a √P×√P grid; 4b surface vs b² volume |
+//! | [`matmul`] | §6.6 | SUMMA on a √P×√P grid; 1D-vs-2D layout costs |
+
+pub mod allreduce;
+pub mod am;
+pub mod broadcast;
+pub mod bulk;
+pub mod cc;
+pub mod fft;
+pub mod gather;
+pub mod kbroadcast;
+pub mod lu;
+pub mod matmul;
+pub mod measure;
+pub mod multithread;
+pub mod sort;
+pub mod stencil;
+pub mod stencil2d;
+pub mod reduce;
+pub mod radix;
+pub mod remap;
+pub mod scan;

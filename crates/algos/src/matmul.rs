@@ -1,0 +1,360 @@
+//! Distributed dense matrix multiplication (§6.6 lists it with LU and
+//! sorting among the computations whose communication "is seen to be
+//! built around a small set of communication primitives such as
+//! broadcast, reduction or permutation" once layout is addressed).
+//!
+//! Two layouts, mirroring the paper's LU discussion:
+//!
+//! * **1D row layout**: processor q owns a row block of A and of C; it
+//!   needs *all of B* — communication `n²` values per processor
+//!   (all-gather of B), compute `n³/P`;
+//! * **2D grid (SUMMA-style)**: a √P×√P grid owns tiles; at step k the
+//!   owners broadcast an A-column-panel along rows and a B-row-panel
+//!   along columns — communication `2n²/√P` per processor, the same √P
+//!   gain the paper derives for LU's grid layout.
+//!
+//! The 2D algorithm runs data-correct on the simulator (verified against
+//! a sequential product, including under latency jitter); both layouts
+//! have closed-form cost models for the comparison experiment.
+
+use crate::lu::Matrix;
+use logp_core::{Cycles, LogP, ProcId};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use std::collections::HashMap;
+
+const TAG_A: u32 = 0xC0; // IdxF64(step<<40 | local index, value)
+const TAG_B: u32 = 0xC1;
+
+const STEP_MUL: u64 = 1;
+
+/// Flop cost of one multiply-add at unit cost.
+pub const MADD_COST: Cycles = 2;
+
+/// Closed-form per-processor time of the 1D row layout: all-gather B
+/// (`n²` values through one processor's interface) + local compute.
+pub fn matmul_1d_time(m: &LogP, n: u64) -> Cycles {
+    let p = m.p as u64;
+    let comm = n * n * m.send_interval() + m.l;
+    let compute = n * n * n / p * MADD_COST;
+    comm + compute
+}
+
+/// Closed-form per-processor time of the 2D SUMMA layout: √P panel
+/// broadcasts of `n²/P` values each, i.e. `2n²/√P` values through each
+/// interface, + local compute.
+pub fn matmul_2d_time(m: &LogP, n: u64) -> Cycles {
+    let p = m.p as u64;
+    let sqrt_p = (p as f64).sqrt().round() as u64;
+    let comm = 2 * n * n / sqrt_p.max(1) * m.send_interval() + sqrt_p * m.l;
+    let compute = n * n * n / p * MADD_COST;
+    comm + compute
+}
+
+#[derive(Debug, Default)]
+struct StepBuf {
+    a: HashMap<u64, f64>,
+    b: HashMap<u64, f64>,
+}
+
+/// One processor of the √P×√P SUMMA grid, owning a `t×t` tile
+/// (`t = n/√P`). At step `k`, the grid column `k` owners broadcast their
+/// A tile along their row; the grid row `k` owners broadcast their B tile
+/// along their column; everyone multiplies the received panels into its C
+/// tile.
+struct SummaProc {
+    n: usize,
+    sqrt_p: u32,
+    /// Own tiles (row-major `t×t`).
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    step: u64,
+    bufs: HashMap<u64, StepBuf>,
+    panel_a: Vec<f64>,
+    panel_b: Vec<f64>,
+    out: SharedCell<Vec<(ProcId, Vec<f64>)>>,
+}
+
+impl SummaProc {
+    fn t(&self) -> usize {
+        self.n / self.sqrt_p as usize
+    }
+    fn row(&self, me: ProcId) -> u32 {
+        me / self.sqrt_p
+    }
+    fn col(&self, me: ProcId) -> u32 {
+        me % self.sqrt_p
+    }
+
+    fn begin_step(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        let sp = self.sqrt_p;
+        if self.step >= sp as u64 {
+            let c = std::mem::take(&mut self.c);
+            self.out.with(|o| o.push((me, c)));
+            ctx.halt();
+            return;
+        }
+        let k = self.step as u32;
+        let t2 = self.t() * self.t();
+        // Broadcast my A tile along my row if I am in grid column k.
+        if self.col(me) == k {
+            for gc in 0..sp {
+                if gc == k {
+                    continue;
+                }
+                let dst = self.row(me) * sp + gc;
+                for (i, &v) in self.a.iter().enumerate() {
+                    ctx.send(dst, TAG_A, Data::IdxF64(self.step << 40 | i as u64, v));
+                }
+            }
+            self.panel_a = self.a.clone();
+        }
+        // Broadcast my B tile along my column if I am in grid row k.
+        if self.row(me) == k {
+            for gr in 0..sp {
+                if gr == k {
+                    continue;
+                }
+                let dst = gr * sp + self.col(me);
+                for (i, &v) in self.b.iter().enumerate() {
+                    ctx.send(dst, TAG_B, Data::IdxF64(self.step << 40 | i as u64, v));
+                }
+            }
+            self.panel_b = self.b.clone();
+        }
+        let _ = t2;
+        self.try_multiply(ctx);
+    }
+
+    fn try_multiply(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        let k = self.step as u32;
+        let t = self.t();
+        let t2 = t * t;
+        let need_a = self.col(me) != k;
+        let need_b = self.row(me) != k;
+        {
+            let buf = self.bufs.entry(self.step).or_default();
+            if need_a {
+                if buf.a.len() < t2 {
+                    return;
+                }
+                self.panel_a = (0..t2).map(|i| buf.a[&(i as u64)]).collect();
+            }
+            if need_b {
+                if buf.b.len() < t2 {
+                    return;
+                }
+                self.panel_b = (0..t2).map(|i| buf.b[&(i as u64)]).collect();
+            }
+        }
+        self.bufs.remove(&self.step);
+        // C += panel_a * panel_b.
+        for i in 0..t {
+            for kk in 0..t {
+                let a = self.panel_a[i * t + kk];
+                for j in 0..t {
+                    self.c[i * t + j] += a * self.panel_b[kk * t + j];
+                }
+            }
+        }
+        ctx.compute((t2 * t) as u64 * MADD_COST, STEP_MUL);
+    }
+}
+
+impl Process for SummaProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.begin_step(ctx);
+    }
+
+    fn on_compute_done(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(tag, STEP_MUL);
+        self.step += 1;
+        self.begin_step(ctx);
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let (packed, v) = msg.data.as_idx_f64();
+        let step = packed >> 40;
+        let idx = packed & 0xFF_FFFF_FFFF;
+        let buf = self.bufs.entry(step).or_default();
+        match msg.tag {
+            TAG_A => {
+                buf.a.insert(idx, v);
+            }
+            TAG_B => {
+                buf.b.insert(idx, v);
+            }
+            other => unreachable!("unknown tag {other}"),
+        }
+        if step == self.step {
+            self.try_multiply(ctx);
+        }
+    }
+}
+
+/// Result of a distributed matrix multiplication.
+#[derive(Debug, Clone)]
+pub struct MatmulRun {
+    pub c: Matrix,
+    pub completion: Cycles,
+    pub messages: u64,
+}
+
+/// Multiply `a · b` on a √P×√P SUMMA grid (requires `P` a perfect square
+/// and `n` divisible by `√P`).
+pub fn run_summa(m: &LogP, a: &Matrix, b: &Matrix, config: SimConfig) -> MatmulRun {
+    let n = a.n;
+    assert_eq!(b.n, n);
+    let sqrt_p = (m.p as f64).sqrt().round() as u32;
+    assert_eq!(sqrt_p * sqrt_p, m.p, "SUMMA needs a square processor grid");
+    assert_eq!(n % sqrt_p as usize, 0, "n must divide by √P");
+    let t = n / sqrt_p as usize;
+    let out: SharedCell<Vec<(ProcId, Vec<f64>)>> = SharedCell::new();
+    let mut sim = Sim::new(*m, config);
+    let tile = |src: &Matrix, gr: u32, gc: u32| -> Vec<f64> {
+        let (r0, c0) = (gr as usize * t, gc as usize * t);
+        let mut v = Vec::with_capacity(t * t);
+        for i in 0..t {
+            for j in 0..t {
+                v.push(src.get(r0 + i, c0 + j));
+            }
+        }
+        v
+    };
+    for q in 0..m.p {
+        let (gr, gc) = (q / sqrt_p, q % sqrt_p);
+        sim.set_process(
+            q,
+            Box::new(SummaProc {
+                n,
+                sqrt_p,
+                a: tile(a, gr, gc),
+                b: tile(b, gr, gc),
+                c: vec![0.0; t * t],
+                step: 0,
+                bufs: HashMap::new(),
+                panel_a: Vec::new(),
+                panel_b: Vec::new(),
+                out: out.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("SUMMA terminates");
+    let tiles = out.get();
+    assert_eq!(tiles.len(), m.p as usize, "every processor must finish");
+    let mut c = Matrix::zero(n);
+    for (q, tile) in tiles {
+        let (gr, gc) = (q / sqrt_p, q % sqrt_p);
+        let (r0, c0) = (gr as usize * t, gc as usize * t);
+        for i in 0..t {
+            for j in 0..t {
+                c.set(r0 + i, c0 + j, tile[i * t + j]);
+            }
+        }
+    }
+    MatmulRun { c, completion: result.stats.completion, messages: result.stats.total_msgs }
+}
+
+/// Sequential oracle.
+pub fn matmul_sequential(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.n;
+    let mut c = Matrix::zero(n);
+    for i in 0..n {
+        for k in 0..n {
+            let av = a.get(i, k);
+            for j in 0..n {
+                c.set(i, j, c.get(i, j) + av * b.get(k, j));
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worst_err(x: &Matrix, y: &Matrix) -> f64 {
+        x.data
+            .iter()
+            .zip(&y.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn summa_matches_sequential() {
+        let m = LogP::new(6, 2, 4, 4).unwrap();
+        let n = 16;
+        let a = Matrix::test_matrix(n, 1);
+        let b = Matrix::test_matrix(n, 2);
+        let run = run_summa(&m, &a, &b, SimConfig::default());
+        let seq = matmul_sequential(&a, &b);
+        assert!(worst_err(&run.c, &seq) < 1e-12);
+    }
+
+    #[test]
+    fn summa_on_a_3x3_grid() {
+        let m = LogP::new(10, 2, 3, 9).unwrap();
+        let n = 12;
+        let a = Matrix::test_matrix(n, 5);
+        let b = Matrix::test_matrix(n, 6);
+        let run = run_summa(&m, &a, &b, SimConfig::default());
+        assert!(worst_err(&run.c, &matmul_sequential(&a, &b)) < 1e-12);
+        // Per step: √P A-owners and √P B-owners each send their t² tile
+        // to √P−1 peers; √P steps total.
+        let t2 = ((n / 3) * (n / 3)) as u64;
+        assert_eq!(run.messages, 3 * (2 * 3 * 2 * t2));
+    }
+
+    #[test]
+    fn summa_correct_under_jitter() {
+        let m = LogP::new(12, 2, 3, 4).unwrap();
+        let n = 8;
+        let a = Matrix::test_matrix(n, 7);
+        let b = Matrix::test_matrix(n, 8);
+        let seq = matmul_sequential(&a, &b);
+        for seed in 0..3 {
+            let cfg = SimConfig::default().with_jitter(10).with_seed(seed);
+            let run = run_summa(&m, &a, &b, cfg);
+            assert!(worst_err(&run.c, &seq) < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grid_layout_gains_sqrt_p_in_the_model() {
+        let m = LogP::new(60, 20, 40, 64).unwrap();
+        let n = 256;
+        let one_d = matmul_1d_time(&m, n);
+        let two_d = matmul_2d_time(&m, n);
+        assert!(two_d < one_d);
+        // Communication-dominated regime: ratio approaches √P/2 = 4.
+        let comm_1d = (n * n) as f64 * m.send_interval() as f64;
+        let comm_2d = (2 * n * n / 8) as f64 * m.send_interval() as f64;
+        assert!((comm_1d / comm_2d - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn compute_dominates_for_large_n() {
+        // n³/P swamps n² communication eventually — the same
+        // large-blocks argument as everywhere in the paper.
+        let m = LogP::new(60, 20, 40, 16).unwrap();
+        let frac = |n: u64| {
+            let total = matmul_2d_time(&m, n) as f64;
+            let compute = (n * n * n / 16 * MADD_COST) as f64;
+            (total - compute) / total
+        };
+        assert!(frac(64) > 0.4);
+        assert!(frac(2048) < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "square processor grid")]
+    fn summa_requires_square_grid() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        let a = Matrix::test_matrix(8, 1);
+        run_summa(&m, &a, &a, SimConfig::default());
+    }
+}

@@ -1,0 +1,180 @@
+//! Multithreading as latency masking, bounded by the capacity constraint
+//! (§3.2).
+//!
+//! "The technique of multithreading is often suggested as a way of
+//! masking latency... the capacity constraint allows multithreading to be
+//! employed only up to a limit of L/g virtual processors."
+//!
+//! The experiment: one client processor simulates `v` virtual processors,
+//! each repeatedly issuing a remote read (request + reply, `2L + 4o`
+//! round trip) against a memory processor. Each virtual processor has one
+//! outstanding request. Throughput grows with `v` while requests pipeline
+//! into the round-trip window and saturates at one operation per `g`.
+//!
+//! Note on the paper's `L/g` figure: the capacity constraint bounds
+//! *one-way in-flight* messages per endpoint at `⌈L/g⌉`, which is what
+//! caps each direction of this pipeline. A full remote read spans the
+//! request flight, the reply flight and four overheads, so the number of
+//! virtual processors needed to saturate is the round trip over the gap,
+//! [`saturation_threads`] = `⌈(2L + 4o)/g⌉` — beyond it extra threads
+//! buy nothing, exactly the plateau the paper predicts.
+
+use logp_core::{Cycles, LogP};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+
+const TAG_REQ: u32 = 0x80;
+const TAG_RESP: u32 = 0x81;
+
+struct Client {
+    virtual_procs: u64,
+    remaining_to_issue: u64,
+    completed: u64,
+    total_ops: u64,
+    finished_at: SharedCell<Cycles>,
+}
+
+impl Process for Client {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Launch one outstanding request per virtual processor.
+        let initial = self.virtual_procs.min(self.remaining_to_issue);
+        for _ in 0..initial {
+            ctx.send(1, TAG_REQ, Data::Empty);
+            self.remaining_to_issue -= 1;
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(msg.tag, TAG_RESP);
+        self.completed += 1;
+        if self.remaining_to_issue > 0 {
+            self.remaining_to_issue -= 1;
+            ctx.send(1, TAG_REQ, Data::Empty);
+        } else if self.completed == self.total_ops {
+            let now = ctx.now();
+            self.finished_at.with(|t| *t = now);
+        }
+    }
+}
+
+/// The memory module: answers each request with a reply.
+struct Memory;
+
+impl Process for Memory {
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(msg.tag, TAG_REQ);
+        ctx.send(msg.src, TAG_RESP, Data::U64(0xDA7A));
+    }
+}
+
+/// Result of one (v, ops) configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskingPoint {
+    pub virtual_procs: u64,
+    /// Completed remote reads.
+    pub ops: u64,
+    /// Total simulated time.
+    pub completion: Cycles,
+    /// Remote reads per 1000 cycles.
+    pub throughput_kops: f64,
+}
+
+/// Measure remote-read throughput with `v` virtual processors.
+pub fn masking_throughput(m: &LogP, v: u64, ops: u64, config: SimConfig) -> MaskingPoint {
+    assert!(m.p >= 2, "needs a client and a memory processor");
+    let finished: SharedCell<Cycles> = SharedCell::new();
+    let mut sim = Sim::new(*m, config);
+    sim.set_process(
+        0,
+        Box::new(Client {
+            virtual_procs: v,
+            remaining_to_issue: ops,
+            completed: 0,
+            total_ops: ops,
+            finished_at: finished.clone(),
+        }),
+    );
+    sim.set_process(1, Box::new(Memory));
+    let result = sim.run().expect("terminates");
+    let completion = finished.get().max(result.stats.completion);
+    MaskingPoint {
+        virtual_procs: v,
+        ops,
+        completion,
+        throughput_kops: ops as f64 / completion as f64 * 1000.0,
+    }
+}
+
+/// Number of virtual processors at which remote-read throughput
+/// saturates: the round trip divided by the gap.
+pub fn saturation_threads(m: &LogP) -> u64 {
+    m.remote_read().div_ceil(m.g).max(1)
+}
+
+/// Sweep v = 1..=max_v, producing the saturation curve of §3.2.
+pub fn masking_sweep(m: &LogP, max_v: u64, ops: u64, config: SimConfig) -> Vec<MaskingPoint> {
+    (1..=max_v)
+        .map(|v| masking_throughput(m, v, ops, config.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_throughput_is_round_trip_bound() {
+        // v = 1: each op takes the full round trip 2(2o + L).
+        let m = LogP::new(20, 2, 2, 2).unwrap();
+        let ops = 50;
+        let pt = masking_throughput(&m, 1, ops, SimConfig::default());
+        let rtt = 2 * m.point_to_point();
+        assert!(
+            pt.completion >= ops * rtt && pt.completion <= ops * rtt + rtt,
+            "completion {} vs {} expected",
+            pt.completion,
+            ops * rtt
+        );
+    }
+
+    #[test]
+    fn throughput_grows_then_saturates() {
+        let m = LogP::new(32, 1, 4, 2).unwrap();
+        let limit = saturation_threads(&m); // (64 + 4)/4 = 17
+        let pts = masking_sweep(&m, 2 * limit, 400, SimConfig::default());
+        // Strictly improving in the unsaturated regime...
+        for w in pts[..(limit / 2) as usize].windows(2) {
+            assert!(
+                w[1].throughput_kops > w[0].throughput_kops * 1.05,
+                "throughput should grow below the limit: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // ...and flat beyond the saturation point.
+        let at_limit = pts[limit as usize - 1].throughput_kops;
+        let beyond = pts.last().expect("nonempty").throughput_kops;
+        assert!(
+            (beyond - at_limit).abs() / at_limit < 0.10,
+            "beyond the saturation limit extra threads must not help: {at_limit} vs {beyond}"
+        );
+    }
+
+    #[test]
+    fn saturated_throughput_is_one_op_per_gap() {
+        // At saturation the client issues one request per g (the
+        // reception of replies shares the same processor, so the bound is
+        // one op per max(g, 2o + ...) — with tiny o, per g... each op
+        // costs the client one send (o) + one receive (o) with gap g
+        // between sends: ops per max(g, 2o).
+        let m = LogP::new(64, 1, 4, 2).unwrap();
+        let pt = masking_throughput(&m, 32, 500, SimConfig::default());
+        let per_op = m.g.max(2 * m.o);
+        let ideal = 1000.0 / per_op as f64;
+        assert!(
+            pt.throughput_kops > 0.8 * ideal && pt.throughput_kops <= ideal * 1.02,
+            "throughput {} vs ideal {}",
+            pt.throughput_kops,
+            ideal
+        );
+    }
+}

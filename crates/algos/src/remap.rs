@@ -1,0 +1,365 @@
+//! All-to-all data remapping (§4.1.2–4.1.4, Figures 6 and 8).
+//!
+//! The FFT's hybrid layout needs one "all-to-all" step: every processor
+//! sends `n/P²` elements to every other processor. The paper contrasts:
+//!
+//! * a **naive** schedule — every processor sends destination-block by
+//!   destination-block starting at processor 0, so all `P` processors
+//!   flood destination 0 first, then 1, … : "All but L/g processors will
+//!   stall on the first send and then one will send to processor 0 every
+//!   g cycles";
+//! * a **staggered** schedule — processor `i` starts with the block for
+//!   destination `i+1` and wraps around, so at any moment each
+//!   destination is targeted by one sender: contention-free;
+//! * **staggered + barrier** — a (hardware) barrier every block to stop
+//!   asynchronous drift from re-introducing contention (Figure 8
+//!   "Synchronized");
+//! * **double network** — both CM-5 data networks, i.e. `g/2` (Figure 8
+//!   "Double Net").
+//!
+//! Each element also costs `local` cycles of memory traffic at the sender
+//! (§4.1.4's "roughly 1 µs of local computation per data point").
+
+use logp_core::cost::staggered_remap_time;
+use logp_core::{Cycles, LogP, ProcId};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+
+/// Tag for remap payload elements.
+pub const TAG_REMAP: u32 = 0x9E;
+
+/// The communication schedule for the remap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapSchedule {
+    /// Destination blocks in order 0, 1, 2, … for every sender.
+    Naive,
+    /// Processor `i` starts at destination `i+1` and wraps.
+    Staggered,
+    /// Staggered with a barrier between destination blocks.
+    StaggeredBarrier,
+}
+
+/// Parameters of a remap experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapSpec {
+    /// Elements per (source, destination) pair — the paper's `n/P²`.
+    pub elems_per_pair: u64,
+    /// Local load/store cost per element at the sender, cycles.
+    pub local_cost: Cycles,
+    /// Communication schedule.
+    pub schedule: RemapSchedule,
+}
+
+impl RemapSpec {
+    /// Total elements each processor transmits.
+    pub fn elems_per_proc(&self, p: u32) -> u64 {
+        self.elems_per_pair * (p as u64 - 1)
+    }
+}
+
+const TAG_LOADED: u64 = 7;
+
+/// One processor's remap program: for each element in schedule order,
+/// `local_cost` cycles of load, then a send. Receptions interleave via
+/// the engine's active-message polling.
+struct RemapProc {
+    /// Destination order, flattened: `dests[i]` is the target of element
+    /// `i`.
+    dests: Vec<ProcId>,
+    next: usize,
+    /// Load/store cycles charged before each send.
+    local_cost: Cycles,
+    /// Elements expected from every other processor.
+    expect: u64,
+    received: u64,
+    /// Barrier after every `barrier_every` sends (0 = never).
+    barrier_every: u64,
+    sent_since_barrier: u64,
+    sum_received: f64,
+    done: SharedCell<RemapOutcome>,
+}
+
+/// Aggregated outcome of a remap run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemapOutcome {
+    /// Per-processor completion times (last element received).
+    pub finish_times: Vec<(ProcId, Cycles)>,
+    /// Checksum of received payloads, summed over processors.
+    pub checksum: f64,
+}
+
+impl RemapProc {
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        if self.next < self.dests.len() {
+            if self.barrier_every > 0 && self.sent_since_barrier == self.barrier_every {
+                self.sent_since_barrier = 0;
+                ctx.barrier();
+                return; // resume from on_barrier_release
+            }
+            ctx.compute(self.local_cost, TAG_LOADED);
+        } else {
+            self.maybe_finish(ctx);
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_>) {
+        if self.next >= self.dests.len() && self.received >= self.expect {
+            let me = ctx.me();
+            let now = ctx.now();
+            let sum = self.sum_received;
+            self.done.with(|o| {
+                o.finish_times.push((me, now));
+                o.checksum += sum;
+            });
+        }
+    }
+}
+
+impl Process for RemapProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.dests.is_empty() {
+            self.maybe_finish(ctx);
+        } else {
+            self.step(ctx);
+        }
+    }
+
+    fn on_compute_done(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        // The load for element `next` completed; transmit it and schedule
+        // the next load. (The load compute is issued lazily in `step` so
+        // receptions can interleave at each element boundary.)
+        let dst = self.dests[self.next];
+        let payload = (ctx.me() as u64) << 32 | self.next as u64;
+        self.next += 1;
+        self.sent_since_barrier += 1;
+        ctx.send(dst, TAG_REMAP, Data::F64(payload as f64));
+        self.step(ctx);
+    }
+
+    fn on_barrier_release(&mut self, ctx: &mut Ctx<'_>) {
+        self.step(ctx);
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(msg.tag, TAG_REMAP);
+        self.received += 1;
+        self.sum_received += msg.data.as_f64();
+        self.maybe_finish(ctx);
+    }
+}
+
+/// Result of a remap run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemapRun {
+    /// Simulated completion (all elements delivered everywhere).
+    pub completion: Cycles,
+    /// The paper's predicted time for the contention-free schedule:
+    /// `n/P · max(local + 2o, g) + L`.
+    pub predicted: Cycles,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Aggregate stall cycles across processors (contention indicator).
+    pub total_stall: Cycles,
+    /// Payload checksum (for correctness verification).
+    pub checksum: f64,
+}
+
+impl RemapRun {
+    /// Effective per-processor bandwidth in bytes/cycle given a payload
+    /// size per message.
+    pub fn bytes_per_cycle(&self, payload_bytes: u64, elems_per_proc: u64) -> f64 {
+        if self.completion == 0 {
+            return 0.0;
+        }
+        (elems_per_proc * payload_bytes) as f64 / self.completion as f64
+    }
+}
+
+/// Build the destination order for one sender under a schedule.
+fn dest_order(spec: &RemapSpec, me: ProcId, p: u32) -> Vec<ProcId> {
+    let mut dests = Vec::with_capacity(spec.elems_per_proc(p) as usize);
+    // Visit destination blocks in schedule-dependent order, skipping self.
+    let start = match spec.schedule {
+        RemapSchedule::Naive => 0,
+        RemapSchedule::Staggered | RemapSchedule::StaggeredBarrier => me + 1,
+    };
+    for b in 0..p {
+        let d = (start + b) % p;
+        if d == me {
+            continue;
+        }
+        for _ in 0..spec.elems_per_pair {
+            dests.push(d);
+        }
+    }
+    dests
+}
+
+/// Run a remap experiment.
+pub fn run_remap(m: &LogP, spec: &RemapSpec, config: SimConfig) -> RemapRun {
+    let p = m.p;
+    assert!(p >= 2, "remap needs at least two processors");
+    let done: SharedCell<RemapOutcome> = SharedCell::new();
+    let expect = spec.elems_per_pair * (p as u64 - 1);
+    let barrier_every = match spec.schedule {
+        RemapSchedule::StaggeredBarrier => spec.elems_per_pair,
+        _ => 0,
+    };
+    let mut sim = Sim::new(*m, config);
+    for i in 0..p {
+        sim.set_process(
+            i,
+            Box::new(RemapProc {
+                dests: dest_order(spec, i, p),
+                next: 0,
+                local_cost: spec.local_cost,
+                expect,
+                received: 0,
+                barrier_every,
+                sent_since_barrier: 0,
+                sum_received: 0.0,
+                done: done.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("remap terminates");
+    let outcome = done.get();
+    assert_eq!(
+        outcome.finish_times.len(),
+        p as usize,
+        "every processor must finish the remap"
+    );
+    let completion = outcome.finish_times.iter().map(|f| f.1).max().unwrap_or(0);
+    RemapRun {
+        completion,
+        predicted: staggered_remap_time(m, expect, spec.local_cost),
+        messages: result.stats.total_msgs,
+        total_stall: result.stats.procs.iter().map(|s| s.stall).sum(),
+        checksum: outcome.checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm5_like(p: u32) -> LogP {
+        LogP::new(60, 20, 40, p).unwrap()
+    }
+
+    #[test]
+    fn staggered_matches_prediction_closely() {
+        let m = cm5_like(8);
+        let spec = RemapSpec {
+            elems_per_pair: 16,
+            local_cost: 10,
+            schedule: RemapSchedule::Staggered,
+        };
+        let run = run_remap(&m, &spec, SimConfig::default());
+        let ratio = run.completion as f64 / run.predicted as f64;
+        assert!(
+            (0.9..=1.3).contains(&ratio),
+            "staggered should track the prediction: sim {} vs predicted {}",
+            run.completion,
+            run.predicted
+        );
+    }
+
+    #[test]
+    fn naive_is_much_slower_than_staggered() {
+        let m = cm5_like(16);
+        let mk = |schedule| RemapSpec { elems_per_pair: 8, local_cost: 10, schedule };
+        let naive = run_remap(&m, &mk(RemapSchedule::Naive), SimConfig::default());
+        let stag = run_remap(&m, &mk(RemapSchedule::Staggered), SimConfig::default());
+        assert!(
+            naive.completion as f64 > 1.5 * stag.completion as f64,
+            "naive {} vs staggered {}",
+            naive.completion,
+            stag.completion
+        );
+        assert!(naive.total_stall > stag.total_stall * 2);
+    }
+
+    #[test]
+    fn all_schedules_deliver_all_elements() {
+        let m = cm5_like(6);
+        for schedule in [
+            RemapSchedule::Naive,
+            RemapSchedule::Staggered,
+            RemapSchedule::StaggeredBarrier,
+        ] {
+            let spec = RemapSpec { elems_per_pair: 4, local_cost: 10, schedule };
+            let run = run_remap(&m, &spec, SimConfig::default());
+            assert_eq!(run.messages, 6 * 5 * 4, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn checksums_agree_across_schedules_and_jitter() {
+        let m = cm5_like(5);
+        let base = run_remap(
+            &m,
+            &RemapSpec { elems_per_pair: 3, local_cost: 0, schedule: RemapSchedule::Naive },
+            SimConfig::default(),
+        );
+        for schedule in [RemapSchedule::Staggered, RemapSchedule::StaggeredBarrier] {
+            for seed in 0..3 {
+                let cfg = SimConfig::default().with_jitter(30).with_seed(seed);
+                let run = run_remap(
+                    &m,
+                    &RemapSpec { elems_per_pair: 3, local_cost: 0, schedule },
+                    cfg,
+                );
+                assert_eq!(run.checksum, base.checksum, "{schedule:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_schedule_bounds_drift_contention() {
+        // With drift, the plain staggered schedule develops contention
+        // (stalls); the barrier variant keeps stalls lower. This mirrors
+        // Figure 8's "Synchronized" curve.
+        let m = cm5_like(16);
+        let drift_cfg = || SimConfig::default().with_drift(150).with_seed(11);
+        let stag = run_remap(
+            &m,
+            &RemapSpec { elems_per_pair: 32, local_cost: 10, schedule: RemapSchedule::Staggered },
+            drift_cfg(),
+        );
+        let sync = run_remap(
+            &m,
+            &RemapSpec {
+                elems_per_pair: 32,
+                local_cost: 10,
+                schedule: RemapSchedule::StaggeredBarrier,
+            },
+            drift_cfg(),
+        );
+        assert!(
+            sync.total_stall <= stag.total_stall,
+            "barrier must not increase contention: sync {} vs stag {}",
+            sync.total_stall,
+            stag.total_stall
+        );
+    }
+
+    #[test]
+    fn double_network_helps_but_is_overhead_limited() {
+        // Fig. 8: doubling bandwidth (g/2) gains only ~15% because o and
+        // the local loop dominate.
+        let m = cm5_like(8);
+        let spec = RemapSpec {
+            elems_per_pair: 32,
+            local_cost: 10,
+            schedule: RemapSchedule::Staggered,
+        };
+        let single = run_remap(&m, &spec, SimConfig::default());
+        let double = run_remap(&m.double_network(), &spec, SimConfig::default());
+        assert!(double.completion <= single.completion);
+        let gain = single.completion as f64 / double.completion as f64;
+        assert!(
+            gain < 1.35,
+            "double network should give a modest gain (overhead-limited), got {gain}"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Parallel prefix (scan).
+//!
+//! §6.2 notes the scan-model extends the PRAM with unit-time scans
+//! because "for integer scan operations this is approximately the case on
+//! the CM-2 and CM-5" (the CM-5 has a hardware control network). Under
+//! plain LogP there is no such magic primitive: the scan is `log P`
+//! rounds of recursive doubling, each round a 1-relation. This module
+//! implements it for per-processor blocks of values (local prefix +
+//! cross-processor exclusive scan + local fix-up).
+
+use logp_core::{Cycles, LogP, ProcId};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use std::collections::HashMap;
+
+const TAG_SCAN: u32 = 0x70; // Pair(round, partial)
+
+const STEP_LOCAL: u64 = 1;
+const STEP_ROUND: u64 = 2;
+const STEP_FIXUP: u64 = 3;
+
+struct ScanProc {
+    values: Vec<u64>,
+    /// Running prefix of everything strictly to this processor's left
+    /// that has been folded in so far.
+    carry: u64,
+    /// Sum of this processor's block plus folded-in left partials —
+    /// what gets forwarded in recursive doubling.
+    partial: u64,
+    round: u32,
+    rounds: u32,
+    /// First round whose outgoing message has not been sent yet (guards
+    /// against re-sending when re-entering a round that was waiting).
+    next_send_round: u32,
+    /// Out-of-order round payloads (jitter safety).
+    pending: HashMap<u32, u64>,
+    /// Whether the expected message for the current round has been folded.
+    out: SharedCell<Vec<(ProcId, Vec<u64>)>>,
+}
+
+impl ScanProc {
+    /// In recursive doubling round r, processor i sends its partial to
+    /// `i + 2^r` (if it exists) and receives from `i - 2^r` (if it
+    /// exists).
+    fn advance_rounds(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me() as u64;
+        while self.round < self.rounds {
+            let r = self.round;
+            let stride = 1u64 << r;
+            // Send once per round: the partial including all previous
+            // rounds (the standard recursive-doubling invariant).
+            if self.next_send_round == r {
+                self.next_send_round = r + 1;
+                let dst = me + stride;
+                if dst < ctx.procs() as u64 {
+                    ctx.send(dst as ProcId, TAG_SCAN, Data::Pair(r as u64, self.partial));
+                }
+            }
+            if me >= stride {
+                // Must fold an incoming partial before the next round.
+                if let Some(v) = self.pending.remove(&r) {
+                    self.carry += v;
+                    self.partial += v;
+                    ctx.compute(1, STEP_ROUND); // one addition
+                    self.round += 1;
+                    continue;
+                }
+                return; // wait for the message
+            }
+            self.round += 1;
+        }
+        // All rounds done: final fix-up adds the carry to the local
+        // prefix values.
+        ctx.compute(self.values.len() as u64, STEP_FIXUP);
+    }
+}
+
+impl Process for ScanProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Local inclusive prefix.
+        ctx.compute(self.values.len() as u64, STEP_LOCAL);
+    }
+
+    fn on_compute_done(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        match tag {
+            STEP_LOCAL => {
+                for i in 1..self.values.len() {
+                    self.values[i] += self.values[i - 1];
+                }
+                self.partial = self.values.last().copied().unwrap_or(0);
+                self.advance_rounds(ctx);
+            }
+            STEP_ROUND => { /* accounted; advance_rounds drives the loop */ }
+            STEP_FIXUP => {
+                for v in &mut self.values {
+                    *v += self.carry;
+                }
+                let me = ctx.me();
+                let vals = std::mem::take(&mut self.values);
+                self.out.with(|o| o.push((me, vals)));
+                ctx.halt();
+            }
+            other => unreachable!("unknown step {other}"),
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(msg.tag, TAG_SCAN);
+        let (round, partial) = msg.data.as_pair();
+        self.pending.insert(round as u32, partial);
+        self.advance_rounds(ctx);
+    }
+}
+
+/// Result of a scan run.
+#[derive(Debug, Clone)]
+pub struct ScanRun {
+    /// The inclusive prefix sums, concatenated in processor order.
+    pub prefix: Vec<u64>,
+    pub completion: Cycles,
+    pub messages: u64,
+}
+
+/// Run an inclusive prefix sum over `values` distributed in blocks.
+pub fn run_scan(m: &LogP, values: &[u64], config: SimConfig) -> ScanRun {
+    let p = m.p;
+    assert!(p >= 1);
+    assert!(
+        values.len().is_multiple_of(p as usize),
+        "block scan wants n divisible by P"
+    );
+    let block = values.len() / p as usize;
+    let rounds = logp_core::cost::log2_ceil(p as u64) as u32;
+    let out: SharedCell<Vec<(ProcId, Vec<u64>)>> = SharedCell::new();
+    let mut sim = Sim::new(*m, config);
+    for q in 0..p {
+        let vals = values[q as usize * block..(q as usize + 1) * block].to_vec();
+        sim.set_process(
+            q,
+            Box::new(ScanProc {
+                values: vals,
+                carry: 0,
+                partial: 0,
+                round: 0,
+                rounds,
+                next_send_round: 0,
+                pending: HashMap::new(),
+                out: out.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("scan terminates");
+    let mut runs = out.get();
+    assert_eq!(runs.len(), p as usize);
+    runs.sort_by_key(|r| r.0);
+    ScanRun {
+        prefix: runs.into_iter().flat_map(|r| r.1).collect(),
+        completion: result.stats.completion,
+        messages: result.stats.total_msgs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(values: &[u64]) -> Vec<u64> {
+        values
+            .iter()
+            .scan(0u64, |acc, &v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_matches_reference() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        let values: Vec<u64> = (0..64).map(|i| (i * 7 + 3) % 23).collect();
+        let run = run_scan(&m, &values, SimConfig::default());
+        assert_eq!(run.prefix, reference(&values));
+    }
+
+    #[test]
+    fn scan_works_for_non_power_of_two_p() {
+        let m = LogP::new(6, 2, 4, 5).unwrap();
+        let values: Vec<u64> = (0..35).map(|i| i + 1).collect();
+        let run = run_scan(&m, &values, SimConfig::default());
+        assert_eq!(run.prefix, reference(&values));
+    }
+
+    #[test]
+    fn scan_correct_under_jitter() {
+        let m = LogP::new(10, 1, 2, 16).unwrap();
+        let values: Vec<u64> = (0..128).map(|i| i % 13).collect();
+        for seed in 0..4 {
+            let cfg = SimConfig::default().with_jitter(9).with_seed(seed);
+            let run = run_scan(&m, &values, cfg);
+            assert_eq!(run.prefix, reference(&values), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_processor_scan_is_local() {
+        let m = LogP::new(6, 2, 4, 1).unwrap();
+        let values = vec![5u64, 1, 2];
+        let run = run_scan(&m, &values, SimConfig::default());
+        assert_eq!(run.prefix, vec![5, 6, 8]);
+        assert_eq!(run.messages, 0);
+    }
+
+    #[test]
+    fn message_count_is_recursive_doubling() {
+        // Round r has P - 2^r senders; total = Σ (P - 2^r) for 2^r < P.
+        let p = 8u32;
+        let m = LogP::new(6, 2, 4, p).unwrap();
+        let values: Vec<u64> = (0..32).collect();
+        let run = run_scan(&m, &values, SimConfig::default());
+        let expected: u64 = (0..3).map(|r| p as u64 - (1 << r)).sum();
+        assert_eq!(run.messages, expected);
+    }
+}

@@ -1,0 +1,356 @@
+//! Two-dimensional stencil computation on a processor grid (§6.4).
+//!
+//! The 1D Jacobi in [`crate::stencil`] shows the constant-halo argument;
+//! the 2D version is the paper's actual geometry: "wherever problems have
+//! a local, regular communication pattern, such as stencil calculation on
+//! a grid, it is easy to lay the data out so that only a diminishing
+//! fraction of the communication is external to the processor ... the
+//! interprocessor communication diminishes like the surface to volume
+//! ratio."
+//!
+//! A √P×√P processor grid owns b×b tiles of a periodic field; each
+//! iteration exchanges four edge halos (4b values — the *surface*) and
+//! updates b² points (the *volume*) with a 5-point stencil. Verified
+//! against a sequential sweep, including under latency jitter.
+
+use logp_core::{Cycles, LogP, ProcId};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use std::collections::HashMap;
+
+const TAG_HALO: u32 = 0xB2; // Pair(iter<<16 | side<<8 | index, bits)
+
+const STEP_SWEEP: u64 = 1;
+
+/// Flops per 5-point update (4 adds + 1 multiply at unit cost).
+pub const POINT_COST_2D: Cycles = 5;
+
+/// Sides of a tile, also the halo tags.
+const NORTH: u64 = 0;
+const SOUTH: u64 = 1;
+const WEST: u64 = 2;
+const EAST: u64 = 3;
+
+/// Per-iteration analytic time for a b×b tile: `b²` updates plus four
+/// halo exchanges of `b` values each — surface 4b against volume b².
+pub fn jacobi2d_iteration_time(m: &LogP, b: u64) -> Cycles {
+    let halo_msgs = 4 * b;
+    b * b * POINT_COST_2D + halo_msgs * m.send_interval() + m.point_to_point()
+}
+
+/// Analytic communication fraction of an iteration.
+pub fn comm_fraction_2d(m: &LogP, b: u64) -> f64 {
+    let total = jacobi2d_iteration_time(m, b) as f64;
+    (total - (b * b * POINT_COST_2D) as f64) / total
+}
+
+struct Jacobi2dProc {
+    /// Tile with a one-cell ghost ring: (b+2)×(b+2), row-major.
+    u: Vec<f64>,
+    scratch: Vec<f64>,
+    b: usize,
+    iter: u64,
+    iters: u64,
+    halo_sent: u64,
+    /// Halo values by (iteration, side, index).
+    pending: HashMap<(u64, u64), Vec<(u64, f64)>>,
+    out: SharedCell<Vec<(ProcId, Vec<f64>)>>,
+}
+
+impl Jacobi2dProc {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.u[r * (self.b + 2) + c]
+    }
+
+    fn set_scratch(&mut self, r: usize, c: usize, v: f64) {
+        self.scratch[r * (self.b + 2) + c] = v;
+    }
+
+    fn neighbors(me: ProcId, grid: u32) -> [ProcId; 4] {
+        let g = grid;
+        let (x, y) = (me % g, me / g);
+        [
+            (y + g - 1) % g * g + x, // north
+            (y + 1) % g * g + x,     // south
+            y * g + (x + g - 1) % g, // west
+            y * g + (x + 1) % g,     // east
+        ]
+    }
+
+    /// Send this iteration's four halos (once), then sweep when all four
+    /// have arrived.
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        if self.iter >= self.iters {
+            let b = self.b;
+            let mut interior = Vec::with_capacity(b * b);
+            for r in 1..=b {
+                for c in 1..=b {
+                    interior.push(self.at(r, c));
+                }
+            }
+            let me = ctx.me();
+            self.out.with(|o| o.push((me, interior)));
+            ctx.halt();
+            return;
+        }
+        let grid = (ctx.procs() as f64).sqrt().round() as u32;
+        let nbr = Self::neighbors(ctx.me(), grid);
+        let b = self.b;
+        if self.halo_sent == self.iter {
+            self.halo_sent += 1;
+            // My north edge row goes to my north neighbor's south ghost,
+            // and symmetrically; each edge value is one message.
+            for i in 0..b {
+                let north_v = self.at(1, i + 1);
+                let south_v = self.at(b, i + 1);
+                let west_v = self.at(i + 1, 1);
+                let east_v = self.at(i + 1, b);
+                let pack = |side: u64, idx: usize| {
+                    self.iter << 16 | side << 8 | idx as u64
+                };
+                ctx.send(nbr[0], TAG_HALO, Data::IdxF64(pack(SOUTH, i), north_v));
+                ctx.send(nbr[1], TAG_HALO, Data::IdxF64(pack(NORTH, i), south_v));
+                ctx.send(nbr[2], TAG_HALO, Data::IdxF64(pack(EAST, i), west_v));
+                ctx.send(nbr[3], TAG_HALO, Data::IdxF64(pack(WEST, i), east_v));
+            }
+        }
+        // All four sides complete?
+        let ready = [NORTH, SOUTH, WEST, EAST].iter().all(|&s| {
+            self.pending
+                .get(&(self.iter, s))
+                .is_some_and(|v| v.len() == b)
+        });
+        if !ready {
+            return;
+        }
+        for side in [NORTH, SOUTH, WEST, EAST] {
+            let vals = self.pending.remove(&(self.iter, side)).expect("checked");
+            for (idx, v) in vals {
+                let i = idx as usize;
+                match side {
+                    NORTH => self.u[i + 1] = v, // row 0 ghost
+                    SOUTH => self.u[(b + 1) * (b + 2) + i + 1] = v,
+                    WEST => self.u[(i + 1) * (b + 2)] = v,
+                    EAST => self.u[(i + 1) * (b + 2) + b + 1] = v,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        // 5-point sweep into scratch.
+        for r in 1..=b {
+            for c in 1..=b {
+                let v = 0.5 * self.at(r, c)
+                    + 0.125
+                        * (self.at(r - 1, c)
+                            + self.at(r + 1, c)
+                            + self.at(r, c - 1)
+                            + self.at(r, c + 1));
+                self.set_scratch(r, c, v);
+            }
+        }
+        std::mem::swap(&mut self.u, &mut self.scratch);
+        ctx.compute((b * b) as u64 * POINT_COST_2D, STEP_SWEEP);
+    }
+}
+
+impl Process for Jacobi2dProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.advance(ctx);
+    }
+
+    fn on_compute_done(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(tag, STEP_SWEEP);
+        self.iter += 1;
+        self.advance(ctx);
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(msg.tag, TAG_HALO);
+        let (packed, v) = msg.data.as_idx_f64();
+        let (iter, side, idx) = (packed >> 16, (packed >> 8) & 0xFF, packed & 0xFF);
+        self.pending.entry((iter, side)).or_default().push((idx, v));
+        if iter == self.iter {
+            self.advance(ctx);
+        }
+    }
+}
+
+/// Result of a 2D Jacobi run.
+#[derive(Debug, Clone)]
+pub struct Jacobi2dRun {
+    /// The field after `iters` sweeps, row-major n×n.
+    pub field: Vec<f64>,
+    pub completion: Cycles,
+    pub messages: u64,
+    /// Processor 0's communication-overhead fraction of busy time.
+    pub comm_fraction: f64,
+}
+
+/// Run `iters` sweeps of the periodic 5-point Jacobi stencil over an
+/// n×n field on a √P×√P processor grid (`n` divisible by `√P`).
+pub fn run_jacobi2d(m: &LogP, field: &[Vec<f64>], iters: u64, config: SimConfig) -> Jacobi2dRun {
+    let grid = (m.p as f64).sqrt().round() as u32;
+    assert_eq!(grid * grid, m.p, "needs a square processor grid");
+    assert!(grid >= 2, "halo exchange needs distinct neighbors");
+    let n = field.len();
+    assert!(field.iter().all(|r| r.len() == n), "field must be square");
+    assert_eq!(n % grid as usize, 0, "n must divide by the grid side");
+    let b = n / grid as usize;
+    // The halo message packing gives the edge index 8 bits.
+    assert!(b <= 256, "tile side {b} exceeds the 256-point halo packing");
+    let out: SharedCell<Vec<(ProcId, Vec<f64>)>> = SharedCell::new();
+    let mut sim = Sim::new(*m, config);
+    for q in 0..m.p {
+        let (gx, gy) = ((q % grid) as usize, (q / grid) as usize);
+        let mut u = vec![0.0; (b + 2) * (b + 2)];
+        for r in 0..b {
+            for c in 0..b {
+                u[(r + 1) * (b + 2) + c + 1] = field[gy * b + r][gx * b + c];
+            }
+        }
+        sim.set_process(
+            q,
+            Box::new(Jacobi2dProc {
+                scratch: u.clone(),
+                u,
+                b,
+                iter: 0,
+                iters,
+                halo_sent: 0,
+                pending: HashMap::new(),
+                out: out.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("2D Jacobi terminates");
+    let mut tiles = out.get();
+    assert_eq!(tiles.len(), m.p as usize, "every processor must finish");
+    tiles.sort_by_key(|t| t.0);
+    let mut out_field = vec![0.0; n * n];
+    for (q, tile) in tiles {
+        let (gx, gy) = ((q % grid) as usize, (q / grid) as usize);
+        for r in 0..b {
+            for c in 0..b {
+                out_field[(gy * b + r) * n + gx * b + c] = tile[r * b + c];
+            }
+        }
+    }
+    let st = &result.stats.procs[0];
+    let busy = st.busy() as f64;
+    Jacobi2dRun {
+        field: out_field,
+        completion: result.stats.completion,
+        messages: result.stats.total_msgs,
+        comm_fraction: if busy == 0.0 {
+            0.0
+        } else {
+            (st.send_overhead + st.recv_overhead) as f64 / busy
+        },
+    }
+}
+
+/// Sequential oracle: periodic 5-point sweeps.
+pub fn jacobi2d_sequential(field: &[Vec<f64>], iters: u64) -> Vec<f64> {
+    let n = field.len();
+    let mut u: Vec<f64> = field.iter().flatten().copied().collect();
+    let mut next = vec![0.0; n * n];
+    for _ in 0..iters {
+        for r in 0..n {
+            for c in 0..n {
+                let up = u[(r + n - 1) % n * n + c];
+                let down = u[(r + 1) % n * n + c];
+                let left = u[r * n + (c + n - 1) % n];
+                let right = u[r * n + (c + 1) % n];
+                next[r * n + c] = 0.5 * u[r * n + c] + 0.125 * (up + down + left + right);
+            }
+        }
+        std::mem::swap(&mut u, &mut next);
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|r| (0..n).map(|c| ((r * n + c) as f64 * 0.13).sin()).collect())
+            .collect()
+    }
+
+    fn worst_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_sequential() {
+        let m = LogP::new(6, 2, 4, 4).unwrap(); // 2x2 grid
+        let f = field(12);
+        for iters in [1u64, 4, 9] {
+            let run = run_jacobi2d(&m, &f, iters, SimConfig::default());
+            let seq = jacobi2d_sequential(&f, iters);
+            assert!(worst_err(&run.field, &seq) < 1e-12, "iters={iters}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_3x3_grid() {
+        let m = LogP::new(10, 2, 3, 9).unwrap();
+        let f = field(18);
+        let run = run_jacobi2d(&m, &f, 5, SimConfig::default());
+        let seq = jacobi2d_sequential(&f, 5);
+        assert!(worst_err(&run.field, &seq) < 1e-12);
+    }
+
+    #[test]
+    fn correct_under_jitter() {
+        let m = LogP::new(12, 2, 3, 4).unwrap();
+        let f = field(8);
+        let seq = jacobi2d_sequential(&f, 6);
+        for seed in 0..3 {
+            let cfg = SimConfig::default().with_jitter(10).with_seed(seed);
+            let run = run_jacobi2d(&m, &f, 6, cfg);
+            assert!(worst_err(&run.field, &seq) < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn surface_to_volume_in_two_dimensions() {
+        // 2D: surface 4b vs volume b² — the comm fraction falls like 1/b.
+        let m = LogP::new(60, 20, 40, 4).unwrap();
+        let small = run_jacobi2d(&m, &field(8), 6, SimConfig::default());
+        let large = run_jacobi2d(&m, &field(256), 6, SimConfig::default());
+        assert!(
+            large.comm_fraction < small.comm_fraction / 2.0,
+            "fraction must fall: {} -> {}",
+            small.comm_fraction,
+            large.comm_fraction
+        );
+        // Analytic ratio: fraction ~ 4/(b·POINT_COST/interval + 4).
+        assert!(comm_fraction_2d(&m, 128) < comm_fraction_2d(&m, 4) / 2.0);
+    }
+
+    #[test]
+    fn message_count_is_four_halos_per_proc_per_iter() {
+        let m = LogP::new(6, 2, 4, 4).unwrap();
+        let b = 6; // 12x12 field on 2x2 grid
+        let run = run_jacobi2d(&m, &field(12), 3, SimConfig::default());
+        assert_eq!(run.messages, 4 * b * 4 * 3); // 4 procs × 4 sides × b × iters
+    }
+
+    #[test]
+    #[should_panic(expected = "halo packing")]
+    fn rejects_oversized_tiles() {
+        let m = LogP::new(6, 2, 4, 4).unwrap();
+        let n = 2 * 300;
+        let f: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
+        run_jacobi2d(&m, &f, 1, SimConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "square processor grid")]
+    fn requires_square_grid() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        run_jacobi2d(&m, &field(8), 1, SimConfig::default());
+    }
+}

@@ -1,0 +1,408 @@
+//! An executable Bulk-Synchronous Parallel machine (§6.3).
+//!
+//! "A computation consists of a sequence of supersteps. During a
+//! superstep each processor performs local computation, and receives and
+//! sends messages" — messages sent in superstep `s` are visible only in
+//! superstep `s+1`, and each superstep is charged
+//! `w_max + g·h + l` where `h` is the superstep's h-relation (max
+//! messages sent or received by any processor).
+//!
+//! The paper's critiques are observable here: the barrier (`l`) is paid
+//! every superstep even when only two processors talk, and a message
+//! cannot be consumed in the superstep it was sent — both are relaxed in
+//! LogP.
+
+use logp_core::{Cycles, ProcId};
+
+/// A message exchanged between supersteps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BspMsg {
+    pub src: ProcId,
+    pub dst: ProcId,
+    pub tag: u32,
+    pub value: f64,
+}
+
+/// What one processor does in one superstep: consume `inbox`, fill
+/// `outbox`, report local work performed; return `false` when finished.
+pub type SuperstepFn<'a> =
+    dyn FnMut(ProcId, u64, &[BspMsg], &mut Vec<BspMsg>) -> (Cycles, bool) + 'a;
+
+/// The machine: `g` cycles per message of an h-relation, `l` per barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BspMachine {
+    pub p: u32,
+    pub g: Cycles,
+    pub l: Cycles,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BspRun {
+    pub supersteps: u64,
+    /// Total charged cost Σ (w_max + g·h + l).
+    pub cost: Cycles,
+    /// Per-superstep (w_max, h) profile.
+    pub profile: Vec<(Cycles, u64)>,
+}
+
+impl BspMachine {
+    pub fn from_model(m: &logp_core::models::Bsp) -> Self {
+        BspMachine { p: m.p, g: m.g, l: m.l }
+    }
+
+    /// Run to completion (all processors returned `false`).
+    pub fn run(&self, f: &mut SuperstepFn<'_>) -> BspRun {
+        let p = self.p as usize;
+        let mut inboxes: Vec<Vec<BspMsg>> = vec![Vec::new(); p];
+        let mut active = vec![true; p];
+        let mut cost = 0u64;
+        let mut profile = Vec::new();
+        let mut supersteps = 0u64;
+        while active.iter().any(|a| *a) {
+            let mut next_inboxes: Vec<Vec<BspMsg>> = vec![Vec::new(); p];
+            let mut sent = vec![0u64; p];
+            let mut w_max = 0u64;
+            for pid in 0..self.p {
+                if !active[pid as usize] {
+                    continue;
+                }
+                let mut outbox = Vec::new();
+                let inbox = std::mem::take(&mut inboxes[pid as usize]);
+                let (w, again) = f(pid, supersteps, &inbox, &mut outbox);
+                w_max = w_max.max(w);
+                active[pid as usize] = again;
+                for msg in outbox {
+                    assert!(msg.dst < self.p, "destination out of range");
+                    sent[pid as usize] += 1;
+                    next_inboxes[msg.dst as usize].push(msg);
+                }
+            }
+            let recv_max = next_inboxes.iter().map(|i| i.len() as u64).max().unwrap_or(0);
+            let h = sent.iter().copied().max().unwrap_or(0).max(recv_max);
+            cost += w_max + self.g * h + self.l;
+            profile.push((w_max, h));
+            inboxes = next_inboxes;
+            supersteps += 1;
+        }
+        BspRun { supersteps, cost, profile }
+    }
+}
+
+/// BSP broadcast by recursive doubling: ⌈log2 P⌉ supersteps, each a
+/// 1-relation.
+pub fn bsp_broadcast(machine: &BspMachine, value: f64) -> (BspRun, Vec<f64>) {
+    let p = machine.p;
+    let mut have = vec![false; p as usize];
+    let mut values = vec![0.0; p as usize];
+    have[0] = true;
+    values[0] = value;
+    let rounds = logp_core::cost::log2_ceil(p as u64);
+    let run = machine.run(&mut |pid, step, inbox, outbox| {
+        for m in inbox {
+            have[pid as usize] = true;
+            values[pid as usize] = m.value;
+        }
+        if step >= rounds {
+            return (0, false);
+        }
+        if have[pid as usize] {
+            let dst = pid as u64 + (1u64 << step);
+            if dst < p as u64 {
+                outbox.push(BspMsg {
+                    src: pid,
+                    dst: dst as ProcId,
+                    tag: 0,
+                    value: values[pid as usize],
+                });
+            }
+        }
+        (1, true)
+    });
+    (run, values)
+}
+
+/// BSP sum: one local superstep then ⌈log2 P⌉ combining supersteps.
+pub fn bsp_sum(machine: &BspMachine, values: &[f64]) -> (BspRun, f64) {
+    let p = machine.p;
+    let block = values.len().div_ceil(p as usize);
+    let mut partial: Vec<f64> = (0..p as usize)
+        .map(|q| {
+            values[(q * block).min(values.len())..((q + 1) * block).min(values.len())]
+                .iter()
+                .sum()
+        })
+        .collect();
+    let rounds = logp_core::cost::log2_ceil(p as u64);
+    let run = machine.run(&mut |pid, step, inbox, outbox| {
+        for m in inbox {
+            partial[pid as usize] += m.value;
+        }
+        if step == 0 {
+            // Local fold superstep.
+            let w = block.saturating_sub(1) as u64;
+            return (w, true);
+        }
+        let r = step - 1;
+        if r >= rounds {
+            return (0, false);
+        }
+        let stride = 1u64 << (rounds - 1 - r);
+        let me = pid as u64;
+        if me >= stride && me < 2 * stride {
+            outbox.push(BspMsg {
+                src: pid,
+                dst: (me - stride) as ProcId,
+                tag: 0,
+                value: partial[pid as usize],
+            });
+        }
+        (1, true)
+    });
+    (run, partial[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logp_core::models::Bsp;
+    use logp_core::LogP;
+
+    fn machine() -> BspMachine {
+        BspMachine::from_model(&Bsp::from_logp(&LogP::new(6, 2, 4, 8).unwrap()))
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let (run, values) = bsp_broadcast(&machine(), 5.0);
+        assert!(values.iter().all(|&v| v == 5.0));
+        // log2(8) = 3 communicating supersteps + 1 final quiescent one.
+        assert!(run.supersteps >= 3 && run.supersteps <= 4, "{}", run.supersteps);
+    }
+
+    #[test]
+    fn broadcast_cost_tracks_the_model() {
+        let m = machine();
+        let model = Bsp::new(m.p, m.g, m.l);
+        let (run, _) = bsp_broadcast(&m, 1.0);
+        // The executable run adds one wind-down superstep; otherwise cost
+        // per round is w + g·1 + l.
+        let per_round = model.superstep(1, 1);
+        assert!(
+            run.cost >= 3 * per_round && run.cost <= 4 * per_round + m.l,
+            "cost {} vs per-round {}",
+            run.cost,
+            per_round
+        );
+    }
+
+    #[test]
+    fn sum_is_correct_and_profiled() {
+        let m = machine();
+        let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let (run, total) = bsp_sum(&m, &values);
+        assert_eq!(total, values.iter().sum::<f64>());
+        // First superstep carries the local fold work.
+        assert_eq!(run.profile[0].0, 7);
+        // Combining supersteps are 1-relations.
+        for (_, h) in &run.profile[1..] {
+            assert!(*h <= 1);
+        }
+    }
+
+    #[test]
+    fn messages_cross_superstep_boundaries_only() {
+        // A message sent in superstep 0 is visible in superstep 1 — the
+        // §6.3 critique ("even if the length of the superstep is longer
+        // than the latency").
+        let m = BspMachine { p: 2, g: 1, l: 10 };
+        let mut seen_at = None;
+        m.run(&mut |pid, step, inbox, outbox| {
+            if pid == 0 && step == 0 {
+                outbox.push(BspMsg { src: 0, dst: 1, tag: 9, value: 1.0 });
+            }
+            if pid == 1 && !inbox.is_empty() && seen_at.is_none() {
+                seen_at = Some(step);
+            }
+            (0, step < 2)
+        });
+        assert_eq!(seen_at, Some(1));
+    }
+
+    #[test]
+    fn barrier_cost_is_paid_every_superstep() {
+        let m = BspMachine { p: 4, g: 2, l: 100 };
+        let run = m.run(&mut |_, step, _, _| (0, step < 4));
+        assert_eq!(run.supersteps, 5);
+        assert_eq!(run.cost, 5 * 100);
+    }
+
+    #[test]
+    fn h_relation_counts_both_directions() {
+        // One processor sends 3, another receives 3: h = 3 either way;
+        // but fan-in also counts: two senders to one receiver gives h=2.
+        let m = BspMachine { p: 3, g: 5, l: 1 };
+        let run = m.run(&mut |pid, step, _, outbox| {
+            if step == 0 && pid > 0 {
+                outbox.push(BspMsg { src: pid, dst: 0, tag: 0, value: 0.0 });
+            }
+            (0, step < 1)
+        });
+        assert_eq!(run.profile[0].1, 2, "fan-in of 2 makes h = 2");
+    }
+}
+
+/// An executable BSP hybrid-layout FFT (the §6.3 comparison made
+/// concrete): the same four-step factorization as
+/// `logp-algos::fft::parallel`, but in supersteps — phase I compute, one
+/// remap superstep whose messages are only visible afterwards, phase III
+/// compute. Returns the transform (natural order) and the charged run.
+pub fn bsp_fft(
+    machine: &BspMachine,
+    input: &[logp_algos::fft::Cplx],
+    butterfly_cost: Cycles,
+) -> (Vec<logp_algos::fft::Cplx>, BspRun) {
+    use logp_algos::fft::kernel::{fft_in_place, Cplx};
+    let p = machine.p as u64;
+    let n = input.len() as u64;
+    assert!(n.is_power_of_two() && (p).is_power_of_two());
+    assert!(n >= p * p, "hybrid layout requires n >= P²");
+    let n1 = n / p;
+    let block = n1 / p;
+    // Per-processor state.
+    let mut local: Vec<Vec<Cplx>> = (0..p)
+        .map(|q| (0..n1).map(|j1| input[(j1 * p + q) as usize]).collect())
+        .collect();
+    let mut staging: Vec<Vec<Cplx>> = vec![vec![Cplx::ZERO; (block * p) as usize]; p as usize];
+    let mut outputs: Vec<Vec<(u64, Cplx)>> = vec![Vec::new(); p as usize];
+    let flops_1 = logp_algos::fft::kernel::butterfly_count(n1) * butterfly_cost;
+    let flops_3 = logp_algos::fft::kernel::butterfly_count(p) * block * butterfly_cost;
+
+    let run = machine.run(&mut |pid, step, inbox, outbox| {
+        let q = pid as u64;
+        match step {
+            0 => {
+                // Phase I: local FFT + twiddles, then emit the remap
+                // messages (visible only next superstep — BSP law).
+                let mine = &mut local[pid as usize];
+                fft_in_place(mine);
+                for (k1, v) in mine.iter_mut().enumerate() {
+                    *v = v.mul(Cplx::omega(q * k1 as u64, n));
+                }
+                for k1 in 0..n1 {
+                    let dst = (k1 / block) as ProcId;
+                    let v = mine[k1 as usize];
+                    if dst == pid {
+                        let slot = ((k1 - q * block) * p + q) as usize;
+                        staging[pid as usize][slot] = v;
+                    } else {
+                        // Two messages per complex element (re, im) keeps
+                        // the h-relation accounting honest at one word per
+                        // message.
+                        outbox.push(BspMsg { src: pid, dst, tag: (k1 << 1) as u32, value: v.re });
+                        outbox.push(BspMsg {
+                            src: pid,
+                            dst,
+                            tag: (k1 << 1 | 1) as u32,
+                            value: v.im,
+                        });
+                    }
+                }
+                (flops_1, true)
+            }
+            1 => {
+                // Remap arrives; phase III.
+                let my_lo = q * block;
+                for m in inbox {
+                    let k1 = (m.tag >> 1) as u64;
+                    let slot = ((k1 - my_lo) * p + m.src as u64) as usize;
+                    if m.tag & 1 == 0 {
+                        staging[pid as usize][slot].re = m.value;
+                    } else {
+                        staging[pid as usize][slot].im = m.value;
+                    }
+                }
+                for b in 0..block {
+                    let k1 = my_lo + b;
+                    let mut row: Vec<Cplx> =
+                        staging[pid as usize][(b * p) as usize..((b + 1) * p) as usize].to_vec();
+                    fft_in_place(&mut row);
+                    for (k2, v) in row.iter().enumerate() {
+                        outputs[pid as usize].push((k1 + n1 * k2 as u64, *v));
+                    }
+                }
+                (flops_3, false)
+            }
+            _ => (0, false),
+        }
+    });
+    let mut out = vec![logp_algos::fft::Cplx::ZERO; n as usize];
+    for per_proc in outputs {
+        for (idx, v) in per_proc {
+            out[idx as usize] = v;
+        }
+    }
+    (out, run)
+}
+
+#[cfg(test)]
+mod fft_tests {
+    use super::*;
+    use logp_algos::fft::kernel::{fft_in_place, max_error, Cplx};
+    use logp_core::models::Bsp;
+    use logp_core::LogP;
+
+    #[test]
+    fn bsp_fft_is_numerically_correct() {
+        let m = LogP::new(6, 2, 4, 4).unwrap();
+        let machine = BspMachine::from_model(&Bsp::from_logp(&m));
+        let n = 256u64;
+        let input: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new((i as f64 * 0.21).sin(), (i as f64 * 0.13).cos()))
+            .collect();
+        let (out, run) = bsp_fft(&machine, &input, 1);
+        let mut reference = input.clone();
+        fft_in_place(&mut reference);
+        assert!(max_error(&out, &reference) < 1e-9);
+        assert_eq!(run.supersteps, 2);
+    }
+
+    #[test]
+    fn bsp_fft_charges_the_model_cost() {
+        // The charged cost matches the closed-form Bsp::fft_time within
+        // the h-relation constant (the executable sends 2 words per
+        // complex element, the model charges n/P messages).
+        let m = LogP::new(60, 20, 40, 8).unwrap();
+        let model = Bsp::from_logp(&m);
+        let machine = BspMachine::from_model(&model);
+        let n = 1024u64;
+        let input: Vec<Cplx> = (0..n).map(|i| Cplx::new(i as f64, 0.0)).collect();
+        let (_, run) = bsp_fft(&machine, &input, 45);
+        let predicted = model.fft_time(n, 45);
+        let ratio = run.cost as f64 / predicted as f64;
+        assert!(
+            (0.5..=2.5).contains(&ratio),
+            "BSP charge {} vs model {} (ratio {ratio})",
+            run.cost,
+            predicted
+        );
+    }
+
+    #[test]
+    fn bsp_fft_cost_exceeds_logp_fft() {
+        // §6.3: LogP schedules the same remap without a global barrier
+        // and without rounding up to the worst h-relation.
+        let m = LogP::new(60, 20, 40, 8).unwrap();
+        let machine = BspMachine::from_model(&Bsp::from_logp(&m));
+        let n = 1024u64;
+        let input: Vec<Cplx> = (0..n).map(|i| Cplx::new((i % 17) as f64, 0.5)).collect();
+        let (_, run) = bsp_fft(&machine, &input, 45);
+        let logp_total = logp_core::cost::fft_hybrid_time(&m, n, 45, 10);
+        assert!(
+            run.cost as f64 > 0.9 * logp_total as f64,
+            "BSP {} should not undercut LogP's total {}",
+            run.cost,
+            logp_total
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! # logp-baselines — executable PRAM and BSP machines
+//!
+//! The models the paper compares LogP against (§6): a synchronous PRAM
+//! with enforced EREW/CREW/CRCW access disciplines, and a superstep BSP
+//! machine with `w + g·h + l` charging. Experiment E16 runs the same
+//! logical algorithms here and on the LogP simulator to reproduce the
+//! paper's model-gap argument.
+
+pub mod bsp;
+pub mod pram;
+pub mod pram_algos;
+
+pub use bsp::{bsp_broadcast, bsp_sum, BspMachine, BspMsg, BspRun};
+pub use pram::{pram_broadcast, pram_sum, Pram, PramError, PramRun};
+pub use pram_algos::{pram_cc, pram_scan};

@@ -1,0 +1,163 @@
+//! Further PRAM algorithms: prefix sum and connected components.
+//!
+//! The CC implementation is the §4.2.3 contrast: on a Priority-CRCW PRAM
+//! every vertex can write to its component representative *in one step,
+//! for free* — the hot spot that LogP exposes (see `logp-algos::cc`)
+//! simply does not exist in the model. Comparing the two quantifies the
+//! paper's warning about CRCW loopholes.
+
+use crate::pram::{Pram, PramError, PramRun};
+use logp_core::models::PramVariant;
+
+/// Inclusive prefix sum over `values` (one value per processor,
+/// Hillis–Steele doubling: ⌈log2 n⌉ steps, n processors).
+pub fn pram_scan(variant: PramVariant, values: &[f64]) -> Result<PramRun, PramError> {
+    let n = values.len();
+    if n == 0 {
+        return Ok(PramRun { steps: 0, memory: Vec::new() });
+    }
+    let mut pram = Pram::new(n as u32, variant, n);
+    pram.memory[..n].copy_from_slice(values);
+    let rounds = logp_core::cost::log2_ceil(n as u64);
+    pram.run(&mut |pid, step, mem, act| {
+        let stride = 1usize << step;
+        let i = pid as usize;
+        if step >= rounds {
+            act.finish();
+            return;
+        }
+        if i >= stride {
+            act.read(i);
+            act.read(i - stride);
+            act.write(i, mem[i] + mem[i - stride]);
+        } else {
+            // Idle processors still read their own cell (exclusive), so
+            // EREW legality is preserved... actually reading is optional;
+            // do nothing.
+        }
+        if 2 * stride >= n {
+            act.finish();
+        }
+    })
+}
+
+/// Connected components by min-label propagation on a Priority-CRCW PRAM
+/// with one processor per *edge endpoint*: each step every edge writes
+/// `min(label[u], label[v])` to both endpoints concurrently; priority
+/// resolves the winner. Converges in O(components' diameter) steps, each
+/// step unit cost regardless of fan-in — the loophole.
+///
+/// Returns `(labels, steps)`.
+pub fn pram_cc(
+    n: u64,
+    edges: &[(u64, u64)],
+) -> Result<(Vec<u64>, u64), PramError> {
+    // One PRAM processor per edge, plus one per vertex for convergence
+    // detection. Labels live in cells [0, n); a "changed" flag in cell n.
+    let procs = edges.len() as u32 + 1;
+    let mut pram = Pram::new(procs, PramVariant::Crcw, n as usize + 1);
+    for v in 0..n as usize {
+        pram.memory[v] = v as f64;
+    }
+    let edges_vec = edges.to_vec();
+    let n_usize = n as usize;
+    let run = pram.run(&mut |pid, step, mem, act| {
+        // Even steps: propagate; odd steps: check & reset the flag.
+        let phase = step % 2;
+        if pid as usize == edges_vec.len() {
+            // The monitor processor: on odd steps, if nothing changed in
+            // the preceding even step, everyone finishes (the monitor
+            // writes a sentinel; workers read it).
+            if phase == 1 {
+                act.read(n_usize);
+                if mem[n_usize] == 0.0 {
+                    act.finish();
+                } else {
+                    act.write(n_usize, 0.0);
+                }
+            }
+            return;
+        }
+        let (u, v) = edges_vec[pid as usize];
+        let (u, v) = (u as usize, v as usize);
+        if phase == 0 {
+            act.read(u);
+            act.read(v);
+            let lo = mem[u].min(mem[v]);
+            if mem[u] > lo {
+                act.write(u, lo);
+                act.write(n_usize, 1.0);
+            }
+            if mem[v] > lo {
+                act.write(v, lo);
+                act.write(n_usize, 1.0);
+            }
+        } else {
+            act.read(n_usize);
+            if mem[n_usize] == 0.0 {
+                act.finish();
+            }
+        }
+    })?;
+    let labels = run.memory[..n_usize].iter().map(|&l| l as u64).collect();
+    Ok((labels, run.steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_matches_reference() {
+        let values: Vec<f64> = (1..=16).map(|v| v as f64).collect();
+        let run = pram_scan(PramVariant::Crew, &values).expect("legal");
+        let expect: Vec<f64> = values
+            .iter()
+            .scan(0.0, |acc, &v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect();
+        assert_eq!(run.memory, expect);
+        assert_eq!(run.steps, 4); // log2(16)
+    }
+
+    #[test]
+    fn scan_needs_concurrent_reads() {
+        // Hillis–Steele reads cell i-stride while that cell's owner also
+        // reads it: illegal under EREW.
+        let values: Vec<f64> = (1..=8).map(|v| v as f64).collect();
+        let err = pram_scan(PramVariant::Erew, &values).expect_err("EREW must reject");
+        assert!(matches!(err, PramError::ReadConflict { .. }));
+    }
+
+    #[test]
+    fn cc_labels_a_star_in_constant_steps() {
+        // The CRCW loophole, concretely: a 64-leaf star converges in a
+        // couple of phases regardless of the hub's fan-in.
+        let n = 65;
+        let edges: Vec<(u64, u64)> = (1..n).map(|v| (0, v)).collect();
+        let (labels, steps) = pram_cc(n, &edges).expect("legal");
+        assert!(labels.iter().all(|&l| l == 0));
+        assert!(steps <= 6, "CRCW star converges almost immediately: {steps} steps");
+    }
+
+    #[test]
+    fn cc_matches_a_path_and_cliques() {
+        // Path 0-1-2-…-9: diameter-bound propagation.
+        let edges: Vec<(u64, u64)> = (1..10).map(|v| (v - 1, v)).collect();
+        let (labels, _) = pram_cc(10, &edges).expect("legal");
+        assert!(labels.iter().all(|&l| l == 0));
+        // Two triangles.
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        let (labels, _) = pram_cc(6, &edges).expect("legal");
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn cc_with_no_edges_is_immediate() {
+        let (labels, steps) = pram_cc(5, &[]).expect("legal");
+        assert_eq!(labels, vec![0, 1, 2, 3, 4]);
+        assert!(steps <= 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Ablations over the simulator's design choices (DESIGN.md calls these
+//! out): the capacity constraint, the NI backpressure buffer, latency
+//! jitter, drift, and trace recording. Each knob is benchmarked on the
+//! same staggered-remap workload so both the *simulated outcome* (printed
+//! once) and the *harness cost* are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logp_algos::remap::{run_remap, RemapSchedule, RemapSpec};
+use logp_core::LogP;
+use logp_sim::SimConfig;
+
+fn workload() -> (LogP, RemapSpec) {
+    (
+        LogP::new(60, 20, 40, 32).unwrap(),
+        RemapSpec { elems_per_pair: 16, local_cost: 10, schedule: RemapSchedule::Staggered },
+    )
+}
+
+fn naive_workload() -> (LogP, RemapSpec) {
+    let (m, mut spec) = workload();
+    spec.schedule = RemapSchedule::Naive;
+    (m, spec)
+}
+
+fn bench_capacity_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/capacity");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let (m, spec) = naive_workload();
+    // Print the simulated outcomes once, so the ablation's *effect* is
+    // recorded next to its cost.
+    let on = run_remap(&m, &spec, SimConfig::default());
+    let off = run_remap(&m, &spec, SimConfig { enforce_capacity: false, ..Default::default() });
+    println!(
+        "[ablation] naive remap: capacity on = {} cycles ({} stall), off = {} cycles ({} stall)",
+        on.completion, on.total_stall, off.completion, off.total_stall
+    );
+    g.bench_function("enforced", |b| {
+        b.iter(|| run_remap(&m, &spec, SimConfig::default()))
+    });
+    g.bench_function("disabled", |b| {
+        b.iter(|| run_remap(&m, &spec, SimConfig { enforce_capacity: false, ..Default::default() }))
+    });
+    g.finish();
+}
+
+fn bench_ni_buffer_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/ni_buffer");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let (m, spec) = naive_workload();
+    for buf in [0u64, 2, 8, 64] {
+        let cfg = SimConfig { ni_buffer: Some(buf), ..Default::default() };
+        let out = run_remap(&m, &spec, cfg.clone());
+        println!(
+            "[ablation] naive remap with NI buffer {buf}: {} cycles, {} stall",
+            out.completion, out.total_stall
+        );
+        g.bench_function(format!("buf{buf}"), |b| {
+            b.iter(|| run_remap(&m, &spec, cfg.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fidelity_knobs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/fidelity");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let (m, spec) = workload();
+    g.bench_function("baseline", |b| {
+        b.iter(|| run_remap(&m, &spec, SimConfig::default()))
+    });
+    g.bench_function("jitter", |b| {
+        b.iter(|| run_remap(&m, &spec, SimConfig::default().with_jitter(30)))
+    });
+    g.bench_function("drift", |b| {
+        b.iter(|| run_remap(&m, &spec, SimConfig::default().with_drift(51)))
+    });
+    g.bench_function("traced", |b| {
+        b.iter(|| run_remap(&m, &spec, SimConfig::traced()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_capacity_ablation,
+    bench_ni_buffer_ablation,
+    bench_fidelity_knobs
+);
+criterion_main!(benches);

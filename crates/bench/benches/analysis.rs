@@ -1,0 +1,70 @@
+//! Closed-form analysis benchmarks: the dynamic programs and graph
+//! computations behind the paper's tables must stay cheap enough for
+//! interactive parameter-space exploration (§7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logp_core::broadcast::{optimal_broadcast_time, optimal_broadcast_tree};
+use logp_core::summation::{min_sum_time, optimal_sum_schedule, sum_capacity_bounded};
+use logp_core::LogP;
+use logp_net::patterns::{hypercube_ecube_congestion, Permutation};
+use logp_net::{Network, Topology};
+
+fn bench_broadcast_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis/broadcast");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for p in [64u32, 1024, 16384] {
+        let m = LogP::new(60, 20, 40, p).unwrap();
+        g.bench_with_input(BenchmarkId::new("time", p), &m, |b, m| {
+            b.iter(|| optimal_broadcast_time(m))
+        });
+        g.bench_with_input(BenchmarkId::new("tree", p), &m, |b, m| {
+            b.iter(|| optimal_broadcast_tree(m))
+        });
+    }
+    g.finish();
+}
+
+fn bench_summation_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis/summation");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    // The bounded dynamic program is the heavy path; keep the benchmark
+    // instances at interactive sizes (the figure binaries demonstrate the
+    // larger ones).
+    let m = LogP::new(60, 20, 40, 32).unwrap();
+    g.bench_function("capacity_t300_p32", |b| {
+        b.iter(|| sum_capacity_bounded(&m, 300, 32))
+    });
+    g.bench_function("min_time_n1024_p32", |b| {
+        b.iter(|| min_sum_time(&m, 1024, 32))
+    });
+    g.bench_function("schedule_t250", |b| b.iter(|| optimal_sum_schedule(&m, 250)));
+    g.finish();
+}
+
+fn bench_network_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis/network");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.bench_function("avg_distance_mesh2d_1024", |b| {
+        let net = Network::build(Topology::Mesh2D, 1024);
+        b.iter(|| net.avg_endpoint_distance())
+    });
+    g.bench_function("congestion_bitrev_1024", |b| {
+        let perm = Permutation::bit_reversal(1024);
+        b.iter(|| hypercube_ecube_congestion(&perm))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_broadcast_analysis,
+    bench_summation_analysis,
+    bench_network_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Collective-algorithm benchmarks: simulated completion is a model
+//! property (deterministic); these measure the *harness cost* of running
+//! each collective, which is what a user of the library pays per
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logp_algos::reduce::{run_binomial_sum, run_optimal_sum};
+use logp_algos::scan::run_scan;
+use logp_algos::sort::{run_bitonic_sort, run_splitter_sort};
+use logp_core::summation::min_sum_time;
+use logp_core::LogP;
+use logp_sim::SimConfig;
+
+fn cm5(p: u32) -> LogP {
+    LogP::new(60, 20, 40, p).unwrap()
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/sum");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let m = cm5(32);
+    let n = 4096u64;
+    let t = min_sum_time(&m, n, m.p);
+    g.bench_function("optimal", |b| {
+        b.iter(|| run_optimal_sum(&m, t, SimConfig::default()))
+    });
+    g.bench_function("binomial", |b| {
+        b.iter(|| run_binomial_sum(&m, n, SimConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/scan");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for p in [8u32, 32] {
+        let m = cm5(p);
+        let values: Vec<u64> = (0..(p as u64 * 64)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(p), &m, |b, m| {
+            b.iter(|| run_scan(m, &values, SimConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/sort");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let m = cm5(16);
+    let keys: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9) % 100_000).collect();
+    g.bench_function("splitter", |b| {
+        b.iter(|| run_splitter_sort(&m, &keys, SimConfig::default()))
+    });
+    g.bench_function("bitonic", |b| {
+        b.iter(|| run_bitonic_sort(&m, &keys, SimConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reductions, bench_scan, bench_sorts);
+criterion_main!(benches);

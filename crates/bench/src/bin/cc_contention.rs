@@ -1,0 +1,58 @@
+//! E15 — §4.2.3: connected components and hot-spot contention. The CRCW
+//! PRAM ignores the convergecast onto component representatives; LogP
+//! makes it visible, and combining mitigates it.
+
+use logp_algos::cc::{cc_sequential, run_cc, Graph};
+use logp_bench::{f2, Scale, Table};
+use logp_core::LogP;
+use logp_sim::SimConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let m = LogP::new(60, 20, 40, 8).unwrap();
+    let star_n = scale.pick(256u64, 2048);
+    let rnd_n = scale.pick(128u64, 512);
+
+    println!("§4.2.3 — connected components on {m}\n");
+    let mut t = Table::new(&[
+        "graph",
+        "variant",
+        "cycles",
+        "messages",
+        "max recv by one proc",
+        "stall cycles",
+    ]);
+    for (name, g) in [
+        (format!("star({star_n})"), Graph::star(star_n)),
+        (format!("random({rnd_n}, {})", rnd_n * 3), Graph::random(rnd_n, rnd_n * 3, 5)),
+        ("cliques(8x16)".to_string(), Graph::cliques(8, 16)),
+    ] {
+        let seq = cc_sequential(&g);
+        for (variant, combining) in [("naive", false), ("combining", true)] {
+            let run = run_cc(&m, &g, combining, SimConfig::default());
+            assert_eq!(run.labels, seq, "{name} {variant} must be correct");
+            t.row(&[
+                name.clone(),
+                variant.to_string(),
+                run.completion.to_string(),
+                run.messages.to_string(),
+                run.max_recv.to_string(),
+                run.total_stall.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    let g = Graph::star(star_n);
+    let naive = run_cc(&m, &g, false, SimConfig::default());
+    let comb = run_cc(&m, &g, true, SimConfig::default());
+    println!(
+        "\nstar hot spot: combining cuts the hub owner's inbound load by {}x and\n\
+         the capacity stalls by {}x (paper: contention \"considerably mitigated\").\n\
+         On the symmetric star the hub's own outbound fan-out still bounds the\n\
+         completion time; on irregular graphs (random row above) combining wins\n\
+         end-to-end as well.",
+        f2(naive.max_recv as f64 / comb.max_recv as f64),
+        f2(naive.total_stall.max(1) as f64 / comb.total_stall.max(1) as f64)
+    );
+}

@@ -1,0 +1,84 @@
+//! E1 — Figure 3: the optimal single-datum broadcast for
+//! `P = 8, L = 6, g = 4, o = 2`, with the per-processor activity
+//! timeline, plus baseline tree shapes for comparison.
+
+use logp_algos::broadcast::{run_optimal_broadcast, run_shape_broadcast};
+use logp_bench::Table;
+use logp_core::broadcast::{optimal_broadcast_time, optimal_broadcast_tree, shape_broadcast_time, TreeShape};
+use logp_core::LogP;
+use logp_sim::SimConfig;
+
+fn main() {
+    let m = LogP::fig3();
+    println!("Figure 3 — optimal broadcast on {m}\n");
+
+    let tree = optimal_broadcast_tree(&m);
+    let children = tree.children();
+    println!("tree (processor: children, numbered in arrival order):");
+    for (p, ch) in children.iter().enumerate() {
+        if !ch.is_empty() {
+            let times: Vec<String> = ch
+                .iter()
+                .map(|&c| format!("P{}@{}", c, tree.ready[c as usize]))
+                .collect();
+            println!("  P{p} -> {}", times.join(", "));
+        }
+    }
+    println!("\nper-processor ready times: {:?}", tree.ready);
+    println!("analytic completion: {} cycles (paper: 24)", tree.completion());
+
+    // Execute on the simulator with tracing and show the Figure-3-style
+    // activity panel (s = send overhead, r = receive overhead, . idle).
+    let run = run_optimal_broadcast(&m, SimConfig::traced());
+    println!("simulated completion: {} cycles", run.completion);
+    assert_eq!(run.completion, optimal_broadcast_time(&m));
+
+    // Re-run to grab the trace for rendering.
+    let mut sim = logp_sim::Sim::new(m, SimConfig::traced());
+    let ch2 = children.clone();
+    struct B {
+        children: Vec<u32>,
+        root: bool,
+    }
+    impl logp_sim::Process for B {
+        fn on_start(&mut self, ctx: &mut logp_sim::Ctx<'_>) {
+            if self.root {
+                for &c in &self.children {
+                    ctx.send(c, 0, logp_sim::Data::Empty);
+                }
+            }
+        }
+        fn on_message(&mut self, _m: &logp_sim::Message, ctx: &mut logp_sim::Ctx<'_>) {
+            for &c in &self.children {
+                ctx.send(c, 0, logp_sim::Data::Empty);
+            }
+        }
+    }
+    sim.set_all(|p| Box::new(B { children: ch2[p as usize].clone(), root: p == 0 }));
+    let result = sim.run().expect("broadcast terminates");
+    println!("\nactivity (1 column = 1 cycle; s=send o/h, r=recv o/h):");
+    print!("{}", result.trace.gantt(m.p, result.stats.completion, 1));
+
+    println!("\nbaseline tree shapes on the same machine:");
+    let mut t = Table::new(&["shape", "analytic", "simulated"]);
+    for (name, shape) in [
+        ("optimal", None),
+        ("binomial", Some(TreeShape::Binomial)),
+        ("binary", Some(TreeShape::Binary)),
+        ("flat", Some(TreeShape::Flat)),
+        ("linear", Some(TreeShape::Linear)),
+    ] {
+        let (analytic, simulated) = match shape {
+            None => (
+                optimal_broadcast_time(&m),
+                run_optimal_broadcast(&m, SimConfig::default()).completion,
+            ),
+            Some(s) => (
+                shape_broadcast_time(&m, s),
+                run_shape_broadcast(&m, s, SimConfig::default()).completion,
+            ),
+        };
+        t.row(&[name.to_string(), analytic.to_string(), simulated.to_string()]);
+    }
+    t.print();
+}

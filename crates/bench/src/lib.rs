@@ -1,0 +1,140 @@
+//! # logp-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index); this library holds the shared plumbing: a plain-text table
+//! printer matching the layout the binaries report, and scale-factor
+//! handling so every experiment can run in a quick mode (default) or at
+//! paper scale (`--full`).
+
+/// A simple fixed-width table printer for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with columns padded to content width.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len() - 1));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format helpers used across the binaries.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Experiment scale selected on the command line: `--full` runs paper
+/// scale; default is a fast shape-preserving reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Choose between the quick and full value.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["x".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with(" 1"));
+        assert!(lines[3].ends_with("22"));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_checks_arity() {
+        Table::new(&["a"]).row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 100), 1);
+        assert_eq!(Scale::Full.pick(1, 100), 100);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f1(1.98765), "2.0");
+        assert_eq!(f2(1.98765), "1.99");
+        assert_eq!(f3(1.98765), "1.988");
+    }
+}

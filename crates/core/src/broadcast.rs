@@ -1,0 +1,434 @@
+//! Optimal single-datum broadcast under LogP (§3.3, Figure 3).
+//!
+//! "The main idea is simple: all processors that have received the datum
+//! transmit it as quickly as possible, while ensuring that no processor
+//! receives more than one message." A processor that learns the datum at
+//! time `t` can inject copies at `t, t+g', t+2g', …` (where `g' =
+//! max(g, o)` since each injection also occupies the processor for `o`
+//! cycles), and each copy is usable by its recipient `2o + L` cycles after
+//! injection begins.
+//!
+//! The optimal tree is *unbalanced*, with fan-out determined by the
+//! relative values of `L`, `o` and `g`; this module builds it greedily
+//! (provably optimal: the multiset of arrival times it generates is the
+//! `P-1` smallest achievable arrival times) and also evaluates arbitrary
+//! fixed tree shapes (linear, flat, binary, binomial) as baselines.
+
+use crate::params::{Cycles, LogP, ProcId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A broadcast tree annotated with the time each processor first holds the
+/// datum. Processor ids are assigned in arrival order: processor 0 is the
+/// source, processor `i` is the `i`-th to learn the datum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastTree {
+    /// `parent[i]` is the processor that sent to `i` (`None` for the root).
+    pub parent: Vec<Option<ProcId>>,
+    /// `ready[i]`: time at which processor `i` holds the datum and may
+    /// begin retransmitting (root: 0).
+    pub ready: Vec<Cycles>,
+    /// `send_start[i]`: time at which `parent[i]` began injecting the
+    /// message to `i` (root: 0, unused).
+    pub send_start: Vec<Cycles>,
+    /// The model the tree was built for.
+    pub model: LogP,
+}
+
+impl BroadcastTree {
+    /// Completion time: the last processor's `ready` time.
+    pub fn completion(&self) -> Cycles {
+        self.ready.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Children of each node, in the order the parent sends to them.
+    pub fn children(&self) -> Vec<Vec<ProcId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        // Processors are numbered in arrival order; a parent sends to its
+        // children in that same order, so pushing in id order is correct.
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p as usize].push(i as ProcId);
+            }
+        }
+        ch
+    }
+
+    /// Fan-out of the root.
+    pub fn root_fanout(&self) -> usize {
+        self.parent.iter().filter(|p| **p == Some(0)).count()
+    }
+}
+
+/// Number of processors that can hold the datum within `t` cycles,
+/// starting from one informed processor (unbounded `P`).
+///
+/// Recurrence: within `t`, the source's first transmission creates an
+/// independent broadcast with budget `t - (2o + L)`, and the source itself
+/// continues with budget `t - g'`:
+/// `N(t) = 1` for `t < 2o + L`, else `N(t) = N(t - g') + N(t - 2o - L)`,
+/// with `g' = max(g, o)`. (Footnote 3: with `o = 0, g = 1` this is the
+/// postal-model recurrence of Bar-Noy & Kipnis.)
+pub fn broadcast_reach(m: &LogP, t: Cycles) -> u64 {
+    let gp = m.g.max(m.o);
+    let p2p = m.point_to_point();
+    if t < p2p {
+        return 1;
+    }
+    // Iterative table up to t. When the budget is too small for the
+    // source to transmit again (i < g'), the source contributes only
+    // itself.
+    let tt = t as usize;
+    let mut n = vec![1u64; tt + 1];
+    for i in p2p as usize..=tt {
+        let a = if i >= gp as usize { n[i - gp as usize] } else { 1 };
+        let b = n[i - p2p as usize];
+        n[i] = a.saturating_add(b);
+    }
+    n[tt]
+}
+
+/// Minimum time to broadcast one datum to all `P` processors: the smallest
+/// `t` with `broadcast_reach(t) >= P`.
+///
+/// ```
+/// use logp_core::LogP;
+/// use logp_core::broadcast::optimal_broadcast_time;
+/// // The paper's Figure 3: P = 8, L = 6, g = 4, o = 2 completes at 24.
+/// assert_eq!(optimal_broadcast_time(&LogP::fig3()), 24);
+/// ```
+pub fn optimal_broadcast_time(m: &LogP) -> Cycles {
+    if m.p <= 1 {
+        return 0;
+    }
+    let gp = m.g.max(m.o);
+    let p2p = m.point_to_point();
+    // reach(t) only increases at multiples of gcd-ish steps; simple scan is
+    // fine because reach grows geometrically (doubles every p2p cycles).
+    let mut t = p2p;
+    let mut table: Vec<u64> = Vec::new();
+    table.resize(p2p as usize, 1);
+    loop {
+        let i = t as usize;
+        if table.len() <= i {
+            table.resize(i + 1, 1);
+        }
+        let a = if i >= gp as usize { table[i - gp as usize] } else { 1 };
+        let b = table[i - p2p as usize];
+        table[i] = a.saturating_add(b);
+        if table[i] >= m.p as u64 {
+            return t;
+        }
+        t += 1;
+    }
+}
+
+/// Build the optimal broadcast tree greedily.
+///
+/// Maintain a priority queue of `(next_possible_injection_start, proc)`;
+/// repeatedly pop the earliest, create the next recipient with
+/// `ready = start + 2o + L`, and re-insert both the sender (at `start +
+/// max(g,o)`) and the recipient (at its `ready`). This realizes the
+/// smallest `P-1` arrival times, hence the optimal completion.
+pub fn optimal_broadcast_tree(m: &LogP) -> BroadcastTree {
+    let p = m.p as usize;
+    let mut parent = vec![None; p];
+    let mut ready = vec![0; p];
+    let mut send_start = vec![0; p];
+    let gp = m.g.max(m.o);
+    let p2p = m.point_to_point();
+
+    // Min-heap ordered by (time, proc-id) for determinism.
+    let mut heap: BinaryHeap<Reverse<(Cycles, ProcId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, 0)));
+    let mut next_id: ProcId = 1;
+    while (next_id as usize) < p {
+        let Reverse((s, sender)) = heap.pop().expect("heap never empties while work remains");
+        let child = next_id;
+        next_id += 1;
+        parent[child as usize] = Some(sender);
+        send_start[child as usize] = s;
+        ready[child as usize] = s + p2p;
+        heap.push(Reverse((s + gp, sender)));
+        heap.push(Reverse((ready[child as usize], child)));
+    }
+    BroadcastTree { parent, ready, send_start, model: *m }
+}
+
+/// Evaluate the completion time of broadcasting along a *fixed* tree:
+/// `children[i]` lists the recipients processor `i` sends to, in order.
+/// Returns per-processor ready times (root = processor 0, ready at 0).
+pub fn tree_broadcast_times(m: &LogP, children: &[Vec<ProcId>]) -> Vec<Cycles> {
+    let p = children.len();
+    let gp = m.g.max(m.o);
+    let p2p = m.point_to_point();
+    let mut ready: Vec<Option<Cycles>> = vec![None; p];
+    ready[0] = Some(0);
+    // Process in BFS order from the root so parents are resolved first.
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(node) = queue.pop_front() {
+        let base = ready[node].expect("BFS order guarantees parent is ready");
+        for (slot, &c) in children[node].iter().enumerate() {
+            let s = base + slot as Cycles * gp;
+            assert!(ready[c as usize].is_none(), "processor {c} received twice");
+            ready[c as usize] = Some(s + p2p);
+            queue.push_back(c as usize);
+        }
+    }
+    ready
+        .into_iter()
+        .map(|r| r.expect("every processor must be covered by the tree"))
+        .collect()
+}
+
+/// Children of `i` in the canonical binomial tree rooted at 0
+/// (trailing-zeros convention): `i + 2^j` for `j` below the index of
+/// `i`'s lowest set bit (all `j` for the root), clipped to `< p`. The
+/// same tree serves broadcasts (root to leaves) and reductions (leaves
+/// to root); [`binomial_parent`] is its inverse.
+pub fn binomial_children(i: ProcId, p: u32) -> Vec<ProcId> {
+    let tz = if i == 0 { 32 } else { i.trailing_zeros() };
+    let mut ch = Vec::new();
+    for j in 0..tz.min(31) {
+        let c = i as u64 + (1u64 << j);
+        if c < p as u64 {
+            ch.push(c as ProcId);
+        } else {
+            break;
+        }
+    }
+    ch
+}
+
+/// Parent of non-root `i` in the canonical binomial tree: `i` with its
+/// lowest set bit cleared.
+pub fn binomial_parent(i: ProcId) -> ProcId {
+    assert!(i != 0, "the root has no parent");
+    i - (1 << i.trailing_zeros())
+}
+
+/// Shapes of baseline broadcast trees, for comparison with the optimal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeShape {
+    /// Root sends to every other processor directly.
+    Flat,
+    /// Each processor forwards to exactly one other (a chain).
+    Linear,
+    /// Complete binary tree in level order.
+    Binary,
+    /// Binomial tree (the hypercube / recursive-doubling pattern).
+    Binomial,
+}
+
+/// Build the child lists for a baseline tree over `p` processors.
+pub fn shape_children(shape: TreeShape, p: u32) -> Vec<Vec<ProcId>> {
+    let n = p as usize;
+    let mut ch = vec![Vec::new(); n];
+    match shape {
+        TreeShape::Flat => {
+            for i in 1..n {
+                ch[0].push(i as ProcId);
+            }
+        }
+        TreeShape::Linear => {
+            for i in 1..n {
+                ch[i - 1].push(i as ProcId);
+            }
+        }
+        TreeShape::Binary => {
+            for (i, children) in ch.iter_mut().enumerate() {
+                for c in [2 * i + 1, 2 * i + 2] {
+                    if c < n {
+                        children.push(c as ProcId);
+                    }
+                }
+            }
+        }
+        TreeShape::Binomial => {
+            // Node i's children are i + 2^j for 2^j > low_bit_span(i);
+            // equivalently the standard recursive-doubling pattern where in
+            // round j every informed node i sends to i + 2^j.
+            let mut step = 1usize;
+            while step < n {
+                for (i, children) in ch.iter_mut().enumerate().take(step.min(n)) {
+                    let c = i + step;
+                    if c < n {
+                        children.push(c as ProcId);
+                    }
+                }
+                step <<= 1;
+            }
+        }
+    }
+    ch
+}
+
+/// Completion time of a baseline shape.
+pub fn shape_broadcast_time(m: &LogP, shape: TreeShape) -> Cycles {
+    if m.p <= 1 {
+        return 0;
+    }
+    tree_broadcast_times(m, &shape_children(shape, m.p))
+        .into_iter()
+        .max()
+        .expect("P >= 2 here, so at least one ready time exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3 golden test: P = 8, L = 6, g = 4, o = 2 ⇒ last value
+    /// received at time 24, and the arrival times are exactly those in the
+    /// figure: {0, 10, 14, 18, 20, 22, 24, 24}.
+    #[test]
+    fn figure3_tree_matches_paper() {
+        let m = LogP::fig3();
+        let tree = optimal_broadcast_tree(&m);
+        assert_eq!(tree.completion(), 24);
+        let mut times = tree.ready.clone();
+        times.sort_unstable();
+        assert_eq!(times, vec![0, 10, 14, 18, 20, 22, 24, 24]);
+        // Figure 3's tree: the root transmits 4 times (at 0, 4, 8, 12).
+        assert_eq!(tree.root_fanout(), 4);
+        assert_eq!(optimal_broadcast_time(&m), 24);
+    }
+
+    #[test]
+    fn figure3_reach_curve() {
+        let m = LogP::fig3();
+        assert_eq!(broadcast_reach(&m, 9), 1);
+        assert_eq!(broadcast_reach(&m, 10), 2);
+        assert_eq!(broadcast_reach(&m, 14), 3);
+        assert_eq!(broadcast_reach(&m, 18), 4);
+        assert_eq!(broadcast_reach(&m, 22), 6);
+        assert_eq!(broadcast_reach(&m, 23), 6);
+        assert_eq!(broadcast_reach(&m, 24), 8);
+    }
+
+    #[test]
+    fn greedy_tree_matches_reach_based_optimum() {
+        for (l, o, g, p) in [(6, 2, 4, 8), (5, 2, 4, 8), (10, 1, 3, 37), (2, 1, 1, 64), (20, 5, 5, 100)] {
+            let m = LogP::new(l, o, g, p).unwrap();
+            let tree = optimal_broadcast_tree(&m);
+            assert_eq!(
+                tree.completion(),
+                optimal_broadcast_time(&m),
+                "mismatch for {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_never_loses_to_baselines() {
+        for (l, o, g, p) in [(6, 2, 4, 8), (6, 2, 4, 64), (1, 1, 1, 16), (30, 2, 3, 128)] {
+            let m = LogP::new(l, o, g, p).unwrap();
+            let opt = optimal_broadcast_time(&m);
+            for shape in [TreeShape::Flat, TreeShape::Linear, TreeShape::Binary, TreeShape::Binomial] {
+                assert!(
+                    opt <= shape_broadcast_time(&m, shape),
+                    "optimal {opt} beaten by {shape:?} on {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_broadcast_time_formula() {
+        // Flat: root injects at 0, g', 2g', ...; last of P-1 messages
+        // arrives at (P-2)·g' + 2o + L.
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        let gp = m.g.max(m.o);
+        assert_eq!(
+            shape_broadcast_time(&m, TreeShape::Flat),
+            (m.p as u64 - 2) * gp + m.point_to_point()
+        );
+    }
+
+    #[test]
+    fn linear_broadcast_time_formula() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        assert_eq!(
+            shape_broadcast_time(&m, TreeShape::Linear),
+            (m.p as u64 - 1) * m.point_to_point()
+        );
+    }
+
+    #[test]
+    fn binomial_shape_is_a_valid_tree() {
+        for p in [1u32, 2, 3, 7, 8, 9, 16, 33] {
+            let ch = shape_children(TreeShape::Binomial, p);
+            let mut covered = vec![false; p as usize];
+            covered[0] = true;
+            let mut cnt = 1;
+            let mut q = std::collections::VecDeque::from([0usize]);
+            while let Some(x) = q.pop_front() {
+                for &c in &ch[x] {
+                    assert!(!covered[c as usize]);
+                    covered[c as usize] = true;
+                    cnt += 1;
+                    q.push_back(c as usize);
+                }
+            }
+            assert_eq!(cnt, p, "binomial tree must span all {p} processors");
+        }
+    }
+
+    #[test]
+    fn single_processor_broadcast_is_free() {
+        let m = LogP::new(6, 2, 4, 1).unwrap();
+        assert_eq!(optimal_broadcast_time(&m), 0);
+        assert_eq!(optimal_broadcast_tree(&m).completion(), 0);
+    }
+
+    #[test]
+    fn children_lists_are_in_send_order() {
+        let tree = optimal_broadcast_tree(&LogP::fig3());
+        let ch = tree.children();
+        // Root's children were created in increasing send-start order.
+        let starts: Vec<_> = ch[0].iter().map(|&c| tree.send_start[c as usize]).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn huge_gap_machines_do_not_underflow() {
+        // g > 2o + L: the source can inject its second message only after
+        // a full gap exceeding the point-to-point time.
+        let m = LogP::new(2, 1, 40, 8).unwrap();
+        let t = optimal_broadcast_time(&m);
+        assert_eq!(broadcast_reach(&m, t), 8);
+        assert!(broadcast_reach(&m, t - 1) < 8);
+        // And the greedy tree agrees.
+        assert_eq!(optimal_broadcast_tree(&m).completion(), t);
+    }
+
+    #[test]
+    fn binomial_helpers_are_mutually_consistent() {
+        for p in [1u32, 2, 3, 7, 8, 16, 33, 100] {
+            let mut recv = vec![0u32; p as usize];
+            for i in 1..p {
+                recv[binomial_parent(i) as usize] += 1;
+            }
+            let mut covered = 1u32;
+            for i in 0..p {
+                let ch = binomial_children(i, p);
+                assert_eq!(ch.len() as u32, recv[i as usize], "P={p} node={i}");
+                covered += ch.len() as u32;
+            }
+            assert_eq!(covered, p, "the tree must span all {p} nodes");
+        }
+    }
+
+    #[test]
+    fn postal_model_special_case() {
+        // Footnote 3: with o = 0 and g = 1 the algorithm reduces to the
+        // postal model; with L = 1 as well, reach doubles every cycle.
+        let m = LogP::new(1, 0, 1, 1024).unwrap();
+        assert_eq!(broadcast_reach(&m, 1), 2);
+        assert_eq!(broadcast_reach(&m, 2), 4);
+        assert_eq!(broadcast_reach(&m, 10), 1024);
+        assert_eq!(optimal_broadcast_time(&m), 10);
+    }
+}

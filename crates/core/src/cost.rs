@@ -1,0 +1,223 @@
+//! Closed-form LogP cost formulas for common communication patterns.
+//!
+//! These are the analytic counterparts of the schedules executed on the
+//! simulator; tests in `logp-algos` check simulation against these
+//! formulas for stall-free schedules.
+
+use crate::params::{Cycles, LogP};
+
+/// Time for one processor to inject a pipelined stream of `m` messages and
+/// for the last to be usable at the destination: injections at
+/// `0, g', 2g', …` with `g' = max(g, o)`, last arrives `2o + L` after its
+/// injection begins. (§3.1: "messages are sent in long streams which are
+/// pipelined through the network, so that message transmission time is
+/// dominated by the inter-message gaps".)
+pub fn stream_time(m: &LogP, msgs: u64) -> Cycles {
+    if msgs == 0 {
+        return 0;
+    }
+    (msgs - 1) * m.send_interval() + m.point_to_point()
+}
+
+/// Processor-occupancy cost of sending `m` messages (ignoring delivery):
+/// the sender is busy `o` per message and must respect the gap.
+pub fn send_occupancy(m: &LogP, msgs: u64) -> Cycles {
+    if msgs == 0 {
+        return 0;
+    }
+    (msgs - 1) * m.send_interval() + m.o
+}
+
+/// The synchronous send/receive protocol cost the paper models for the
+/// CM-5 vendor layer (§5.2): "a pair of messages before transmitting the
+/// first data element... easily modeled as `3(L + 2o) + ng`" for `n`
+/// words.
+pub fn synchronous_send(m: &LogP, words: u64) -> Cycles {
+    3 * (m.l + 2 * m.o) + words * m.g
+}
+
+/// Per-element steady-state cost of an all-to-all remap in which each
+/// processor both sends and receives its share: each element costs the
+/// processor `2o` of overhead (one send, one receive) plus `local` cycles
+/// of memory traffic, and injections cannot be closer than `g`
+/// (§4.1.4: "n/P max(1 µs + 2o, g) + L").
+pub fn remap_elem_cost(m: &LogP, local: Cycles) -> Cycles {
+    (local + 2 * m.o).max(m.g)
+}
+
+/// Predicted time for the staggered (contention-free) all-to-all remap of
+/// `elems_per_proc` elements per processor: `n/P · max(local + 2o, g) + L`.
+pub fn staggered_remap_time(m: &LogP, elems_per_proc: u64, local: Cycles) -> Cycles {
+    elems_per_proc * remap_elem_cost(m, local) + m.l
+}
+
+/// Hybrid-layout FFT total time (§4.1.1): two fully local computation
+/// phases totalling `(n/2P) · log2 n` radix-2 butterflies per processor
+/// (each butterfly updates two of the paper's `n log n` computation
+/// nodes), plus one remap of `n/P` elements.
+///
+/// `butterfly` is the per-butterfly cost (the paper's calibration:
+/// 10 flops ≙ 4.5 µs) and `local` the per-element remap load/store cost,
+/// both in cycles.
+pub fn fft_hybrid_time(
+    m: &LogP,
+    n: u64,
+    butterfly: Cycles,
+    local: Cycles,
+) -> Cycles {
+    let p = m.p as u64;
+    let compute = (n / (2 * p)) * log2_ceil(n) * butterfly;
+    compute + staggered_remap_time(m, n / p, local)
+}
+
+/// Communication time of the cyclic or blocked FFT layout: `logP` columns
+/// each needing one remote datum per node, i.e. `(g·n/P + L)·logP`
+/// (§4.1.1, assuming `g >= 2o`).
+pub fn fft_single_layout_comm(m: &LogP, n: u64) -> Cycles {
+    let p = m.p as u64;
+    (m.g * (n / p) + m.l) * log2_ceil(p)
+}
+
+/// `⌈log2 n⌉` (0 for n <= 1).
+pub fn log2_ceil(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+/// `log2` of a power of two; panics otherwise (used where the FFT requires
+/// exact powers of two).
+pub fn log2_exact(n: u64) -> u32 {
+    assert!(n.is_power_of_two(), "{n} is not a power of two");
+    n.trailing_zeros()
+}
+
+/// Cost of a balanced h-relation (every processor sends and receives at
+/// most `h` messages) when scheduled without endpoint contention: the
+/// bottleneck processor spends `h · max(g, 2o+local)`-ish cycles; we use
+/// the paper's pipelining bound `(h-1)·max(g,o) + 2o + L`.
+pub fn h_relation_time(m: &LogP, h: u64) -> Cycles {
+    if h == 0 {
+        return 0;
+    }
+    (h - 1) * m.send_interval() + m.point_to_point()
+}
+
+/// LU decomposition communication estimates of §4.2.1, per elimination
+/// step `k` on an `n × n` matrix.
+pub mod lu {
+    use super::*;
+
+    /// Bad layout: every processor needs the whole pivot row and multiplier
+    /// column — `2(n-k)` values: `2(n-k)·g + L` (efficient all-to-all
+    /// broadcast assumed).
+    pub fn bad_layout_step_comm(m: &LogP, n: u64, k: u64) -> Cycles {
+        2 * (n - k) * m.g + m.l
+    }
+
+    /// Column layout: only multipliers broadcast — halves the bad layout.
+    pub fn column_layout_step_comm(m: &LogP, n: u64, k: u64) -> Cycles {
+        (n - k) * m.g + m.l
+    }
+
+    /// Grid layout: each processor receives only `2(n-k)/√P` values.
+    pub fn grid_layout_step_comm(m: &LogP, n: u64, k: u64) -> Cycles {
+        let sqrt_p = (m.p as f64).sqrt() as u64;
+        2 * (n - k) / sqrt_p.max(1) * m.g + m.l
+    }
+
+    /// Per-step update computation: `2(n-k)^2 / P` cycles (two flops per
+    /// element update at unit cost).
+    pub fn step_compute(m: &LogP, n: u64, k: u64) -> Cycles {
+        2 * (n - k) * (n - k) / m.p as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> LogP {
+        LogP::new(6, 2, 4, 8).unwrap()
+    }
+
+    #[test]
+    fn stream_of_one_is_point_to_point() {
+        assert_eq!(stream_time(&m(), 1), m().point_to_point());
+        assert_eq!(stream_time(&m(), 0), 0);
+    }
+
+    #[test]
+    fn stream_is_gap_dominated() {
+        // 100 messages: 99 gaps of max(g,o)=4 plus final delivery 10.
+        assert_eq!(stream_time(&m(), 100), 99 * 4 + 10);
+    }
+
+    #[test]
+    fn remap_cost_is_overhead_limited_on_cm5() {
+        // CM-5 calibration (µs·10): local=10, o=20, g=40:
+        // max(10 + 40, 40) = 50 cycles = 5 µs per element ⇒ 16B/5µs
+        // = 3.2 MB/s, the paper's predicted asymptote.
+        let cm5 = crate::machines::MachinePreset::cm5();
+        let per_elem = remap_elem_cost(&cm5.logp, cm5.local_elem_cost);
+        assert_eq!(per_elem, 50);
+        let rate_mb_s = cm5.msg_payload_bytes as f64 / (per_elem as f64 / 10.0);
+        assert!((rate_mb_s - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_beats_single_layout_by_log_p_in_comm() {
+        // §4.1.1: hybrid communication is lower by a factor of log P.
+        let model = LogP::new(60, 20, 40, 128).unwrap();
+        let n = 1 << 20;
+        let single = fft_single_layout_comm(&model, n);
+        let hybrid = staggered_remap_time(&model, n / 128, 0);
+        let ratio = single as f64 / hybrid as f64;
+        let logp = log2_ceil(128) as f64;
+        assert!((ratio - logp).abs() / logp < 0.05, "ratio {ratio} vs logP {logp}");
+    }
+
+    #[test]
+    fn log2_helpers() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_exact(1024), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_exact_rejects_non_powers() {
+        log2_exact(6);
+    }
+
+    #[test]
+    fn lu_grid_beats_column_beats_bad() {
+        let model = LogP::new(60, 20, 40, 64).unwrap();
+        let (n, k) = (1024, 100);
+        let bad = lu::bad_layout_step_comm(&model, n, k);
+        let col = lu::column_layout_step_comm(&model, n, k);
+        let grid = lu::grid_layout_step_comm(&model, n, k);
+        assert!(grid < col && col < bad);
+        // Grid gains ~√P over bad layout.
+        let gain = bad as f64 / grid as f64;
+        assert!(gain > 6.0 && gain < 10.0, "expected ~√64 = 8, got {gain}");
+    }
+
+    #[test]
+    fn synchronous_protocol_is_expensive() {
+        let model = m();
+        assert_eq!(synchronous_send(&model, 0), 30);
+        assert!(synchronous_send(&model, 1) > 3 * model.point_to_point());
+    }
+
+    #[test]
+    fn h_relation_zero_is_free() {
+        assert_eq!(h_relation_time(&m(), 0), 0);
+        assert_eq!(h_relation_time(&m(), 1), 10);
+    }
+}

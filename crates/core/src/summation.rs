@@ -1,0 +1,502 @@
+//! Optimal summation under LogP (§3.3, Figure 4; Karp, Sahay, Santos &
+//! Schauser, UCB/CSD 92/721).
+//!
+//! The problem: sum as many input values as possible within a fixed time
+//! budget `T` (one addition per cycle, inputs resident where the schedule
+//! places them). The communication pattern forms a tree with the same shape
+//! as an optimal broadcast tree. Working backwards from the root:
+//!
+//! * if `T` is too small to receive anything, the best is a single
+//!   processor summing `T + 1` values;
+//! * otherwise the root's last cycle combines a received partial sum, the
+//!   remote child must have completed at `T - (2o + L + 1)`, and further
+//!   children complete `s = max(g, o + 1)` apart (the root needs `o`
+//!   cycles to receive plus 1 to combine, so receptions cannot usefully be
+//!   closer than `o + 1` even when `g` is smaller);
+//! * between receptions the root performs `s - o - 1` additions of local
+//!   inputs, and a transmitted partial sum must represent at least `o`
+//!   additions (otherwise the sender should have shipped raw values).
+//!
+//! The inputs are deliberately *not* equally distributed over processors.
+
+use crate::params::{Cycles, LogP, ProcId};
+use std::collections::HashMap;
+
+/// Spacing between consecutive combine steps at a receiving processor.
+fn spacing(m: &LogP) -> Cycles {
+    m.g.max(m.o + 1)
+}
+
+/// Smallest budget at which receiving a partial sum pays: the child must
+/// complete at `T - (2o + L + 1) >= o` (at least `o` additions).
+fn recv_threshold(m: &LogP) -> Cycles {
+    3 * m.o + m.l + 1
+}
+
+/// Maximum number of values summable by time `T` with *unbounded*
+/// processors.
+pub fn sum_capacity(m: &LogP, t: Cycles) -> u64 {
+    let mut memo = HashMap::new();
+    capacity_rec(m, t, &mut memo)
+}
+
+fn capacity_rec(m: &LogP, t: Cycles, memo: &mut HashMap<Cycles, u64>) -> u64 {
+    if t < recv_threshold(m) {
+        return t + 1;
+    }
+    if let Some(&v) = memo.get(&t) {
+        return v;
+    }
+    let s = spacing(m);
+    let lead = 2 * m.o + m.l + 1;
+    // k children, child j completing at t - lead - j*s; all must allow >= o
+    // additions, and the root must retain non-negative local work.
+    let k_deadline = (t - recv_threshold(m)) / s + 1;
+    let k_busy = t / (m.o + 1);
+    let k = k_deadline.min(k_busy);
+    let local = t - k * (m.o + 1);
+    let mut total = local + 1;
+    for j in 0..k {
+        let tj = t - lead - j * s;
+        total = total.saturating_add(capacity_rec(m, tj, memo));
+    }
+    memo.insert(t, total);
+    total
+}
+
+/// Number of processors the *unbounded* optimal schedule for budget `t`
+/// uses. Beyond this, additional processors cannot help, which lets the
+/// bounded dynamic program short-circuit.
+pub fn procs_needed(m: &LogP, t: Cycles) -> u64 {
+    let mut memo = HashMap::new();
+    procs_needed_rec(m, t, &mut memo)
+}
+
+fn procs_needed_rec(m: &LogP, t: Cycles, memo: &mut HashMap<Cycles, u64>) -> u64 {
+    if t < recv_threshold(m) {
+        return 1;
+    }
+    if let Some(&v) = memo.get(&t) {
+        return v;
+    }
+    let s = spacing(m);
+    let lead = 2 * m.o + m.l + 1;
+    let k_deadline = (t - recv_threshold(m)) / s + 1;
+    let k_busy = t / (m.o + 1);
+    let k = k_deadline.min(k_busy);
+    let mut total = 1u64;
+    for j in 0..k {
+        total = total.saturating_add(procs_needed_rec(m, t - lead - j * s, memo));
+    }
+    memo.insert(t, total);
+    total
+}
+
+/// Memoization shared by the bounded capacity computations.
+#[derive(Default)]
+struct BoundedMemo {
+    cap: HashMap<(Cycles, u32), u64>,
+    needed: HashMap<Cycles, u64>,
+    unbounded: HashMap<Cycles, u64>,
+}
+
+/// Maximum number of values summable by time `T` with at most `p`
+/// processors (the paper: "easily extended to handle the limitation of
+/// `p` processors by pruning the communication tree").
+///
+/// ```
+/// use logp_core::LogP;
+/// use logp_core::summation::sum_capacity_bounded;
+/// // Figure 4's instance: 79 inputs on 8 processors by T = 28.
+/// assert_eq!(sum_capacity_bounded(&LogP::fig4(), 28, 8), 79);
+/// ```
+pub fn sum_capacity_bounded(m: &LogP, t: Cycles, p: u32) -> u64 {
+    let mut memo = BoundedMemo::default();
+    bounded_rec(m, t, p.max(1), &mut memo)
+}
+
+fn bounded_rec(m: &LogP, t: Cycles, p: u32, memo: &mut BoundedMemo) -> u64 {
+    if p <= 1 || t < recv_threshold(m) {
+        return t + 1;
+    }
+    // With enough processors the bound is immaterial: reuse the (much
+    // cheaper) unbounded recurrence.
+    if p as u64 >= procs_needed_rec(m, t, &mut memo.needed) {
+        return capacity_rec(m, t, &mut memo.unbounded);
+    }
+    if let Some(&v) = memo.cap.get(&(t, p)) {
+        return v;
+    }
+    let s = spacing(m);
+    let k_deadline = (t - recv_threshold(m)) / s + 1;
+    let k_busy = t / (m.o + 1);
+    let k_max = k_deadline.min(k_busy).min((p - 1) as u64);
+    let mut best = t + 1; // no children at all
+    // The child deadlines depend only on the child's index, not on how
+    // many children are taken, so the allocation tables for k children
+    // are a prefix of the tables for k_max: build once, read prefixes.
+    let tables = child_alloc_tables(m, t, p, k_max, memo);
+    for k in 1..=k_max {
+        let local = t - k * (m.o + 1) + 1;
+        if let Some(v) = tables[k as usize][(p - 1) as usize] {
+            best = best.max(local + v);
+        }
+    }
+    memo.cap.insert((t, p), best);
+    best
+}
+
+/// DP tables for allocating `p - 1` processors among `k` children of a node
+/// with budget `t`. `tables[j][q]` = best total value of children `0..j`
+/// using at most `q` processors (each child gets at least one), or `None`
+/// if infeasible (`q < j`).
+fn child_alloc_tables(
+    m: &LogP,
+    t: Cycles,
+    p: u32,
+    k: u64,
+    memo: &mut BoundedMemo,
+) -> Vec<Vec<Option<u64>>> {
+    let s = spacing(m);
+    let lead = 2 * m.o + m.l + 1;
+    let budget = (p - 1) as usize;
+    let mut tables: Vec<Vec<Option<u64>>> = Vec::with_capacity(k as usize + 1);
+    tables.push(vec![Some(0); budget + 1]);
+    for j in 0..k {
+        let tj = t - lead - j * s;
+        // Giving a child more processors than its unbounded schedule
+        // needs cannot help, so the allocation loop is capped there.
+        let cap_j = procs_needed_rec(m, tj, &mut memo.needed).min(budget as u64) as usize;
+        let prev = tables.last().expect("table list starts non-empty");
+        let mut next: Vec<Option<u64>> = vec![None; budget + 1];
+        for q in 1..=budget {
+            let mut b: Option<u64> = None;
+            for give in 1..=q.min(cap_j) {
+                if let Some(base) = prev[q - give] {
+                    let v = bounded_rec(m, tj, give as u32, memo) + base;
+                    if b.is_none_or(|cur| v > cur) {
+                        b = Some(v);
+                    }
+                }
+            }
+            next[q] = b;
+        }
+        tables.push(next);
+    }
+    tables
+}
+
+/// Minimum time to sum `n` values with at most `p` processors:
+/// exponential search from below (so the bounded capacity is only ever
+/// evaluated near the answer, where its dynamic program is cheap),
+/// followed by bisection, with memoization shared across probes.
+pub fn min_sum_time(m: &LogP, n: u64, p: u32) -> Cycles {
+    if n <= 1 {
+        return 0;
+    }
+    let p = p.max(1);
+    let mut memo = BoundedMemo::default();
+    let mut cap = |t: Cycles| bounded_rec(m, t, p, &mut memo);
+    // Exponential phase: find the first power-of-two-ish budget that
+    // suffices (capacity(n-1) >= n always, via a single processor).
+    let mut hi = 1u64;
+    loop {
+        if hi >= n - 1 || cap(hi) >= n {
+            break;
+        }
+        hi = (hi * 2).min(n - 1);
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if cap(mid) >= n {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// One processor's role in an optimal summation schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumNode {
+    /// This processor's id.
+    pub proc: ProcId,
+    /// Parent in the communication tree (`None` for the root).
+    pub parent: Option<ProcId>,
+    /// Number of original input values assigned to this processor.
+    pub local_inputs: u64,
+    /// Time at which this processor's partial sum is complete.
+    pub complete_at: Cycles,
+    /// Children, latest-completing first, with their completion times; the
+    /// child completing at `complete_at - (2o+L+1) - j*s` is `children[j]`.
+    pub children: Vec<(ProcId, Cycles)>,
+}
+
+/// An executable optimal summation schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumSchedule {
+    /// Per-processor roles, indexed by processor id; node 0 is the root.
+    pub nodes: Vec<SumNode>,
+    /// The time budget the schedule was built for.
+    pub deadline: Cycles,
+    /// Total input values summed.
+    pub total_inputs: u64,
+    /// The model the schedule was built for.
+    pub model: LogP,
+}
+
+impl SumSchedule {
+    /// Number of processors used.
+    pub fn procs(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+}
+
+/// Build the optimal bounded-processor summation schedule for budget `t`.
+///
+/// The schedule realizes `sum_capacity_bounded(m, t, m.p)` input values
+/// and is directly executable on the simulator (see
+/// `logp-algos::reduce`).
+pub fn optimal_sum_schedule(m: &LogP, t: Cycles) -> SumSchedule {
+    let mut memo = BoundedMemo::default();
+    // Warm the memo so extraction can follow the argmax cheaply.
+    let total = bounded_rec(m, t, m.p, &mut memo);
+    let mut nodes = Vec::new();
+    build_node(m, t, m.p, None, &mut nodes, &mut memo);
+    debug_assert_eq!(nodes.iter().map(|n| n.local_inputs).sum::<u64>(), total);
+    SumSchedule { nodes, deadline: t, total_inputs: total, model: *m }
+}
+
+fn build_node(
+    m: &LogP,
+    t: Cycles,
+    p: u32,
+    parent: Option<ProcId>,
+    nodes: &mut Vec<SumNode>,
+    memo: &mut BoundedMemo,
+) -> ProcId {
+    let id = nodes.len() as ProcId;
+    if p <= 1 || t < recv_threshold(m) {
+        nodes.push(SumNode {
+            proc: id,
+            parent,
+            local_inputs: t + 1,
+            complete_at: t,
+            children: Vec::new(),
+        });
+        return id;
+    }
+    let target = bounded_rec(m, t, p, memo);
+    let s = spacing(m);
+    let lead = 2 * m.o + m.l + 1;
+    let k_deadline = (t - recv_threshold(m)) / s + 1;
+    let k_busy = t / (m.o + 1);
+    let k_max = k_deadline.min(k_busy).min((p - 1) as u64);
+
+    // Re-find the optimal child count and allocation (same DP as
+    // bounded_rec, retaining the tables for extraction).
+    let budget = (p - 1) as usize;
+    let all_tables = child_alloc_tables(m, t, p, k_max, memo);
+    for k in (0..=k_max).rev() {
+        let local = t - k * (m.o + 1) + 1;
+        if k == 0 {
+            if local == target {
+                nodes.push(SumNode {
+                    proc: id,
+                    parent,
+                    local_inputs: local,
+                    complete_at: t,
+                    children: Vec::new(),
+                });
+                return id;
+            }
+            continue;
+        }
+        let tables = &all_tables[..=k as usize];
+        if tables[k as usize][budget] != Some(target - local) {
+            continue;
+        }
+        // Extract: walk children from j = k-1 down to 0, peeling
+        // allocations out of the DP tables. tables[j+1][q] used
+        // tables[j][q - give] for child index j (children were folded in
+        // order j = 0..k, so tables[j+1] covers children 0..=j).
+        nodes.push(SumNode {
+            proc: id,
+            parent,
+            local_inputs: local,
+            complete_at: t,
+            children: Vec::new(),
+        });
+        let mut gives = vec![0usize; k as usize];
+        let mut q = budget;
+        // `q` shrinks as allocations peel off; the `1..=q` bound below is
+        // re-evaluated per child by design.
+        #[allow(clippy::mut_range_bound)]
+        for j in (0..k as usize).rev() {
+            let tj = t - lead - j as u64 * s;
+            let want = tables[j + 1][q].expect("argmax path is feasible");
+            let mut found = false;
+            for give in 1..=q {
+                if let Some(base) = tables[j][q - give] {
+                    if bounded_rec(m, tj, give as u32, memo) + base == want {
+                        gives[j] = give;
+                        q -= give;
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            assert!(found, "DP extraction must succeed");
+        }
+        let mut children = Vec::with_capacity(k as usize);
+        for (j, &give) in gives.iter().enumerate() {
+            let tj = t - lead - j as u64 * s;
+            let cid = build_node(m, tj, give as u32, Some(id), nodes, memo);
+            children.push((cid, tj));
+        }
+        nodes[id as usize].children = children;
+        return id;
+    }
+    unreachable!("bounded_rec value must be reproducible");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 4 golden test: T = 28, P = 8, L = 5, g = 4, o = 2.
+    /// The figure's communication tree: root with children completing at
+    /// 18, 14, 10, 6; the 18-child has children at 8 and 4; the 14-child
+    /// has one child at 4. Eight processors in total.
+    #[test]
+    fn figure4_schedule_matches_paper() {
+        let m = LogP::fig4();
+        let sched = optimal_sum_schedule(&m, 28);
+        assert_eq!(sched.procs(), 8, "paper uses exactly 8 processors");
+        let root = &sched.nodes[0];
+        let child_times: Vec<Cycles> = root.children.iter().map(|c| c.1).collect();
+        assert_eq!(child_times, vec![18, 14, 10, 6]);
+        // Root: k = 4 receptions, local = T - k(o+1) + 1 = 28 - 12 + 1 = 17.
+        assert_eq!(root.local_inputs, 17);
+        // Child completing at 18 has two children (at 8 and 4).
+        let c18 = root.children[0].0;
+        let times18: Vec<Cycles> =
+            sched.nodes[c18 as usize].children.iter().map(|c| c.1).collect();
+        assert_eq!(times18, vec![8, 4]);
+        // Child completing at 14 has one child (at 4).
+        let c14 = root.children[1].0;
+        let times14: Vec<Cycles> =
+            sched.nodes[c14 as usize].children.iter().map(|c| c.1).collect();
+        assert_eq!(times14, vec![4]);
+        // Children at 10 and 6 are leaves.
+        assert!(sched.nodes[root.children[2].0 as usize].children.is_empty());
+        assert!(sched.nodes[root.children[3].0 as usize].children.is_empty());
+    }
+
+    #[test]
+    fn small_budget_is_single_processor() {
+        let m = LogP::fig4();
+        // T <= L + 2o: "sum T+1 values on a single processor".
+        for t in 0..=(m.l + 2 * m.o) {
+            assert_eq!(sum_capacity(&m, t), t + 1);
+            assert_eq!(sum_capacity_bounded(&m, t, 8), t + 1);
+        }
+    }
+
+    #[test]
+    fn unbounded_capacity_dominates_bounded() {
+        let m = LogP::fig4();
+        for t in [10, 20, 28, 40, 60] {
+            let unb = sum_capacity(&m, t);
+            let mut prev = 0;
+            for p in [1, 2, 4, 8, 16, 64] {
+                let b = sum_capacity_bounded(&m, t, p);
+                assert!(b >= prev, "capacity must not decrease with more processors");
+                assert!(b <= unb);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_converges_to_unbounded() {
+        let m = LogP::fig4();
+        // For T = 28 only 8 processors are ever useful... the unbounded
+        // optimum for this small budget uses a bounded number of procs.
+        let unb = sum_capacity(&m, 28);
+        assert_eq!(sum_capacity_bounded(&m, 28, 1024), unb);
+    }
+
+    #[test]
+    fn schedule_totals_match_capacity() {
+        for (l, o, g, p, t) in [(5, 2, 4, 8, 28), (6, 2, 4, 16, 40), (3, 1, 2, 8, 20), (10, 0, 2, 32, 35)] {
+            let m = LogP::new(l, o, g, p).unwrap();
+            let sched = optimal_sum_schedule(&m, t);
+            assert_eq!(sched.total_inputs, sum_capacity_bounded(&m, t, p));
+            assert!(sched.procs() <= p);
+            let total: u64 = sched.nodes.iter().map(|n| n.local_inputs).sum();
+            assert_eq!(total, sched.total_inputs);
+        }
+    }
+
+    #[test]
+    fn schedule_children_respect_deadlines() {
+        let m = LogP::fig4();
+        let sched = optimal_sum_schedule(&m, 28);
+        let s = spacing(&m);
+        let lead = 2 * m.o + m.l + 1;
+        for node in &sched.nodes {
+            for (j, (cid, ct)) in node.children.iter().enumerate() {
+                assert_eq!(*ct, node.complete_at - lead - j as u64 * s);
+                assert_eq!(sched.nodes[*cid as usize].complete_at, *ct);
+                // Transmitted partial sums represent at least o additions.
+                assert!(
+                    sched.nodes[*cid as usize].local_inputs >= 1,
+                    "child must hold at least one input"
+                );
+                let subtree_adds = subtree_inputs(&sched, *cid) - 1;
+                assert!(subtree_adds >= m.o, "child must represent >= o additions");
+            }
+        }
+    }
+
+    fn subtree_inputs(sched: &SumSchedule, id: ProcId) -> u64 {
+        let n = &sched.nodes[id as usize];
+        n.local_inputs
+            + n.children.iter().map(|(c, _)| subtree_inputs(sched, *c)).sum::<u64>()
+    }
+
+    #[test]
+    fn min_sum_time_is_inverse_of_capacity() {
+        let m = LogP::fig4();
+        for n in [1u64, 2, 10, 29, 50, 79, 100] {
+            let t = min_sum_time(&m, n, m.p);
+            assert!(sum_capacity_bounded(&m, t, m.p) >= n);
+            if t > 0 {
+                assert!(sum_capacity_bounded(&m, t - 1, m.p) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_monotone_in_time() {
+        let m = LogP::new(7, 3, 5, 16).unwrap();
+        let mut prev = 0;
+        for t in 0..80 {
+            let c = sum_capacity_bounded(&m, t, 16);
+            assert!(c >= prev, "capacity must be monotone, broke at t={t}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn inputs_are_unequally_distributed() {
+        // Paper: "Notice that the inputs are not equally distributed over
+        // processors."
+        let sched = optimal_sum_schedule(&LogP::fig4(), 28);
+        let counts: Vec<u64> = sched.nodes.iter().map(|n| n.local_inputs).collect();
+        assert!(counts.iter().any(|&c| c != counts[0]));
+    }
+}

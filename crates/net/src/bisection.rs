@@ -1,0 +1,165 @@
+//! Bisection bandwidth and `g` calibration (§4.1.4, footnote 5).
+//!
+//! "The bisection bandwidth is the minimum bandwidth through any cut of
+//! the network that separates the set of processors into halves." The
+//! paper calibrates the CM-5's gap from it: "the bisection bandwidth is
+//! 5 MB/s per processor for messages of 16 bytes of data and 4 bytes of
+//! address, so we take g to be 4 µs."
+//!
+//! This module provides the standard closed-form bisection widths (in
+//! links) for the §5.1 topologies, verified against brute-force minimum
+//! cuts on small instances, and the calibration arithmetic from width to
+//! `g`.
+
+use crate::topology::{Network, Topology};
+
+/// Bisection width in (unidirectional) links for a `p`-processor
+/// instance, by the standard formulas.
+pub fn bisection_width(topology: Topology, p: u64) -> u64 {
+    match topology {
+        // Cutting one dimension: p/2 links.
+        Topology::Hypercube => p / 2,
+        // A butterfly bisects through its middle stage: p/2 rows cross.
+        Topology::Butterfly => p / 2,
+        // A fat tree (full bandwidth at the root by construction) moves
+        // p/2 worth of links through the root cut.
+        Topology::FatTree4 => p / 2,
+        // 2D side s: cut a column of s links; torus doubles it (wrap).
+        Topology::Mesh2D => (p as f64).sqrt().round() as u64,
+        Topology::Torus2D => 2 * (p as f64).sqrt().round() as u64,
+        // 3D side s: a face of s² links; torus doubles it.
+        Topology::Mesh3D => {
+            let s = (p as f64).cbrt().round() as u64;
+            s * s
+        }
+        Topology::Torus3D => {
+            let s = (p as f64).cbrt().round() as u64;
+            2 * s * s
+        }
+    }
+}
+
+/// Per-processor bisection bandwidth, in bytes per cycle, for a given
+/// per-link bandwidth: under uniform traffic half of all messages cross
+/// the bisection, so each processor's sustainable rate is
+/// `2 · width · link_bw / p`.
+pub fn per_proc_bisection_bw(
+    topology: Topology,
+    p: u64,
+    link_bytes_per_cycle: f64,
+) -> f64 {
+    2.0 * bisection_width(topology, p) as f64 * link_bytes_per_cycle / p as f64
+}
+
+/// The paper's calibration: given a measured per-processor bisection
+/// bandwidth (bytes/µs = MB/s) and a message payload (bytes), the gap is
+/// the per-message interval `g = payload / bandwidth` (µs).
+pub fn calibrate_g_us(payload_bytes: f64, per_proc_mb_s: f64) -> f64 {
+    payload_bytes / per_proc_mb_s
+}
+
+/// Brute-force minimum balanced-cut width for small networks (≤ ~16
+/// endpoints): verification oracle for the formulas.
+pub fn brute_force_bisection(net: &Network) -> u64 {
+    let n = net.endpoints.len();
+    assert!(n <= 16, "brute force is exponential; use the formulas beyond 16");
+    assert!(n.is_multiple_of(2), "bisection needs an even processor count");
+    // For indirect networks, assign switches greedily to the side that
+    // minimizes crossings — here we only support direct networks where
+    // endpoints are all the nodes.
+    assert_eq!(
+        n,
+        net.adj.len(),
+        "brute-force bisection supports direct networks only"
+    );
+    let mut best = u64::MAX;
+    // Enumerate balanced bipartitions containing node 0 on side A (halves
+    // the search space).
+    let total = 1u32 << (n - 1);
+    for mask in 0..total {
+        let full_mask = (mask as u64) << 1 | 1; // node 0 on side A
+        if (full_mask.count_ones() as usize) != n / 2 {
+            continue;
+        }
+        let mut cut = 0u64;
+        for v in 0..n {
+            let side_v = full_mask >> v & 1;
+            for &w in &net.adj[v] {
+                if side_v != (full_mask >> w & 1) && v < w as usize {
+                    cut += 1;
+                }
+            }
+        }
+        best = best.min(cut);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_formula_matches_brute_force() {
+        for p in [4u64, 8, 16] {
+            let net = Network::build(Topology::Hypercube, p);
+            assert_eq!(
+                brute_force_bisection(&net),
+                bisection_width(Topology::Hypercube, p),
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_formula_matches_brute_force() {
+        let net = Network::build(Topology::Mesh2D, 16);
+        assert_eq!(brute_force_bisection(&net), bisection_width(Topology::Mesh2D, 16));
+    }
+
+    #[test]
+    fn torus_formula_matches_brute_force() {
+        let net = Network::build(Topology::Torus2D, 16);
+        assert_eq!(
+            brute_force_bisection(&net),
+            bisection_width(Topology::Torus2D, 16)
+        );
+    }
+
+    #[test]
+    fn richer_topologies_have_wider_bisections() {
+        let p = 1024;
+        let cube = bisection_width(Topology::Hypercube, p);
+        let torus = bisection_width(Topology::Torus2D, p);
+        let mesh = bisection_width(Topology::Mesh2D, p);
+        assert!(cube > torus && torus > mesh);
+        assert_eq!(cube, 512);
+        assert_eq!(torus, 64);
+        assert_eq!(mesh, 32);
+    }
+
+    #[test]
+    fn cm5_gap_calibration_matches_the_paper() {
+        // §4.1.4: 16-byte payloads at ~5 MB/s per processor ⇒ g ≈ 4 µs
+        // (the paper rounds; 16/5 = 3.2 µs of pure serialization plus
+        // interface slack gives their chosen 4 µs).
+        let g = calibrate_g_us(16.0, 5.0);
+        assert!((3.0..=4.0).contains(&g), "calibrated g = {g} µs");
+    }
+
+    #[test]
+    fn per_proc_bandwidth_scales_with_width() {
+        let bw_cube = per_proc_bisection_bw(Topology::Hypercube, 1024, 20.0);
+        let bw_mesh = per_proc_bisection_bw(Topology::Mesh2D, 1024, 20.0);
+        assert!(bw_cube / bw_mesh > 10.0);
+        // Hypercube: full bandwidth per processor regardless of scale.
+        assert_eq!(bw_cube, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn brute_force_refuses_large_networks() {
+        let net = Network::build(Topology::Hypercube, 64);
+        brute_force_bisection(&net);
+    }
+}

@@ -1,0 +1,30 @@
+//! # logp-net — the interconnection-network substrate of Section 5
+//!
+//! The LogP model abstracts the network into `L`, `o`, `g` and the
+//! capacity constraint; Section 5 of the paper justifies that abstraction
+//! by examining real networks. This crate implements those examinations:
+//!
+//! * [`topology`] — explicit topology graphs and the §5.1 average-distance
+//!   table (exact BFS vs asymptotic formulas);
+//! * [`timing`] — the unloaded-message-time model
+//!   `T(M,H) = Tsnd + ⌈M/w⌉ + H·r + Trcv` and the Table 1 machine
+//!   database;
+//! * [`packet`] — a packet-level router simulation producing the
+//!   latency-vs-load saturation curve of §5.3;
+//! * [`patterns`] — link-congestion analysis of good and bad permutations
+//!   under e-cube and XY routing (§5.6), feeding the multiple-`g` model
+//!   extension.
+
+pub mod bisection;
+pub mod packet;
+pub mod routing;
+pub mod patterns;
+pub mod timing;
+pub mod topology;
+
+pub use packet::{knee, load_sweep, simulate_load, simulate_permutation, LoadPoint, PacketSimConfig, PermutationRun};
+pub use routing::Router;
+pub use bisection::{bisection_width, calibrate_g_us, per_proc_bisection_bw};
+pub use patterns::{hypercube_ecube_congestion, mesh_xy_congestion, Permutation};
+pub use timing::{table1, MachineTiming};
+pub use topology::{avg_distance_table, Network, Topology};

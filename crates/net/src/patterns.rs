@@ -1,0 +1,227 @@
+//! Contention-free vs contended communication patterns (§5.6).
+//!
+//! "Various network interconnection topologies are known to have specific
+//! contention-free routing patterns. Repeated transmissions within this
+//! pattern can utilize essentially the full bandwidth, whereas other
+//! communication patterns will saturate intermediate routers."
+//!
+//! This module computes the *link congestion* of a permutation under the
+//! deterministic routing schemes of real machines (e-cube on hypercubes,
+//! XY on meshes) and derives the per-pattern effective gap the paper's
+//! multiple-`g` extension calls for: a pattern with congestion `c`
+//! sustains at most `1/c` of a link's bandwidth, so `g_pattern = c · g`.
+
+use logp_core::extensions::{MultiGap, Pattern};
+use logp_core::LogP;
+use std::collections::HashMap;
+
+/// A permutation of `0..p` (destination of each source).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation(pub Vec<u32>);
+
+impl Permutation {
+    pub fn identity(p: u32) -> Self {
+        Permutation((0..p).collect())
+    }
+
+    /// Cyclic shift by `k`: the canonical contention-free pattern on most
+    /// networks.
+    pub fn shift(p: u32, k: u32) -> Self {
+        Permutation((0..p).map(|i| (i + k) % p).collect())
+    }
+
+    /// Bit-reversal: notoriously bad under e-cube routing.
+    pub fn bit_reversal(p: u32) -> Self {
+        assert!(p.is_power_of_two());
+        let bits = p.trailing_zeros();
+        Permutation((0..p).map(|i| i.reverse_bits() >> (32 - bits)).collect())
+    }
+
+    /// Matrix transpose on a √p × √p layout: bad under XY routing.
+    pub fn transpose(p: u32) -> Self {
+        let side = (p as f64).sqrt() as u32;
+        assert_eq!(side * side, p, "transpose needs a square processor grid");
+        Permutation(
+            (0..p)
+                .map(|i| {
+                    let (x, y) = (i % side, i / side);
+                    x * side + y
+                })
+                .collect(),
+        )
+    }
+
+    fn validate(&self) {
+        let p = self.0.len();
+        let mut seen = vec![false; p];
+        for &d in &self.0 {
+            assert!(!seen[d as usize], "not a permutation");
+            seen[d as usize] = true;
+        }
+    }
+}
+
+/// Per-directed-link loads of routing a permutation; congestion is the
+/// maximum.
+#[derive(Debug, Clone)]
+pub struct CongestionReport {
+    pub max_link_load: u32,
+    pub total_hops: u64,
+    /// Histogram: link load -> number of links with that load.
+    pub histogram: HashMap<u32, u32>,
+}
+
+/// E-cube (dimension-order, LSB first) congestion on a `p`-node
+/// hypercube.
+pub fn hypercube_ecube_congestion(perm: &Permutation) -> CongestionReport {
+    perm.validate();
+    let p = perm.0.len() as u32;
+    assert!(p.is_power_of_two());
+    let bits = p.trailing_zeros();
+    let mut loads: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut total_hops = 0u64;
+    for src in 0..p {
+        let dst = perm.0[src as usize];
+        let mut cur = src;
+        for b in 0..bits {
+            if (cur ^ dst) & (1 << b) != 0 {
+                let nxt = cur ^ (1 << b);
+                *loads.entry((cur, nxt)).or_insert(0) += 1;
+                total_hops += 1;
+                cur = nxt;
+            }
+        }
+    }
+    report(loads, total_hops)
+}
+
+/// XY (row-first) congestion on a √p × √p mesh.
+pub fn mesh_xy_congestion(perm: &Permutation) -> CongestionReport {
+    perm.validate();
+    let p = perm.0.len() as u32;
+    let side = (p as f64).sqrt() as u32;
+    assert_eq!(side * side, p);
+    let id = |x: u32, y: u32| y * side + x;
+    let mut loads: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut total_hops = 0u64;
+    for src in 0..p {
+        let dst = perm.0[src as usize];
+        let (mut x, y0) = (src % side, src / side);
+        let (tx, ty) = (dst % side, dst / side);
+        let mut y = y0;
+        while x != tx {
+            let nx = if tx > x { x + 1 } else { x - 1 };
+            *loads.entry((id(x, y), id(nx, y))).or_insert(0) += 1;
+            total_hops += 1;
+            x = nx;
+        }
+        while y != ty {
+            let ny = if ty > y { y + 1 } else { y - 1 };
+            *loads.entry((id(x, y), id(x, ny))).or_insert(0) += 1;
+            total_hops += 1;
+            y = ny;
+        }
+    }
+    report(loads, total_hops)
+}
+
+fn report(loads: HashMap<(u32, u32), u32>, total_hops: u64) -> CongestionReport {
+    let mut histogram = HashMap::new();
+    let mut max = 0;
+    for &l in loads.values() {
+        *histogram.entry(l).or_insert(0) += 1;
+        max = max.max(l);
+    }
+    CongestionReport { max_link_load: max, total_hops, histogram }
+}
+
+/// Derive a per-pattern `MultiGap` model (§5.6): each pattern's gap is
+/// the base gap times its measured congestion under the given routing.
+pub fn derive_multi_gap(
+    base: &LogP,
+    good: &CongestionReport,
+    bad: &CongestionReport,
+) -> MultiGap {
+    MultiGap::new(*base)
+        .with_gap(Pattern::ContentionFree, base.g * good.max_link_load.max(1) as u64)
+        .with_gap(Pattern::General, base.g * bad.max_link_load.max(1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_is_contention_free_on_the_hypercube() {
+        // A +1 shift under e-cube: each link carries at most a couple of
+        // routes; notably far from the bit-reversal blowup.
+        let p = 256;
+        let shift = hypercube_ecube_congestion(&Permutation::shift(p, 1));
+        assert!(shift.max_link_load <= 2, "shift congestion {}", shift.max_link_load);
+    }
+
+    #[test]
+    fn bit_reversal_saturates_the_hypercube() {
+        // Classic result: bit-reversal under e-cube has Θ(√P) congestion.
+        let p = 256;
+        let rev = hypercube_ecube_congestion(&Permutation::bit_reversal(p));
+        assert!(
+            rev.max_link_load >= 8,
+            "bit reversal congestion {} should be >= √P/2",
+            rev.max_link_load
+        );
+        let shift = hypercube_ecube_congestion(&Permutation::shift(p, 1));
+        assert!(rev.max_link_load >= 4 * shift.max_link_load);
+    }
+
+    #[test]
+    fn transpose_congests_the_mesh() {
+        let p = 256; // 16 × 16
+        let transpose = mesh_xy_congestion(&Permutation::transpose(p));
+        let shift = mesh_xy_congestion(&Permutation::shift(p, 1));
+        assert!(
+            transpose.max_link_load >= 8,
+            "transpose congestion {}",
+            transpose.max_link_load
+        );
+        assert!(transpose.max_link_load >= 4 * shift.max_link_load);
+    }
+
+    #[test]
+    fn identity_routes_nothing() {
+        let r = hypercube_ecube_congestion(&Permutation::identity(64));
+        assert_eq!(r.total_hops, 0);
+        assert_eq!(r.max_link_load, 0);
+    }
+
+    #[test]
+    fn total_hops_match_hamming_weight() {
+        // E-cube path length is the Hamming distance.
+        let p = 64u32;
+        let perm = Permutation::bit_reversal(p);
+        let r = hypercube_ecube_congestion(&perm);
+        let expect: u64 = (0..p)
+            .map(|i| (i ^ perm.0[i as usize]).count_ones() as u64)
+            .sum();
+        assert_eq!(r.total_hops, expect);
+    }
+
+    #[test]
+    fn multi_gap_reflects_measured_congestion() {
+        let base = LogP::new(60, 20, 40, 256).unwrap();
+        let good = hypercube_ecube_congestion(&Permutation::shift(256, 1));
+        let bad = hypercube_ecube_congestion(&Permutation::bit_reversal(256));
+        let mg = derive_multi_gap(&base, &good, &bad);
+        assert!(mg.gap(Pattern::General) > mg.gap(Pattern::ContentionFree));
+        assert_eq!(
+            mg.gap(Pattern::General),
+            base.g * bad.max_link_load as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn congestion_validates_input() {
+        hypercube_ecube_congestion(&Permutation(vec![0, 0, 1, 2]));
+    }
+}

@@ -1,0 +1,145 @@
+//! Deterministic routing functions for the packet simulator.
+//!
+//! The §5.6 congestion analysis (`patterns`) is *static*: it counts route
+//! overlaps. This module supplies the matching deterministic routers —
+//! e-cube on the hypercube, XY on 2D grids — so the packet simulator can
+//! show the *dynamic* consequence: a permutation with static congestion
+//! `c` takes ≈`c`× longer to deliver than a contention-free one.
+
+use crate::topology::{Network, Topology};
+
+/// Routing discipline for the packet simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Router {
+    /// Precomputed shortest paths (BFS, lowest-index tie-break). Works on
+    /// any topology.
+    Shortest,
+    /// Dimension-order: e-cube (lowest differing bit first) on the
+    /// hypercube, X-then-Y on 2D grids, X-then-Y-then-Z on 3D grids.
+    /// Panics for topologies without a defined dimension order.
+    DimensionOrder,
+}
+
+/// Next hop under dimension-order routing. `None` when `cur == dst`.
+pub fn dimension_order_next_hop(net: &Network, cur: u32, dst: u32) -> Option<u32> {
+    if cur == dst {
+        return None;
+    }
+    match net.topology {
+        Topology::Hypercube => {
+            let diff = cur ^ dst;
+            let bit = diff.trailing_zeros();
+            Some(cur ^ (1 << bit))
+        }
+        Topology::Mesh2D | Topology::Torus2D => {
+            let side = (net.endpoints.len() as f64).sqrt().round() as u32;
+            let wrap = net.topology == Topology::Torus2D;
+            let (x, y) = (cur % side, cur / side);
+            let (tx, ty) = (dst % side, dst / side);
+            let id = |x: u32, y: u32| y * side + x;
+            if x != tx {
+                Some(id(step_toward(x, tx, side, wrap), y))
+            } else {
+                Some(id(x, step_toward(y, ty, side, wrap)))
+            }
+        }
+        Topology::Mesh3D | Topology::Torus3D => {
+            let side = (net.endpoints.len() as f64).cbrt().round() as u32;
+            let wrap = net.topology == Topology::Torus3D;
+            let (x, y, z) = (cur % side, (cur / side) % side, cur / (side * side));
+            let (tx, ty, tz) = (dst % side, (dst / side) % side, dst / (side * side));
+            let id = |x: u32, y: u32, z: u32| z * side * side + y * side + x;
+            if x != tx {
+                Some(id(step_toward(x, tx, side, wrap), y, z))
+            } else if y != ty {
+                Some(id(x, step_toward(y, ty, side, wrap), z))
+            } else {
+                Some(id(x, y, step_toward(z, tz, side, wrap)))
+            }
+        }
+        other => panic!("no dimension order defined for {other:?}"),
+    }
+}
+
+/// One step along a ring/line axis toward the target, taking the shorter
+/// way around on wrapped axes (ties go up, matching common hardware).
+fn step_toward(cur: u32, target: u32, side: u32, wrap: bool) -> u32 {
+    if !wrap {
+        return if target > cur { cur + 1 } else { cur - 1 };
+    }
+    let up = (target + side - cur) % side;
+    let down = (cur + side - target) % side;
+    if up <= down {
+        (cur + 1) % side
+    } else {
+        (cur + side - 1) % side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(net: &Network, src: u32, dst: u32) -> u32 {
+        let mut cur = src;
+        let mut hops = 0;
+        while let Some(next) = dimension_order_next_hop(net, cur, dst) {
+            assert!(
+                net.adj[cur as usize].contains(&next),
+                "hop {cur}->{next} is not a link"
+            );
+            cur = next;
+            hops += 1;
+            assert!(hops <= net.adj.len() as u32, "routing loop");
+        }
+        hops
+    }
+
+    #[test]
+    fn ecube_routes_are_hamming_length() {
+        let net = Network::build(Topology::Hypercube, 64);
+        for (s, d) in [(0u32, 63u32), (5, 40), (17, 17), (1, 2)] {
+            assert_eq!(walk(&net, s, d), (s ^ d).count_ones());
+        }
+    }
+
+    #[test]
+    fn xy_routes_are_manhattan_length() {
+        let net = Network::build(Topology::Mesh2D, 64);
+        for (s, d) in [(0u32, 63u32), (9, 54), (7, 56)] {
+            let (x, y) = (s % 8, s / 8);
+            let (tx, ty) = (d % 8, d / 8);
+            let manhattan = x.abs_diff(tx) + y.abs_diff(ty);
+            assert_eq!(walk(&net, s, d), manhattan);
+        }
+    }
+
+    #[test]
+    fn torus_takes_the_short_way_around() {
+        let net = Network::build(Topology::Torus2D, 64);
+        // 0 -> 7 on a wrapped ring of 8 is one hop the other way.
+        assert_eq!(walk(&net, 0, 7), 1);
+        assert_eq!(walk(&net, 0, 4), 4);
+        // And full routes respect the wrap distance.
+        let d = net.bfs(0);
+        for dst in 0..64u32 {
+            assert_eq!(walk(&net, 0, dst), d[dst as usize]);
+        }
+    }
+
+    #[test]
+    fn torus3d_routes_match_bfs_distance() {
+        let net = Network::build(Topology::Torus3D, 64);
+        let d = net.bfs(5);
+        for dst in 0..64u32 {
+            assert_eq!(walk(&net, 5, dst), d[dst as usize], "dst {dst}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no dimension order")]
+    fn fat_tree_has_no_dimension_order() {
+        let net = Network::build(Topology::FatTree4, 16);
+        dimension_order_next_hop(&net, net.endpoints[0], net.endpoints[1]);
+    }
+}

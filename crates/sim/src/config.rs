@@ -1,0 +1,133 @@
+//! Simulator configuration: the fidelity knobs beyond the LogP quadruple.
+
+use logp_core::Cycles;
+
+/// Configuration for a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Maximum reduction of per-message latency below `L`. `0` means every
+    /// message takes exactly `L`; a positive value makes latency a
+    /// deterministic pseudo-random draw from `[L - jitter, L]`, exercising
+    /// the model's allowance that "the latency experienced by any message
+    /// is unpredictable, but is bounded above by L" and that messages "may
+    /// not arrive in the same order as they are sent" (§3).
+    pub latency_jitter: Cycles,
+    /// Relative computation-time perturbation, in parts per 1024, drawn
+    /// i.i.d. per `compute` call (high-frequency noise: cache misses,
+    /// interrupts). `0` disables it.
+    pub drift_ppk: u32,
+    /// Systematic per-processor speed skew, in parts per 1024: each
+    /// processor draws one fixed factor in `[-skew, +skew]` at machine
+    /// construction and every `compute` is scaled by it. This is the
+    /// *cumulative* desynchronization of §4.1.4 — "processors execute
+    /// asynchronously ... they gradually drift out of sync during the
+    /// remap phase" — which i.i.d. noise alone cannot produce (it
+    /// averages out). `0` disables it.
+    pub proc_skew_ppk: u32,
+    /// Whether the ⌈L/g⌉ capacity constraint is enforced (ablation knob;
+    /// the model always enforces it).
+    pub enforce_capacity: bool,
+    /// Destination network-interface buffer, in messages. A message that
+    /// has arrived but whose reception has not completed still counts as
+    /// "in transit" for the sender's admission check once the buffer is
+    /// full — the backpressure real NIs exert. `None` defaults to
+    /// `⌈L/g⌉ + 2`, which provably never blocks a schedule whose
+    /// receivers drain promptly (a message is outstanding for `2o + L`
+    /// and legal per-destination spacing is at least `max(g, o+1)`, so at
+    /// most `⌈L/g⌉ + 2` overlap), while hot spots whose receivers cannot
+    /// keep up still backpressure at the receiver's drain rate. Ignored
+    /// when `enforce_capacity` is off.
+    pub ni_buffer: Option<u64>,
+    /// LogGP bulk gap `G`: cycles per additional word of a long message
+    /// streamed by the network interface (§5.4's long-message extension,
+    /// the LogGP refinement). `None` disables `send_bulk`.
+    pub loggp_big_g: Option<Cycles>,
+    /// Cost charged for the hardware barrier after the last processor
+    /// arrives (the CM-5 has "a broadcast/scan/prefix control network";
+    /// §5.5 discusses such specialized hardware).
+    pub barrier_cost: Cycles,
+    /// Record per-processor activity spans for Gantt rendering.
+    pub record_trace: bool,
+    /// Seed for all pseudo-random draws (jitter, drift). Two runs with the
+    /// same seed and programs are bit-identical.
+    pub seed: u64,
+    /// Hard cap on simulated events, to turn runaway programs into errors
+    /// instead of hangs.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency_jitter: 0,
+            drift_ppk: 0,
+            proc_skew_ppk: 0,
+            enforce_capacity: true,
+            ni_buffer: None,
+            loggp_big_g: None,
+            barrier_cost: 0,
+            record_trace: false,
+            seed: 0x1092_7735_AC01,
+            max_events: 2_000_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default config with tracing enabled.
+    pub fn traced() -> Self {
+        SimConfig { record_trace: true, ..Default::default() }
+    }
+
+    /// Enable latency jitter of up to `j` cycles below `L`.
+    pub fn with_jitter(mut self, j: Cycles) -> Self {
+        self.latency_jitter = j;
+        self
+    }
+
+    /// Enable compute drift of `ppk` parts per 1024.
+    pub fn with_drift(mut self, ppk: u32) -> Self {
+        self.drift_ppk = ppk;
+        self
+    }
+
+    /// Enable systematic per-processor speed skew of `ppk` parts per 1024.
+    pub fn with_skew(mut self, ppk: u32) -> Self {
+        self.proc_skew_ppk = ppk;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable LogGP long messages with bulk gap `big_g`.
+    pub fn with_big_g(mut self, big_g: Cycles) -> Self {
+        self.loggp_big_g = Some(big_g);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_exact_model() {
+        let c = SimConfig::default();
+        assert_eq!(c.latency_jitter, 0);
+        assert_eq!(c.drift_ppk, 0);
+        assert!(c.enforce_capacity);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::traced().with_jitter(3).with_drift(10).with_seed(7);
+        assert!(c.record_trace);
+        assert_eq!(c.latency_jitter, 3);
+        assert_eq!(c.drift_ppk, 10);
+        assert_eq!(c.seed, 7);
+    }
+}

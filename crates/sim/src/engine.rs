@@ -1,0 +1,705 @@
+//! The discrete-event engine implementing LogP execution semantics.
+//!
+//! Normative timing rules (calibrated against the paper's Figure 3; see
+//! DESIGN.md):
+//!
+//! * a send requested at local time `t` starts at
+//!   `s = max(t, last_send_start + g)` provided the capacity constraint
+//!   admits it, occupies the processor during `[s, s+o)`, and the message
+//!   arrives at `s + o + L'` with `L - jitter <= L' <= L`;
+//! * at most `⌈L/g⌉` messages may be in transit from any processor or to
+//!   any processor; a send that would exceed either bound stalls the
+//!   sender (busy, accounted as stall) until an arrival frees a slot;
+//! * a reception starts at `r = max(arrival, processor_free,
+//!   last_recv_start + g)`, occupies `[r, r+o)`, and the program handler
+//!   observes the message at `r + o`;
+//! * commands issued by a program execute in FIFO order; receptions are
+//!   serviced only while the command queue is empty (the processor is a
+//!   single sequential execution unit);
+//! * `compute(c)` occupies the processor for exactly `c` cycles (perturbed
+//!   if drift is configured).
+//!
+//! The engine is single-threaded and bit-deterministic for a given
+//! `(programs, model, config)` triple: ties in the event heap are broken
+//! by (class, sequence number).
+
+use crate::config::SimConfig;
+use crate::message::Message;
+use crate::process::{Command, Ctx, Process};
+use crate::trace::{Activity, ProcStats, SimStats, Span, Trace};
+use logp_core::{Cycles, LogP, ProcId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Errors terminating a simulation abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event budget was exhausted (runaway program).
+    MaxEventsExceeded { limit: u64 },
+    /// The machine went quiescent while processors still had unexecuted
+    /// commands or were waiting in a barrier that can never release.
+    Deadlock { stuck: Vec<ProcId> },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MaxEventsExceeded { limit } => {
+                write!(f, "simulation exceeded the event budget of {limit}")
+            }
+            SimError::Deadlock { stuck } => {
+                write!(f, "simulation deadlocked with processors {stuck:?} still holding work")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Results of a completed run.
+#[derive(Debug, Default)]
+pub struct SimResult {
+    pub stats: SimStats,
+    pub trace: Trace,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A message leaves the capacity window: the model counts a message as
+    /// "in transit" for exactly its network flight time `L'` starting at
+    /// injection, so per-endpoint occupancy of a stall-free `g`-spaced
+    /// stream is exactly `⌈L/g⌉` — the model's capacity.
+    Release { src: usize, dst: usize },
+    /// A message reaches its destination's network interface.
+    Arrive(Message),
+    /// Send overhead complete; the sender may proceed.
+    SendDone(ProcId),
+    /// A `compute` command finished.
+    ComputeDone(ProcId, u64),
+    /// Reception overhead complete; deliver to the program.
+    RecvDone(ProcId),
+    /// All processors entered the barrier; release them.
+    BarrierRelease,
+    /// Re-examine a processor that deferred progress to this time.
+    Wake(ProcId),
+}
+
+impl EventKind {
+    /// Same-timestamp ordering class: arrivals first (so capacity slots
+    /// freed at time `t` are visible to sends attempted at `t`), then
+    /// completions, then wakes.
+    fn class(&self) -> u8 {
+        match self {
+            EventKind::Release { .. } | EventKind::Arrive(_) => 0,
+            EventKind::SendDone(_)
+            | EventKind::ComputeDone(..)
+            | EventKind::RecvDone(_)
+            | EventKind::BarrierRelease => 1,
+            EventKind::Wake(_) => 2,
+        }
+    }
+}
+
+struct Event {
+    time: Cycles,
+    class: u8,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.class, self.seq) == (other.time, other.class, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.class, self.seq).cmp(&(other.time, other.class, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct InboxItem {
+    arrival: Cycles,
+    seq: u64,
+    msg: Message,
+}
+
+impl PartialEq for InboxItem {
+    fn eq(&self, other: &Self) -> bool {
+        (self.arrival, self.seq) == (other.arrival, other.seq)
+    }
+}
+impl Eq for InboxItem {}
+impl PartialOrd for InboxItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InboxItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrival, self.seq).cmp(&(other.arrival, other.seq))
+    }
+}
+
+struct ProcState {
+    program: Box<dyn Process>,
+    cmds: VecDeque<Command>,
+    inbox: BinaryHeap<Reverse<InboxItem>>,
+    /// Time the processor becomes free.
+    busy_until: Cycles,
+    /// Earliest start of the next send (gap constraint).
+    next_send_slot: Cycles,
+    /// Earliest start of the next reception (gap constraint).
+    next_recv_slot: Cycles,
+    /// An engine event for this processor is outstanding.
+    engaged: bool,
+    halted: bool,
+    in_barrier: bool,
+    barrier_entered_at: Cycles,
+    /// Queued in a destination's capacity waiting list.
+    waiting_on_dst: bool,
+    /// Blocked on own source-side capacity.
+    waiting_on_src: bool,
+    /// When the current capacity stall began.
+    stall_since: Option<Cycles>,
+    /// Message currently paying reception overhead.
+    receiving: Option<Message>,
+    stats: ProcStats,
+}
+
+impl ProcState {
+    fn new(program: Box<dyn Process>) -> Self {
+        ProcState {
+            program,
+            cmds: VecDeque::new(),
+            inbox: BinaryHeap::new(),
+            busy_until: 0,
+            next_send_slot: 0,
+            next_recv_slot: 0,
+            engaged: false,
+            halted: false,
+            in_barrier: false,
+            barrier_entered_at: 0,
+            waiting_on_dst: false,
+            waiting_on_src: false,
+            stall_since: None,
+            receiving: None,
+            stats: ProcStats::default(),
+        }
+    }
+}
+
+/// A configured LogP machine with programs loaded on its processors.
+pub struct Sim {
+    model: LogP,
+    config: SimConfig,
+    procs: Vec<ProcState>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: Cycles,
+    in_flight_from: Vec<u64>,
+    in_flight_to: Vec<u64>,
+    /// Messages injected toward each destination whose reception has not
+    /// yet completed (network window + NI buffer occupancy).
+    outstanding_to: Vec<u64>,
+    dst_waiters: Vec<VecDeque<ProcId>>,
+    rng: SmallRng,
+    /// Per-processor systematic compute scale in parts-per-1024 (1024 =
+    /// nominal speed); drawn once at construction from `proc_skew_ppk`.
+    proc_scale: Vec<i64>,
+    trace: Trace,
+    stats: SimStats,
+    barrier_count: u32,
+    alive: u32,
+    capacity: u64,
+    /// Reusable command buffer for handler invocations (hot path: one
+    /// handler per event; reusing the allocation keeps the per-event cost
+    /// allocation-free).
+    cmd_scratch: Vec<Command>,
+    /// Max admissible outstanding messages per destination:
+    /// capacity (network window) + NI buffer.
+    max_outstanding: u64,
+}
+
+impl Sim {
+    /// Create a machine; every processor initially runs
+    /// [`crate::process::Passive`].
+    pub fn new(model: LogP, config: SimConfig) -> Self {
+        let p = model.p as usize;
+        let capacity = if config.enforce_capacity {
+            model.capacity()
+        } else {
+            u64::MAX
+        };
+        let ni_buffer = if config.enforce_capacity {
+            config.ni_buffer.unwrap_or_else(|| model.capacity() + 2)
+        } else {
+            u64::MAX
+        };
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let skew = config.proc_skew_ppk as i64;
+        let proc_scale: Vec<i64> = (0..p)
+            .map(|_| 1024 + if skew == 0 { 0 } else { rng.gen_range(-skew..=skew) })
+            .collect();
+        Sim {
+            model,
+            procs: (0..p)
+                .map(|_| ProcState::new(Box::new(crate::process::Passive)))
+                .collect(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            in_flight_from: vec![0; p],
+            in_flight_to: vec![0; p],
+            outstanding_to: vec![0; p],
+            dst_waiters: (0..p).map(|_| VecDeque::new()).collect(),
+            rng,
+            proc_scale,
+            trace: Trace::default(),
+            stats: SimStats { procs: vec![ProcStats::default(); p], ..Default::default() },
+            barrier_count: 0,
+            alive: model.p,
+            capacity,
+            cmd_scratch: Vec::new(),
+            max_outstanding: capacity.saturating_add(ni_buffer),
+            config,
+        }
+    }
+
+    /// The machine model being simulated.
+    pub fn model(&self) -> &LogP {
+        &self.model
+    }
+
+    /// Install a program on processor `p`.
+    pub fn set_process(&mut self, p: ProcId, program: Box<dyn Process>) {
+        self.procs[p as usize].program = program;
+    }
+
+    /// Install the programs produced by `f(p)` on every processor.
+    pub fn set_all<F>(&mut self, mut f: F)
+    where
+        F: FnMut(ProcId) -> Box<dyn Process>,
+    {
+        for p in 0..self.model.p {
+            self.set_process(p, f(p));
+        }
+    }
+
+    fn schedule(&mut self, time: Cycles, kind: EventKind) {
+        let class = kind.class();
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, class, seq: self.seq, kind }));
+    }
+
+    fn draw_latency(&mut self) -> Cycles {
+        let j = self.config.latency_jitter.min(self.model.l.saturating_sub(1));
+        if j == 0 {
+            self.model.l
+        } else {
+            self.model.l - self.rng.gen_range(0..=j)
+        }
+    }
+
+    fn draw_compute(&mut self, proc: ProcId, cycles: Cycles) -> Cycles {
+        let ppk = self.config.drift_ppk as i64;
+        if cycles == 0 || (ppk == 0 && self.config.proc_skew_ppk == 0) {
+            return cycles;
+        }
+        let noise = if ppk == 0 { 0 } else { self.rng.gen_range(-ppk..=ppk) };
+        let scale = self.proc_scale[proc as usize] + noise;
+        let scaled = cycles as i128 * scale.max(0) as i128 / 1024;
+        scaled.max(0) as Cycles
+    }
+
+    fn span(&mut self, proc: ProcId, start: Cycles, end: Cycles, activity: Activity) {
+        if self.config.record_trace {
+            self.trace.push(Span { proc, start, end, activity });
+        }
+    }
+
+    /// Run a program handler and enqueue the commands it issues.
+    fn run_handler<F>(&mut self, p: ProcId, f: F)
+    where
+        F: FnOnce(&mut dyn Process, &mut Ctx<'_>),
+    {
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        cmds.clear();
+        // Temporarily detach the program so the context can borrow `self`
+        // state without aliasing.
+        let mut program = std::mem::replace(
+            &mut self.procs[p as usize].program,
+            Box::new(crate::process::Passive),
+        );
+        {
+            let mut ctx = Ctx::new(self.now, p, self.model.p, &mut cmds);
+            f(program.as_mut(), &mut ctx);
+        }
+        self.procs[p as usize].program = program;
+        self.procs[p as usize].cmds.extend(cmds.drain(..));
+        self.cmd_scratch = cmds;
+    }
+
+    /// Try to make progress on processor `p` at the current time.
+    fn advance(&mut self, p: ProcId) {
+        let now = self.now;
+        let idx = p as usize;
+        if self.procs[idx].engaged || self.procs[idx].halted {
+            return;
+        }
+        // Active-message polling: at every command boundary, an already
+        // arrived message whose reception can start *now* is serviced
+        // before the next command (the CM-5 communication layer polls the
+        // network between operations). A capacity-stalled processor does
+        // not poll — the model says it stalls.
+        {
+            let st = &self.procs[idx];
+            if !st.waiting_on_src
+                && !st.waiting_on_dst
+                && st.busy_until <= now
+                && st.next_recv_slot <= now
+            {
+                if let Some(Reverse(item)) = st.inbox.peek() {
+                    if item.arrival <= now {
+                        self.start_reception(p);
+                        return;
+                    }
+                }
+            }
+        }
+        if let Some(cmd) = self.procs[idx].cmds.front() {
+            match *cmd {
+                Command::SendBulk { dst, tag, ref data, words } => {
+                    let big_g = self
+                        .config
+                        .loggp_big_g
+                        .expect("send_bulk requires SimConfig::loggp_big_g");
+                    let st = &self.procs[idx];
+                    let s = st.busy_until.max(st.next_send_slot);
+                    if now < s {
+                        self.schedule(s, EventKind::Wake(p));
+                        return;
+                    }
+                    if self.in_flight_from[idx] >= self.capacity {
+                        let st = &mut self.procs[idx];
+                        st.stall_since.get_or_insert(now);
+                        st.waiting_on_src = true;
+                        return;
+                    }
+                    if self.in_flight_to[dst as usize] >= self.capacity
+                        || self.outstanding_to[dst as usize] >= self.max_outstanding
+                    {
+                        let st = &mut self.procs[idx];
+                        st.stall_since.get_or_insert(now);
+                        if !st.waiting_on_dst {
+                            st.waiting_on_dst = true;
+                            self.dst_waiters[dst as usize].push_back(p);
+                        }
+                        return;
+                    }
+                    let data = data.clone();
+                    self.procs[idx].cmds.pop_front();
+                    let st = &mut self.procs[idx];
+                    st.waiting_on_src = false;
+                    if let Some(since) = st.stall_since.take() {
+                        st.stats.stall += now - since;
+                        self.span(p, since, now, Activity::Stall);
+                    }
+                    let o = self.model.o;
+                    // LogGP semantics: the processor pays only `o`; the
+                    // interface streams the remaining words at `G` each,
+                    // blocking the *next* injection until done.
+                    let stream = (words - 1) * big_g;
+                    let st = &mut self.procs[idx];
+                    st.busy_until = now + o;
+                    st.next_send_slot = (now + self.model.g).max(now + o + stream);
+                    st.stats.send_overhead += o;
+                    st.stats.msgs_sent += 1;
+                    st.engaged = true;
+                    self.span(p, now, now + o, Activity::SendOverhead);
+                    self.in_flight_from[idx] += 1;
+                    self.in_flight_to[dst as usize] += 1;
+                    self.outstanding_to[dst as usize] += 1;
+                    let lat = self.draw_latency();
+                    let msg = Message { src: p, dst, tag, data };
+                    // The capacity window mirrors the small-message rule:
+                    // it covers the message's network occupancy (streaming
+                    // plus flight), not the sender's overhead.
+                    self.schedule(
+                        now + stream + lat,
+                        EventKind::Release { src: idx, dst: dst as usize },
+                    );
+                    self.schedule(now + o + stream + lat, EventKind::Arrive(msg));
+                    self.schedule(now + o, EventKind::SendDone(p));
+                }
+                Command::Send { dst, tag, ref data } => {
+                    let st = &self.procs[idx];
+                    let s = st.busy_until.max(st.next_send_slot);
+                    if now < s {
+                        self.schedule(s, EventKind::Wake(p));
+                        return;
+                    }
+                    if self.in_flight_from[idx] >= self.capacity {
+                        // Stall until one of our own messages arrives.
+                        let st = &mut self.procs[idx];
+                        st.stall_since.get_or_insert(now);
+                        st.waiting_on_src = true;
+                        return;
+                    }
+                    if self.in_flight_to[dst as usize] >= self.capacity
+                        || self.outstanding_to[dst as usize] >= self.max_outstanding
+                    {
+                        let st = &mut self.procs[idx];
+                        st.stall_since.get_or_insert(now);
+                        if !st.waiting_on_dst {
+                            st.waiting_on_dst = true;
+                            self.dst_waiters[dst as usize].push_back(p);
+                        }
+                        return;
+                    }
+                    // Proceed with the send at `now`.
+                    let data = data.clone();
+                    self.procs[idx].cmds.pop_front();
+                    let st = &mut self.procs[idx];
+                    st.waiting_on_src = false;
+                    if let Some(since) = st.stall_since.take() {
+                        st.stats.stall += now - since;
+                        self.span(p, since, now, Activity::Stall);
+                    }
+                    let o = self.model.o;
+                    let st = &mut self.procs[idx];
+                    st.busy_until = now + o;
+                    st.next_send_slot = now + self.model.g;
+                    st.stats.send_overhead += o;
+                    st.stats.msgs_sent += 1;
+                    st.engaged = true;
+                    self.span(p, now, now + o, Activity::SendOverhead);
+                    self.in_flight_from[idx] += 1;
+                    self.in_flight_to[dst as usize] += 1;
+                    self.outstanding_to[dst as usize] += 1;
+                    self.stats.max_inflight_per_src =
+                        self.stats.max_inflight_per_src.max(self.in_flight_from[idx]);
+                    self.stats.max_inflight_per_dst =
+                        self.stats.max_inflight_per_dst.max(self.in_flight_to[dst as usize]);
+                    let lat = self.draw_latency();
+                    let msg = Message { src: p, dst, tag, data };
+                    self.schedule(now + lat, EventKind::Release { src: idx, dst: dst as usize });
+                    self.schedule(now + o + lat, EventKind::Arrive(msg));
+                    self.schedule(now + o, EventKind::SendDone(p));
+                }
+                Command::Compute { cycles, tag } => {
+                    if now < self.procs[idx].busy_until {
+                        let t = self.procs[idx].busy_until;
+                        self.schedule(t, EventKind::Wake(p));
+                        return;
+                    }
+                    self.procs[idx].cmds.pop_front();
+                    let dur = self.draw_compute(p, cycles);
+                    let st = &mut self.procs[idx];
+                    st.busy_until = now + dur;
+                    st.stats.compute += dur;
+                    st.engaged = true;
+                    self.span(p, now, now + dur, Activity::Compute);
+                    self.schedule(now + dur, EventKind::ComputeDone(p, tag));
+                }
+                Command::Barrier => {
+                    if now < self.procs[idx].busy_until {
+                        let t = self.procs[idx].busy_until;
+                        self.schedule(t, EventKind::Wake(p));
+                        return;
+                    }
+                    self.procs[idx].cmds.pop_front();
+                    let st = &mut self.procs[idx];
+                    st.in_barrier = true;
+                    st.barrier_entered_at = now;
+                    st.engaged = true;
+                    self.barrier_count += 1;
+                    self.check_barrier();
+                }
+                Command::Halt => {
+                    self.procs[idx].cmds.pop_front();
+                    self.procs[idx].halted = true;
+                    self.alive -= 1;
+                    self.check_barrier();
+                }
+            }
+            return;
+        }
+        // No pending commands: service the network (waiting for the
+        // earliest reception opportunity if it is in the future).
+        let st = &self.procs[idx];
+        if let Some(Reverse(item)) = st.inbox.peek() {
+            let r = st.busy_until.max(st.next_recv_slot).max(item.arrival);
+            if now < r {
+                self.schedule(r, EventKind::Wake(p));
+                return;
+            }
+            self.start_reception(p);
+        }
+        // Otherwise: idle until something arrives.
+    }
+
+    /// Begin receiving the earliest-arrived inbox message at the current
+    /// time. Caller guarantees the processor is free and the gap allows.
+    fn start_reception(&mut self, p: ProcId) {
+        let now = self.now;
+        let idx = p as usize;
+        let Reverse(item) = self.procs[idx].inbox.pop().expect("inbox non-empty");
+        debug_assert!(item.arrival <= now);
+        let o = self.model.o;
+        let st = &mut self.procs[idx];
+        // A capacity-stalled send may have been woken and then preempted
+        // by this reception; close its stall span so stall and reception
+        // time stay disjoint in the accounting (the send re-opens it if
+        // still blocked).
+        if let Some(since) = st.stall_since.take() {
+            st.stats.stall += now - since;
+        }
+        let st = &mut self.procs[idx];
+        st.next_recv_slot = now + self.model.g;
+        st.busy_until = now + o;
+        st.stats.recv_overhead += o;
+        st.receiving = Some(item.msg);
+        st.engaged = true;
+        self.span(p, now, now + o, Activity::RecvOverhead);
+        self.schedule(now + o, EventKind::RecvDone(p));
+    }
+
+    fn check_barrier(&mut self) {
+        if self.alive > 0 && self.barrier_count == self.alive {
+            self.schedule(self.now + self.config.barrier_cost, EventKind::BarrierRelease);
+        }
+    }
+
+    /// Run to quiescence. Consumes the machine and returns statistics and
+    /// (if configured) the activity trace.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        // Start handlers fire at time 0 in processor-id order.
+        for p in 0..self.model.p {
+            self.run_handler(p, |prog, ctx| prog.on_start(ctx));
+        }
+        for p in 0..self.model.p {
+            self.advance(p);
+        }
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            self.stats.events += 1;
+            if self.stats.events > self.config.max_events {
+                return Err(SimError::MaxEventsExceeded { limit: self.config.max_events });
+            }
+            debug_assert!(ev.time >= self.now, "time must not run backwards");
+            self.now = ev.time;
+            self.stats.completion = self.stats.completion.max(ev.time);
+            match ev.kind {
+                EventKind::Release { src, dst } => {
+                    self.in_flight_from[src] -= 1;
+                    self.in_flight_to[dst] -= 1;
+                    // Wake capacity waiters of this destination (FIFO; each
+                    // re-checks and re-queues if still blocked).
+                    let waiters: Vec<ProcId> = self.dst_waiters[dst].drain(..).collect();
+                    for w in waiters {
+                        self.procs[w as usize].waiting_on_dst = false;
+                        self.advance(w);
+                    }
+                    // The source may have been stalled on its own window.
+                    if self.procs[src].waiting_on_src {
+                        self.procs[src].waiting_on_src = false;
+                        self.advance(msg_src(src));
+                    }
+                }
+                EventKind::Arrive(msg) => {
+                    let dst = msg.dst as usize;
+                    self.stats.total_msgs += 1;
+                    self.seq += 1;
+                    let seq = self.seq;
+                    self.procs[dst]
+                        .inbox
+                        .push(Reverse(InboxItem { arrival: self.now, seq, msg }));
+                    self.advance(msg_dst(dst));
+                }
+                EventKind::SendDone(p) => {
+                    self.procs[p as usize].engaged = false;
+                    self.advance(p);
+                }
+                EventKind::ComputeDone(p, tag) => {
+                    self.procs[p as usize].engaged = false;
+                    self.run_handler(p, |prog, ctx| prog.on_compute_done(tag, ctx));
+                    self.advance(p);
+                }
+                EventKind::RecvDone(p) => {
+                    let st = &mut self.procs[p as usize];
+                    st.engaged = false;
+                    st.stats.msgs_recvd += 1;
+                    let msg = st.receiving.take().expect("a reception was in progress");
+                    // The NI buffer slot frees: senders blocked on the
+                    // outstanding bound may proceed.
+                    self.outstanding_to[p as usize] -= 1;
+                    let waiters: Vec<ProcId> = self.dst_waiters[p as usize].drain(..).collect();
+                    for w in waiters {
+                        self.procs[w as usize].waiting_on_dst = false;
+                        self.advance(w);
+                    }
+                    self.run_handler(p, |prog, ctx| prog.on_message(&msg, ctx));
+                    self.advance(p);
+                }
+                EventKind::BarrierRelease => {
+                    self.barrier_count = 0;
+                    let released: Vec<ProcId> = (0..self.model.p)
+                        .filter(|&p| self.procs[p as usize].in_barrier)
+                        .collect();
+                    for &p in &released {
+                        let st = &mut self.procs[p as usize];
+                        st.in_barrier = false;
+                        st.engaged = false;
+                        st.busy_until = self.now;
+                        let entered = st.barrier_entered_at;
+                        st.stats.barrier_wait += self.now - entered;
+                        self.span(p, entered, self.now, Activity::Barrier);
+                    }
+                    for &p in &released {
+                        self.run_handler(p, |prog, ctx| prog.on_barrier_release(ctx));
+                    }
+                    for &p in &released {
+                        self.advance(p);
+                    }
+                }
+                EventKind::Wake(p) => {
+                    self.advance(p);
+                }
+            }
+        }
+        // Quiescence with unexecuted work is a deadlock, not a normal
+        // end: a command queue that never drained (e.g. a send stalled on
+        // a destination whose receiver stopped draining) or a barrier
+        // that never released means the program did not complete.
+        let stuck: Vec<ProcId> = (0..self.model.p)
+            .filter(|&p| {
+                let st = &self.procs[p as usize];
+                !st.halted && (!st.cmds.is_empty() || st.in_barrier)
+            })
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimError::Deadlock { stuck });
+        }
+        for p in 0..self.model.p as usize {
+            self.stats.procs[p] = self.procs[p].stats;
+        }
+        Ok(SimResult { stats: self.stats, trace: self.trace })
+    }
+}
+
+// Small readability helpers: indices back to ProcId.
+fn msg_src(src: usize) -> ProcId {
+    src as ProcId
+}
+fn msg_dst(dst: usize) -> ProcId {
+    dst as ProcId
+}

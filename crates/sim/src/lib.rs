@@ -1,0 +1,113 @@
+//! # logp-sim — a deterministic LogP machine simulator
+//!
+//! The paper validated the LogP model on a 128-processor CM-5; this crate
+//! substitutes a discrete-event simulator that implements the model's
+//! execution semantics *exactly* (see `DESIGN.md` for the substitution
+//! argument): send/receive overhead `o`, injection/reception gap `g`,
+//! latency bounded by `L` (optionally jittered, so message order is not
+//! guaranteed), and the ⌈L/g⌉ per-endpoint capacity constraint with
+//! sender stalling.
+//!
+//! Programs implement [`process::Process`] — an event-driven actor with
+//! `on_start` / `on_message` / `on_compute_done` / `on_barrier_release`
+//! handlers that issue `send` / `compute` / `barrier` commands through
+//! [`process::Ctx`].
+//!
+//! ```
+//! use logp_core::LogP;
+//! use logp_sim::{Sim, SimConfig};
+//! use logp_sim::process::{Ctx, Process};
+//! use logp_sim::message::Data;
+//!
+//! // A two-processor ping: P0 sends one word to P1.
+//! struct Ping;
+//! impl Process for Ping {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         if ctx.me() == 0 {
+//!             ctx.send(1, 0, Data::U64(42));
+//!         }
+//!     }
+//! }
+//!
+//! let model = LogP::new(6, 2, 4, 2).unwrap();
+//! let mut sim = Sim::new(model, SimConfig::default());
+//! sim.set_all(|_| Box::new(Ping));
+//! let result = sim.run().unwrap();
+//! // The datum is usable at 2o + L = 10.
+//! assert_eq!(result.stats.completion, 10);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod message;
+pub mod process;
+pub mod trace;
+
+pub use config::SimConfig;
+pub use engine::{Sim, SimError, SimResult};
+pub use message::{Data, Message};
+pub use process::{Ctx, Process};
+pub use trace::{Activity, ProcStats, SimStats, Span, Trace};
+
+/// A shared output cell for extracting results from simulated programs.
+///
+/// Programs are owned by the engine; algorithms that need results out of
+/// them share one of these between the host and the process.
+#[derive(Debug, Default)]
+pub struct SharedCell<T>(std::sync::Arc<std::sync::Mutex<T>>);
+
+impl<T> Clone for SharedCell<T> {
+    fn clone(&self) -> Self {
+        SharedCell(self.0.clone())
+    }
+}
+
+impl<T: Default> SharedCell<T> {
+    /// Fresh cell holding `T::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<T> SharedCell<T> {
+    /// Cell holding `value`.
+    pub fn of(value: T) -> Self {
+        SharedCell(std::sync::Arc::new(std::sync::Mutex::new(value)))
+    }
+
+    /// Mutate the contents.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.0.lock().expect("sim is single-threaded; lock cannot be poisoned"))
+    }
+
+    /// Copy the contents out.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.0.lock().expect("sim is single-threaded").clone()
+    }
+
+    /// Replace the contents, returning the old value.
+    pub fn replace(&self, value: T) -> T {
+        std::mem::replace(
+            &mut self.0.lock().expect("sim is single-threaded"),
+            value,
+        )
+    }
+}
+
+#[cfg(test)]
+mod cell_tests {
+    use super::SharedCell;
+
+    #[test]
+    fn shared_cell_round_trip() {
+        let c: SharedCell<Vec<u32>> = SharedCell::new();
+        let c2 = c.clone();
+        c2.with(|v| v.push(7));
+        assert_eq!(c.get(), vec![7]);
+        assert_eq!(c.replace(vec![1]), vec![7]);
+        assert_eq!(c.get(), vec![1]);
+    }
+}

@@ -1,0 +1,177 @@
+//! The program-facing API: a `Process` runs on each simulated processor
+//! and reacts to events through a command context.
+//!
+//! Handlers execute in zero simulated time; anything that costs cycles is
+//! expressed as a command — `send` (overhead `o`, gap `g`, capacity
+//! stalling), `compute` (explicit local work), `barrier`. Commands issued
+//! by one handler execute in order before any later event is delivered to
+//! the processor; receptions happen only while the command queue is empty
+//! (a busy or stalled processor cannot service the network — exactly the
+//! model's single-threaded processor).
+
+use crate::message::{Data, Message};
+use logp_core::{Cycles, ProcId};
+
+/// Commands a handler can issue. Collected by [`Ctx`] and executed by the
+/// engine in FIFO order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Transmit a small message.
+    Send { dst: ProcId, tag: u32, data: Data },
+    /// Transmit a LogGP long message of `words` words: the sender pays
+    /// `o` of overhead, its interface then streams `(words-1)·G`, and the
+    /// whole payload is delivered as one message `L` later. Requires
+    /// `SimConfig::loggp_big_g`.
+    SendBulk { dst: ProcId, tag: u32, data: Data, words: u64 },
+    /// Perform `cycles` of local computation, then receive
+    /// `on_compute_done(tag)`.
+    Compute { cycles: Cycles, tag: u64 },
+    /// Enter the global barrier; `on_barrier_release` fires when every
+    /// non-halted processor has entered.
+    Barrier,
+    /// Stop participating; a processor with no pending work and a halted
+    /// program is skipped by the scheduler.
+    Halt,
+}
+
+/// Execution context passed to every handler.
+pub struct Ctx<'a> {
+    now: Cycles,
+    me: ProcId,
+    p: u32,
+    commands: &'a mut Vec<Command>,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(
+        now: Cycles,
+        me: ProcId,
+        p: u32,
+        commands: &'a mut Vec<Command>,
+    ) -> Self {
+        Ctx { now, me, p, commands }
+    }
+
+    /// Current simulated time (the moment the triggering event completed).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// This processor's id.
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Number of processors in the machine.
+    pub fn procs(&self) -> u32 {
+        self.p
+    }
+
+    /// Queue a small-message send to `dst`.
+    pub fn send(&mut self, dst: ProcId, tag: u32, data: Data) {
+        assert!(dst < self.p, "destination {dst} out of range (P = {})", self.p);
+        assert_ne!(dst, self.me, "a processor does not message itself");
+        self.commands.push(Command::Send { dst, tag, data });
+    }
+
+    /// Queue a LogGP long-message send (see [`Command::SendBulk`]).
+    pub fn send_bulk(&mut self, dst: ProcId, tag: u32, data: Data, words: u64) {
+        assert!(dst < self.p, "destination {dst} out of range (P = {})", self.p);
+        assert_ne!(dst, self.me, "a processor does not message itself");
+        assert!(words >= 1, "a bulk message carries at least one word");
+        self.commands.push(Command::SendBulk { dst, tag, data, words });
+    }
+
+    /// Queue `cycles` of local computation; `on_compute_done(tag)` fires
+    /// when it finishes. `compute(0, tag)` is a same-time callback after
+    /// earlier commands complete.
+    pub fn compute(&mut self, cycles: Cycles, tag: u64) {
+        self.commands.push(Command::Compute { cycles, tag });
+    }
+
+    /// Queue entry into the global barrier.
+    pub fn barrier(&mut self) {
+        self.commands.push(Command::Barrier);
+    }
+
+    /// Queue a halt.
+    pub fn halt(&mut self) {
+        self.commands.push(Command::Halt);
+    }
+}
+
+/// A program running on one simulated processor.
+///
+/// All handlers default to "do nothing", so programs implement only what
+/// they react to. A processor whose handlers never issue commands simply
+/// receives messages as they arrive (paying `o` per reception).
+pub trait Process {
+    /// Called once at time 0, in processor-id order.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A message has been received (its `o` reception overhead has been
+    /// paid; `ctx.now()` is the completion of that overhead).
+    fn on_message(&mut self, _msg: &Message, _ctx: &mut Ctx<'_>) {}
+
+    /// A `compute` command finished.
+    fn on_compute_done(&mut self, _tag: u64, _ctx: &mut Ctx<'_>) {}
+
+    /// The global barrier released.
+    fn on_barrier_release(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+/// A no-op process: passively receives messages and never halts on its
+/// own. Useful as filler for processors not participating in a pattern.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Passive;
+
+impl Process for Passive {}
+
+/// Adapter turning a closure into an `on_start`-only process, for compact
+/// test programs.
+pub struct StartFn<F: FnMut(&mut Ctx<'_>)>(pub F);
+
+impl<F: FnMut(&mut Ctx<'_>)> Process for StartFn<F> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        (self.0)(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_collects_commands_in_order() {
+        let mut cmds = Vec::new();
+        let mut ctx = Ctx::new(5, 1, 4, &mut cmds);
+        assert_eq!(ctx.now(), 5);
+        assert_eq!(ctx.me(), 1);
+        assert_eq!(ctx.procs(), 4);
+        ctx.send(2, 9, Data::U64(42));
+        ctx.compute(10, 1);
+        ctx.barrier();
+        ctx.halt();
+        assert_eq!(cmds.len(), 4);
+        assert!(matches!(cmds[0], Command::Send { dst: 2, tag: 9, .. }));
+        assert!(matches!(cmds[1], Command::Compute { cycles: 10, tag: 1 }));
+        assert!(matches!(cmds[2], Command::Barrier));
+        assert!(matches!(cmds[3], Command::Halt));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_checks_destination_range() {
+        let mut cmds = Vec::new();
+        let mut ctx = Ctx::new(0, 0, 4, &mut cmds);
+        ctx.send(4, 0, Data::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not message itself")]
+    fn send_rejects_self() {
+        let mut cmds = Vec::new();
+        let mut ctx = Ctx::new(0, 3, 4, &mut cmds);
+        ctx.send(3, 0, Data::Empty);
+    }
+}

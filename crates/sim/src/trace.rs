@@ -1,0 +1,206 @@
+//! Activity traces and per-processor accounting.
+//!
+//! The right-hand panel of the paper's Figure 3 is a per-processor
+//! activity timeline (send overheads, message flights, receive overheads);
+//! [`Trace::gantt`] renders the simulator's equivalent as ASCII.
+
+use logp_core::{Cycles, ProcId};
+
+/// What a processor was doing during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// Send overhead (`o`).
+    SendOverhead,
+    /// Receive overhead (`o`).
+    RecvOverhead,
+    /// Explicit local computation.
+    Compute,
+    /// Stalled on the network capacity constraint.
+    Stall,
+    /// Waiting inside the barrier.
+    Barrier,
+}
+
+impl Activity {
+    /// One-character glyph for Gantt rendering.
+    pub fn glyph(&self) -> char {
+        match self {
+            Activity::SendOverhead => 's',
+            Activity::RecvOverhead => 'r',
+            Activity::Compute => '#',
+            Activity::Stall => 'x',
+            Activity::Barrier => 'b',
+        }
+    }
+}
+
+/// A half-open span `[start, end)` of processor activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub proc: ProcId,
+    pub start: Cycles,
+    pub end: Cycles,
+    pub activity: Activity,
+}
+
+/// A recorded trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    pub(crate) fn push(&mut self, span: Span) {
+        if span.end > span.start {
+            self.spans.push(span);
+        }
+    }
+
+    /// Spans of a single processor, in start order.
+    pub fn for_proc(&self, p: ProcId) -> Vec<Span> {
+        let mut v: Vec<Span> =
+            self.spans.iter().copied().filter(|s| s.proc == p).collect();
+        v.sort_by_key(|s| s.start);
+        v
+    }
+
+    /// Render an ASCII Gantt chart: one row per processor, one column per
+    /// `scale` cycles ('.' = idle).
+    pub fn gantt(&self, procs: u32, horizon: Cycles, scale: Cycles) -> String {
+        let scale = scale.max(1);
+        let cols = (horizon / scale + 1) as usize;
+        let mut rows = vec![vec!['.'; cols]; procs as usize];
+        for s in &self.spans {
+            let row = &mut rows[s.proc as usize];
+            let from = (s.start / scale) as usize;
+            let to = (s.end.div_ceil(scale) as usize).min(cols);
+            for c in row.iter_mut().take(to).skip(from) {
+                *c = s.activity.glyph();
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!("P{i:<3}|"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-processor cycle accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Cycles spent in send overhead.
+    pub send_overhead: Cycles,
+    /// Cycles spent in receive overhead.
+    pub recv_overhead: Cycles,
+    /// Cycles spent in explicit computation.
+    pub compute: Cycles,
+    /// Cycles stalled on the capacity constraint.
+    pub stall: Cycles,
+    /// Cycles waiting at barriers.
+    pub barrier_wait: Cycles,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_recvd: u64,
+}
+
+impl ProcStats {
+    /// Total accounted busy cycles.
+    pub fn busy(&self) -> Cycles {
+        self.send_overhead + self.recv_overhead + self.compute + self.stall
+    }
+}
+
+/// Whole-run results.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Time of the last event (completion time of the run).
+    pub completion: Cycles,
+    /// Per-processor accounting.
+    pub procs: Vec<ProcStats>,
+    /// Total messages delivered.
+    pub total_msgs: u64,
+    /// Largest number of simultaneously in-transit messages to a single
+    /// destination observed (must never exceed capacity when enforced).
+    pub max_inflight_per_dst: u64,
+    /// Largest in-transit count from a single source observed.
+    pub max_inflight_per_src: u64,
+    /// Number of simulated events processed.
+    pub events: u64,
+}
+
+impl SimStats {
+    /// Aggregate busy fraction over all processors up to completion.
+    pub fn utilization(&self) -> f64 {
+        if self.completion == 0 || self.procs.is_empty() {
+            return 0.0;
+        }
+        let busy: Cycles = self.procs.iter().map(|p| p.busy()).sum();
+        busy as f64 / (self.completion as f64 * self.procs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gantt_renders_spans() {
+        let mut t = Trace::default();
+        t.push(Span { proc: 0, start: 0, end: 2, activity: Activity::SendOverhead });
+        t.push(Span { proc: 1, start: 8, end: 10, activity: Activity::RecvOverhead });
+        let g = t.gantt(2, 9, 1);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with("P0  |ss"));
+        assert!(lines[1].ends_with("rr"), "got {:?}", lines[1]);
+    }
+
+    #[test]
+    fn zero_length_spans_are_dropped() {
+        let mut t = Trace::default();
+        t.push(Span { proc: 0, start: 5, end: 5, activity: Activity::Compute });
+        assert!(t.spans.is_empty());
+    }
+
+    #[test]
+    fn stats_busy_sums_components() {
+        let s = ProcStats {
+            send_overhead: 2,
+            recv_overhead: 3,
+            compute: 5,
+            stall: 7,
+            barrier_wait: 100, // waiting is not busy
+            msgs_sent: 0,
+            msgs_recvd: 0,
+        };
+        assert_eq!(s.busy(), 17);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let stats = SimStats {
+            completion: 10,
+            procs: vec![
+                ProcStats { compute: 10, ..Default::default() },
+                ProcStats { compute: 0, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        assert!((stats.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(SimStats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn for_proc_is_sorted() {
+        let mut t = Trace::default();
+        t.push(Span { proc: 0, start: 9, end: 10, activity: Activity::Compute });
+        t.push(Span { proc: 0, start: 1, end: 2, activity: Activity::Compute });
+        t.push(Span { proc: 1, start: 0, end: 1, activity: Activity::Compute });
+        let spans = t.for_proc(0);
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].start < spans[1].start);
+    }
+}

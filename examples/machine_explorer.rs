@@ -1,0 +1,71 @@
+//! Explore the 4-dimensional machine space (§7): how each LogP parameter
+//! reshapes the optimal algorithms, and what each real machine's network
+//! interface costs.
+//!
+//! ```sh
+//! cargo run --release --example machine_explorer
+//! ```
+
+use logp::core::broadcast::{optimal_broadcast_time, optimal_broadcast_tree};
+use logp::core::extensions::LogGP;
+use logp::core::summation::min_sum_time;
+use logp::net::table1;
+use logp::prelude::*;
+
+fn main() {
+    let base = LogP::new(60, 20, 40, 64).unwrap();
+    println!("base machine: {base} (CM-5 calibration)\n");
+
+    println!("sensitivity of the optimal broadcast to each parameter:");
+    println!("{:>12} {:>10} {:>12} {:>10}", "variation", "bcast", "sum(4096)", "fan-out");
+    let variants: Vec<(&str, LogP)> = vec![
+        ("base", base),
+        ("L x4", LogP { l: base.l * 4, ..base }),
+        ("o /10", LogP { o: base.o / 10, ..base }),
+        ("g /4", LogP { g: base.g / 4, ..base }),
+        ("P x4", base.with_p(base.p * 4)),
+    ];
+    for (name, m) in &variants {
+        println!(
+            "{:>12} {:>10} {:>12} {:>10}",
+            name,
+            optimal_broadcast_time(m),
+            min_sum_time(m, 4096, m.p),
+            optimal_broadcast_tree(m).root_fanout(),
+        );
+    }
+
+    println!("\nconservative simplification (§3.1): raise o to g, drop g.");
+    let simplified = base.o_raised_to_g();
+    println!(
+        "  broadcast {} -> {} cycles (conservative by at most 2x: {:.2}x)",
+        optimal_broadcast_time(&base),
+        optimal_broadcast_time(&simplified),
+        optimal_broadcast_time(&simplified) as f64 / optimal_broadcast_time(&base) as f64
+    );
+
+    println!("\nlong messages (LogGP extension, §5.4): bulk gap G = g/16");
+    let loggp = LogGP::new(base, base.g / 16);
+    for words in [1u64, 8, 64, 512] {
+        println!(
+            "  {:>4} words: small-message train {:>6} cycles, bulk {:>6} cycles",
+            words,
+            loggp.small_message_time(words),
+            loggp.long_message_time(words)
+        );
+    }
+    if let Some(k) = loggp.bulk_break_even() {
+        println!("  bulk wins from {k} words");
+    }
+
+    println!("\nTable 1 machines as LogP parameters (M = 160-bit messages):");
+    for row in table1() {
+        println!(
+            "  {:<14} o ~ {:>6.0} cycles, L ~ {:>6.1} cycles ({:.0}% of T is endpoint overhead)",
+            row.machine,
+            row.suggested_logp_o(),
+            row.suggested_logp_l(160),
+            row.overhead_fraction(160) * 100.0
+        );
+    }
+}

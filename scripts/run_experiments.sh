@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate every experiment of EXPERIMENTS.md (quick mode).
+# Usage: scripts/run_experiments.sh [--full] [output-dir]
+set -euo pipefail
+FULL=""
+if [ "${1:-}" = "--full" ]; then FULL="--full"; shift; fi
+OUT="${1:-experiment-output}"
+mkdir -p "$OUT"
+BINS="fig2_trends fig3_broadcast fig4_summation fig5_layouts fig6_fft_times \
+      fig7_mflops fig8_bandwidth tbl_avg_distance tbl1_unloaded saturation \
+      lu_layouts sweep_collectives capacity_limit sort_compare cc_contention \
+      model_compare param_extraction stencil_volume matmul_layouts \
+      permutation_traffic kbcast_crossover product_lines"
+for b in $BINS; do
+  echo "== $b =="
+  cargo run --release -q -p logp-bench --bin "$b" -- $FULL | tee "$OUT/$b.txt"
+  echo
+done
+echo "outputs written to $OUT/"

@@ -1,0 +1,49 @@
+//! # logp — the LogP parallel machine model, as a toolkit
+//!
+//! A comprehensive Rust implementation of
+//! *"LogP: Towards a Realistic Model of Parallel Computation"*
+//! (Culler, Karp, Patterson, Sahay, Schauser, Santos, Subramonian,
+//! von Eicken — PPoPP 1993): the model and its closed-form analysis, a
+//! deterministic discrete-event simulator implementing the model's
+//! execution semantics, the paper's full algorithm suite (broadcast,
+//! summation, scan, FFT, LU, sorting, connected components), the
+//! network substrate of Section 5, and executable PRAM/BSP baselines.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`core`] (`logp-core`) — parameters, calibration, closed forms;
+//! * [`sim`] (`logp-sim`) — the LogP machine simulator;
+//! * [`algos`] (`logp-algos`) — portable parallel algorithms;
+//! * [`net`] (`logp-net`) — topologies, unloaded timing, saturation;
+//! * [`baselines`] (`logp-baselines`) — executable PRAM and BSP.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use logp::core::LogP;
+//! use logp::core::broadcast::optimal_broadcast_time;
+//! use logp::algos::broadcast::run_optimal_broadcast;
+//! use logp::sim::SimConfig;
+//!
+//! // The paper's Figure 3 machine: P = 8, L = 6, g = 4, o = 2.
+//! let machine = LogP::fig3();
+//! assert_eq!(optimal_broadcast_time(&machine), 24);
+//!
+//! // And the same broadcast executed on the simulator:
+//! let run = run_optimal_broadcast(&machine, SimConfig::default());
+//! assert_eq!(run.completion, 24);
+//! ```
+
+pub use logp_algos as algos;
+pub use logp_baselines as baselines;
+pub use logp_core as core;
+pub use logp_net as net;
+pub use logp_sim as sim;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use logp_algos::fft::{ComputeModel, Cplx, FftRunSpec};
+    pub use logp_algos::remap::{RemapSchedule, RemapSpec};
+    pub use logp_core::{Cycles, LogP, MachinePreset, ProcId};
+    pub use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+}
