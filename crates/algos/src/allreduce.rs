@@ -97,11 +97,7 @@ impl Process for ReduceBcast {
 }
 
 /// Reduce-then-broadcast all-reduce over one value per processor.
-pub fn run_allreduce_reduce_bcast(
-    m: &LogP,
-    values: &[f64],
-    config: SimConfig,
-) -> AllReduceRun {
+pub fn run_allreduce_reduce_bcast(m: &LogP, values: &[f64], config: SimConfig) -> AllReduceRun {
     let p = m.p;
     assert_eq!(values.len(), p as usize);
     // Up tree: binomial (trailing-zeros convention); down tree: the
@@ -132,7 +128,13 @@ pub fn run_allreduce_reduce_bcast(
         );
     }
     let result = sim.run().expect("all-reduce terminates");
-    finish(out, result.stats.completion, result.stats.total_msgs, p, values)
+    finish(
+        out,
+        result.stats.completion,
+        result.stats.total_msgs,
+        p,
+        values,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -190,7 +192,10 @@ impl Process for Doubling {
 /// Recursive-doubling all-reduce (requires power-of-two `P`).
 pub fn run_allreduce_doubling(m: &LogP, values: &[f64], config: SimConfig) -> AllReduceRun {
     let p = m.p;
-    assert!((p as u64).is_power_of_two(), "doubling requires power-of-two P");
+    assert!(
+        (p as u64).is_power_of_two(),
+        "doubling requires power-of-two P"
+    );
     assert_eq!(values.len(), p as usize);
     let rounds = logp_core::cost::log2_exact(p as u64);
     let out: SharedCell<AllReduceOutcome> = SharedCell::new();
@@ -209,7 +214,13 @@ pub fn run_allreduce_doubling(m: &LogP, values: &[f64], config: SimConfig) -> Al
         );
     }
     let result = sim.run().expect("all-reduce terminates");
-    finish(out, result.stats.completion, result.stats.total_msgs, p, values)
+    finish(
+        out,
+        result.stats.completion,
+        result.stats.total_msgs,
+        p,
+        values,
+    )
 }
 
 fn finish(
@@ -233,7 +244,11 @@ fn finish(
         );
     }
     let done = oc.finals.iter().map(|f| f.2).max().unwrap_or(completion);
-    AllReduceRun { value: expect, completion: done, messages }
+    AllReduceRun {
+        value: expect,
+        completion: done,
+        messages,
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +279,12 @@ mod tests {
         assert_eq!(a.messages, 30);
         assert_eq!(b.messages, 64);
         // With cheap bandwidth (small g), the shallower butterfly wins.
-        assert!(b.completion < a.completion, "doubling {} vs r+b {}", b.completion, a.completion);
+        assert!(
+            b.completion < a.completion,
+            "doubling {} vs r+b {}",
+            b.completion,
+            a.completion
+        );
     }
 
     #[test]

@@ -91,15 +91,24 @@ impl AmCtx<'_, '_> {
         let req = *self.next_req;
         *self.next_req += 1;
         self.pending.insert(req, PendingKind::Fadd);
-        assert!(addr < 1 << 32 && req < 1 << 32, "fadd packs req and addr in 32 bits each");
-        self.ctx.send(node, TAG_FADD_REQ, Data::IdxF64(req << 32 | addr, delta));
+        assert!(
+            addr < 1 << 32 && req < 1 << 32,
+            "fadd packs req and addr in 32 bits each"
+        );
+        self.ctx
+            .send(node, TAG_FADD_REQ, Data::IdxF64(req << 32 | addr, delta));
         req
     }
 }
 
 impl MemoryNode {
     pub fn new(cells: Vec<f64>, client: Option<Box<dyn AmClient>>) -> Self {
-        MemoryNode { cells, client, pending: HashMap::new(), next_req: 0 }
+        MemoryNode {
+            cells,
+            client,
+            pending: HashMap::new(),
+            next_req: 0,
+        }
     }
 
     fn with_client<F>(&mut self, ctx: &mut Ctx<'_>, f: F)
@@ -149,7 +158,10 @@ impl Process for MemoryNode {
             }
             TAG_READ_RESP | TAG_FADD_RESP => {
                 let (req, v) = msg.data.as_idx_f64();
-                let kind = self.pending.remove(&req).expect("response matches a request");
+                let kind = self
+                    .pending
+                    .remove(&req)
+                    .expect("response matches a request");
                 let _ = kind;
                 self.with_client(ctx, |c, am| c.on_value(req, v, am));
             }
@@ -169,7 +181,10 @@ pub fn run_two_node<C: AmClient + 'static>(
     assert!(m.p >= 2);
     let out: SharedCell<Vec<f64>> = SharedCell::new();
     let mut sim = Sim::new(*m, config);
-    sim.set_process(0, Box::new(MemoryNode::new(Vec::new(), Some(Box::new(client)))));
+    sim.set_process(
+        0,
+        Box::new(MemoryNode::new(Vec::new(), Some(Box::new(client)))),
+    );
     struct Exporter {
         inner: MemoryNode,
         out: SharedCell<Vec<f64>>,
@@ -186,7 +201,10 @@ pub fn run_two_node<C: AmClient + 'static>(
     }
     sim.set_process(
         1,
-        Box::new(Exporter { inner: MemoryNode::new(cells, None), out: out.clone() }),
+        Box::new(Exporter {
+            inner: MemoryNode::new(cells, None),
+            out: out.clone(),
+        }),
     );
     let r = sim.run().expect("AM experiment terminates");
     (out.get(), r.stats.completion)
@@ -219,7 +237,10 @@ mod tests {
         run_two_node(
             &m,
             vec![0.0, 0.0, 0.0, 42.5],
-            OneRead { done_at: done.clone(), value: value.clone() },
+            OneRead {
+                done_at: done.clone(),
+                value: value.clone(),
+            },
             SimConfig::default(),
         );
         assert_eq!(value.get(), 42.5);
@@ -256,7 +277,11 @@ mod tests {
         run_two_node(
             &m,
             (0..k).map(|v| v as f64).collect(),
-            PrefetchAll { k, got: 0, done_at: done.clone() },
+            PrefetchAll {
+                k,
+                got: 0,
+                done_at: done.clone(),
+            },
             SimConfig::default(),
         );
         let pipelined = done.get();

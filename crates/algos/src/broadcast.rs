@@ -41,7 +41,10 @@ impl Process for BroadcastProc {
 
     fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
         assert_eq!(msg.tag, TAG_BCAST);
-        assert!(self.datum.is_none(), "no processor receives the datum twice");
+        assert!(
+            self.datum.is_none(),
+            "no processor receives the datum twice"
+        );
         self.datum = Some(msg.data.as_u64());
         let (me, now) = (ctx.me(), ctx.now());
         self.received_at.with(|v| v.push((me, now)));
@@ -61,11 +64,7 @@ pub struct BroadcastRun {
 }
 
 /// Run a broadcast along explicit child lists.
-pub fn run_tree_broadcast(
-    m: &LogP,
-    children: &[Vec<ProcId>],
-    config: SimConfig,
-) -> BroadcastRun {
+pub fn run_tree_broadcast(m: &LogP, children: &[Vec<ProcId>], config: SimConfig) -> BroadcastRun {
     let cell: SharedCell<Vec<(ProcId, Cycles)>> = SharedCell::new();
     let mut sim = Sim::new(*m, config);
     sim.set_all(|p| {
@@ -84,7 +83,11 @@ pub fn run_tree_broadcast(
         "every processor must receive the datum exactly once"
     );
     let completion = arrivals.iter().map(|a| a.1).max().unwrap_or(0);
-    BroadcastRun { completion, arrivals, messages: stats.total_msgs }
+    BroadcastRun {
+        completion,
+        arrivals,
+        messages: stats.total_msgs,
+    }
 }
 
 /// Run the optimal broadcast of §3.3.
@@ -101,7 +104,9 @@ pub fn run_shape_broadcast(m: &LogP, shape: TreeShape, config: SimConfig) -> Bro
 #[cfg(test)]
 mod tests {
     use super::*;
-    use logp_core::broadcast::{optimal_broadcast_time, shape_broadcast_time, tree_broadcast_times};
+    use logp_core::broadcast::{
+        optimal_broadcast_time, shape_broadcast_time, tree_broadcast_times,
+    };
 
     #[test]
     fn figure3_simulated_equals_analytic() {

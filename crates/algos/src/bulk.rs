@@ -20,7 +20,11 @@ pub fn send_bulk(ctx: &mut Ctx<'_>, dst: ProcId, tag: u32, train_id: u32, words:
     assert!(words.len() < (1 << 24), "train too long to sequence");
     // A length-announcement message leads the train (jitter-safe: it
     // carries the count, so completion does not depend on ordering).
-    ctx.send(dst, tag, Data::Pair(pack_header(train_id), words.len() as u64));
+    ctx.send(
+        dst,
+        tag,
+        Data::Pair(pack_header(train_id), words.len() as u64),
+    );
     for (i, &w) in words.iter().enumerate() {
         ctx.send(dst, tag, Data::Pair(pack_word(train_id, i as u32), w));
     }
@@ -119,8 +123,19 @@ mod tests {
         let m = LogP::new(9, 2, 3, 2).unwrap();
         let out: SharedCell<Vec<(u32, Vec<u64>)>> = SharedCell::new();
         let mut sim = Sim::new(m, config);
-        sim.set_process(0, Box::new(Sender { payload: (0..20).collect() }));
-        sim.set_process(1, Box::new(Receiver { asm: BulkAssembler::new(), out: out.clone() }));
+        sim.set_process(
+            0,
+            Box::new(Sender {
+                payload: (0..20).collect(),
+            }),
+        );
+        sim.set_process(
+            1,
+            Box::new(Receiver {
+                asm: BulkAssembler::new(),
+                out: out.clone(),
+            }),
+        );
         sim.run().expect("terminates");
         let mut v = out.get();
         v.sort_by_key(|t| t.0);
@@ -152,8 +167,19 @@ mod tests {
         let m = LogP::new(9, 2, 3, 2).unwrap();
         let out: SharedCell<Vec<(u32, Vec<u64>)>> = SharedCell::new();
         let mut sim = Sim::new(m, SimConfig::default());
-        sim.set_process(0, Box::new(Sender { payload: (0..20).collect() }));
-        sim.set_process(1, Box::new(Receiver { asm: BulkAssembler::new(), out: out.clone() }));
+        sim.set_process(
+            0,
+            Box::new(Sender {
+                payload: (0..20).collect(),
+            }),
+        );
+        sim.set_process(
+            1,
+            Box::new(Receiver {
+                asm: BulkAssembler::new(),
+                out: out.clone(),
+            }),
+        );
         let r = sim.run().expect("terminates");
         let total_msgs = (20 + 1) + (2 + 1);
         assert_eq!(r.stats.total_msgs, total_msgs);
@@ -169,12 +195,27 @@ mod tests {
     #[test]
     fn assembler_tracks_pending() {
         let mut asm = BulkAssembler::new();
-        let hdr = Message { src: 0, dst: 1, tag: 7, data: Data::Pair(pack_header(3), 2) };
+        let hdr = Message {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            data: Data::Pair(pack_header(3), 2),
+        };
         assert!(asm.accept(&hdr).is_none());
         assert_eq!(asm.pending(), 1);
-        let w0 = Message { src: 0, dst: 1, tag: 7, data: Data::Pair(pack_word(3, 0), 10) };
+        let w0 = Message {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            data: Data::Pair(pack_word(3, 0), 10),
+        };
         assert!(asm.accept(&w0).is_none());
-        let w1 = Message { src: 0, dst: 1, tag: 7, data: Data::Pair(pack_word(3, 1), 11) };
+        let w1 = Message {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            data: Data::Pair(pack_word(3, 1), 11),
+        };
         let done = asm.accept(&w1).expect("complete");
         assert_eq!(done.2, vec![10, 11]);
         assert_eq!(asm.pending(), 0);
@@ -183,7 +224,12 @@ mod tests {
     #[test]
     fn empty_train_completes_on_header() {
         let mut asm = BulkAssembler::new();
-        let hdr = Message { src: 2, dst: 1, tag: 9, data: Data::Pair(pack_header(0), 0) };
+        let hdr = Message {
+            src: 2,
+            dst: 1,
+            tag: 9,
+            data: Data::Pair(pack_header(0), 0),
+        };
         let done = asm.accept(&hdr).expect("empty train is just its header");
         assert!(done.2.is_empty());
     }

@@ -263,7 +263,11 @@ impl CcProc {
         let buf = self.bufs.entry(self.round).or_default();
         if buf.changed_votes == expected {
             let flag = buf.changed_any as u64;
-            ctx.send(Self::binomial_parent(me), TAG_CHANGED, Data::Pair(round, flag));
+            ctx.send(
+                Self::binomial_parent(me),
+                TAG_CHANGED,
+                Data::Pair(round, flag),
+            );
             buf.changed_votes = u32::MAX; // sent
         }
     }
@@ -379,7 +383,10 @@ pub struct CcRun {
 /// variant.
 pub fn run_cc(m: &LogP, g: &Graph, combining: bool, config: SimConfig) -> CcRun {
     let p = m.p;
-    assert!((p as u64).is_power_of_two(), "binomial reduce assumes power-of-two P");
+    assert!(
+        (p as u64).is_power_of_two(),
+        "binomial reduce assumes power-of-two P"
+    );
     let out: SharedCell<Vec<(u64, u64)>> = SharedCell::new();
     let mut sim = Sim::new(*m, config);
     // Build per-processor vertex lists and adjacency.
@@ -391,8 +398,7 @@ pub fn run_cc(m: &LogP, g: &Graph, combining: bool, config: SimConfig) -> CcRun 
     for q in 0..p {
         let verts: Vec<u64> = (q as u64..g.n).step_by(p as usize).collect();
         let labels: Vec<u64> = verts.clone();
-        let neighbors: Vec<Vec<u64>> =
-            verts.iter().map(|&v| adj[v as usize].clone()).collect();
+        let neighbors: Vec<Vec<u64>> = verts.iter().map(|&v| adj[v as usize].clone()).collect();
         sim.set_process(
             q,
             Box::new(CcProc {
@@ -420,7 +426,13 @@ pub fn run_cc(m: &LogP, g: &Graph, combining: bool, config: SimConfig) -> CcRun 
         completion: result.stats.completion,
         messages: result.stats.total_msgs,
         total_stall: result.stats.procs.iter().map(|s| s.stall).sum(),
-        max_recv: result.stats.procs.iter().map(|s| s.msgs_recvd).max().unwrap_or(0),
+        max_recv: result
+            .stats
+            .procs
+            .iter()
+            .map(|s| s.msgs_recvd)
+            .max()
+            .unwrap_or(0),
     }
 }
 

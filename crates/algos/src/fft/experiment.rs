@@ -73,12 +73,19 @@ pub fn fft_phases(
     config: SimConfig,
 ) -> FftPhases {
     let p = model.p;
-    assert!(n >= (p as u64) * (p as u64), "hybrid layout requires n >= P²");
+    assert!(
+        n >= (p as u64) * (p as u64),
+        "hybrid layout requires n >= P²"
+    );
     let n1 = n / p as u64;
     let block = n1 / p as u64;
     let remap_run = run_remap(
         model,
-        &RemapSpec { elems_per_pair: block, local_cost, schedule },
+        &RemapSpec {
+            elems_per_pair: block,
+            local_cost,
+            schedule,
+        },
         config,
     );
     FftPhases {
@@ -109,7 +116,14 @@ mod tests {
         // compute.
         let (m, cm) = small_cm5(16);
         let n = 1 << 14;
-        let stag = fft_phases(&m, &cm, 10, n, RemapSchedule::Staggered, SimConfig::default());
+        let stag = fft_phases(
+            &m,
+            &cm,
+            10,
+            n,
+            RemapSchedule::Staggered,
+            SimConfig::default(),
+        );
         let naive = fft_phases(&m, &cm, 10, n, RemapSchedule::Naive, SimConfig::default());
         assert!(
             naive.remap > 2 * stag.remap,
@@ -127,7 +141,14 @@ mod tests {
     fn staggered_tracks_prediction() {
         let (m, cm) = small_cm5(8);
         for n in [1u64 << 10, 1 << 12, 1 << 14] {
-            let ph = fft_phases(&m, &cm, 10, n, RemapSchedule::Staggered, SimConfig::default());
+            let ph = fft_phases(
+                &m,
+                &cm,
+                10,
+                n,
+                RemapSchedule::Staggered,
+                SimConfig::default(),
+            );
             let ratio = ph.remap as f64 / ph.remap_predicted as f64;
             assert!(
                 (0.85..=1.25).contains(&ratio),
@@ -143,11 +164,25 @@ mod tests {
         // Figure 7: phase I runs one n/P-point FFT; past 4096 points
         // (64 KB) per processor the rate drops 2.8 → 2.2.
         let (m, cm) = small_cm5(16);
-        let small = fft_phases(&m, &cm, 10, 1 << 14, RemapSchedule::Staggered, SimConfig::default());
+        let small = fft_phases(
+            &m,
+            &cm,
+            10,
+            1 << 14,
+            RemapSchedule::Staggered,
+            SimConfig::default(),
+        );
         assert_eq!(small.mflops1, 2.8); // n/P = 1024 points
-        let large = fft_phases(&m, &cm, 10, 1 << 18, RemapSchedule::Staggered, SimConfig::default());
+        let large = fft_phases(
+            &m,
+            &cm,
+            10,
+            1 << 18,
+            RemapSchedule::Staggered,
+            SimConfig::default(),
+        );
         assert_eq!(large.mflops1, 2.2); // n/P = 16384 points = 256 KB
-        // Phase III's small FFTs degrade only to the streaming rate.
+                                        // Phase III's small FFTs degrade only to the streaming rate.
         assert!(large.mflops3 >= 2.5);
     }
 
@@ -158,8 +193,20 @@ mod tests {
         // destination block resynchronizes.
         let (m, cm) = small_cm5(16);
         let n = 1 << 16;
-        let clean = fft_phases(&m, &cm, 10, n, RemapSchedule::Staggered, SimConfig::default());
-        let skewed = || SimConfig::default().with_skew(20).with_drift(20).with_seed(42);
+        let clean = fft_phases(
+            &m,
+            &cm,
+            10,
+            n,
+            RemapSchedule::Staggered,
+            SimConfig::default(),
+        );
+        let skewed = || {
+            SimConfig::default()
+                .with_skew(20)
+                .with_drift(20)
+                .with_seed(42)
+        };
         let drooped = fft_phases(&m, &cm, 10, n, RemapSchedule::Staggered, skewed());
         let synced = fft_phases(&m, &cm, 10, n, RemapSchedule::StaggeredBarrier, skewed());
         assert!(
@@ -179,7 +226,14 @@ mod tests {
     #[test]
     fn total_is_sum_of_phases() {
         let (m, cm) = small_cm5(8);
-        let ph = fft_phases(&m, &cm, 10, 1 << 10, RemapSchedule::Staggered, SimConfig::default());
+        let ph = fft_phases(
+            &m,
+            &cm,
+            10,
+            1 << 10,
+            RemapSchedule::Staggered,
+            SimConfig::default(),
+        );
         assert_eq!(ph.total(), ph.compute1 + ph.remap + ph.compute3);
     }
 

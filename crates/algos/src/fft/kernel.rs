@@ -30,15 +30,24 @@ impl Cplx {
     /// `e^{-2πi k / n}` — the forward-transform root of unity.
     pub fn omega(k: u64, n: u64) -> Self {
         let theta = -2.0 * PI * (k % n) as f64 / n as f64;
-        Cplx { re: theta.cos(), im: theta.sin() }
+        Cplx {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     pub fn add(self, o: Cplx) -> Cplx {
-        Cplx { re: self.re + o.re, im: self.im + o.im }
+        Cplx {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 
     pub fn sub(self, o: Cplx) -> Cplx {
-        Cplx { re: self.re - o.re, im: self.im - o.im }
+        Cplx {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 
     pub fn mul(self, o: Cplx) -> Cplx {
@@ -109,7 +118,10 @@ pub fn dft_naive(data: &[Cplx]) -> Vec<Cplx> {
 /// Maximum elementwise error between two complex vectors.
 pub fn max_error(a: &[Cplx], b: &[Cplx]) -> f64 {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x.sub(*y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.sub(*y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Number of complex butterflies an n-point radix-2 FFT performs:
@@ -164,8 +176,7 @@ mod tests {
     #[test]
     fn parseval_energy_is_preserved() {
         let n = 128usize;
-        let data: Vec<Cplx> =
-            (0..n).map(|i| Cplx::new((i as f64).sin(), 0.0)).collect();
+        let data: Vec<Cplx> = (0..n).map(|i| Cplx::new((i as f64).sin(), 0.0)).collect();
         let mut f = data.clone();
         fft_in_place(&mut f);
         let e_time: f64 = data.iter().map(|x| x.abs() * x.abs()).sum();

@@ -93,9 +93,9 @@ impl ButterflyLayout {
             || self.owner(1, c + 1) != self.owner(partner_of(1), c + 1);
         debug_assert!({
             let step = (self.n / 64).max(1);
-            (0..self.n).step_by(step as usize).all(|r| {
-                (self.owner(r, c + 1) != self.owner(partner_of(r), c + 1)) == remote
-            })
+            (0..self.n)
+                .step_by(step as usize)
+                .all(|r| (self.owner(r, c + 1) != self.owner(partner_of(r), c + 1)) == remote)
         });
         remote
     }
@@ -219,8 +219,7 @@ mod tests {
         for c in 0..=8 {
             let mut count = 0;
             for q in 0..8 {
-                count +=
-                    (0..256).filter(|&r| bl.owner(r, c) == q).count();
+                count += (0..256).filter(|&r| bl.owner(r, c) == q).count();
             }
             assert_eq!(count, 256, "column {c}");
         }

@@ -141,7 +141,15 @@ impl Process for FftProc {
                 let (dst, k1) = self.sends[self.next_send];
                 self.next_send += 1;
                 let v = self.y[k1 as usize];
-                ctx.send(dst, TAG_FFT_ELEM, Data::Cplx { idx: k1, re: v.re, im: v.im });
+                ctx.send(
+                    dst,
+                    TAG_FFT_ELEM,
+                    Data::Cplx {
+                        idx: k1,
+                        re: v.re,
+                        im: v.im,
+                    },
+                );
                 self.step_exchange(ctx);
             }
             TAG_PHASE3 => self.do_phase3(ctx),
@@ -192,12 +200,7 @@ pub struct FftRun {
 
 /// Build the staggered/naive send order for one processor: destination
 /// blocks of `k1` values, starting block chosen per schedule.
-fn send_order(
-    me: ProcId,
-    p: u32,
-    n: u64,
-    schedule: RemapSchedule,
-) -> Vec<(ProcId, u64)> {
+fn send_order(me: ProcId, p: u32, n: u64, schedule: RemapSchedule) -> Vec<(ProcId, u64)> {
     let block = (n / p as u64) / p as u64;
     let start = match schedule {
         RemapSchedule::Naive => 0,
@@ -238,8 +241,9 @@ pub fn run_parallel_fft(m: &LogP, input: &[Cplx], spec: &FftRunSpec, config: Sim
     let mut sim = Sim::new(*m, config);
     for q in 0..p {
         // Cyclic rows of processor q, in j1 order.
-        let local: Vec<Cplx> =
-            (0..n1).map(|j1| input[(j1 * p as u64 + q as u64) as usize]).collect();
+        let local: Vec<Cplx> = (0..n1)
+            .map(|j1| input[(j1 * p as u64 + q as u64) as usize])
+            .collect();
         sim.set_process(
             q,
             Box::new(FftProc {
@@ -261,7 +265,11 @@ pub fn run_parallel_fft(m: &LogP, input: &[Cplx], spec: &FftRunSpec, config: Sim
     }
     let result = sim.run().expect("FFT terminates");
     let collected = out.get();
-    assert_eq!(collected.len() as u64, n, "every output index must be produced");
+    assert_eq!(
+        collected.len() as u64,
+        n,
+        "every output index must be produced"
+    );
     let mut output = vec![Cplx::ZERO; n as usize];
     for (idx, re, im) in collected {
         output[idx as usize] = Cplx::new(re, im);
@@ -286,7 +294,12 @@ mod tests {
     }
 
     fn spec(n: u64, schedule: RemapSchedule) -> FftRunSpec {
-        FftRunSpec { n, schedule, local_cost: 1, compute: None }
+        FftRunSpec {
+            n,
+            schedule,
+            local_cost: 1,
+            compute: None,
+        }
     }
 
     #[test]
@@ -294,7 +307,12 @@ mod tests {
         let n = 64;
         let m = LogP::new(6, 2, 4, 4).unwrap();
         let input = signal(n);
-        let run = run_parallel_fft(&m, &input, &spec(n, RemapSchedule::Staggered), SimConfig::default());
+        let run = run_parallel_fft(
+            &m,
+            &input,
+            &spec(n, RemapSchedule::Staggered),
+            SimConfig::default(),
+        );
         let reference = dft_naive(&input);
         let err = max_error(&run.output, &reference);
         assert!(err < 1e-9, "parallel FFT error {err}");
@@ -306,7 +324,12 @@ mod tests {
         let n = 4096;
         let m = LogP::new(60, 20, 40, 16).unwrap();
         let input = signal(n);
-        let run = run_parallel_fft(&m, &input, &spec(n, RemapSchedule::Staggered), SimConfig::default());
+        let run = run_parallel_fft(
+            &m,
+            &input,
+            &spec(n, RemapSchedule::Staggered),
+            SimConfig::default(),
+        );
         let mut reference = input.clone();
         fft_in_place(&mut reference);
         let err = max_error(&run.output, &reference);
@@ -338,13 +361,23 @@ mod tests {
         let naive = run_parallel_fft(
             &m,
             &input,
-            &FftRunSpec { n, schedule: RemapSchedule::Naive, local_cost: 10, compute: None },
+            &FftRunSpec {
+                n,
+                schedule: RemapSchedule::Naive,
+                local_cost: 10,
+                compute: None,
+            },
             SimConfig::default(),
         );
         let stag = run_parallel_fft(
             &m,
             &input,
-            &FftRunSpec { n, schedule: RemapSchedule::Staggered, local_cost: 10, compute: None },
+            &FftRunSpec {
+                n,
+                schedule: RemapSchedule::Staggered,
+                local_cost: 10,
+                compute: None,
+            },
             SimConfig::default(),
         );
         assert!(
@@ -362,7 +395,12 @@ mod tests {
         let n = 1024;
         let m = LogP::new(60, 20, 40, 8).unwrap();
         let input = signal(n);
-        let without = run_parallel_fft(&m, &input, &spec(n, RemapSchedule::Staggered), SimConfig::default());
+        let without = run_parallel_fft(
+            &m,
+            &input,
+            &spec(n, RemapSchedule::Staggered),
+            SimConfig::default(),
+        );
         let with = run_parallel_fft(
             &m,
             &input,

@@ -82,14 +82,22 @@ pub fn run_scatter(m: &LogP, values: &[u64], config: SimConfig) -> CollectiveRun
     assert_eq!(values.len(), m.p as usize);
     let out: SharedCell<Vec<(ProcId, u64, Cycles)>> = SharedCell::new();
     let mut sim = Sim::new(*m, config);
-    sim.set_process(0, Box::new(ScatterRoot { values: values.to_vec() }));
+    sim.set_process(
+        0,
+        Box::new(ScatterRoot {
+            values: values.to_vec(),
+        }),
+    );
     for d in 1..m.p {
         sim.set_process(d, Box::new(ScatterLeaf { out: out.clone() }));
     }
     let r = sim.run().expect("scatter terminates");
     let received = out.get();
     assert_eq!(received.len(), m.p as usize - 1);
-    CollectiveRun { received, completion: r.stats.completion }
+    CollectiveRun {
+        received,
+        completion: r.stats.completion,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -127,14 +135,28 @@ pub fn run_gather(m: &LogP, values: &[u64], config: SimConfig) -> CollectiveRun 
     assert_eq!(values.len(), m.p as usize);
     let out: SharedCell<Vec<(ProcId, u64, Cycles)>> = SharedCell::new();
     let mut sim = Sim::new(*m, config);
-    sim.set_process(0, Box::new(GatherRoot { got: Vec::new(), out: out.clone() }));
+    sim.set_process(
+        0,
+        Box::new(GatherRoot {
+            got: Vec::new(),
+            out: out.clone(),
+        }),
+    );
     for d in 1..m.p {
-        sim.set_process(d, Box::new(GatherLeaf { value: values[d as usize] }));
+        sim.set_process(
+            d,
+            Box::new(GatherLeaf {
+                value: values[d as usize],
+            }),
+        );
     }
     let r = sim.run().expect("gather terminates");
     let received = out.get();
     assert_eq!(received.len(), m.p as usize - 1);
-    CollectiveRun { received, completion: r.stats.completion }
+    CollectiveRun {
+        received,
+        completion: r.stats.completion,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -176,8 +198,11 @@ impl RingProc {
             }
             return;
         }
-        let blocks: Vec<u64> =
-            self.blocks.iter().map(|b| b.expect("all blocks known")).collect();
+        let blocks: Vec<u64> = self
+            .blocks
+            .iter()
+            .map(|b| b.expect("all blocks known"))
+            .collect();
         let now = ctx.now();
         self.out.with(|o| o.push((me, blocks, now)));
         ctx.halt();
@@ -190,7 +215,8 @@ impl Process for RingProc {
     }
     fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
         let (packed, v) = msg.data.as_pair();
-        self.pending.insert((packed >> 32) as u32, (packed & 0xFFFF_FFFF, v));
+        self.pending
+            .insert((packed >> 32) as u32, (packed & 0xFFFF_FFFF, v));
         self.advance(ctx);
     }
 }
@@ -231,7 +257,10 @@ pub fn run_allgather_ring(m: &LogP, values: &[u64], config: SimConfig) -> AllGat
     assert_eq!(results.len(), p as usize, "every processor must finish");
     let reference = &results[0].1;
     for (q, blocks, _) in &results {
-        assert_eq!(blocks, reference, "processor {q} assembled a different vector");
+        assert_eq!(
+            blocks, reference,
+            "processor {q} assembled a different vector"
+        );
     }
     let completion = results.iter().map(|r| r.2).max().unwrap_or(0);
     AllGatherRun {
@@ -263,12 +292,13 @@ mod tests {
     fn gather_collects_everything() {
         let m = LogP::new(6, 2, 4, 8).unwrap();
         let run = run_gather(&m, &vals(8), SimConfig::default());
-        let mut got: Vec<(ProcId, u64)> =
-            run.received.iter().map(|(d, v, _)| (*d, *v)).collect();
+        let mut got: Vec<(ProcId, u64)> = run.received.iter().map(|(d, v, _)| (*d, *v)).collect();
         got.sort_unstable();
         assert_eq!(
             got,
-            (1..8).map(|d| (d as ProcId, d as u64 * 11 + 3)).collect::<Vec<_>>()
+            (1..8)
+                .map(|d| (d as ProcId, d as u64 * 11 + 3))
+                .collect::<Vec<_>>()
         );
         // The root's reception pipeline matches the stream bound.
         assert_eq!(run.completion, scatter_time(&m));

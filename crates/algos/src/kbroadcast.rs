@@ -61,7 +61,11 @@ impl PipeProc {
             self.done = true;
             let me = ctx.me();
             let now = ctx.now();
-            let items = self.items.iter().map(|i| i.expect("all received")).collect();
+            let items = self
+                .items
+                .iter()
+                .map(|i| i.expect("all received"))
+                .collect();
             self.out.with(|o| o.finals.push((me, items, now)));
         }
     }
@@ -73,8 +77,11 @@ impl Process for PipeProc {
             // Root holds everything; stream items in order, interleaving
             // children per item (item-major order keeps every subtree's
             // pipeline moving).
-            let items: Vec<u64> =
-                self.items.iter().map(|i| i.expect("root holds all")).collect();
+            let items: Vec<u64> = self
+                .items
+                .iter()
+                .map(|i| i.expect("root holds all"))
+                .collect();
             self.received = items.len();
             for (idx, v) in items.into_iter().enumerate() {
                 self.forward(idx as u64, v, ctx);
@@ -123,7 +130,11 @@ fn run_tree_pipeline(
     let oc = out.get();
     assert_eq!(oc.finals.len(), m.p as usize, "every processor must finish");
     for (q, got, _) in &oc.finals {
-        assert_eq!(got, &items.to_vec(), "processor {q} received a wrong vector");
+        assert_eq!(
+            got,
+            &items.to_vec(),
+            "processor {q} received a wrong vector"
+        );
     }
     KBcastRun {
         completion: oc.finals.iter().map(|f| f.2).max().unwrap_or(0),
@@ -320,7 +331,11 @@ pub fn run_kbcast_scatter_gather(m: &LogP, items: &[u64], config: SimConfig) -> 
     let oc = out.get();
     assert_eq!(oc.finals.len(), p as usize, "every processor must finish");
     for (q, got, _) in &oc.finals {
-        assert_eq!(got, &items.to_vec(), "processor {q} received a wrong vector");
+        assert_eq!(
+            got,
+            &items.to_vec(),
+            "processor {q} received a wrong vector"
+        );
     }
     KBcastRun {
         completion: oc.finals.iter().map(|f| f.2).max().unwrap_or(0),

@@ -41,10 +41,10 @@ pub mod lu;
 pub mod matmul;
 pub mod measure;
 pub mod multithread;
+pub mod radix;
+pub mod reduce;
+pub mod remap;
+pub mod scan;
 pub mod sort;
 pub mod stencil;
 pub mod stencil2d;
-pub mod reduce;
-pub mod radix;
-pub mod remap;
-pub mod scan;

@@ -32,7 +32,10 @@ pub struct Matrix {
 
 impl Matrix {
     pub fn zero(n: usize) -> Self {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
@@ -121,7 +124,10 @@ pub fn lu_sequential(a: &Matrix) -> LuFactors {
             }
         }
         let d = m.get(k, k);
-        assert!(d.abs() > 1e-12, "matrix is numerically singular at step {k}");
+        assert!(
+            d.abs() > 1e-12,
+            "matrix is numerically singular at step {k}"
+        );
         for i in k + 1..n {
             let mult = m.get(i, k) / d;
             m.set(i, k, mult);
@@ -203,7 +209,10 @@ impl LuProc {
     }
 
     fn column_mut(&mut self, j: usize) -> Option<&mut Vec<f64>> {
-        self.cols.iter_mut().find(|(cj, _)| *cj == j).map(|(_, c)| c)
+        self.cols
+            .iter_mut()
+            .find(|(cj, _)| *cj == j)
+            .map(|(_, c)| c)
     }
 
     /// Step k begins for this processor.
@@ -507,9 +516,7 @@ pub fn lu_layout_time(m: &LogP, n: u64, layout: LuLayout) -> Cycles {
         let comm = match layout {
             LuLayout::Bad => 2 * r * m.g + m.l,
             LuLayout::ColumnBlocked | LuLayout::ColumnScattered => r * m.g + m.l,
-            LuLayout::GridBlocked | LuLayout::GridScattered => {
-                2 * r / sqrt_p.max(1) * m.g + m.l
-            }
+            LuLayout::GridBlocked | LuLayout::GridScattered => 2 * r / sqrt_p.max(1) * m.g + m.l,
         };
         // Max update elements on one processor.
         let max_share = match layout {
@@ -590,9 +597,7 @@ mod tests {
         let synced = run_lu_column_cyclic_synchronized(&m, &a, SimConfig::default());
         for j in 0..n {
             for i in 0..n {
-                assert!(
-                    (piped.factors.lu.get(i, j) - synced.factors.lu.get(i, j)).abs() < 1e-12
-                );
+                assert!((piped.factors.lu.get(i, j) - synced.factors.lu.get(i, j)).abs() < 1e-12);
             }
         }
         assert!(
@@ -614,7 +619,10 @@ mod tests {
         let cols = lu_layout_time(&m, n, LuLayout::ColumnScattered);
         let gridb = lu_layout_time(&m, n, LuLayout::GridBlocked);
         let grids = lu_layout_time(&m, n, LuLayout::GridScattered);
-        assert!(grids < cols, "grid-scattered {grids} < column-scattered {cols}");
+        assert!(
+            grids < cols,
+            "grid-scattered {grids} < column-scattered {cols}"
+        );
         assert!(cols < bad, "column-scattered {cols} < bad {bad}");
         assert!(grids < gridb, "scattered {grids} beats blocked {gridb}");
         assert!(cols < colb, "scattered {cols} beats blocked {colb}");

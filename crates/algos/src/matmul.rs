@@ -254,7 +254,11 @@ pub fn run_summa(m: &LogP, a: &Matrix, b: &Matrix, config: SimConfig) -> MatmulR
             }
         }
     }
-    MatmulRun { c, completion: result.stats.completion, messages: result.stats.total_msgs }
+    MatmulRun {
+        c,
+        completion: result.stats.completion,
+        messages: result.stats.total_msgs,
+    }
 }
 
 /// Sequential oracle.

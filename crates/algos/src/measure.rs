@@ -20,6 +20,7 @@
 //! * **latency**: `L = RTT/2 - 2o` from the measurements above.
 
 use logp_core::{Cycles, LogP};
+use logp_sim::runner::{sweep_map, Threads};
 use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
 
 const TAG_PING: u32 = 0xA0;
@@ -108,7 +109,13 @@ pub fn measure_rtt(m: &LogP, k: u64, config: SimConfig) -> f64 {
     assert!(m.p >= 2 && k >= 1);
     let done: SharedCell<Cycles> = SharedCell::new();
     let mut sim = Sim::new(*m, config);
-    sim.set_process(0, Box::new(Pinger { remaining: k, done_at: done.clone() }));
+    sim.set_process(
+        0,
+        Box::new(Pinger {
+            remaining: k,
+            done_at: done.clone(),
+        }),
+    );
     sim.set_process(1, Box::new(Ponger));
     sim.run().expect("ping-pong terminates");
     done.get() as f64 / k as f64
@@ -155,7 +162,11 @@ pub fn measure_overhead(m: &LogP, k: u64, spacing: Cycles, config: SimConfig) ->
     let mut sim = Sim::new(*m, config);
     sim.set_process(
         0,
-        Box::new(SpacedSender { remaining: k, spacing, done_at: done.clone() }),
+        Box::new(SpacedSender {
+            remaining: k,
+            spacing,
+            done_at: done.clone(),
+        }),
     );
     sim.run().expect("terminates");
     done.get() as f64 / k as f64 - spacing as f64
@@ -185,12 +196,44 @@ pub fn extract_params(m: &LogP, k: u64, config: SimConfig) -> ExtractedParams {
         "machine is gap-limited (exchange {rtt} ~ interval {send_interval}):          the ping-pong cannot separate L from g"
     );
     let l = rtt / 2.0 - 2.0 * o;
-    ExtractedParams { rtt, o, send_interval, l }
+    ExtractedParams {
+        rtt,
+        o,
+        send_interval,
+        l,
+    }
+}
+
+/// Extract parameters for a whole fleet of machines, one extraction per
+/// worker — §7's "evaluating a large number of machines". Results come
+/// back in `machines` order at any thread count; each extraction's three
+/// micro-benchmarks still run serially (they share one simulated
+/// machine, conceptually).
+pub fn extract_params_sweep(
+    machines: &[LogP],
+    k: u64,
+    config: &SimConfig,
+    threads: Threads,
+) -> Vec<ExtractedParams> {
+    sweep_map(threads, machines, |m| extract_params(m, k, config.clone()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sweep_extraction_matches_individual_extraction() {
+        let machines = [
+            LogP::new(60, 20, 40, 2).unwrap(),
+            LogP::new(6, 2, 4, 2).unwrap(),
+            LogP::new(100, 1, 10, 2).unwrap(),
+        ];
+        let swept = extract_params_sweep(&machines, 200, &SimConfig::default(), Threads::Fixed(3));
+        for (m, got) in machines.iter().zip(&swept) {
+            assert_eq!(*got, extract_params(m, 200, SimConfig::default()));
+        }
+    }
 
     #[test]
     fn extraction_recovers_cm5_parameters() {
@@ -213,7 +256,8 @@ mod tests {
                 p.o
             );
             assert!(
-                (p.send_interval - m.send_interval() as f64).abs() <= 0.05 * m.send_interval() as f64,
+                (p.send_interval - m.send_interval() as f64).abs()
+                    <= 0.05 * m.send_interval() as f64,
                 "{m}: interval extracted {} vs {}",
                 p.send_interval,
                 m.send_interval()
@@ -232,10 +276,11 @@ mod tests {
         let m = LogP::new(5, 1, 30, 2).unwrap();
         let rtt = measure_rtt(&m, 100, SimConfig::default());
         assert!((rtt - 30.0).abs() < 0.5, "gap-limited exchange: {rtt}");
-        let result = std::panic::catch_unwind(|| {
-            extract_params(&m, 100, SimConfig::default())
-        });
-        assert!(result.is_err(), "extraction must refuse the gap-limited regime");
+        let result = std::panic::catch_unwind(|| extract_params(&m, 100, SimConfig::default()));
+        assert!(
+            result.is_err(),
+            "extraction must refuse the gap-limited regime"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! buy nothing, exactly the plateau the paper predicts.
 
 use logp_core::{Cycles, LogP};
+use logp_sim::runner::{sweep_map, Threads};
 use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
 
 const TAG_REQ: u32 = 0x80;
@@ -110,11 +111,21 @@ pub fn saturation_threads(m: &LogP) -> u64 {
     m.remote_read().div_ceil(m.g).max(1)
 }
 
-/// Sweep v = 1..=max_v, producing the saturation curve of §3.2.
-pub fn masking_sweep(m: &LogP, max_v: u64, ops: u64, config: SimConfig) -> Vec<MaskingPoint> {
-    (1..=max_v)
-        .map(|v| masking_throughput(m, v, ops, config.clone()))
-        .collect()
+/// Sweep v = 1..=max_v, producing the saturation curve of §3.2. Each
+/// point is an independent simulation, so the sweep fans across
+/// `threads` workers; points come back in `v` order regardless of the
+/// thread count.
+pub fn masking_sweep(
+    m: &LogP,
+    max_v: u64,
+    ops: u64,
+    config: SimConfig,
+    threads: Threads,
+) -> Vec<MaskingPoint> {
+    let vs: Vec<u64> = (1..=max_v).collect();
+    sweep_map(threads, &vs, |&v| {
+        masking_throughput(m, v, ops, config.clone())
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +151,7 @@ mod tests {
     fn throughput_grows_then_saturates() {
         let m = LogP::new(32, 1, 4, 2).unwrap();
         let limit = saturation_threads(&m); // (64 + 4)/4 = 17
-        let pts = masking_sweep(&m, 2 * limit, 400, SimConfig::default());
+        let pts = masking_sweep(&m, 2 * limit, 400, SimConfig::default(), Threads::Fixed(2));
         // Strictly improving in the unsaturated regime...
         for w in pts[..(limit / 2) as usize].windows(2) {
             assert!(
@@ -157,6 +168,14 @@ mod tests {
             (beyond - at_limit).abs() / at_limit < 0.10,
             "beyond the saturation limit extra threads must not help: {at_limit} vs {beyond}"
         );
+    }
+
+    #[test]
+    fn sweep_is_thread_count_independent() {
+        let m = LogP::new(16, 1, 4, 2).unwrap();
+        let serial = masking_sweep(&m, 6, 60, SimConfig::default(), Threads::Fixed(1));
+        let parallel = masking_sweep(&m, 6, 60, SimConfig::default(), Threads::Fixed(4));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

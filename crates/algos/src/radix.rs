@@ -167,7 +167,11 @@ impl RadixProc {
             }
             // End marker: number of digit rows sent.
             let rows = (0..radix).filter(|&d| counts[d][q as usize] > 0).count();
-            ctx.send(q, TAG_OFFS, Data::Pair(self.pass << 16 | 0xFFFF, rows as u64));
+            ctx.send(
+                q,
+                TAG_OFFS,
+                Data::Pair(self.pass << 16 | 0xFFFF, rows as u64),
+            );
         }
         // Root's own offsets apply immediately.
         let own: HashMap<u16, u64> = (0..radix)
@@ -221,7 +225,11 @@ impl RadixProc {
         self.incoming[slot] = Some(key);
         self.placed += 1;
         if self.placed == self.block {
-            self.keys = self.incoming.iter_mut().map(|s| s.take().expect("full")).collect();
+            self.keys = self
+                .incoming
+                .iter_mut()
+                .map(|s| s.take().expect("full"))
+                .collect();
             self.placed = 0;
             // Placement cost: one cycle per key.
             ctx.compute(self.block as u64, STEP_PLACE);
@@ -334,7 +342,10 @@ pub fn run_radix_sort(
     let p = m.p;
     assert!(p >= 2);
     assert_eq!(keys.len() % p as usize, 0, "keys must split evenly");
-    assert!((1..=16).contains(&digit_bits), "digit width must be 1..=16 bits");
+    assert!(
+        (1..=16).contains(&digit_bits),
+        "digit width must be 1..=16 bits"
+    );
     let max_key = keys.iter().copied().max().unwrap_or(0);
     assert!(
         key_bits >= 64 - max_key.leading_zeros(),

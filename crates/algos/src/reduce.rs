@@ -53,7 +53,10 @@ impl SumProc {
         if let Some(parent) = self.parent {
             ctx.send(parent, TAG_PARTIAL, Data::F64(self.partial));
         } else {
-            let outcome = SumOutcome { total: self.partial, root_done_at: ctx.now() };
+            let outcome = SumOutcome {
+                total: self.partial,
+                root_done_at: ctx.now(),
+            };
             self.out.with(|o| *o = outcome.clone());
         }
     }
@@ -64,7 +67,10 @@ impl Process for SumProc {
         self.partial = self.local.iter().sum();
         // `initial_chain` additions of local inputs; for a leaf this is
         // the whole job.
-        ctx.compute(self.initial_chain, if self.k == 0 { TAG_FINAL } else { TAG_CHUNK });
+        ctx.compute(
+            self.initial_chain,
+            if self.k == 0 { TAG_FINAL } else { TAG_CHUNK },
+        );
     }
 
     fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
@@ -111,8 +117,13 @@ pub fn run_sum_schedule(sched: &SumSchedule, config: SimConfig) -> SumRun {
     let mut sim = Sim::new(m.with_p(sched.procs().max(1)), config);
     let mut next_value = 0u64;
     for node in &sched.nodes {
-        let local: Vec<f64> =
-            (0..node.local_inputs).map(|_| { let v = next_value as f64; next_value += 1; v }).collect();
+        let local: Vec<f64> = (0..node.local_inputs)
+            .map(|_| {
+                let v = next_value as f64;
+                next_value += 1;
+                v
+            })
+            .collect();
         let k = node.children.len() as u64;
         let t = node.complete_at;
         let initial_chain = if k == 0 {
@@ -177,7 +188,10 @@ pub fn run_binomial_sum(m: &LogP, n: u64, config: SimConfig) -> SumRun {
                     ctx.send(parent, TAG_PARTIAL, Data::F64(self.partial));
                     ctx.halt();
                 } else {
-                    let oc = SumOutcome { total: self.partial, root_done_at: ctx.now() };
+                    let oc = SumOutcome {
+                        total: self.partial,
+                        root_done_at: ctx.now(),
+                    };
                     self.out.with(|o| *o = oc.clone());
                     ctx.halt();
                 }
@@ -238,7 +252,11 @@ pub fn run_binomial_sum(m: &LogP, n: u64, config: SimConfig) -> SumRun {
 fn binomial_role(i: ProcId, p: u32) -> (u32, Option<ProcId>) {
     use logp_core::broadcast::{binomial_children, binomial_parent};
     let expect = binomial_children(i, p).len() as u32;
-    let parent = if i == 0 { None } else { Some(binomial_parent(i)) };
+    let parent = if i == 0 {
+        None
+    } else {
+        Some(binomial_parent(i))
+    };
     (expect, parent)
 }
 
@@ -255,7 +273,10 @@ mod tests {
         let run = run_optimal_sum(&m, 28, SimConfig::default());
         assert_eq!(run.inputs, 79);
         assert_eq!(run.procs, 8);
-        assert_eq!(run.completion, 28, "schedule must complete exactly at its deadline");
+        assert_eq!(
+            run.completion, 28,
+            "schedule must complete exactly at its deadline"
+        );
         let expected: f64 = (0..79).map(|v| v as f64).sum();
         assert_eq!(run.total, expected);
     }

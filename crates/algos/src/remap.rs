@@ -267,7 +267,11 @@ mod tests {
     #[test]
     fn naive_is_much_slower_than_staggered() {
         let m = cm5_like(16);
-        let mk = |schedule| RemapSpec { elems_per_pair: 8, local_cost: 10, schedule };
+        let mk = |schedule| RemapSpec {
+            elems_per_pair: 8,
+            local_cost: 10,
+            schedule,
+        };
         let naive = run_remap(&m, &mk(RemapSchedule::Naive), SimConfig::default());
         let stag = run_remap(&m, &mk(RemapSchedule::Staggered), SimConfig::default());
         assert!(
@@ -287,7 +291,11 @@ mod tests {
             RemapSchedule::Staggered,
             RemapSchedule::StaggeredBarrier,
         ] {
-            let spec = RemapSpec { elems_per_pair: 4, local_cost: 10, schedule };
+            let spec = RemapSpec {
+                elems_per_pair: 4,
+                local_cost: 10,
+                schedule,
+            };
             let run = run_remap(&m, &spec, SimConfig::default());
             assert_eq!(run.messages, 6 * 5 * 4, "{schedule:?}");
         }
@@ -298,7 +306,11 @@ mod tests {
         let m = cm5_like(5);
         let base = run_remap(
             &m,
-            &RemapSpec { elems_per_pair: 3, local_cost: 0, schedule: RemapSchedule::Naive },
+            &RemapSpec {
+                elems_per_pair: 3,
+                local_cost: 0,
+                schedule: RemapSchedule::Naive,
+            },
             SimConfig::default(),
         );
         for schedule in [RemapSchedule::Staggered, RemapSchedule::StaggeredBarrier] {
@@ -306,7 +318,11 @@ mod tests {
                 let cfg = SimConfig::default().with_jitter(30).with_seed(seed);
                 let run = run_remap(
                     &m,
-                    &RemapSpec { elems_per_pair: 3, local_cost: 0, schedule },
+                    &RemapSpec {
+                        elems_per_pair: 3,
+                        local_cost: 0,
+                        schedule,
+                    },
                     cfg,
                 );
                 assert_eq!(run.checksum, base.checksum, "{schedule:?} seed {seed}");
@@ -323,7 +339,11 @@ mod tests {
         let drift_cfg = || SimConfig::default().with_drift(150).with_seed(11);
         let stag = run_remap(
             &m,
-            &RemapSpec { elems_per_pair: 32, local_cost: 10, schedule: RemapSchedule::Staggered },
+            &RemapSpec {
+                elems_per_pair: 32,
+                local_cost: 10,
+                schedule: RemapSchedule::Staggered,
+            },
             drift_cfg(),
         );
         let sync = run_remap(

@@ -63,12 +63,25 @@ pub struct SortRun {
 
 fn collect(out: &SharedCell<SortOutcome>, stats_completion: Cycles, msgs: u64, p: u32) -> SortRun {
     let oc = out.get();
-    assert_eq!(oc.runs.len(), p as usize, "every processor must report a run");
+    assert_eq!(
+        oc.runs.len(),
+        p as usize,
+        "every processor must report a run"
+    );
     let mut runs = oc.runs.clone();
     runs.sort_by_key(|r| r.0);
     let output: Vec<u64> = runs.into_iter().flat_map(|r| r.1).collect();
-    let completion = oc.finish.iter().map(|f| f.1).max().unwrap_or(stats_completion);
-    SortRun { output, completion, messages: msgs }
+    let completion = oc
+        .finish
+        .iter()
+        .map(|f| f.1)
+        .max()
+        .unwrap_or(stats_completion);
+    SortRun {
+        output,
+        completion,
+        messages: msgs,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -139,7 +152,12 @@ impl SplitterProc {
         self.outgoing = (0..p)
             .map(|b| (me + 1 + b) % p)
             .filter(|&d| d != me)
-            .flat_map(|d| by_dest[d as usize].iter().map(move |&k| (d, k)).collect::<Vec<_>>())
+            .flat_map(|d| {
+                by_dest[d as usize]
+                    .iter()
+                    .map(move |&k| (d, k))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         self.phase = SsPhase::Sending;
         self.next_send = 0;
@@ -203,9 +221,7 @@ impl Process for SplitterProc {
                     }
                     self.phase = SsPhase::AwaitSplitters;
                     // The splitter broadcast may already be fully buffered.
-                    if !self.splitters.is_empty()
-                        && self.splitter_count == self.splitters.len()
-                    {
+                    if !self.splitters.is_empty() && self.splitter_count == self.splitters.len() {
                         self.begin_partition(ctx);
                     }
                 }
@@ -216,9 +232,7 @@ impl Process for SplitterProc {
                 self.samples.sort_unstable();
                 let p = ctx.procs();
                 let s = self.samples_per_proc;
-                self.splitters = (1..p as usize)
-                    .map(|i| self.samples[i * s - 1])
-                    .collect();
+                self.splitters = (1..p as usize).map(|i| self.samples[i * s - 1]).collect();
                 for c in Self::binomial_children(0, p) {
                     for (i, &sp) in self.splitters.iter().enumerate() {
                         ctx.send(c, TAG_SPLITTER, Data::Pair(i as u64, sp));

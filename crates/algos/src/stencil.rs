@@ -252,7 +252,10 @@ mod tests {
             small.comm_fraction,
             large.comm_fraction
         );
-        assert!(large.comm_fraction < 0.05, "large blocks must be compute-bound");
+        assert!(
+            large.comm_fraction < 0.05,
+            "large blocks must be compute-bound"
+        );
     }
 
     #[test]

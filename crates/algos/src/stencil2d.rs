@@ -104,9 +104,7 @@ impl Jacobi2dProc {
                 let south_v = self.at(b, i + 1);
                 let west_v = self.at(i + 1, 1);
                 let east_v = self.at(i + 1, b);
-                let pack = |side: u64, idx: usize| {
-                    self.iter << 16 | side << 8 | idx as u64
-                };
+                let pack = |side: u64, idx: usize| self.iter << 16 | side << 8 | idx as u64;
                 ctx.send(nbr[0], TAG_HALO, Data::IdxF64(pack(SOUTH, i), north_v));
                 ctx.send(nbr[1], TAG_HALO, Data::IdxF64(pack(NORTH, i), south_v));
                 ctx.send(nbr[2], TAG_HALO, Data::IdxF64(pack(EAST, i), west_v));
@@ -279,7 +277,10 @@ mod tests {
     }
 
     fn worst_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

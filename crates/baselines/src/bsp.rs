@@ -48,7 +48,11 @@ pub struct BspRun {
 
 impl BspMachine {
     pub fn from_model(m: &logp_core::models::Bsp) -> Self {
-        BspMachine { p: m.p, g: m.g, l: m.l }
+        BspMachine {
+            p: m.p,
+            g: m.g,
+            l: m.l,
+        }
     }
 
     /// Run to completion (all processors returned `false`).
@@ -78,14 +82,22 @@ impl BspMachine {
                     next_inboxes[msg.dst as usize].push(msg);
                 }
             }
-            let recv_max = next_inboxes.iter().map(|i| i.len() as u64).max().unwrap_or(0);
+            let recv_max = next_inboxes
+                .iter()
+                .map(|i| i.len() as u64)
+                .max()
+                .unwrap_or(0);
             let h = sent.iter().copied().max().unwrap_or(0).max(recv_max);
             cost += w_max + self.g * h + self.l;
             profile.push((w_max, h));
             inboxes = next_inboxes;
             supersteps += 1;
         }
-        BspRun { supersteps, cost, profile }
+        BspRun {
+            supersteps,
+            cost,
+            profile,
+        }
     }
 }
 
@@ -177,7 +189,11 @@ mod tests {
         let (run, values) = bsp_broadcast(&machine(), 5.0);
         assert!(values.iter().all(|&v| v == 5.0));
         // log2(8) = 3 communicating supersteps + 1 final quiescent one.
-        assert!(run.supersteps >= 3 && run.supersteps <= 4, "{}", run.supersteps);
+        assert!(
+            run.supersteps >= 3 && run.supersteps <= 4,
+            "{}",
+            run.supersteps
+        );
     }
 
     #[test]
@@ -219,7 +235,12 @@ mod tests {
         let mut seen_at = None;
         m.run(&mut |pid, step, inbox, outbox| {
             if pid == 0 && step == 0 {
-                outbox.push(BspMsg { src: 0, dst: 1, tag: 9, value: 1.0 });
+                outbox.push(BspMsg {
+                    src: 0,
+                    dst: 1,
+                    tag: 9,
+                    value: 1.0,
+                });
             }
             if pid == 1 && !inbox.is_empty() && seen_at.is_none() {
                 seen_at = Some(step);
@@ -244,7 +265,12 @@ mod tests {
         let m = BspMachine { p: 3, g: 5, l: 1 };
         let run = m.run(&mut |pid, step, _, outbox| {
             if step == 0 && pid > 0 {
-                outbox.push(BspMsg { src: pid, dst: 0, tag: 0, value: 0.0 });
+                outbox.push(BspMsg {
+                    src: pid,
+                    dst: 0,
+                    tag: 0,
+                    value: 0.0,
+                });
             }
             (0, step < 1)
         });
@@ -299,7 +325,12 @@ pub fn bsp_fft(
                         // Two messages per complex element (re, im) keeps
                         // the h-relation accounting honest at one word per
                         // message.
-                        outbox.push(BspMsg { src: pid, dst, tag: (k1 << 1) as u32, value: v.re });
+                        outbox.push(BspMsg {
+                            src: pid,
+                            dst,
+                            tag: (k1 << 1) as u32,
+                            value: v.re,
+                        });
                         outbox.push(BspMsg {
                             src: pid,
                             dst,

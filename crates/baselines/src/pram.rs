@@ -95,7 +95,12 @@ pub struct PramRun {
 
 impl Pram {
     pub fn new(p: u32, variant: PramVariant, cells: usize) -> Self {
-        Pram { p, variant, memory: vec![0.0; cells], max_steps: 1_000_000 }
+        Pram {
+            p,
+            variant,
+            memory: vec![0.0; cells],
+            max_steps: 1_000_000,
+        }
     }
 
     /// Run until every processor finishes.
@@ -147,7 +152,10 @@ impl Pram {
             }
             steps += 1;
         }
-        Ok(PramRun { steps, memory: self.memory })
+        Ok(PramRun {
+            steps,
+            memory: self.memory,
+        })
     }
 }
 

@@ -14,7 +14,10 @@ use logp_core::models::PramVariant;
 pub fn pram_scan(variant: PramVariant, values: &[f64]) -> Result<PramRun, PramError> {
     let n = values.len();
     if n == 0 {
-        return Ok(PramRun { steps: 0, memory: Vec::new() });
+        return Ok(PramRun {
+            steps: 0,
+            memory: Vec::new(),
+        });
     }
     let mut pram = Pram::new(n as u32, variant, n);
     pram.memory[..n].copy_from_slice(values);
@@ -48,10 +51,7 @@ pub fn pram_scan(variant: PramVariant, values: &[f64]) -> Result<PramRun, PramEr
 /// step unit cost regardless of fan-in — the loophole.
 ///
 /// Returns `(labels, steps)`.
-pub fn pram_cc(
-    n: u64,
-    edges: &[(u64, u64)],
-) -> Result<(Vec<u64>, u64), PramError> {
+pub fn pram_cc(n: u64, edges: &[(u64, u64)]) -> Result<(Vec<u64>, u64), PramError> {
     // One PRAM processor per edge, plus one per vertex for convergence
     // detection. Labels live in cells [0, n); a "changed" flag in cell n.
     let procs = edges.len() as u32 + 1;
@@ -139,7 +139,10 @@ mod tests {
         let edges: Vec<(u64, u64)> = (1..n).map(|v| (0, v)).collect();
         let (labels, steps) = pram_cc(n, &edges).expect("legal");
         assert!(labels.iter().all(|&l| l == 0));
-        assert!(steps <= 6, "CRCW star converges almost immediately: {steps} steps");
+        assert!(
+            steps <= 6,
+            "CRCW star converges almost immediately: {steps} steps"
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use logp_sim::SimConfig;
 fn workload() -> (LogP, RemapSpec) {
     (
         LogP::new(60, 20, 40, 32).unwrap(),
-        RemapSpec { elems_per_pair: 16, local_cost: 10, schedule: RemapSchedule::Staggered },
+        RemapSpec {
+            elems_per_pair: 16,
+            local_cost: 10,
+            schedule: RemapSchedule::Staggered,
+        },
     )
 }
 
@@ -31,7 +35,14 @@ fn bench_capacity_ablation(c: &mut Criterion) {
     // Print the simulated outcomes once, so the ablation's *effect* is
     // recorded next to its cost.
     let on = run_remap(&m, &spec, SimConfig::default());
-    let off = run_remap(&m, &spec, SimConfig { enforce_capacity: false, ..Default::default() });
+    let off = run_remap(
+        &m,
+        &spec,
+        SimConfig {
+            enforce_capacity: false,
+            ..Default::default()
+        },
+    );
     println!(
         "[ablation] naive remap: capacity on = {} cycles ({} stall), off = {} cycles ({} stall)",
         on.completion, on.total_stall, off.completion, off.total_stall
@@ -40,7 +51,16 @@ fn bench_capacity_ablation(c: &mut Criterion) {
         b.iter(|| run_remap(&m, &spec, SimConfig::default()))
     });
     g.bench_function("disabled", |b| {
-        b.iter(|| run_remap(&m, &spec, SimConfig { enforce_capacity: false, ..Default::default() }))
+        b.iter(|| {
+            run_remap(
+                &m,
+                &spec,
+                SimConfig {
+                    enforce_capacity: false,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.finish();
 }
@@ -52,7 +72,10 @@ fn bench_ni_buffer_ablation(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_secs(1));
     let (m, spec) = naive_workload();
     for buf in [0u64, 2, 8, 64] {
-        let cfg = SimConfig { ni_buffer: Some(buf), ..Default::default() };
+        let cfg = SimConfig {
+            ni_buffer: Some(buf),
+            ..Default::default()
+        };
         let out = run_remap(&m, &spec, cfg.clone());
         println!(
             "[ablation] naive remap with NI buffer {buf}: {} cycles, {} stall",

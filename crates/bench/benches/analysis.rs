@@ -41,7 +41,9 @@ fn bench_summation_analysis(c: &mut Criterion) {
     g.bench_function("min_time_n1024_p32", |b| {
         b.iter(|| min_sum_time(&m, 1024, 32))
     });
-    g.bench_function("schedule_t250", |b| b.iter(|| optimal_sum_schedule(&m, 250)));
+    g.bench_function("schedule_t250", |b| {
+        b.iter(|| optimal_sum_schedule(&m, 250))
+    });
     g.finish();
 }
 

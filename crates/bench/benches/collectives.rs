@@ -53,7 +53,9 @@ fn bench_sorts(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_secs(1));
     let m = cm5(16);
-    let keys: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9) % 100_000).collect();
+    let keys: Vec<u64> = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) % 100_000)
+        .collect();
     g.bench_function("splitter", |b| {
         b.iter(|| run_splitter_sort(&m, &keys, SimConfig::default()))
     });

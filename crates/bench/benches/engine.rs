@@ -4,7 +4,98 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use logp_algos::remap::{run_remap, RemapSchedule, RemapSpec};
 use logp_core::LogP;
-use logp_sim::{Ctx, Data, Sim, SimConfig};
+use logp_sim::process::Process;
+use logp_sim::{Ctx, Data, Message, Sim, SimConfig};
+
+/// P0 and P1 bounce a decrementing counter: pure per-event overhead,
+/// the same workload `engine_hotloop` tracks in `BENCH_engine.json`.
+struct PingPong {
+    rounds: u64,
+}
+
+impl Process for PingPong {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.me() == 0 {
+            ctx.send(1, 0, Data::U64(self.rounds));
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let r = msg.data.as_u64();
+        if r > 0 {
+            ctx.send(1 - ctx.me(), 0, Data::U64(r - 1));
+        }
+    }
+}
+
+/// Rounds of P-1 sends per processor under the capacity constraint:
+/// saturates the stall/release bookkeeping.
+struct AllToAll {
+    rounds: u64,
+    done: u64,
+    got: u32,
+}
+
+impl AllToAll {
+    fn blast(ctx: &mut Ctx<'_>) {
+        for dst in 0..ctx.procs() {
+            if dst != ctx.me() {
+                ctx.send(dst, 0, Data::Empty);
+            }
+        }
+    }
+}
+
+impl Process for AllToAll {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        Self::blast(ctx);
+    }
+
+    fn on_message(&mut self, _msg: &Message, ctx: &mut Ctx<'_>) {
+        self.got += 1;
+        if self.got == ctx.procs() - 1 {
+            self.got = 0;
+            self.done += 1;
+            if self.done < self.rounds {
+                Self::blast(ctx);
+            }
+        }
+    }
+}
+
+fn bench_hot_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/hot_loop");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let pair = LogP::new(6, 2, 4, 2).unwrap();
+    let rounds = 10_000u64;
+    g.throughput(Throughput::Elements(rounds + 1)); // messages per run
+    g.bench_function("ping_pong", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(pair, SimConfig::default());
+            sim.set_all(|_| Box::new(PingPong { rounds }));
+            sim.run().expect("terminates")
+        })
+    });
+    let m = LogP::new(6, 2, 4, 16).unwrap();
+    let a2a_rounds = 40u64;
+    g.throughput(Throughput::Elements(a2a_rounds * 16 * 15));
+    g.bench_function("all_to_all", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(m, SimConfig::default());
+            sim.set_all(|_| {
+                Box::new(AllToAll {
+                    rounds: a2a_rounds,
+                    done: 0,
+                    got: 0,
+                })
+            });
+            sim.run().expect("terminates")
+        })
+    });
+    g.finish();
+}
 
 fn bench_broadcast_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/broadcast");
@@ -78,5 +169,11 @@ fn bench_hot_spot_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_broadcast_engine, bench_remap_engine, bench_hot_spot_engine);
+criterion_group!(
+    benches,
+    bench_hot_loop,
+    bench_broadcast_engine,
+    bench_remap_engine,
+    bench_hot_spot_engine
+);
 criterion_main!(benches);

@@ -3,11 +3,12 @@
 //! covered, and the ⌈L/g⌉ capacity constraint caps each direction.
 
 use logp_algos::multithread::{masking_sweep, saturation_threads};
-use logp_bench::{f2, Table};
+use logp_bench::{f2, threads_from_args, Table};
 use logp_core::LogP;
 use logp_sim::SimConfig;
 
 fn main() {
+    let threads = threads_from_args();
     for m in [
         LogP::new(32, 1, 4, 2).unwrap(),
         LogP::new(60, 20, 40, 2).unwrap(), // CM-5-like
@@ -19,14 +20,16 @@ fn main() {
             m.capacity()
         );
         let mut t = Table::new(&["v", "completion", "ops/kcycle", "vs saturated"]);
-        let pts = masking_sweep(&m, 2 * vstar, 300, SimConfig::default());
+        let pts = masking_sweep(&m, 2 * vstar, 300, SimConfig::default(), threads);
         let sat = pts.last().expect("nonempty").throughput_kops;
         for pt in pts.iter().filter(|p| {
-            p.virtual_procs <= 4
-                || p.virtual_procs % 2 == 0
-                || p.virtual_procs == vstar
+            p.virtual_procs <= 4 || p.virtual_procs % 2 == 0 || p.virtual_procs == vstar
         }) {
-            let marker = if pt.virtual_procs == vstar { " <- v*" } else { "" };
+            let marker = if pt.virtual_procs == vstar {
+                " <- v*"
+            } else {
+                ""
+            };
             t.row(&[
                 format!("{}{}", pt.virtual_procs, marker),
                 pt.completion.to_string(),

@@ -3,12 +3,14 @@
 //! makes it visible, and combining mitigates it.
 
 use logp_algos::cc::{cc_sequential, run_cc, Graph};
-use logp_bench::{f2, Scale, Table};
+use logp_bench::{f2, threads_from_args, Scale, Table};
 use logp_core::LogP;
+use logp_sim::runner::sweep_map;
 use logp_sim::SimConfig;
 
 fn main() {
     let scale = Scale::from_args();
+    let threads = threads_from_args();
     let m = LogP::new(60, 20, 40, 8).unwrap();
     let star_n = scale.pick(256u64, 2048);
     let rnd_n = scale.pick(128u64, 512);
@@ -22,30 +24,41 @@ fn main() {
         "max recv by one proc",
         "stall cycles",
     ]);
-    for (name, g) in [
+    // Each (graph, variant) pair is an independent simulation: fan the
+    // six across the worker pool; rows come back in declaration order.
+    let graphs = [
         (format!("star({star_n})"), Graph::star(star_n)),
-        (format!("random({rnd_n}, {})", rnd_n * 3), Graph::random(rnd_n, rnd_n * 3, 5)),
+        (
+            format!("random({rnd_n}, {})", rnd_n * 3),
+            Graph::random(rnd_n, rnd_n * 3, 5),
+        ),
         ("cliques(8x16)".to_string(), Graph::cliques(8, 16)),
-    ] {
-        let seq = cc_sequential(&g);
-        for (variant, combining) in [("naive", false), ("combining", true)] {
-            let run = run_cc(&m, &g, combining, SimConfig::default());
-            assert_eq!(run.labels, seq, "{name} {variant} must be correct");
-            t.row(&[
-                name.clone(),
-                variant.to_string(),
-                run.completion.to_string(),
-                run.messages.to_string(),
-                run.max_recv.to_string(),
-                run.total_stall.to_string(),
-            ]);
-        }
+    ];
+    let cases: Vec<(usize, &str, bool)> = (0..graphs.len())
+        .flat_map(|gi| [(gi, "naive", false), (gi, "combining", true)])
+        .collect();
+    let runs = sweep_map(threads, &cases, |&(gi, _, combining)| {
+        run_cc(&m, &graphs[gi].1, combining, SimConfig::default())
+    });
+    for ((gi, variant, _), run) in cases.iter().zip(&runs) {
+        let (name, g) = &graphs[*gi];
+        assert_eq!(
+            run.labels,
+            cc_sequential(g),
+            "{name} {variant} must be correct"
+        );
+        t.row(&[
+            name.clone(),
+            variant.to_string(),
+            run.completion.to_string(),
+            run.messages.to_string(),
+            run.max_recv.to_string(),
+            run.total_stall.to_string(),
+        ]);
     }
     t.print();
 
-    let g = Graph::star(star_n);
-    let naive = run_cc(&m, &g, false, SimConfig::default());
-    let comb = run_cc(&m, &g, true, SimConfig::default());
+    let (naive, comb) = (&runs[0], &runs[1]); // star naive / star combining
     println!(
         "\nstar hot spot: combining cuts the hub owner's inbound load by {}x and\n\
          the capacity stalls by {}x (paper: contention \"considerably mitigated\").\n\

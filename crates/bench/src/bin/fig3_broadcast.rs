@@ -4,7 +4,9 @@
 
 use logp_algos::broadcast::{run_optimal_broadcast, run_shape_broadcast};
 use logp_bench::Table;
-use logp_core::broadcast::{optimal_broadcast_time, optimal_broadcast_tree, shape_broadcast_time, TreeShape};
+use logp_core::broadcast::{
+    optimal_broadcast_time, optimal_broadcast_tree, shape_broadcast_time, TreeShape,
+};
 use logp_core::LogP;
 use logp_sim::SimConfig;
 
@@ -25,7 +27,10 @@ fn main() {
         }
     }
     println!("\nper-processor ready times: {:?}", tree.ready);
-    println!("analytic completion: {} cycles (paper: 24)", tree.completion());
+    println!(
+        "analytic completion: {} cycles (paper: 24)",
+        tree.completion()
+    );
 
     // Execute on the simulator with tracing and show the Figure-3-style
     // activity panel (s = send overhead, r = receive overhead, . idle).
@@ -54,7 +59,12 @@ fn main() {
             }
         }
     }
-    sim.set_all(|p| Box::new(B { children: ch2[p as usize].clone(), root: p == 0 }));
+    sim.set_all(|p| {
+        Box::new(B {
+            children: ch2[p as usize].clone(),
+            root: p == 0,
+        })
+    });
     let result = sim.run().expect("broadcast terminates");
     println!("\nactivity (1 column = 1 cycle; s=send o/h, r=recv o/h):");
     print!("{}", result.trace.gantt(m.p, result.stats.completion, 1));
@@ -78,7 +88,11 @@ fn main() {
                 run_shape_broadcast(&m, s, SimConfig::default()).completion,
             ),
         };
-        t.row(&[name.to_string(), analytic.to_string(), simulated.to_string()]);
+        t.row(&[
+            name.to_string(),
+            analytic.to_string(),
+            simulated.to_string(),
+        ]);
     }
     t.print();
 }

@@ -6,7 +6,9 @@ use logp_algos::fft::layout::{figure5_assignment, ButterflyLayout, Layout};
 use logp_bench::Table;
 
 fn main() {
-    println!("Figure 5 — 8-input butterfly, P = 2, hybrid layout (remap between columns 2 and 3)\n");
+    println!(
+        "Figure 5 — 8-input butterfly, P = 2, hybrid layout (remap between columns 2 and 3)\n"
+    );
     for q in 0..2u32 {
         let cols = figure5_assignment(q);
         println!("processor {q} owns, per column:");
@@ -15,7 +17,9 @@ fn main() {
         }
     }
 
-    println!("\ncommunication structure (remote column transitions and remote refs per processor):");
+    println!(
+        "\ncommunication structure (remote column transitions and remote refs per processor):"
+    );
     let mut t = Table::new(&["n", "P", "layout", "remote columns", "remote refs/proc"]);
     for (n, p) in [(1u64 << 10, 16u32), (1 << 14, 16), (1 << 16, 64)] {
         let logp = (p as u64).trailing_zeros();

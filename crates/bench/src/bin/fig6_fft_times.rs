@@ -24,9 +24,7 @@ fn main() {
         Scale::Full => (16..=22).map(|e| 1u64 << e).collect(),
     };
 
-    println!(
-        "Figure 6 — FFT phase times on simulated CM-5 (P = {p}, o=2µs L=6µs g=4µs)\n"
-    );
+    println!("Figure 6 — FFT phase times on simulated CM-5 (P = {p}, o=2µs L=6µs g=4µs)\n");
     let mut t = Table::new(&[
         "n",
         "compute (s)",
@@ -36,8 +34,22 @@ fn main() {
         "stag/compute",
     ]);
     for &n in &sizes {
-        let stag = fft_phases(&m, &cm, preset.local_elem_cost, n, RemapSchedule::Staggered, SimConfig::default());
-        let naive = fft_phases(&m, &cm, preset.local_elem_cost, n, RemapSchedule::Naive, SimConfig::default());
+        let stag = fft_phases(
+            &m,
+            &cm,
+            preset.local_elem_cost,
+            n,
+            RemapSchedule::Staggered,
+            SimConfig::default(),
+        );
+        let naive = fft_phases(
+            &m,
+            &cm,
+            preset.local_elem_cost,
+            n,
+            RemapSchedule::Naive,
+            SimConfig::default(),
+        );
         let secs = |c: u64| preset.cycles_to_us(c) / 1e6;
         let compute = secs(stag.compute1 + stag.compute3);
         t.row(&[

@@ -13,7 +13,13 @@ fn main() {
     let p = 128u64;
     let cm = ComputeModel::cm5();
     println!("Figure 7 — per-processor Mflops for FFT phases (P = {p}, 64 KB cache)\n");
-    let mut t = Table::new(&["n", "n/P points", "KB/proc", "phase I Mflops", "phase III Mflops"]);
+    let mut t = Table::new(&[
+        "n",
+        "n/P points",
+        "KB/proc",
+        "phase I Mflops",
+        "phase III Mflops",
+    ]);
     for e in 14..=24u32 {
         let n = 1u64 << e;
         let n1 = n / p;

@@ -28,7 +28,12 @@ fn main() {
     // Per-processor speed skew of ~2% plus 2% i.i.d. noise models the
     // asynchronous execution of §4.1.4: the skew accumulates, so senders
     // gradually drift out of the contention-free alignment.
-    let drift = || SimConfig::default().with_drift(20).with_skew(20).with_seed(42);
+    let drift = || {
+        SimConfig::default()
+            .with_drift(20)
+            .with_skew(20)
+            .with_seed(42)
+    };
     let sizes: Vec<u64> = match scale {
         Scale::Quick => (12..=17).map(|e| 1u64 << e).collect(),
         Scale::Full => (14..=21).map(|e| 1u64 << e).collect(),

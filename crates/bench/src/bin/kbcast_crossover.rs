@@ -5,11 +5,13 @@
 use logp_algos::kbroadcast::{
     run_kbcast_binomial, run_kbcast_optimal_tree, run_kbcast_scatter_gather,
 };
-use logp_bench::Table;
+use logp_bench::{threads_from_args, Table};
 use logp_core::LogP;
+use logp_sim::runner::sweep_map;
 use logp_sim::SimConfig;
 
 fn main() {
+    let threads = threads_from_args();
     for m in [
         LogP::new(60, 20, 40, 16).unwrap(), // CM-5-like
         LogP::new(200, 4, 8, 16).unwrap(),  // latency-dominated
@@ -23,11 +25,19 @@ fn main() {
             "winner",
         ]);
         let mut crossover = None;
-        for k in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let ks = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+        // 30 independent simulations (10 payloads x 3 schedules); the
+        // crossover scan below needs them back in k order, which
+        // sweep_map guarantees at any thread count.
+        let runs = sweep_map(threads, &ks, |&k| {
             let items: Vec<u64> = (0..k as u64).collect();
-            let tree = run_kbcast_optimal_tree(&m, &items, SimConfig::default());
-            let bino = run_kbcast_binomial(&m, &items, SimConfig::default());
-            let sg = run_kbcast_scatter_gather(&m, &items, SimConfig::default());
+            (
+                run_kbcast_optimal_tree(&m, &items, SimConfig::default()),
+                run_kbcast_binomial(&m, &items, SimConfig::default()),
+                run_kbcast_scatter_gather(&m, &items, SimConfig::default()),
+            )
+        });
+        for (&k, (tree, bino, sg)) in ks.iter().zip(&runs) {
             let winner = if sg.completion < tree.completion.min(bino.completion) {
                 if crossover.is_none() {
                     crossover = Some(k);
@@ -48,9 +58,9 @@ fn main() {
         }
         t.print();
         match crossover {
-            Some(k) => println!(
-                "scatter+all-gather overtakes the trees at k ~ {k} on this machine"
-            ),
+            Some(k) => {
+                println!("scatter+all-gather overtakes the trees at k ~ {k} on this machine")
+            }
             None => println!("the trees win throughout this range"),
         }
     }

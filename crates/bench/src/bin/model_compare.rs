@@ -5,12 +5,12 @@
 
 use logp_algos::broadcast::run_optimal_broadcast;
 use logp_algos::reduce::run_optimal_sum;
-use logp_baselines::{bsp_broadcast, bsp_sum, BspMachine};
 use logp_baselines::pram::{pram_broadcast, pram_sum};
+use logp_baselines::{bsp_broadcast, bsp_sum, BspMachine};
 use logp_bench::{f1, Table};
+use logp_core::broadcast::optimal_broadcast_time;
 use logp_core::models::{Bsp, Pram, PramVariant};
 use logp_core::summation::min_sum_time;
-use logp_core::broadcast::optimal_broadcast_time;
 use logp_core::LogP;
 use logp_sim::SimConfig;
 
@@ -21,6 +21,16 @@ fn main() {
     let bsp_machine = BspMachine::from_model(&bsp);
     let n = 4096u64;
 
+    // The two LogP simulations dominate the wall clock and are
+    // independent; overlap them on the sweep pool.
+    let logp_sum = min_sum_time(&m, n, m.p);
+    let (sim_bcast, sim_sum) = logp_bench::threads_from_args().install(|| {
+        rayon::join(
+            || run_optimal_broadcast(&m, SimConfig::default()).completion,
+            || run_optimal_sum(&m, logp_sum, SimConfig::default()).completion,
+        )
+    });
+
     println!("§6 — predicted/executed time for the same problems under each model");
     println!("machine: {m} (CM-5 calibration, 1 cycle = 0.1 µs)\n");
 
@@ -28,11 +38,12 @@ fn main() {
 
     // Broadcast.
     let logp_bcast = optimal_broadcast_time(&m);
-    let sim_bcast = run_optimal_broadcast(&m, SimConfig::default()).completion;
     let pram_crew = Pram::new(m.p, PramVariant::Crew).broadcast_time();
     let pram_erew = Pram::new(m.p, PramVariant::Erew).broadcast_time();
     let (pram_exec, _) = (
-        pram_broadcast(m.p, PramVariant::Erew, 1.0).expect("legal").steps,
+        pram_broadcast(m.p, PramVariant::Erew, 1.0)
+            .expect("legal")
+            .steps,
         (),
     );
     let (bsp_run, _) = bsp_broadcast(&bsp_machine, 1.0);
@@ -53,11 +64,11 @@ fn main() {
     }
 
     // Summation of n values.
-    let logp_sum = min_sum_time(&m, n, m.p);
-    let sim_sum = run_optimal_sum(&m, logp_sum, SimConfig::default()).completion;
     let pram_sum_pred = Pram::new(m.p, PramVariant::Erew).sum_time(n);
     let values: Vec<f64> = (0..n).map(|v| v as f64).collect();
-    let pram_sum_exec = pram_sum(m.p, PramVariant::Erew, &values).expect("legal").steps;
+    let pram_sum_exec = pram_sum(m.p, PramVariant::Erew, &values)
+        .expect("legal")
+        .steps;
     let (bsp_sum_run, bsp_total) = bsp_sum(&bsp_machine, &values);
     assert_eq!(bsp_total, values.iter().sum::<f64>());
     for (model, time) in [

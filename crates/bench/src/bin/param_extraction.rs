@@ -4,8 +4,8 @@
 //! micro-benchmarks (ping-pong, spaced sends, flooding) against simulated
 //! machines treated as black boxes and recovers their (L, o, g).
 
-use logp_algos::measure::extract_params;
-use logp_bench::{f1, Table};
+use logp_algos::measure::extract_params_sweep;
+use logp_bench::{f1, threads_from_args, Table};
 use logp_core::{LogP, MachinePreset};
 use logp_sim::SimConfig;
 
@@ -25,8 +25,11 @@ fn main() {
         .collect();
     machines.push(("fig3 toy".into(), LogP::fig3().with_p(2)));
     machines.push(("o-dominated".into(), LogP::new(10, 30, 4, 2).unwrap()));
-    for (name, m) in machines {
-        let p = extract_params(&m, 400, SimConfig::default());
+    // One extraction per machine, fanned across the worker pool — the
+    // "large number of machines" evaluation §7 calls for.
+    let models: Vec<LogP> = machines.iter().map(|(_, m)| *m).collect();
+    let extracted = extract_params_sweep(&models, 400, &SimConfig::default(), threads_from_args());
+    for ((name, m), p) in machines.into_iter().zip(extracted) {
         t.row(&[
             name,
             format!("({}, {}, {})", m.l, m.o, m.send_interval()),

@@ -7,7 +7,9 @@
 use logp_bench::{f2, Table};
 use logp_core::extensions::Pattern;
 use logp_core::LogP;
-use logp_net::patterns::{derive_multi_gap, hypercube_ecube_congestion, mesh_xy_congestion, Permutation};
+use logp_net::patterns::{
+    derive_multi_gap, hypercube_ecube_congestion, mesh_xy_congestion, Permutation,
+};
 use logp_net::{simulate_permutation, Network, Router, Topology};
 
 fn main() {

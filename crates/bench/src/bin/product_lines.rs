@@ -42,9 +42,19 @@ fn main() {
     let workloads: [Workload; 3] = [
         ("broadcast", |m| optimal_broadcast_time(m)),
         ("remote read", |m| m.remote_read()),
-        ("remap 256k", |m| staggered_remap_time(m, 262_144 / m.p as u64, 10)),
+        ("remap 256k", |m| {
+            staggered_remap_time(m, 262_144 / m.p as u64, 10)
+        }),
     ];
-    let mut t2 = Table::new(&["product line", "workload", "P=32", "P=128", "P=512", "P=2048", "512->2048 speedup"]);
+    let mut t2 = Table::new(&[
+        "product line",
+        "workload",
+        "P=32",
+        "P=128",
+        "P=512",
+        "P=2048",
+        "512->2048 speedup",
+    ]);
     for line in &lines {
         for (wname, cost) in &workloads {
             let pts = line.evaluate(&counts, cost);

@@ -3,11 +3,13 @@
 //! increases sharply; below the saturation point the latency is fairly
 //! insensitive to the load."
 
-use logp_bench::{f2, f3, Scale, Table};
-use logp_net::{knee, load_sweep, Network, PacketSimConfig, Topology};
+use logp_bench::{f2, f3, threads_from_args, Scale, Table};
+use logp_net::{knee, simulate_load, Network, PacketSimConfig, Topology};
+use logp_sim::runner::sweep_map;
 
 fn main() {
     let scale = Scale::from_args();
+    let threads = threads_from_args();
     let p = scale.pick(64u64, 256);
     let cfg = PacketSimConfig {
         warmup_cycles: scale.pick(250, 1000),
@@ -17,13 +19,20 @@ fn main() {
     };
     let loads = [0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8];
 
-    for topo in [Topology::Torus2D, Topology::Hypercube, Topology::Mesh2D, Topology::FatTree4] {
+    for topo in [
+        Topology::Torus2D,
+        Topology::Hypercube,
+        Topology::Mesh2D,
+        Topology::FatTree4,
+    ] {
         let net = Network::build(topo, p);
         println!(
             "\nsaturation on {} (P = {p}, uniform random traffic)\n",
             topo.name()
         );
-        let pts = load_sweep(&net, &loads, &cfg);
+        // Each offered-load point is an independent packet simulation;
+        // fan the sweep across the pool (`load_sweep` is the serial form).
+        let pts = sweep_map(threads, &loads, |&l| simulate_load(&net, l, &cfg));
         let mut t = Table::new(&["offered load", "avg latency", "throughput", "backlog"]);
         for pt in &pts {
             t.row(&[

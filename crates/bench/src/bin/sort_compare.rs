@@ -4,8 +4,9 @@
 
 use logp_algos::radix::run_radix_sort;
 use logp_algos::sort::{run_bitonic_sort, run_splitter_sort};
-use logp_bench::{f2, Scale, Table};
+use logp_bench::{f2, threads_from_args, Scale, Table};
 use logp_core::LogP;
+use logp_sim::runner::sweep_map;
 use logp_sim::SimConfig;
 
 fn keys(n: usize, seed: u64) -> Vec<u64> {
@@ -23,7 +24,10 @@ fn keys(n: usize, seed: u64) -> Vec<u64> {
 fn main() {
     let scale = Scale::from_args();
     let m = LogP::new(60, 20, 40, 16).unwrap();
-    let sizes: Vec<usize> = scale.pick(vec![1 << 10, 1 << 12, 1 << 14], vec![1 << 12, 1 << 14, 1 << 16, 1 << 18]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![1 << 10, 1 << 12, 1 << 14],
+        vec![1 << 12, 1 << 14, 1 << 16, 1 << 18],
+    );
 
     println!("§4.2.2 — sorting on {m}\n");
     let mut t = Table::new(&[
@@ -36,16 +40,20 @@ fn main() {
         "radix msgs",
         "bitonic msgs",
     ]);
-    for &n in &sizes {
+    // Nine independent sorts (3 sizes x 3 algorithms): fan them all out.
+    let runs = sweep_map(threads_from_args(), &sizes, |&n| {
         let input = keys(n, 7);
         let sp = run_splitter_sort(&m, &input, SimConfig::default());
         let rx = run_radix_sort(&m, &input, 8, 20, SimConfig::default());
         let bi = run_bitonic_sort(&m, &input, SimConfig::default());
-        let mut expect = input.clone();
+        let mut expect = input;
         expect.sort_unstable();
         assert_eq!(sp.output, expect, "splitter output must be sorted");
         assert_eq!(rx.output, expect, "radix output must be sorted");
         assert_eq!(bi.output, expect, "bitonic output must be sorted");
+        (sp, rx, bi)
+    });
+    for (&n, (sp, rx, bi)) in sizes.iter().zip(&runs) {
         t.row(&[
             n.to_string(),
             sp.completion.to_string(),

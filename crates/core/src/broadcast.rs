@@ -81,7 +81,11 @@ pub fn broadcast_reach(m: &LogP, t: Cycles) -> u64 {
     let tt = t as usize;
     let mut n = vec![1u64; tt + 1];
     for i in p2p as usize..=tt {
-        let a = if i >= gp as usize { n[i - gp as usize] } else { 1 };
+        let a = if i >= gp as usize {
+            n[i - gp as usize]
+        } else {
+            1
+        };
         let b = n[i - p2p as usize];
         n[i] = a.saturating_add(b);
     }
@@ -113,7 +117,11 @@ pub fn optimal_broadcast_time(m: &LogP) -> Cycles {
         if table.len() <= i {
             table.resize(i + 1, 1);
         }
-        let a = if i >= gp as usize { table[i - gp as usize] } else { 1 };
+        let a = if i >= gp as usize {
+            table[i - gp as usize]
+        } else {
+            1
+        };
         let b = table[i - p2p as usize];
         table[i] = a.saturating_add(b);
         if table[i] >= m.p as u64 {
@@ -152,7 +160,12 @@ pub fn optimal_broadcast_tree(m: &LogP) -> BroadcastTree {
         heap.push(Reverse((s + gp, sender)));
         heap.push(Reverse((ready[child as usize], child)));
     }
-    BroadcastTree { parent, ready, send_start, model: *m }
+    BroadcastTree {
+        parent,
+        ready,
+        send_start,
+        model: *m,
+    }
 }
 
 /// Evaluate the completion time of broadcasting along a *fixed* tree:
@@ -308,7 +321,13 @@ mod tests {
 
     #[test]
     fn greedy_tree_matches_reach_based_optimum() {
-        for (l, o, g, p) in [(6, 2, 4, 8), (5, 2, 4, 8), (10, 1, 3, 37), (2, 1, 1, 64), (20, 5, 5, 100)] {
+        for (l, o, g, p) in [
+            (6, 2, 4, 8),
+            (5, 2, 4, 8),
+            (10, 1, 3, 37),
+            (2, 1, 1, 64),
+            (20, 5, 5, 100),
+        ] {
             let m = LogP::new(l, o, g, p).unwrap();
             let tree = optimal_broadcast_tree(&m);
             assert_eq!(
@@ -324,7 +343,12 @@ mod tests {
         for (l, o, g, p) in [(6, 2, 4, 8), (6, 2, 4, 64), (1, 1, 1, 16), (30, 2, 3, 128)] {
             let m = LogP::new(l, o, g, p).unwrap();
             let opt = optimal_broadcast_time(&m);
-            for shape in [TreeShape::Flat, TreeShape::Linear, TreeShape::Binary, TreeShape::Binomial] {
+            for shape in [
+                TreeShape::Flat,
+                TreeShape::Linear,
+                TreeShape::Binary,
+                TreeShape::Binomial,
+            ] {
                 assert!(
                     opt <= shape_broadcast_time(&m, shape),
                     "optimal {opt} beaten by {shape:?} on {m}"

@@ -59,12 +59,7 @@ pub fn staggered_remap_time(m: &LogP, elems_per_proc: u64, local: Cycles) -> Cyc
 /// `butterfly` is the per-butterfly cost (the paper's calibration:
 /// 10 flops ≙ 4.5 µs) and `local` the per-element remap load/store cost,
 /// both in cycles.
-pub fn fft_hybrid_time(
-    m: &LogP,
-    n: u64,
-    butterfly: Cycles,
-    local: Cycles,
-) -> Cycles {
+pub fn fft_hybrid_time(m: &LogP, n: u64, butterfly: Cycles, local: Cycles) -> Cycles {
     let p = m.p as u64;
     let compute = (n / (2 * p)) * log2_ceil(n) * butterfly;
     compute + staggered_remap_time(m, n / p, local)
@@ -176,7 +171,10 @@ mod tests {
         let hybrid = staggered_remap_time(&model, n / 128, 0);
         let ratio = single as f64 / hybrid as f64;
         let logp = log2_ceil(128) as f64;
-        assert!((ratio - logp).abs() / logp < 0.05, "ratio {ratio} vs logP {logp}");
+        assert!(
+            (ratio - logp).abs() / logp < 0.05,
+            "ratio {ratio} vs logP {logp}"
+        );
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl LogGP {
             return None;
         }
         // Find smallest k with long_message_time(k) < small_message_time(k).
-        (1..=1_000_000)
-            .find(|&k| self.long_message_time(k) < self.small_message_time(k))
+        (1..=1_000_000).find(|&k| self.long_message_time(k) < self.small_message_time(k))
     }
 }
 
@@ -108,7 +107,10 @@ pub struct MultiGap {
 
 impl MultiGap {
     pub fn new(base: LogP) -> Self {
-        MultiGap { base, gaps: BTreeMap::new() }
+        MultiGap {
+            base,
+            gaps: BTreeMap::new(),
+        }
     }
 
     /// Record the effective gap for a pattern (must be >= 1).
@@ -125,7 +127,10 @@ impl MultiGap {
 
     /// The base model with `g` replaced by the pattern's gap.
     pub fn model_for(&self, pattern: Pattern) -> LogP {
-        LogP { g: self.gap(pattern), ..self.base }
+        LogP {
+            g: self.gap(pattern),
+            ..self.base
+        }
     }
 }
 
@@ -164,7 +169,10 @@ mod tests {
 
     #[test]
     fn dma_occupancy_is_constant() {
-        let d = DmaNode { base: base(), setup: 100 };
+        let d = DmaNode {
+            base: base(),
+            setup: 100,
+        };
         assert_eq!(d.send_occupancy(1), d.send_occupancy(1_000_000));
         assert!(d.delivery(1000) > d.send_occupancy(1000));
     }

@@ -43,10 +43,15 @@ impl MachinePreset {
     pub fn cm5() -> Self {
         MachinePreset {
             name: "CM-5 (Active Messages)",
-            logp: LogP { l: 60, o: 20, g: 40, p: 128 },
+            logp: LogP {
+                l: 60,
+                o: 20,
+                g: 40,
+                p: 128,
+            },
             cycles_per_us: 10,
-            local_elem_cost: 10,  // 1 µs
-            butterfly_cost: 45,   // 4.5 µs
+            local_elem_cost: 10, // 1 µs
+            butterfly_cost: 45,  // 4.5 µs
             msg_payload_bytes: 16,
             cache_bytes: 64 * 1024,
         }
@@ -58,7 +63,12 @@ impl MachinePreset {
     pub fn cm5_vendor() -> Self {
         MachinePreset {
             name: "CM-5 (vendor send/receive)",
-            logp: LogP { l: 60, o: 450, g: 450, p: 128 },
+            logp: LogP {
+                l: 60,
+                o: 450,
+                g: 450,
+                p: 128,
+            },
             cycles_per_us: 10,
             local_elem_cost: 10,
             butterfly_cost: 45,
@@ -73,7 +83,12 @@ impl MachinePreset {
     pub fn ncube2_am() -> Self {
         MachinePreset {
             name: "nCUBE/2 (Active Messages)",
-            logp: LogP { l: 90, o: 125, g: 125, p: 1024 },
+            logp: LogP {
+                l: 90,
+                o: 125,
+                g: 125,
+                p: 1024,
+            },
             cycles_per_us: 10,
             local_elem_cost: 10,
             butterfly_cost: 60,
@@ -88,7 +103,12 @@ impl MachinePreset {
     pub fn low_overhead_future() -> Self {
         MachinePreset {
             name: "future (o << g)",
-            logp: LogP { l: 60, o: 2, g: 40, p: 128 },
+            logp: LogP {
+                l: 60,
+                o: 2,
+                g: 40,
+                p: 128,
+            },
             cycles_per_us: 10,
             local_elem_cost: 10,
             butterfly_cost: 45,
@@ -160,7 +180,11 @@ mod tests {
     #[test]
     fn all_presets_have_valid_parameters() {
         for m in MachinePreset::all() {
-            assert!(LogP::new(m.logp.l, m.logp.o, m.logp.g, m.logp.p).is_ok(), "{}", m.name);
+            assert!(
+                LogP::new(m.logp.l, m.logp.o, m.logp.g, m.logp.p).is_ok(),
+                "{}",
+                m.name
+            );
             assert!(m.cycles_per_us > 0);
         }
     }

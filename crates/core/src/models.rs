@@ -85,7 +85,11 @@ impl Bsp {
     /// cost of a superstep must cover a full message round-trip and the
     /// synchronization itself — we charge `L + 2o` per superstep minimum.
     pub fn from_logp(m: &LogP) -> Self {
-        Bsp { p: m.p, g: m.g.max(m.o), l: m.l + 2 * m.o }
+        Bsp {
+            p: m.p,
+            g: m.g.max(m.o),
+            l: m.l + 2 * m.o,
+        }
     }
 
     /// Cost of one superstep with `w` local work and an `h`-relation.
@@ -114,9 +118,7 @@ impl Bsp {
     pub fn fft_time(&self, n: u64, butterfly: Cycles) -> Cycles {
         let p = self.p as u64;
         let per_phase = (n / p) * log2_ceil(n) * butterfly / 2;
-        self.superstep(per_phase, 0)
-            + self.superstep(0, n / p)
-            + self.superstep(per_phase, 0)
+        self.superstep(per_phase, 0) + self.superstep(0, n / p) + self.superstep(per_phase, 0)
     }
 }
 

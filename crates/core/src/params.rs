@@ -92,13 +92,23 @@ impl LogP {
     /// The parameters used for the paper's Figure 3 broadcast example:
     /// `P = 8, L = 6, g = 4, o = 2`.
     pub fn fig3() -> Self {
-        LogP { l: 6, o: 2, g: 4, p: 8 }
+        LogP {
+            l: 6,
+            o: 2,
+            g: 4,
+            p: 8,
+        }
     }
 
     /// The parameters used for the paper's Figure 4 summation example:
     /// `P = 8, L = 5, g = 4, o = 2`.
     pub fn fig4() -> Self {
-        LogP { l: 5, o: 2, g: 4, p: 8 }
+        LogP {
+            l: 5,
+            o: 2,
+            g: 4,
+            p: 8,
+        }
     }
 
     /// Network capacity: at most `⌈L/g⌉` messages in transit from any
@@ -131,7 +141,10 @@ impl LogP {
     /// `g` can be ignored. "This is conservative by at most a factor of
     /// two."
     pub fn o_raised_to_g(&self) -> Self {
-        LogP { o: self.o.max(self.g), ..*self }
+        LogP {
+            o: self.o.max(self.g),
+            ..*self
+        }
     }
 
     /// The effective per-message injection interval at a busy processor:
@@ -168,13 +181,20 @@ impl LogP {
     /// fat-tree data networks doubles the available per-processor
     /// bandwidth, i.e. halves `g` (floor, min 1).
     pub fn double_network(&self) -> Self {
-        LogP { g: (self.g / 2).max(1), ..*self }
+        LogP {
+            g: (self.g / 2).max(1),
+            ..*self
+        }
     }
 }
 
 impl std::fmt::Display for LogP {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "LogP(L={}, o={}, g={}, P={})", self.l, self.o, self.g, self.p)
+        write!(
+            f,
+            "LogP(L={}, o={}, g={}, P={})",
+            self.l, self.o, self.g, self.p
+        )
     }
 }
 

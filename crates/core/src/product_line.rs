@@ -67,7 +67,12 @@ impl ProductLine {
         let g = (self.anchor.g as f64 * self.g_scaling.factor(p, self.anchor.p))
             .round()
             .max(1.0) as Cycles;
-        LogP { l, o: self.anchor.o, g, p }
+        LogP {
+            l,
+            o: self.anchor.o,
+            g,
+            p,
+        }
     }
 
     /// A CM-5-style line: fat tree — logarithmic latency, flat gap (full
@@ -75,7 +80,12 @@ impl ProductLine {
     pub fn fat_tree_cm5() -> Self {
         ProductLine {
             name: "fat tree (CM-5-like)",
-            anchor: LogP { l: 60, o: 20, g: 40, p: 128 },
+            anchor: LogP {
+                l: 60,
+                o: 20,
+                g: 40,
+                p: 128,
+            },
             l_scaling: Scaling::Logarithmic,
             g_scaling: Scaling::Flat,
         }
@@ -86,7 +96,12 @@ impl ProductLine {
     pub fn mesh_2d() -> Self {
         ProductLine {
             name: "2D mesh",
-            anchor: LogP { l: 60, o: 20, g: 40, p: 128 },
+            anchor: LogP {
+                l: 60,
+                o: 20,
+                g: 40,
+                p: 128,
+            },
             l_scaling: Scaling::SquareRoot,
             g_scaling: Scaling::SquareRoot,
         }
@@ -97,7 +112,12 @@ impl ProductLine {
     pub fn hypercube_ncube() -> Self {
         ProductLine {
             name: "hypercube (nCUBE/2-like)",
-            anchor: LogP { l: 90, o: 125, g: 125, p: 1024 },
+            anchor: LogP {
+                l: 90,
+                o: 125,
+                g: 125,
+                p: 1024,
+            },
             l_scaling: Scaling::Logarithmic,
             g_scaling: Scaling::Flat,
         }
@@ -108,7 +128,12 @@ impl ProductLine {
     pub fn shared_bus() -> Self {
         ProductLine {
             name: "shared bus",
-            anchor: LogP { l: 20, o: 10, g: 10, p: 8 },
+            anchor: LogP {
+                l: 20,
+                o: 10,
+                g: 10,
+                p: 8,
+            },
             l_scaling: Scaling::Flat,
             g_scaling: Scaling::Linear,
         }
@@ -211,8 +236,7 @@ mod tests {
             "the bus must stop scaling past saturation: {p32} -> {p128}"
         );
         // Whereas the fat tree keeps gaining.
-        let fat = ProductLine::fat_tree_cm5()
-            .evaluate(&[128, 256, 512, 1024], t);
+        let fat = ProductLine::fat_tree_cm5().evaluate(&[128, 256, 512, 1024], t);
         assert!(fat[3].2 < fat[0].2 / 3);
     }
 

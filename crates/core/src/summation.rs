@@ -132,9 +132,9 @@ fn bounded_rec(m: &LogP, t: Cycles, p: u32, memo: &mut BoundedMemo) -> u64 {
     let k_busy = t / (m.o + 1);
     let k_max = k_deadline.min(k_busy).min((p - 1) as u64);
     let mut best = t + 1; // no children at all
-    // The child deadlines depend only on the child's index, not on how
-    // many children are taken, so the allocation tables for k children
-    // are a prefix of the tables for k_max: build once, read prefixes.
+                          // The child deadlines depend only on the child's index, not on how
+                          // many children are taken, so the allocation tables for k children
+                          // are a prefix of the tables for k_max: build once, read prefixes.
     let tables = child_alloc_tables(m, t, p, k_max, memo);
     for k in 1..=k_max {
         let local = t - k * (m.o + 1) + 1;
@@ -266,7 +266,12 @@ pub fn optimal_sum_schedule(m: &LogP, t: Cycles) -> SumSchedule {
     let mut nodes = Vec::new();
     build_node(m, t, m.p, None, &mut nodes, &mut memo);
     debug_assert_eq!(nodes.iter().map(|n| n.local_inputs).sum::<u64>(), total);
-    SumSchedule { nodes, deadline: t, total_inputs: total, model: *m }
+    SumSchedule {
+        nodes,
+        deadline: t,
+        total_inputs: total,
+        model: *m,
+    }
 }
 
 fn build_node(
@@ -382,13 +387,19 @@ mod tests {
         assert_eq!(root.local_inputs, 17);
         // Child completing at 18 has two children (at 8 and 4).
         let c18 = root.children[0].0;
-        let times18: Vec<Cycles> =
-            sched.nodes[c18 as usize].children.iter().map(|c| c.1).collect();
+        let times18: Vec<Cycles> = sched.nodes[c18 as usize]
+            .children
+            .iter()
+            .map(|c| c.1)
+            .collect();
         assert_eq!(times18, vec![8, 4]);
         // Child completing at 14 has one child (at 4).
         let c14 = root.children[1].0;
-        let times14: Vec<Cycles> =
-            sched.nodes[c14 as usize].children.iter().map(|c| c.1).collect();
+        let times14: Vec<Cycles> = sched.nodes[c14 as usize]
+            .children
+            .iter()
+            .map(|c| c.1)
+            .collect();
         assert_eq!(times14, vec![4]);
         // Children at 10 and 6 are leaves.
         assert!(sched.nodes[root.children[2].0 as usize].children.is_empty());
@@ -431,7 +442,12 @@ mod tests {
 
     #[test]
     fn schedule_totals_match_capacity() {
-        for (l, o, g, p, t) in [(5, 2, 4, 8, 28), (6, 2, 4, 16, 40), (3, 1, 2, 8, 20), (10, 0, 2, 32, 35)] {
+        for (l, o, g, p, t) in [
+            (5, 2, 4, 8, 28),
+            (6, 2, 4, 16, 40),
+            (3, 1, 2, 8, 20),
+            (10, 0, 2, 32, 35),
+        ] {
             let m = LogP::new(l, o, g, p).unwrap();
             let sched = optimal_sum_schedule(&m, t);
             assert_eq!(sched.total_inputs, sum_capacity_bounded(&m, t, p));
@@ -465,7 +481,10 @@ mod tests {
     fn subtree_inputs(sched: &SumSchedule, id: ProcId) -> u64 {
         let n = &sched.nodes[id as usize];
         n.local_inputs
-            + n.children.iter().map(|(c, _)| subtree_inputs(sched, *c)).sum::<u64>()
+            + n.children
+                .iter()
+                .map(|(c, _)| subtree_inputs(sched, *c))
+                .sum::<u64>()
     }
 
     #[test]

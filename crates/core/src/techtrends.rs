@@ -23,12 +23,42 @@ pub struct MicroprocessorSample {
 /// figure's axes (values are approximate by nature of the source).
 pub fn figure2_data() -> Vec<MicroprocessorSample> {
     vec![
-        MicroprocessorSample { name: "Sun 4/260", year: 1987, spec_int: 9.0, spec_fp: 6.0 },
-        MicroprocessorSample { name: "MIPS M/120", year: 1988, spec_int: 13.0, spec_fp: 10.0 },
-        MicroprocessorSample { name: "MIPS M2000", year: 1989, spec_int: 18.0, spec_fp: 19.0 },
-        MicroprocessorSample { name: "IBM RS6000/540", year: 1990, spec_int: 24.0, spec_fp: 44.0 },
-        MicroprocessorSample { name: "HP 9000/750", year: 1991, spec_int: 51.0, spec_fp: 75.0 },
-        MicroprocessorSample { name: "DEC alpha", year: 1992, spec_int: 80.0, spec_fp: 140.0 },
+        MicroprocessorSample {
+            name: "Sun 4/260",
+            year: 1987,
+            spec_int: 9.0,
+            spec_fp: 6.0,
+        },
+        MicroprocessorSample {
+            name: "MIPS M/120",
+            year: 1988,
+            spec_int: 13.0,
+            spec_fp: 10.0,
+        },
+        MicroprocessorSample {
+            name: "MIPS M2000",
+            year: 1989,
+            spec_int: 18.0,
+            spec_fp: 19.0,
+        },
+        MicroprocessorSample {
+            name: "IBM RS6000/540",
+            year: 1990,
+            spec_int: 24.0,
+            spec_fp: 44.0,
+        },
+        MicroprocessorSample {
+            name: "HP 9000/750",
+            year: 1991,
+            spec_int: 51.0,
+            spec_fp: 75.0,
+        },
+        MicroprocessorSample {
+            name: "DEC alpha",
+            year: 1992,
+            spec_int: 80.0,
+            spec_fp: 140.0,
+        },
     ]
 }
 
@@ -73,15 +103,16 @@ pub fn fit_growth(points: &[(u32, f64)]) -> GrowthFit {
 
 /// Fit the integer series of Figure 2.
 pub fn integer_growth() -> GrowthFit {
-    let pts: Vec<(u32, f64)> =
-        figure2_data().iter().map(|s| (s.year, s.spec_int)).collect();
+    let pts: Vec<(u32, f64)> = figure2_data()
+        .iter()
+        .map(|s| (s.year, s.spec_int))
+        .collect();
     fit_growth(&pts)
 }
 
 /// Fit the floating-point series of Figure 2.
 pub fn fp_growth() -> GrowthFit {
-    let pts: Vec<(u32, f64)> =
-        figure2_data().iter().map(|s| (s.year, s.spec_fp)).collect();
+    let pts: Vec<(u32, f64)> = figure2_data().iter().map(|s| (s.year, s.spec_fp)).collect();
     fit_growth(&pts)
 }
 
@@ -117,8 +148,9 @@ mod tests {
     #[test]
     fn exact_exponential_is_recovered() {
         // perf doubling every year from 4.0.
-        let pts: Vec<(u32, f64)> =
-            (0..6).map(|i| (1990 + i, 4.0 * 2f64.powi(i as i32))).collect();
+        let pts: Vec<(u32, f64)> = (0..6)
+            .map(|i| (1990 + i, 4.0 * 2f64.powi(i as i32)))
+            .collect();
         let fit = fit_growth(&pts);
         assert!((fit.annual_rate - 1.0).abs() < 1e-9);
         assert!((fit.base - 4.0).abs() < 1e-9);

@@ -43,11 +43,7 @@ pub fn bisection_width(topology: Topology, p: u64) -> u64 {
 /// per-link bandwidth: under uniform traffic half of all messages cross
 /// the bisection, so each processor's sustainable rate is
 /// `2 · width · link_bw / p`.
-pub fn per_proc_bisection_bw(
-    topology: Topology,
-    p: u64,
-    link_bytes_per_cycle: f64,
-) -> f64 {
+pub fn per_proc_bisection_bw(topology: Topology, p: u64, link_bytes_per_cycle: f64) -> f64 {
     2.0 * bisection_width(topology, p) as f64 * link_bytes_per_cycle / p as f64
 }
 
@@ -62,8 +58,14 @@ pub fn calibrate_g_us(payload_bytes: f64, per_proc_mb_s: f64) -> f64 {
 /// endpoints): verification oracle for the formulas.
 pub fn brute_force_bisection(net: &Network) -> u64 {
     let n = net.endpoints.len();
-    assert!(n <= 16, "brute force is exponential; use the formulas beyond 16");
-    assert!(n.is_multiple_of(2), "bisection needs an even processor count");
+    assert!(
+        n <= 16,
+        "brute force is exponential; use the formulas beyond 16"
+    );
+    assert!(
+        n.is_multiple_of(2),
+        "bisection needs an even processor count"
+    );
     // For indirect networks, assign switches greedily to the side that
     // minimizes crossings — here we only support direct networks where
     // endpoints are all the nodes.
@@ -114,7 +116,10 @@ mod tests {
     #[test]
     fn mesh_formula_matches_brute_force() {
         let net = Network::build(Topology::Mesh2D, 16);
-        assert_eq!(brute_force_bisection(&net), bisection_width(Topology::Mesh2D, 16));
+        assert_eq!(
+            brute_force_bisection(&net),
+            bisection_width(Topology::Mesh2D, 16)
+        );
     }
 
     #[test]

@@ -17,14 +17,17 @@
 
 pub mod bisection;
 pub mod packet;
-pub mod routing;
 pub mod patterns;
+pub mod routing;
 pub mod timing;
 pub mod topology;
 
-pub use packet::{knee, load_sweep, simulate_load, simulate_permutation, LoadPoint, PacketSimConfig, PermutationRun};
-pub use routing::Router;
 pub use bisection::{bisection_width, calibrate_g_us, per_proc_bisection_bw};
+pub use packet::{
+    knee, load_sweep, simulate_load, simulate_permutation, LoadPoint, PacketSimConfig,
+    PermutationRun,
+};
 pub use patterns::{hypercube_ecube_congestion, mesh_xy_congestion, Permutation};
+pub use routing::Router;
 pub use timing::{table1, MachineTiming};
 pub use topology::{avg_distance_table, Network, Topology};

@@ -170,8 +170,7 @@ pub fn simulate_load(net: &Network, offered: f64, cfg: &PacketSimConfig) -> Load
         } else {
             delivered_lat as f64 / delivered_cnt as f64
         },
-        throughput: delivered_cnt as f64
-            / (cfg.measure_cycles as f64 * endpoints.len() as f64),
+        throughput: delivered_cnt as f64 / (cfg.measure_cycles as f64 * endpoints.len() as f64),
         backlog,
     }
 }
@@ -200,7 +199,11 @@ pub fn simulate_permutation(
     max_cycles: u64,
 ) -> PermutationRun {
     let n = net.adj.len();
-    assert_eq!(perm.0.len(), net.endpoints.len(), "permutation must cover endpoints");
+    assert_eq!(
+        perm.0.len(),
+        net.endpoints.len(),
+        "permutation must cover endpoints"
+    );
     let shortest = match router {
         Router::Shortest => Some(build_routes(net)),
         Router::DimensionOrder => None,
@@ -227,7 +230,11 @@ pub fn simulate_permutation(
             return PermutationRun {
                 completion: t,
                 delivered,
-                avg_latency: if delivered == 0 { 0.0 } else { lat_sum as f64 / delivered as f64 },
+                avg_latency: if delivered == 0 {
+                    0.0
+                } else {
+                    lat_sum as f64 / delivered as f64
+                },
             };
         }
         // Injection: one packet per endpoint per cycle while any remain.
@@ -235,7 +242,11 @@ pub fn simulate_permutation(
             if remaining[i] > 0 && perm.0[i] != i as u32 {
                 remaining[i] -= 1;
                 let dst = net.endpoints[perm.0[i] as usize];
-                queues[e as usize].push_back(Packet { dst, injected_at: t, measured: true });
+                queues[e as usize].push_back(Packet {
+                    dst,
+                    injected_at: t,
+                    measured: true,
+                });
             }
         }
         // Forwarding: cap(link) packets per directed link per cycle.
@@ -275,7 +286,11 @@ pub fn simulate_permutation(
     PermutationRun {
         completion: max_cycles,
         delivered,
-        avg_latency: if delivered == 0 { 0.0 } else { lat_sum as f64 / delivered as f64 },
+        avg_latency: if delivered == 0 {
+            0.0
+        } else {
+            lat_sum as f64 / delivered as f64
+        },
     }
 }
 
@@ -342,7 +357,10 @@ mod tests {
         );
         let k = knee(&pts, 2.0);
         assert!(k.is_some(), "a knee must exist in this sweep");
-        assert!(k.expect("checked") >= 0.2, "knee should not be at trivial load");
+        assert!(
+            k.expect("checked") >= 0.2,
+            "knee should not be at trivial load"
+        );
     }
 
     #[test]
@@ -406,8 +424,7 @@ mod tests {
         );
         assert_eq!(shift.delivered, 64 * k);
         assert!(transpose.delivered > 0);
-        let static_ratio = mesh_xy_congestion(&Permutation::transpose(64)).max_link_load
-            as f64
+        let static_ratio = mesh_xy_congestion(&Permutation::transpose(64)).max_link_load as f64
             / mesh_xy_congestion(&Permutation::shift(64, 1)).max_link_load as f64;
         let dynamic_ratio = transpose.completion as f64 / shift.completion as f64;
         assert!(

@@ -132,18 +132,21 @@ fn report(loads: HashMap<(u32, u32), u32>, total_hops: u64) -> CongestionReport 
         *histogram.entry(l).or_insert(0) += 1;
         max = max.max(l);
     }
-    CongestionReport { max_link_load: max, total_hops, histogram }
+    CongestionReport {
+        max_link_load: max,
+        total_hops,
+        histogram,
+    }
 }
 
 /// Derive a per-pattern `MultiGap` model (§5.6): each pattern's gap is
 /// the base gap times its measured congestion under the given routing.
-pub fn derive_multi_gap(
-    base: &LogP,
-    good: &CongestionReport,
-    bad: &CongestionReport,
-) -> MultiGap {
+pub fn derive_multi_gap(base: &LogP, good: &CongestionReport, bad: &CongestionReport) -> MultiGap {
     MultiGap::new(*base)
-        .with_gap(Pattern::ContentionFree, base.g * good.max_link_load.max(1) as u64)
+        .with_gap(
+            Pattern::ContentionFree,
+            base.g * good.max_link_load.max(1) as u64,
+        )
         .with_gap(Pattern::General, base.g * bad.max_link_load.max(1) as u64)
 }
 
@@ -157,7 +160,11 @@ mod tests {
         // routes; notably far from the bit-reversal blowup.
         let p = 256;
         let shift = hypercube_ecube_congestion(&Permutation::shift(p, 1));
-        assert!(shift.max_link_load <= 2, "shift congestion {}", shift.max_link_load);
+        assert!(
+            shift.max_link_load <= 2,
+            "shift congestion {}",
+            shift.max_link_load
+        );
     }
 
     #[test]
@@ -213,10 +220,7 @@ mod tests {
         let bad = hypercube_ecube_congestion(&Permutation::bit_reversal(256));
         let mg = derive_multi_gap(&base, &good, &bad);
         assert!(mg.gap(Pattern::General) > mg.gap(Pattern::ContentionFree));
-        assert_eq!(
-            mg.gap(Pattern::General),
-            base.g * bad.max_link_load as u64
-        );
+        assert_eq!(mg.gap(Pattern::General), base.g * bad.max_link_load as u64);
     }
 
     #[test]

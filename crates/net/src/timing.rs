@@ -142,12 +142,7 @@ mod tests {
     fn table1_t160_matches_paper() {
         let expect = [6760u64, 3714, 53, 60, 30, 1360, 246];
         for (row, want) in table1().iter().zip(expect.iter()) {
-            assert_eq!(
-                row.t_160(),
-                *want,
-                "{}: T(160) mismatch",
-                row.machine
-            );
+            assert_eq!(row.t_160(), *want, "{}: T(160) mismatch", row.machine);
         }
     }
 
@@ -190,8 +185,14 @@ mod tests {
         // The nCUBE/2's 1-bit channels serialize 160 bits in 160 cycles;
         // Dash's 16-bit channels in 10.
         let rows = table1();
-        assert_eq!(rows[0].unloaded_time(160, 0.0) as u64 - rows[0].tsnd_plus_trcv, 160);
-        assert_eq!(rows[2].unloaded_time(160, 0.0) as u64 - rows[2].tsnd_plus_trcv, 10);
+        assert_eq!(
+            rows[0].unloaded_time(160, 0.0) as u64 - rows[0].tsnd_plus_trcv,
+            160
+        );
+        assert_eq!(
+            rows[2].unloaded_time(160, 0.0) as u64 - rows[2].tsnd_plus_trcv,
+            10
+        );
     }
 
     #[test]

@@ -187,7 +187,9 @@ impl Network {
         Network {
             adj,
             cap,
-            endpoints: (0..p).map(|i| (level_base[h as usize] + i) as u32).collect(),
+            endpoints: (0..p)
+                .map(|i| (level_base[h as usize] + i) as u32)
+                .collect(),
             topology: Topology::FatTree4,
         }
     }
@@ -226,7 +228,11 @@ impl Network {
             cap: unit_caps(&adj),
             adj,
             endpoints: (0..p as u32).collect(),
-            topology: if wrap { Topology::Torus2D } else { Topology::Mesh2D },
+            topology: if wrap {
+                Topology::Torus2D
+            } else {
+                Topology::Mesh2D
+            },
         }
     }
 
@@ -273,7 +279,11 @@ impl Network {
             cap: unit_caps(&adj),
             adj,
             endpoints: (0..p as u32).collect(),
-            topology: if wrap { Topology::Torus3D } else { Topology::Mesh3D },
+            topology: if wrap {
+                Topology::Torus3D
+            } else {
+                Topology::Mesh3D
+            },
         }
     }
 
@@ -310,7 +320,11 @@ impl Network {
             self.topology,
             Topology::Hypercube | Topology::Torus2D | Topology::Torus3D
         );
-        let sources: &[u32] = if transitive { &self.endpoints[..1] } else { &self.endpoints };
+        let sources: &[u32] = if transitive {
+            &self.endpoints[..1]
+        } else {
+            &self.endpoints
+        };
         let mut total: u64 = 0;
         for &e in sources {
             let dist = self.bfs(e);
@@ -489,17 +503,26 @@ mod tests {
         // The paper's point: topological spread at P = 1024 is ≤ 2× for
         // rich networks, ~4× including primitive meshes.
         let rows = avg_distance_table();
-        let min = rows.iter().map(|r| r.formula_at_1024).fold(f64::MAX, f64::min);
+        let min = rows
+            .iter()
+            .map(|r| r.formula_at_1024)
+            .fold(f64::MAX, f64::min);
         let max = rows.iter().map(|r| r.formula_at_1024).fold(0.0, f64::max);
         assert!(max / min < 4.5, "spread {max}/{min}");
     }
 
     #[test]
     fn diameters_are_sane() {
-        assert_eq!(Network::build(Topology::Hypercube, 64).endpoint_diameter(), 6);
+        assert_eq!(
+            Network::build(Topology::Hypercube, 64).endpoint_diameter(),
+            6
+        );
         assert_eq!(Network::build(Topology::Torus2D, 64).endpoint_diameter(), 8);
         assert_eq!(Network::build(Topology::Mesh2D, 64).endpoint_diameter(), 14);
-        assert_eq!(Network::build(Topology::FatTree4, 64).endpoint_diameter(), 6);
+        assert_eq!(
+            Network::build(Topology::FatTree4, 64).endpoint_diameter(),
+            6
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Default config with tracing enabled.
     pub fn traced() -> Self {
-        SimConfig { record_trace: true, ..Default::default() }
+        SimConfig {
+            record_trace: true,
+            ..Default::default()
+        }
     }
 
     /// Enable latency jitter of up to `j` cycles below `L`.
@@ -124,7 +127,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = SimConfig::traced().with_jitter(3).with_drift(10).with_seed(7);
+        let c = SimConfig::traced()
+            .with_jitter(3)
+            .with_drift(10)
+            .with_seed(7);
         assert!(c.record_trace);
         assert_eq!(c.latency_jitter, 3);
         assert_eq!(c.drift_ppk, 10);

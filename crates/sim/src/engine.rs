@@ -50,7 +50,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "simulation exceeded the event budget of {limit}")
             }
             SimError::Deadlock { stuck } => {
-                write!(f, "simulation deadlocked with processors {stuck:?} still holding work")
+                write!(
+                    f,
+                    "simulation deadlocked with processors {stuck:?} still holding work"
+                )
             }
         }
     }
@@ -71,9 +74,12 @@ enum EventKind {
     /// "in transit" for exactly its network flight time `L'` starting at
     /// injection, so per-endpoint occupancy of a stall-free `g`-spaced
     /// stream is exactly `⌈L/g⌉` — the model's capacity.
-    Release { src: usize, dst: usize },
-    /// A message reaches its destination's network interface.
-    Arrive(Message),
+    Release { src: ProcId, dst: ProcId },
+    /// A message reaches its destination's network interface. The payload
+    /// lives in the engine's message slab (`Sim::msg_slab`) so heap
+    /// entries stay small — sift operations move every byte of an event,
+    /// and an inline `Message` would triple the element size.
+    Arrive(MsgSlot),
     /// Send overhead complete; the sender may proceed.
     SendDone(ProcId),
     /// A `compute` command finished.
@@ -85,6 +91,9 @@ enum EventKind {
     /// Re-examine a processor that deferred progress to this time.
     Wake(ProcId),
 }
+
+/// Index into [`Sim::msg_slab`] for a message in flight.
+type MsgSlot = u32;
 
 impl EventKind {
     /// Same-timestamp ordering class: arrivals first (so capacity slots
@@ -102,40 +111,115 @@ impl EventKind {
     }
 }
 
-struct Event {
-    time: Cycles,
-    class: u8,
-    seq: u64,
-    kind: EventKind,
+/// Packed event ordering key: `time` in the high 64 bits, `class` in the
+/// next 8, sequence number in the low 56. One u128 comparison replaces
+/// the three-field lexicographic compare in the hot heap operations.
+/// 56 bits of sequence outlast any admissible event budget (`max_events`
+/// caps runs at well under 2^56 scheduling operations).
+fn event_key(time: Cycles, class: u8, seq: u64) -> u128 {
+    debug_assert!(seq < 1 << 56, "event sequence overflow");
+    ((time as u128) << 64) | ((class as u128) << 56) | seq as u128
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.class, self.seq) == (other.time, other.class, other.seq)
-    }
+fn key_time(key: u128) -> Cycles {
+    (key >> 64) as Cycles
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// A 4-ary min-heap specialized for the event queue.
+///
+/// Compared to `std::collections::BinaryHeap<Reverse<Event>>` this keeps
+/// the u128 keys in their own array (sift comparisons touch nothing
+/// else), halves the tree depth, and drops the `Reverse` wrapper — the
+/// event queue is the simulator's single hottest data structure. All keys
+/// are distinct (the sequence number is unique per event), so pop order
+/// is total and deterministic.
+#[derive(Default)]
+struct EventHeap {
+    keys: Vec<u128>,
+    kinds: Vec<EventKind>,
 }
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.class, self.seq).cmp(&(other.time, other.class, other.seq))
+
+impl EventHeap {
+    const ARITY: usize = 4;
+
+    fn with_capacity(cap: usize) -> Self {
+        EventHeap {
+            keys: Vec::with_capacity(cap),
+            kinds: Vec::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: u128, kind: EventKind) {
+        self.keys.push(key);
+        self.kinds.push(kind);
+        let mut i = self.keys.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / Self::ARITY;
+            if self.keys[parent] <= key {
+                break;
+            }
+            self.keys.swap(i, parent);
+            self.kinds.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u128, EventKind)> {
+        let n = self.keys.len();
+        if n == 0 {
+            return None;
+        }
+        self.keys.swap(0, n - 1);
+        self.kinds.swap(0, n - 1);
+        let key = self.keys.pop().expect("heap non-empty");
+        let kind = self.kinds.pop().expect("heap non-empty");
+        let n = n - 1;
+        let mut i = 0;
+        loop {
+            let first = i * Self::ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let mut min = first;
+            for c in first + 1..(first + Self::ARITY).min(n) {
+                if self.keys[c] < self.keys[min] {
+                    min = c;
+                }
+            }
+            if self.keys[i] <= self.keys[min] {
+                break;
+            }
+            self.keys.swap(i, min);
+            self.kinds.swap(i, min);
+            i = min;
+        }
+        Some((key, kind))
     }
 }
 
 #[derive(Debug)]
 struct InboxItem {
-    arrival: Cycles,
-    seq: u64,
+    /// Packed ordering key: arrival time in the high 64 bits, sequence
+    /// number in the low 64 (same trick as [`Event::key`]).
+    key: u128,
     msg: Message,
+}
+
+impl InboxItem {
+    fn key(arrival: Cycles, seq: u64) -> u128 {
+        ((arrival as u128) << 64) | seq as u128
+    }
+
+    fn arrival(&self) -> Cycles {
+        (self.key >> 64) as Cycles
+    }
 }
 
 impl PartialEq for InboxItem {
     fn eq(&self, other: &Self) -> bool {
-        (self.arrival, self.seq) == (other.arrival, other.seq)
+        self.key == other.key
     }
 }
 impl Eq for InboxItem {}
@@ -146,12 +230,15 @@ impl PartialOrd for InboxItem {
 }
 impl Ord for InboxItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.arrival, self.seq).cmp(&(other.arrival, other.seq))
+        self.key.cmp(&other.key)
     }
 }
 
 struct ProcState {
-    program: Box<dyn Process>,
+    /// The loaded program. `None` only transiently, while a handler is
+    /// executing (the program is detached so the handler can borrow
+    /// engine state without aliasing).
+    program: Option<Box<dyn Process>>,
     cmds: VecDeque<Command>,
     inbox: BinaryHeap<Reverse<InboxItem>>,
     /// Time the processor becomes free.
@@ -177,11 +264,11 @@ struct ProcState {
 }
 
 impl ProcState {
-    fn new(program: Box<dyn Process>) -> Self {
+    fn new(program: Box<dyn Process>, inbox_cap: usize) -> Self {
         ProcState {
-            program,
-            cmds: VecDeque::new(),
-            inbox: BinaryHeap::new(),
+            program: Some(program),
+            cmds: VecDeque::with_capacity(4),
+            inbox: BinaryHeap::with_capacity(inbox_cap),
             busy_until: 0,
             next_send_slot: 0,
             next_recv_slot: 0,
@@ -203,7 +290,7 @@ pub struct Sim {
     model: LogP,
     config: SimConfig,
     procs: Vec<ProcState>,
-    heap: BinaryHeap<Reverse<Event>>,
+    heap: EventHeap,
     seq: u64,
     now: Cycles,
     in_flight_from: Vec<u64>,
@@ -225,6 +312,16 @@ pub struct Sim {
     /// handler per event; reusing the allocation keeps the per-event cost
     /// allocation-free).
     cmd_scratch: Vec<Command>,
+    /// Reusable buffer for draining a destination's capacity waiters
+    /// (`Release` / `RecvDone`), so waking senders never allocates.
+    waiter_scratch: Vec<ProcId>,
+    /// Reusable buffer for the set of processors leaving a barrier.
+    released_scratch: Vec<ProcId>,
+    /// Payloads of messages whose `Arrive` event is pending, indexed by
+    /// [`MsgSlot`]. Slots recycle through `msg_free`, so steady-state
+    /// message traffic allocates nothing.
+    msg_slab: Vec<Option<Message>>,
+    msg_free: Vec<MsgSlot>,
     /// Max admissible outstanding messages per destination:
     /// capacity (network window) + NI buffer.
     max_outstanding: u64,
@@ -248,14 +345,24 @@ impl Sim {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let skew = config.proc_skew_ppk as i64;
         let proc_scale: Vec<i64> = (0..p)
-            .map(|_| 1024 + if skew == 0 { 0 } else { rng.gen_range(-skew..=skew) })
+            .map(|_| {
+                1024 + if skew == 0 {
+                    0
+                } else {
+                    rng.gen_range(-skew..=skew)
+                }
+            })
             .collect();
+        let max_outstanding = capacity.saturating_add(ni_buffer);
+        // Inbox occupancy is bounded by the per-destination outstanding
+        // window when capacity is enforced; clamp for the unenforced case.
+        let inbox_cap = max_outstanding.min(64) as usize + 1;
         Sim {
             model,
             procs: (0..p)
-                .map(|_| ProcState::new(Box::new(crate::process::Passive)))
+                .map(|_| ProcState::new(Box::new(crate::process::Passive), inbox_cap))
                 .collect(),
-            heap: BinaryHeap::new(),
+            heap: EventHeap::with_capacity(4 * p + 16),
             seq: 0,
             now: 0,
             in_flight_from: vec![0; p],
@@ -265,12 +372,19 @@ impl Sim {
             rng,
             proc_scale,
             trace: Trace::default(),
-            stats: SimStats { procs: vec![ProcStats::default(); p], ..Default::default() },
+            stats: SimStats {
+                procs: vec![ProcStats::default(); p],
+                ..Default::default()
+            },
             barrier_count: 0,
             alive: model.p,
             capacity,
-            cmd_scratch: Vec::new(),
-            max_outstanding: capacity.saturating_add(ni_buffer),
+            cmd_scratch: Vec::with_capacity(8),
+            waiter_scratch: Vec::new(),
+            released_scratch: Vec::new(),
+            msg_slab: Vec::new(),
+            msg_free: Vec::new(),
+            max_outstanding,
             config,
         }
     }
@@ -282,7 +396,7 @@ impl Sim {
 
     /// Install a program on processor `p`.
     pub fn set_process(&mut self, p: ProcId, program: Box<dyn Process>) {
-        self.procs[p as usize].program = program;
+        self.procs[p as usize].program = Some(program);
     }
 
     /// Install the programs produced by `f(p)` on every processor.
@@ -295,14 +409,56 @@ impl Sim {
         }
     }
 
+    #[inline]
     fn schedule(&mut self, time: Cycles, kind: EventKind) {
         let class = kind.class();
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, class, seq: self.seq, kind }));
+        self.heap.push(event_key(time, class, self.seq), kind);
+    }
+
+    /// Park a message in the slab until its `Arrive` event fires.
+    #[inline]
+    fn stash_msg(&mut self, msg: Message) -> MsgSlot {
+        if let Some(slot) = self.msg_free.pop() {
+            self.msg_slab[slot as usize] = Some(msg);
+            slot
+        } else {
+            self.msg_slab.push(Some(msg));
+            (self.msg_slab.len() - 1) as MsgSlot
+        }
+    }
+
+    /// Reclaim a slab slot at arrival.
+    #[inline]
+    fn unstash_msg(&mut self, slot: MsgSlot) -> Message {
+        self.msg_free.push(slot);
+        self.msg_slab[slot as usize]
+            .take()
+            .expect("message slot occupied")
+    }
+
+    /// Record one message injected from `src` toward `dst`: bump both
+    /// in-flight windows and the destination's NI occupancy, and track
+    /// the high-water marks reported in [`SimStats`]. Shared by `Send`
+    /// and `SendBulk` so the two paths cannot drift apart.
+    #[inline]
+    fn note_injection(&mut self, src: usize, dst: usize) {
+        self.in_flight_from[src] += 1;
+        self.in_flight_to[dst] += 1;
+        self.outstanding_to[dst] += 1;
+        self.stats.max_inflight_per_src = self
+            .stats
+            .max_inflight_per_src
+            .max(self.in_flight_from[src]);
+        self.stats.max_inflight_per_dst =
+            self.stats.max_inflight_per_dst.max(self.in_flight_to[dst]);
     }
 
     fn draw_latency(&mut self) -> Cycles {
-        let j = self.config.latency_jitter.min(self.model.l.saturating_sub(1));
+        let j = self
+            .config
+            .latency_jitter
+            .min(self.model.l.saturating_sub(1));
         if j == 0 {
             self.model.l
         } else {
@@ -315,7 +471,11 @@ impl Sim {
         if cycles == 0 || (ppk == 0 && self.config.proc_skew_ppk == 0) {
             return cycles;
         }
-        let noise = if ppk == 0 { 0 } else { self.rng.gen_range(-ppk..=ppk) };
+        let noise = if ppk == 0 {
+            0
+        } else {
+            self.rng.gen_range(-ppk..=ppk)
+        };
         let scale = self.proc_scale[proc as usize] + noise;
         let scaled = cycles as i128 * scale.max(0) as i128 / 1024;
         scaled.max(0) as Cycles
@@ -323,7 +483,12 @@ impl Sim {
 
     fn span(&mut self, proc: ProcId, start: Cycles, end: Cycles, activity: Activity) {
         if self.config.record_trace {
-            self.trace.push(Span { proc, start, end, activity });
+            self.trace.push(Span {
+                proc,
+                start,
+                end,
+                activity,
+            });
         }
     }
 
@@ -336,15 +501,15 @@ impl Sim {
         cmds.clear();
         // Temporarily detach the program so the context can borrow `self`
         // state without aliasing.
-        let mut program = std::mem::replace(
-            &mut self.procs[p as usize].program,
-            Box::new(crate::process::Passive),
-        );
+        let mut program = self.procs[p as usize]
+            .program
+            .take()
+            .expect("handlers do not re-enter the engine");
         {
             let mut ctx = Ctx::new(self.now, p, self.model.p, &mut cmds);
             f(program.as_mut(), &mut ctx);
         }
-        self.procs[p as usize].program = program;
+        self.procs[p as usize].program = Some(program);
         self.procs[p as usize].cmds.extend(cmds.drain(..));
         self.cmd_scratch = cmds;
     }
@@ -369,7 +534,7 @@ impl Sim {
                 && st.next_recv_slot <= now
             {
                 if let Some(Reverse(item)) = st.inbox.peek() {
-                    if item.arrival <= now {
+                    if item.arrival() <= now {
                         self.start_reception(p);
                         return;
                     }
@@ -378,7 +543,9 @@ impl Sim {
         }
         if let Some(cmd) = self.procs[idx].cmds.front() {
             match *cmd {
-                Command::SendBulk { dst, tag, ref data, words } => {
+                Command::SendBulk {
+                    dst, tag, words, ..
+                } => {
                     let big_g = self
                         .config
                         .loggp_big_g
@@ -406,8 +573,12 @@ impl Sim {
                         }
                         return;
                     }
-                    let data = data.clone();
-                    self.procs[idx].cmds.pop_front();
+                    // Committed: dequeue by value so the payload moves
+                    // instead of cloning.
+                    let data = match self.procs[idx].cmds.pop_front() {
+                        Some(Command::SendBulk { data, .. }) => data,
+                        _ => unreachable!("front of queue checked above"),
+                    };
                     let st = &mut self.procs[idx];
                     st.waiting_on_src = false;
                     if let Some(since) = st.stall_since.take() {
@@ -424,24 +595,23 @@ impl Sim {
                     st.next_send_slot = (now + self.model.g).max(now + o + stream);
                     st.stats.send_overhead += o;
                     st.stats.msgs_sent += 1;
-                    st.engaged = true;
                     self.span(p, now, now + o, Activity::SendOverhead);
-                    self.in_flight_from[idx] += 1;
-                    self.in_flight_to[dst as usize] += 1;
-                    self.outstanding_to[dst as usize] += 1;
+                    self.note_injection(idx, dst as usize);
                     let lat = self.draw_latency();
-                    let msg = Message { src: p, dst, tag, data };
+                    let slot = self.stash_msg(Message {
+                        src: p,
+                        dst,
+                        tag,
+                        data,
+                    });
                     // The capacity window mirrors the small-message rule:
                     // it covers the message's network occupancy (streaming
                     // plus flight), not the sender's overhead.
-                    self.schedule(
-                        now + stream + lat,
-                        EventKind::Release { src: idx, dst: dst as usize },
-                    );
-                    self.schedule(now + o + stream + lat, EventKind::Arrive(msg));
-                    self.schedule(now + o, EventKind::SendDone(p));
+                    self.schedule(now + stream + lat, EventKind::Release { src: p, dst });
+                    self.schedule(now + o + stream + lat, EventKind::Arrive(slot));
+                    self.finish_send(p);
                 }
-                Command::Send { dst, tag, ref data } => {
+                Command::Send { dst, tag, .. } => {
                     let st = &self.procs[idx];
                     let s = st.busy_until.max(st.next_send_slot);
                     if now < s {
@@ -466,9 +636,12 @@ impl Sim {
                         }
                         return;
                     }
-                    // Proceed with the send at `now`.
-                    let data = data.clone();
-                    self.procs[idx].cmds.pop_front();
+                    // Proceed with the send at `now`: dequeue by value so
+                    // the payload moves instead of cloning.
+                    let data = match self.procs[idx].cmds.pop_front() {
+                        Some(Command::Send { data, .. }) => data,
+                        _ => unreachable!("front of queue checked above"),
+                    };
                     let st = &mut self.procs[idx];
                     st.waiting_on_src = false;
                     if let Some(since) = st.stall_since.take() {
@@ -481,20 +654,18 @@ impl Sim {
                     st.next_send_slot = now + self.model.g;
                     st.stats.send_overhead += o;
                     st.stats.msgs_sent += 1;
-                    st.engaged = true;
                     self.span(p, now, now + o, Activity::SendOverhead);
-                    self.in_flight_from[idx] += 1;
-                    self.in_flight_to[dst as usize] += 1;
-                    self.outstanding_to[dst as usize] += 1;
-                    self.stats.max_inflight_per_src =
-                        self.stats.max_inflight_per_src.max(self.in_flight_from[idx]);
-                    self.stats.max_inflight_per_dst =
-                        self.stats.max_inflight_per_dst.max(self.in_flight_to[dst as usize]);
+                    self.note_injection(idx, dst as usize);
                     let lat = self.draw_latency();
-                    let msg = Message { src: p, dst, tag, data };
-                    self.schedule(now + lat, EventKind::Release { src: idx, dst: dst as usize });
-                    self.schedule(now + o + lat, EventKind::Arrive(msg));
-                    self.schedule(now + o, EventKind::SendDone(p));
+                    let slot = self.stash_msg(Message {
+                        src: p,
+                        dst,
+                        tag,
+                        data,
+                    });
+                    self.schedule(now + lat, EventKind::Release { src: p, dst });
+                    self.schedule(now + o + lat, EventKind::Arrive(slot));
+                    self.finish_send(p);
                 }
                 Command::Compute { cycles, tag } => {
                     if now < self.procs[idx].busy_until {
@@ -538,7 +709,7 @@ impl Sim {
         // earliest reception opportunity if it is in the future).
         let st = &self.procs[idx];
         if let Some(Reverse(item)) = st.inbox.peek() {
-            let r = st.busy_until.max(st.next_recv_slot).max(item.arrival);
+            let r = st.busy_until.max(st.next_recv_slot).max(item.arrival());
             if now < r {
                 self.schedule(r, EventKind::Wake(p));
                 return;
@@ -554,15 +725,15 @@ impl Sim {
         let now = self.now;
         let idx = p as usize;
         let Reverse(item) = self.procs[idx].inbox.pop().expect("inbox non-empty");
-        debug_assert!(item.arrival <= now);
+        debug_assert!(item.arrival() <= now);
         let o = self.model.o;
-        let st = &mut self.procs[idx];
         // A capacity-stalled send may have been woken and then preempted
         // by this reception; close its stall span so stall and reception
         // time stay disjoint in the accounting (the send re-opens it if
         // still blocked).
-        if let Some(since) = st.stall_since.take() {
-            st.stats.stall += now - since;
+        if let Some(since) = self.procs[idx].stall_since.take() {
+            self.procs[idx].stats.stall += now - since;
+            self.span(p, since, now, Activity::Stall);
         }
         let st = &mut self.procs[idx];
         st.next_recv_slot = now + self.model.g;
@@ -574,9 +745,56 @@ impl Sim {
         self.schedule(now + o, EventKind::RecvDone(p));
     }
 
+    /// Close out an injection that just occupied `[now, busy_until)`.
+    ///
+    /// A `SendDone` completion event only exists to re-examine the sender
+    /// once its overhead ends. When the sender has no queued commands and
+    /// an empty inbox, that re-examination is a no-op — `busy_until`
+    /// already gates later polling and sends — so the event is elided
+    /// entirely (a quarter of all events in request-reply traffic). Any
+    /// message arriving during the overhead window finds the processor
+    /// un-engaged and schedules its own wake at `busy_until`.
+    #[inline]
+    fn finish_send(&mut self, p: ProcId) {
+        let st = &self.procs[p as usize];
+        if st.cmds.is_empty() && st.inbox.is_empty() {
+            return;
+        }
+        let done = st.busy_until;
+        self.procs[p as usize].engaged = true;
+        self.schedule(done, EventKind::SendDone(p));
+    }
+
+    /// Wake every sender queued on destination `dst`'s capacity list
+    /// (FIFO; each re-checks its bound and re-queues if still blocked).
+    ///
+    /// Every waiter must be woken even when the window is already full
+    /// again: a woken sender's `advance` polls its own inbox before
+    /// retrying the send, and that reception progress is what unwinds
+    /// cyclic stalls (two processors each stalled sending to the other
+    /// drain their inboxes only through this path). Uses the reusable
+    /// scratch buffer so the wake never allocates — `advance` may push a
+    /// still-blocked sender back onto the very list being drained.
+    fn wake_dst_waiters(&mut self, dst: usize) {
+        if self.dst_waiters[dst].is_empty() {
+            return;
+        }
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        waiters.extend(self.dst_waiters[dst].drain(..));
+        for &w in &waiters {
+            self.procs[w as usize].waiting_on_dst = false;
+            self.advance(w);
+        }
+        waiters.clear();
+        self.waiter_scratch = waiters;
+    }
+
     fn check_barrier(&mut self) {
         if self.alive > 0 && self.barrier_count == self.alive {
-            self.schedule(self.now + self.config.barrier_cost, EventKind::BarrierRelease);
+            self.schedule(
+                self.now + self.config.barrier_cost,
+                EventKind::BarrierRelease,
+            );
         }
     }
 
@@ -590,40 +808,38 @@ impl Sim {
         for p in 0..self.model.p {
             self.advance(p);
         }
-        while let Some(Reverse(ev)) = self.heap.pop() {
+        while let Some((key, kind)) = self.heap.pop() {
             self.stats.events += 1;
             if self.stats.events > self.config.max_events {
-                return Err(SimError::MaxEventsExceeded { limit: self.config.max_events });
+                return Err(SimError::MaxEventsExceeded {
+                    limit: self.config.max_events,
+                });
             }
-            debug_assert!(ev.time >= self.now, "time must not run backwards");
-            self.now = ev.time;
-            self.stats.completion = self.stats.completion.max(ev.time);
-            match ev.kind {
+            debug_assert!(key_time(key) >= self.now, "time must not run backwards");
+            self.now = key_time(key);
+            match kind {
                 EventKind::Release { src, dst } => {
-                    self.in_flight_from[src] -= 1;
-                    self.in_flight_to[dst] -= 1;
+                    self.in_flight_from[src as usize] -= 1;
+                    self.in_flight_to[dst as usize] -= 1;
                     // Wake capacity waiters of this destination (FIFO; each
                     // re-checks and re-queues if still blocked).
-                    let waiters: Vec<ProcId> = self.dst_waiters[dst].drain(..).collect();
-                    for w in waiters {
-                        self.procs[w as usize].waiting_on_dst = false;
-                        self.advance(w);
-                    }
+                    self.wake_dst_waiters(dst as usize);
                     // The source may have been stalled on its own window.
-                    if self.procs[src].waiting_on_src {
-                        self.procs[src].waiting_on_src = false;
-                        self.advance(msg_src(src));
+                    if self.procs[src as usize].waiting_on_src {
+                        self.procs[src as usize].waiting_on_src = false;
+                        self.advance(src);
                     }
                 }
-                EventKind::Arrive(msg) => {
-                    let dst = msg.dst as usize;
+                EventKind::Arrive(slot) => {
+                    let msg = self.unstash_msg(slot);
+                    let dst = msg.dst;
                     self.stats.total_msgs += 1;
                     self.seq += 1;
-                    let seq = self.seq;
-                    self.procs[dst]
+                    let key = InboxItem::key(self.now, self.seq);
+                    self.procs[dst as usize]
                         .inbox
-                        .push(Reverse(InboxItem { arrival: self.now, seq, msg }));
-                    self.advance(msg_dst(dst));
+                        .push(Reverse(InboxItem { key, msg }));
+                    self.advance(dst);
                 }
                 EventKind::SendDone(p) => {
                     self.procs[p as usize].engaged = false;
@@ -642,19 +858,15 @@ impl Sim {
                     // The NI buffer slot frees: senders blocked on the
                     // outstanding bound may proceed.
                     self.outstanding_to[p as usize] -= 1;
-                    let waiters: Vec<ProcId> = self.dst_waiters[p as usize].drain(..).collect();
-                    for w in waiters {
-                        self.procs[w as usize].waiting_on_dst = false;
-                        self.advance(w);
-                    }
+                    self.wake_dst_waiters(p as usize);
                     self.run_handler(p, |prog, ctx| prog.on_message(&msg, ctx));
                     self.advance(p);
                 }
                 EventKind::BarrierRelease => {
                     self.barrier_count = 0;
-                    let released: Vec<ProcId> = (0..self.model.p)
-                        .filter(|&p| self.procs[p as usize].in_barrier)
-                        .collect();
+                    let mut released = std::mem::take(&mut self.released_scratch);
+                    released
+                        .extend((0..self.model.p).filter(|&p| self.procs[p as usize].in_barrier));
                     for &p in &released {
                         let st = &mut self.procs[p as usize];
                         st.in_barrier = false;
@@ -670,12 +882,17 @@ impl Sim {
                     for &p in &released {
                         self.advance(p);
                     }
+                    released.clear();
+                    self.released_scratch = released;
                 }
                 EventKind::Wake(p) => {
                     self.advance(p);
                 }
             }
         }
+        // Heap pops are time-ordered, so the clock is monotone and the
+        // final `now` is the completion time — no per-event max needed.
+        self.stats.completion = self.now;
         // Quiescence with unexecuted work is a deadlock, not a normal
         // end: a command queue that never drained (e.g. a send stalled on
         // a destination whose receiver stopped draining) or a barrier
@@ -692,14 +909,9 @@ impl Sim {
         for p in 0..self.model.p as usize {
             self.stats.procs[p] = self.procs[p].stats;
         }
-        Ok(SimResult { stats: self.stats, trace: self.trace })
+        Ok(SimResult {
+            stats: self.stats,
+            trace: self.trace,
+        })
     }
-}
-
-// Small readability helpers: indices back to ProcId.
-fn msg_src(src: usize) -> ProcId {
-    src as ProcId
-}
-fn msg_dst(dst: usize) -> ProcId {
-    dst as ProcId
 }

@@ -41,12 +41,14 @@ pub mod config;
 pub mod engine;
 pub mod message;
 pub mod process;
+pub mod runner;
 pub mod trace;
 
 pub use config::SimConfig;
 pub use engine::{Sim, SimError, SimResult};
 pub use message::{Data, Message};
 pub use process::{Ctx, Process};
+pub use runner::{derive_seed, run_batch, run_sweep, sweep_map, RunSpec, Threads};
 pub use trace::{Activity, ProcStats, SimStats, Span, Trace};
 
 /// A shared output cell for extracting results from simulated programs.
@@ -77,7 +79,10 @@ impl<T> SharedCell<T> {
 
     /// Mutate the contents.
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
-        f(&mut self.0.lock().expect("sim is single-threaded; lock cannot be poisoned"))
+        f(&mut self
+            .0
+            .lock()
+            .expect("sim is single-threaded; lock cannot be poisoned"))
     }
 
     /// Copy the contents out.
@@ -90,10 +95,7 @@ impl<T> SharedCell<T> {
 
     /// Replace the contents, returning the old value.
     pub fn replace(&self, value: T) -> T {
-        std::mem::replace(
-            &mut self.0.lock().expect("sim is single-threaded"),
-            value,
-        )
+        std::mem::replace(&mut self.0.lock().expect("sim is single-threaded"), value)
     }
 }
 

@@ -22,7 +22,12 @@ pub enum Command {
     /// `o` of overhead, its interface then streams `(words-1)·G`, and the
     /// whole payload is delivered as one message `L` later. Requires
     /// `SimConfig::loggp_big_g`.
-    SendBulk { dst: ProcId, tag: u32, data: Data, words: u64 },
+    SendBulk {
+        dst: ProcId,
+        tag: u32,
+        data: Data,
+        words: u64,
+    },
     /// Perform `cycles` of local computation, then receive
     /// `on_compute_done(tag)`.
     Compute { cycles: Cycles, tag: u64 },
@@ -43,13 +48,13 @@ pub struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
-    pub(crate) fn new(
-        now: Cycles,
-        me: ProcId,
-        p: u32,
-        commands: &'a mut Vec<Command>,
-    ) -> Self {
-        Ctx { now, me, p, commands }
+    pub(crate) fn new(now: Cycles, me: ProcId, p: u32, commands: &'a mut Vec<Command>) -> Self {
+        Ctx {
+            now,
+            me,
+            p,
+            commands,
+        }
     }
 
     /// Current simulated time (the moment the triggering event completed).
@@ -69,17 +74,30 @@ impl<'a> Ctx<'a> {
 
     /// Queue a small-message send to `dst`.
     pub fn send(&mut self, dst: ProcId, tag: u32, data: Data) {
-        assert!(dst < self.p, "destination {dst} out of range (P = {})", self.p);
+        assert!(
+            dst < self.p,
+            "destination {dst} out of range (P = {})",
+            self.p
+        );
         assert_ne!(dst, self.me, "a processor does not message itself");
         self.commands.push(Command::Send { dst, tag, data });
     }
 
     /// Queue a LogGP long-message send (see [`Command::SendBulk`]).
     pub fn send_bulk(&mut self, dst: ProcId, tag: u32, data: Data, words: u64) {
-        assert!(dst < self.p, "destination {dst} out of range (P = {})", self.p);
+        assert!(
+            dst < self.p,
+            "destination {dst} out of range (P = {})",
+            self.p
+        );
         assert_ne!(dst, self.me, "a processor does not message itself");
         assert!(words >= 1, "a bulk message carries at least one word");
-        self.commands.push(Command::SendBulk { dst, tag, data, words });
+        self.commands.push(Command::SendBulk {
+            dst,
+            tag,
+            data,
+            words,
+        });
     }
 
     /// Queue `cycles` of local computation; `on_compute_done(tag)` fires

@@ -1,0 +1,278 @@
+//! Parallel sweep runner: fan independent simulations across threads.
+//!
+//! Parameter-space studies (§7 of the paper) run the same program over
+//! hundreds of machine configurations; each run is an independent
+//! single-threaded discrete-event simulation, so the sweep itself is
+//! embarrassingly parallel. This module provides the batch/sweep entry
+//! points the `logp-bench` binaries and `logp-algos::measure` use:
+//!
+//! * [`RunSpec`] — one simulation: machine, config, and a program
+//!   factory (`Fn(ProcId) -> Box<dyn Process>`, shared across threads).
+//! * [`run_batch`] — execute a slice of specs on a thread pool and
+//!   return results in spec order.
+//! * [`run_sweep`] — build one spec per machine in a
+//!   [`logp_core::sweep::Grid`] and batch-run them.
+//! * [`sweep_map`] — generic "parallel map in index order" for sweep
+//!   drivers whose per-point work is more than one simulation.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical regardless of thread count, for two
+//! reasons. First, each simulation is self-contained: its RNG stream is
+//! derived from its own config seed and nothing is shared between runs.
+//! Second, run `i` of a batch executes with `derive_seed(base_seed, i)`
+//! — a SplitMix64 hash of the run's *index* folded into the spec's base
+//! seed — so a run's draws depend only on its position in the batch,
+//! never on which worker picked it up or in what order runs finished.
+//! `1` thread, `8` threads, and repeated invocations all produce the
+//! same bytes (`runner_determinism.rs` pins this).
+
+use logp_core::sweep::Grid;
+use logp_core::{LogP, ProcId};
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+use crate::process::Process;
+use crate::{Sim, SimConfig, SimError, SimResult};
+
+/// Thread-count policy for a batch of runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Use all available parallelism.
+    #[default]
+    Auto,
+    /// Pin to exactly `n` workers (`Fixed(1)` runs inline, serially).
+    Fixed(usize),
+}
+
+impl Threads {
+    /// Read the policy from the `LOGP_THREADS` environment variable
+    /// (`0`, unset, or unparsable mean [`Threads::Auto`]).
+    pub fn from_env() -> Self {
+        match std::env::var("LOGP_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Threads::Fixed(n),
+                _ => Threads::Auto,
+            },
+            Err(_) => Threads::Auto,
+        }
+    }
+
+    /// The worker count this policy resolves to.
+    pub fn count(&self) -> usize {
+        match self {
+            Threads::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Threads::Fixed(n) => (*n).max(1),
+        }
+    }
+
+    fn pool(&self) -> ThreadPool {
+        ThreadPoolBuilder::new()
+            .num_threads(self.count())
+            .build()
+            .expect("thread pool construction cannot fail")
+    }
+
+    /// Run `f` with this policy governing rayon parallelism inside it —
+    /// the hook for sweeps that call parallel code (e.g.
+    /// `logp_core::sweep::sweep_par`) directly rather than through
+    /// [`run_batch`]/[`sweep_map`].
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.pool().install(f)
+    }
+}
+
+/// Program factory shared across worker threads: called once per
+/// processor to populate a simulation.
+pub type ProgramFactory = Box<dyn Fn(ProcId) -> Box<dyn Process> + Send + Sync>;
+
+/// One independent simulation: machine, fidelity config, and programs.
+pub struct RunSpec {
+    pub model: LogP,
+    pub config: SimConfig,
+    factory: ProgramFactory,
+}
+
+impl std::fmt::Debug for RunSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSpec")
+            .field("model", &self.model)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunSpec {
+    /// Spec running `factory(p)` on each processor of `model`.
+    pub fn new(
+        model: LogP,
+        config: SimConfig,
+        factory: impl Fn(ProcId) -> Box<dyn Process> + Send + Sync + 'static,
+    ) -> Self {
+        RunSpec {
+            model,
+            config,
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Build and run this spec's simulation with an explicit seed.
+    fn run_with_seed(&self, seed: u64) -> Result<SimResult, SimError> {
+        let config = SimConfig {
+            seed,
+            ..self.config.clone()
+        };
+        let mut sim = Sim::new(self.model, config);
+        sim.set_all(|p| (self.factory)(p));
+        sim.run()
+    }
+
+    /// Build and run this spec's simulation with its own config seed,
+    /// serially on the calling thread.
+    pub fn run(&self) -> Result<SimResult, SimError> {
+        self.run_with_seed(self.config.seed)
+    }
+}
+
+/// SplitMix64 finalizer — the standard 64-bit avalanche mix.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed for run `index` of a batch whose specs carry `base` seeds.
+///
+/// `base ^ splitmix64(index)`: a function of the run's position only, so
+/// a batch's RNG streams are decorrelated run-to-run yet independent of
+/// worker scheduling. Exposed so drivers that run specs by hand (for
+/// example, one run at a time under a debugger) can reproduce exactly
+/// what [`run_batch`] would have executed.
+#[inline]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    base ^ splitmix64(index)
+}
+
+/// Run every spec, fanning across `threads` workers; results come back
+/// in spec order. Run `i` uses `derive_seed(spec[i].config.seed, i)`.
+pub fn run_batch(specs: &[RunSpec], threads: Threads) -> Vec<Result<SimResult, SimError>> {
+    let indexed: Vec<usize> = (0..specs.len()).collect();
+    threads.pool().install(|| {
+        indexed
+            .par_iter()
+            .map(|&i| specs[i].run_with_seed(derive_seed(specs[i].config.seed, i as u64)))
+            .collect()
+    })
+}
+
+/// Run one simulation per machine in `grid` (in the grid's row-major
+/// enumeration order), all sharing `config` and `factory`. Returns
+/// `(machine, result)` pairs in that order.
+pub fn run_sweep(
+    grid: &Grid,
+    config: &SimConfig,
+    threads: Threads,
+    factory: impl Fn(ProcId) -> Box<dyn Process> + Send + Sync + Clone + 'static,
+) -> Vec<(LogP, Result<SimResult, SimError>)> {
+    let machines = grid.machines();
+    let specs: Vec<RunSpec> = machines
+        .iter()
+        .map(|&m| RunSpec::new(m, config.clone(), factory.clone()))
+        .collect();
+    machines
+        .into_iter()
+        .zip(run_batch(&specs, threads))
+        .collect()
+}
+
+/// Parallel map over arbitrary sweep items, results in index order.
+///
+/// For sweep drivers whose per-point work is not a single `Sim::run` —
+/// e.g. measuring several algorithms per machine, or binary-searching a
+/// saturation point — this applies `f` to every item on a pool of
+/// `threads` workers. `f` must be deterministic in its argument for the
+/// thread-count-independence guarantee to carry over.
+pub fn sweep_map<T, R, F>(threads: Threads, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    threads.pool().install(|| items.par_iter().map(f).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Data;
+    use crate::process::Ctx;
+
+    struct Ping;
+    impl Process for Ping {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.me() == 0 {
+                ctx.send(1, 0, Data::U64(42));
+            }
+        }
+    }
+
+    #[test]
+    fn threads_resolve_to_positive_counts() {
+        assert!(Threads::Auto.count() >= 1);
+        assert_eq!(Threads::Fixed(3).count(), 3);
+        assert_eq!(Threads::Fixed(0).count(), 1);
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_indices() {
+        let s0 = derive_seed(7, 0);
+        let s1 = derive_seed(7, 1);
+        assert_ne!(s0, s1);
+        // Stable: same inputs, same seed, forever.
+        assert_eq!(derive_seed(7, 0), s0);
+    }
+
+    #[test]
+    fn run_batch_matches_serial_execution() {
+        let model = LogP::new(6, 2, 4, 2).unwrap();
+        let specs: Vec<RunSpec> = (0..8)
+            .map(|_| RunSpec::new(model, SimConfig::default(), |_| Box::new(Ping)))
+            .collect();
+        let results = run_batch(&specs, Threads::Fixed(4));
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            let r = r.as_ref().expect("ping completes");
+            assert_eq!(r.stats.completion, 10);
+        }
+    }
+
+    #[test]
+    fn run_sweep_covers_the_grid_in_order() {
+        use logp_core::sweep::{Axis, Grid};
+        let grid = Grid {
+            l: Axis::list([2, 4, 8]),
+            o: Axis::fixed(1),
+            g: Axis::fixed(2),
+            p: Axis::fixed(2),
+        };
+        let out = run_sweep(&grid, &SimConfig::default(), Threads::Fixed(2), |_| {
+            Box::new(Ping)
+        });
+        assert_eq!(out.len(), 3);
+        for (m, r) in &out {
+            // Completion of a single ping is 2o + L.
+            assert_eq!(r.as_ref().unwrap().stats.completion, 2 * m.o + m.l);
+        }
+    }
+
+    #[test]
+    fn sweep_map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = sweep_map(Threads::Fixed(8), &items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+}

@@ -44,7 +44,7 @@ pub struct Span {
 }
 
 /// A recorded trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     pub spans: Vec<Span>,
 }
@@ -58,8 +58,7 @@ impl Trace {
 
     /// Spans of a single processor, in start order.
     pub fn for_proc(&self, p: ProcId) -> Vec<Span> {
-        let mut v: Vec<Span> =
-            self.spans.iter().copied().filter(|s| s.proc == p).collect();
+        let mut v: Vec<Span> = self.spans.iter().copied().filter(|s| s.proc == p).collect();
         v.sort_by_key(|s| s.start);
         v
     }
@@ -115,7 +114,7 @@ impl ProcStats {
 }
 
 /// Whole-run results.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Time of the last event (completion time of the run).
     pub completion: Cycles,
@@ -150,8 +149,18 @@ mod tests {
     #[test]
     fn gantt_renders_spans() {
         let mut t = Trace::default();
-        t.push(Span { proc: 0, start: 0, end: 2, activity: Activity::SendOverhead });
-        t.push(Span { proc: 1, start: 8, end: 10, activity: Activity::RecvOverhead });
+        t.push(Span {
+            proc: 0,
+            start: 0,
+            end: 2,
+            activity: Activity::SendOverhead,
+        });
+        t.push(Span {
+            proc: 1,
+            start: 8,
+            end: 10,
+            activity: Activity::RecvOverhead,
+        });
         let g = t.gantt(2, 9, 1);
         let lines: Vec<&str> = g.lines().collect();
         assert!(lines[0].starts_with("P0  |ss"));
@@ -161,7 +170,12 @@ mod tests {
     #[test]
     fn zero_length_spans_are_dropped() {
         let mut t = Trace::default();
-        t.push(Span { proc: 0, start: 5, end: 5, activity: Activity::Compute });
+        t.push(Span {
+            proc: 0,
+            start: 5,
+            end: 5,
+            activity: Activity::Compute,
+        });
         assert!(t.spans.is_empty());
     }
 
@@ -184,8 +198,14 @@ mod tests {
         let stats = SimStats {
             completion: 10,
             procs: vec![
-                ProcStats { compute: 10, ..Default::default() },
-                ProcStats { compute: 0, ..Default::default() },
+                ProcStats {
+                    compute: 10,
+                    ..Default::default()
+                },
+                ProcStats {
+                    compute: 0,
+                    ..Default::default()
+                },
             ],
             ..Default::default()
         };
@@ -196,9 +216,24 @@ mod tests {
     #[test]
     fn for_proc_is_sorted() {
         let mut t = Trace::default();
-        t.push(Span { proc: 0, start: 9, end: 10, activity: Activity::Compute });
-        t.push(Span { proc: 0, start: 1, end: 2, activity: Activity::Compute });
-        t.push(Span { proc: 1, start: 0, end: 1, activity: Activity::Compute });
+        t.push(Span {
+            proc: 0,
+            start: 9,
+            end: 10,
+            activity: Activity::Compute,
+        });
+        t.push(Span {
+            proc: 0,
+            start: 1,
+            end: 2,
+            activity: Activity::Compute,
+        });
+        t.push(Span {
+            proc: 1,
+            start: 0,
+            end: 1,
+            activity: Activity::Compute,
+        });
         let spans = t.for_proc(0);
         assert_eq!(spans.len(), 2);
         assert!(spans[0].start < spans[1].start);

@@ -14,7 +14,10 @@ fn fig3() -> LogP {
 #[test]
 fn point_to_point_takes_2o_plus_l() {
     let mut sim = Sim::new(LogP::new(6, 2, 4, 2).unwrap(), SimConfig::default());
-    sim.set_process(0, Box::new(StartFn(|ctx: &mut Ctx<'_>| ctx.send(1, 0, Data::U64(1)))));
+    sim.set_process(
+        0,
+        Box::new(StartFn(|ctx: &mut Ctx<'_>| ctx.send(1, 0, Data::U64(1)))),
+    );
     let r = sim.run().unwrap();
     assert_eq!(r.stats.completion, 10);
     assert_eq!(r.stats.total_msgs, 1);
@@ -88,7 +91,10 @@ fn single_sender_never_stalls() {
     );
     let r = sim.run().unwrap();
     assert!(r.stats.max_inflight_per_dst <= 4, "capacity violated");
-    assert_eq!(r.stats.procs[0].stall, 0, "a lone g-spaced stream fits the window");
+    assert_eq!(
+        r.stats.procs[0].stall, 0,
+        "a lone g-spaced stream fits the window"
+    );
 }
 
 /// The capacity constraint stalls senders once a destination's aggregate
@@ -107,7 +113,10 @@ fn capacity_constraint_stalls_competing_senders() {
     let r = sim.run().unwrap();
     assert!(r.stats.max_inflight_per_dst <= 4, "capacity violated");
     let stalls = r.stats.procs[0].stall + r.stats.procs[1].stall;
-    assert!(stalls > 0, "two full-rate senders into one destination must stall");
+    assert!(
+        stalls > 0,
+        "two full-rate senders into one destination must stall"
+    );
 }
 
 /// Ablation: with the constraint disabled the same contention never stalls
@@ -115,7 +124,10 @@ fn capacity_constraint_stalls_competing_senders() {
 #[test]
 fn capacity_ablation_removes_stalls() {
     let model = LogP::new(8, 1, 2, 3).unwrap();
-    let cfg = SimConfig { enforce_capacity: false, ..Default::default() };
+    let cfg = SimConfig {
+        enforce_capacity: false,
+        ..Default::default()
+    };
     let burst = |ctx: &mut Ctx<'_>| {
         for _ in 0..20 {
             ctx.send(2, 0, Data::Empty);
@@ -193,7 +205,9 @@ fn reception_gap_is_respected() {
     for s in [0u32, 1] {
         sim.set_process(
             s,
-            Box::new(StartFn(move |ctx: &mut Ctx<'_>| ctx.send(2, 0, Data::Empty))),
+            Box::new(StartFn(move |ctx: &mut Ctx<'_>| {
+                ctx.send(2, 0, Data::Empty)
+            })),
         );
     }
     let r = sim.run().unwrap();
@@ -240,10 +254,16 @@ fn figure3_broadcast_runs_in_24_cycles() {
 
     let mut sim = Sim::new(m, SimConfig::default());
     sim.set_all(|p| {
-        Box::new(Bcast { children: children[p as usize].clone(), root: p == 0 })
+        Box::new(Bcast {
+            children: children[p as usize].clone(),
+            root: p == 0,
+        })
     });
     let r = sim.run().unwrap();
-    assert_eq!(r.stats.completion, 24, "Figure 3's broadcast finishes at 24");
+    assert_eq!(
+        r.stats.completion, 24,
+        "Figure 3's broadcast finishes at 24"
+    );
     assert_eq!(r.stats.total_msgs, 7);
 }
 
@@ -269,7 +289,10 @@ fn barrier_releases_everyone_together() {
     for p in 0..4 {
         sim.set_process(
             p,
-            Box::new(B { cycles: (p as u64 + 1) * 10, released_at: cell.clone() }),
+            Box::new(B {
+                cycles: (p as u64 + 1) * 10,
+                released_at: cell.clone(),
+            }),
         );
     }
     let r = sim.run().unwrap();
@@ -326,10 +349,16 @@ fn jitter_is_bounded_and_deterministic() {
 fn drift_stays_within_band() {
     let cfg = SimConfig::default().with_drift(102); // ~10%
     let mut sim = Sim::new(LogP::new(1, 1, 1, 1).unwrap(), cfg);
-    sim.set_process(0, Box::new(StartFn(|ctx: &mut Ctx<'_>| ctx.compute(10_000, 0))));
+    sim.set_process(
+        0,
+        Box::new(StartFn(|ctx: &mut Ctx<'_>| ctx.compute(10_000, 0))),
+    );
     let r = sim.run().unwrap();
     let c = r.stats.procs[0].compute;
-    assert!((9_000..=11_000).contains(&c), "10% drift band violated: {c}");
+    assert!(
+        (9_000..=11_000).contains(&c),
+        "10% drift band violated: {c}"
+    );
 }
 
 /// A halted processor stops participating; the run still terminates.
@@ -379,7 +408,10 @@ fn event_budget_is_enforced() {
             ctx.compute(1, 0); // never stops
         }
     }
-    let cfg = SimConfig { max_events: 100, ..Default::default() };
+    let cfg = SimConfig {
+        max_events: 100,
+        ..Default::default()
+    };
     let mut sim = Sim::new(LogP::new(1, 1, 1, 1).unwrap(), cfg);
     sim.set_process(0, Box::new(Forever));
     assert!(matches!(
@@ -406,7 +438,10 @@ fn loggp_bulk_send_semantics() {
     );
     let r = sim.run().unwrap();
     let expect = LogGP::new(model, big_g).long_message_time(words);
-    assert_eq!(r.stats.completion, expect, "bulk time must match the LogGP formula");
+    assert_eq!(
+        r.stats.completion, expect,
+        "bulk time must match the LogGP formula"
+    );
     // Sender paid only o of overhead.
     assert_eq!(r.stats.procs[0].send_overhead, model.o);
 }
@@ -507,7 +542,10 @@ fn skew_is_systematic_and_deterministic() {
 /// Barrier cost is charged after the last arrival.
 #[test]
 fn barrier_cost_delays_release() {
-    let cfg = SimConfig { barrier_cost: 25, ..Default::default() };
+    let cfg = SimConfig {
+        barrier_cost: 25,
+        ..Default::default()
+    };
     let mut sim = Sim::new(LogP::new(2, 1, 1, 2).unwrap(), cfg);
     struct B;
     impl Process for B {

@@ -43,7 +43,10 @@ fn main() {
             run.total_stall,
             err
         );
-        assert!(err < 1e-8, "parallel FFT must match the sequential transform");
+        assert!(
+            err < 1e-8,
+            "parallel FFT must match the sequential transform"
+        );
     }
 
     // Phase-resolved timing at a larger size (compute charged by the
@@ -58,10 +61,23 @@ fn main() {
         RemapSchedule::Staggered,
         SimConfig::default(),
     );
-    println!("  phase I  (cyclic, local FFT):  {:>9} cycles at {} Mflops", ph.compute1, ph.mflops1);
-    println!("  remap    (all-to-all):         {:>9} cycles (predicted {})", ph.remap, ph.remap_predicted);
-    println!("  phase III (blocked, local FFT): {:>8} cycles at {} Mflops", ph.compute3, ph.mflops3);
-    println!("  total: {} cycles = {:.2} ms", ph.total(), preset.cycles_to_us(ph.total()) / 1000.0);
+    println!(
+        "  phase I  (cyclic, local FFT):  {:>9} cycles at {} Mflops",
+        ph.compute1, ph.mflops1
+    );
+    println!(
+        "  remap    (all-to-all):         {:>9} cycles (predicted {})",
+        ph.remap, ph.remap_predicted
+    );
+    println!(
+        "  phase III (blocked, local FFT): {:>8} cycles at {} Mflops",
+        ph.compute3, ph.mflops3
+    );
+    println!(
+        "  total: {} cycles = {:.2} ms",
+        ph.total(),
+        preset.cycles_to_us(ph.total()) / 1000.0
+    );
     println!(
         "  remap bandwidth: {:.2} MB/s/proc (predicted {:.2}, paper's asymptote 3.2)",
         ph.remap_mb_per_s(&preset),

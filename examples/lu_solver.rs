@@ -49,7 +49,10 @@ fn main() {
         run.messages,
         run.factors.residual(&a)
     );
-    assert_eq!(run.factors.perm, seq.perm, "same pivoting decisions as sequential");
+    assert_eq!(
+        run.factors.perm, seq.perm,
+        "same pivoting decisions as sequential"
+    );
 
     // Solve A x = b with a known solution.
     let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() + 1.0).collect();
@@ -75,6 +78,10 @@ fn main() {
         ("grid blocked", LuLayout::GridBlocked),
         ("grid scattered", LuLayout::GridScattered),
     ] {
-        println!("  {:<26} {:>12} cycles", name, lu_layout_time(&big, 512, layout));
+        println!(
+            "  {:<26} {:>12} cycles",
+            name,
+            lu_layout_time(&big, 512, layout)
+        );
     }
 }

@@ -17,12 +17,33 @@ fn main() {
     println!("base machine: {base} (CM-5 calibration)\n");
 
     println!("sensitivity of the optimal broadcast to each parameter:");
-    println!("{:>12} {:>10} {:>12} {:>10}", "variation", "bcast", "sum(4096)", "fan-out");
+    println!(
+        "{:>12} {:>10} {:>12} {:>10}",
+        "variation", "bcast", "sum(4096)", "fan-out"
+    );
     let variants: Vec<(&str, LogP)> = vec![
         ("base", base),
-        ("L x4", LogP { l: base.l * 4, ..base }),
-        ("o /10", LogP { o: base.o / 10, ..base }),
-        ("g /4", LogP { g: base.g / 4, ..base }),
+        (
+            "L x4",
+            LogP {
+                l: base.l * 4,
+                ..base
+            },
+        ),
+        (
+            "o /10",
+            LogP {
+                o: base.o / 10,
+                ..base
+            },
+        ),
+        (
+            "g /4",
+            LogP {
+                g: base.g / 4,
+                ..base
+            },
+        ),
         ("P x4", base.with_p(base.p * 4)),
     ];
     for (name, m) in &variants {

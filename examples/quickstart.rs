@@ -46,15 +46,34 @@ fn main() {
     // 1. A machine is four numbers. This is the paper's Figure 3 machine.
     let m = LogP::fig3();
     println!("machine: {m}");
-    println!("  point-to-point message: {} cycles (2o + L)", m.point_to_point());
-    println!("  remote read:            {} cycles (2L + 4o)", m.remote_read());
-    println!("  network capacity:       {} messages/endpoint (⌈L/g⌉)", m.capacity());
+    println!(
+        "  point-to-point message: {} cycles (2o + L)",
+        m.point_to_point()
+    );
+    println!(
+        "  remote read:            {} cycles (2L + 4o)",
+        m.remote_read()
+    );
+    println!(
+        "  network capacity:       {} messages/endpoint (⌈L/g⌉)",
+        m.capacity()
+    );
 
     // 2. Closed-form analysis: the optimal broadcast and summation.
-    println!("\noptimal broadcast of one datum to all {}: {} cycles", m.p, optimal_broadcast_time(&m));
+    println!(
+        "\noptimal broadcast of one datum to all {}: {} cycles",
+        m.p,
+        optimal_broadcast_time(&m)
+    );
     let tree = optimal_broadcast_tree(&m);
-    println!("  root fan-out {} (the tree is unbalanced by design)", tree.root_fanout());
-    println!("optimal summation of 1000 values: {} cycles", min_sum_time(&m, 1000, m.p));
+    println!(
+        "  root fan-out {} (the tree is unbalanced by design)",
+        tree.root_fanout()
+    );
+    println!(
+        "optimal summation of 1000 values: {} cycles",
+        min_sum_time(&m, 1000, m.p)
+    );
 
     // 3. Execute a custom program on the simulated machine.
     let lap_times: SharedCell<Vec<Cycles>> = SharedCell::new();
@@ -73,11 +92,18 @@ fn main() {
     let laps = lap_times.get();
     println!("\ntoken ring, 3 laps over {} processors:", m.p);
     for (i, lap) in laps.iter().enumerate() {
-        println!("  lap {}: {} cycles ({} hops x (2o + L) = {})",
-            i + 1, lap, m.p, m.p as u64 * m.point_to_point());
+        println!(
+            "  lap {}: {} cycles ({} hops x (2o + L) = {})",
+            i + 1,
+            lap,
+            m.p,
+            m.p as u64 * m.point_to_point()
+        );
     }
-    println!("total simulated time: {} cycles, {} messages",
-        result.stats.completion, result.stats.total_msgs);
+    println!(
+        "total simulated time: {} cycles, {} messages",
+        result.stats.completion, result.stats.total_msgs
+    );
 
     // 4. Calibrated machines: the paper's CM-5.
     let cm5 = MachinePreset::cm5();

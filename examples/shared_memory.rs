@@ -52,7 +52,10 @@ fn main() {
     let expect: f64 = cells.iter().sum();
 
     println!("remote-memory access on {m}\n");
-    println!("single remote read costs 2L + 4o = {} cycles", m.remote_read());
+    println!(
+        "single remote read costs 2L + 4o = {} cycles",
+        m.remote_read()
+    );
 
     for prefetch in [false, true] {
         let result: SharedCell<(f64, Cycles)> = SharedCell::new();

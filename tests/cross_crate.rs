@@ -31,7 +31,12 @@ fn presets_analytic_equals_simulated() {
         );
         for shape in [TreeShape::Binomial, TreeShape::Binary] {
             let run = run_shape_broadcast(&m, shape, SimConfig::default());
-            assert_eq!(run.completion, shape_broadcast_time(&m, shape), "{}", preset.name);
+            assert_eq!(
+                run.completion,
+                shape_broadcast_time(&m, shape),
+                "{}",
+                preset.name
+            );
         }
     }
 }
@@ -56,8 +61,9 @@ fn cm5_summation_meets_deadline() {
 fn facade_fft_is_numerically_correct() {
     let m = MachinePreset::cm5().logp.with_p(8);
     let n = 512u64;
-    let input: Vec<Cplx> =
-        (0..n).map(|i| Cplx::new((i as f64 * 0.05).cos(), 0.25)).collect();
+    let input: Vec<Cplx> = (0..n)
+        .map(|i| Cplx::new((i as f64 * 0.05).cos(), 0.25))
+        .collect();
     let spec = FftRunSpec {
         n,
         schedule: RemapSchedule::Staggered,
@@ -96,7 +102,10 @@ fn measured_congestion_degrades_the_model() {
 /// consistent with the §4.1.4 calibration used by the presets (~2 µs).
 #[test]
 fn table1_and_preset_calibrations_agree() {
-    let cm5_am = table1().into_iter().find(|r| r.machine == "CM-5 (AM)").expect("row exists");
+    let cm5_am = table1()
+        .into_iter()
+        .find(|r| r.machine == "CM-5 (AM)")
+        .expect("row exists");
     let o_us = cm5_am.suggested_logp_o() * cm5_am.cycle_ns / 1000.0;
     let preset = MachinePreset::cm5();
     let preset_o_us = preset.cycles_to_us(preset.logp.o);
@@ -164,7 +173,10 @@ fn crcw_loophole_vs_logp_contention() {
     let g = Graph::star(n);
     let (pram_labels, pram_steps) = pram_cc(n, &g.edges).expect("legal CRCW program");
     assert_eq!(pram_labels, cc_sequential(&g));
-    assert!(pram_steps <= 6, "the PRAM sees no hot spot: {pram_steps} steps");
+    assert!(
+        pram_steps <= 6,
+        "the PRAM sees no hot spot: {pram_steps} steps"
+    );
 
     let m = LogP::new(60, 20, 40, 8).unwrap();
     let logp_run = run_cc(&m, &g, false, SimConfig::default());

@@ -1,0 +1,293 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the fork-join subset the workspace uses — `par_iter()` on
+//! slices with `map`/`for_each`/`collect`, `join`, and
+//! `ThreadPoolBuilder`/`ThreadPool::install` — on top of
+//! `std::thread::scope`. Unlike upstream rayon there is no persistent
+//! work-stealing pool: each parallel call spawns scoped worker threads
+//! over contiguous index chunks. For this repository's workloads (each
+//! work item is a whole discrete-event simulation, milliseconds to
+//! seconds) the spawn cost is noise, and contiguous chunking keeps
+//! results in deterministic index order.
+//!
+//! `ThreadPool::install` sets the logical thread count for parallel
+//! calls made inside the closure (thread-local), which is exactly how
+//! the simulator's sweep runner pins `--threads N`.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The vendored implementation
+/// cannot actually fail; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a logical thread pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means "use all available parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: parallel calls inside [`ThreadPool::install`] use its
+/// thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread count governing nested parallel
+    /// calls on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        CURRENT_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Map `f` over `items` using up to `current_num_threads()` scoped
+/// workers on contiguous chunks; results come back in index order.
+fn parallel_map_slice<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+pub mod iter {
+    use super::parallel_map_slice;
+
+    /// `&collection -> parallel iterator` (the subset: slices and `Vec`).
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Sync + 'a;
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+
+        pub fn map<R, F>(self, f: F) -> MapIter<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            MapIter {
+                items: self.items,
+                f,
+            }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a T) + Sync,
+        {
+            parallel_map_slice(self.items, &f);
+        }
+    }
+
+    /// Result of [`ParIter::map`].
+    pub struct MapIter<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T, R, F> MapIter<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        pub fn collect<C: FromParallel<R>>(self) -> C {
+            C::from_ordered_vec(parallel_map_slice(self.items, &self.f))
+        }
+    }
+
+    /// Collection targets for [`MapIter::collect`].
+    pub trait FromParallel<R> {
+        fn from_ordered_vec(v: Vec<R>) -> Self;
+    }
+
+    impl<R> FromParallel<R> for Vec<R> {
+        fn from_ordered_vec(v: Vec<R>) -> Self {
+            v
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+    pub use crate::{current_num_threads, join};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::iter::IntoParallelRefIterator;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        // Restored afterwards.
+        let outer = current_num_threads();
+        assert!(outer >= 1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let v: Vec<u64> = (0..100).collect();
+        let sum = AtomicU64::new(0);
+        v.par_iter().for_each(|x| {
+            sum.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 4950);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<u32> = (0..64).collect();
+        let out: Vec<u32> = pool.install(|| v.par_iter().map(|x| x + 1).collect());
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[63], 64);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let v: Vec<u64> = (0..257).collect();
+        let reference: Vec<u64> = v.iter().map(|x| x * x).collect();
+        for n in [1usize, 2, 5, 16] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let out: Vec<u64> = pool.install(|| v.par_iter().map(|x| x * x).collect());
+            assert_eq!(out, reference, "thread count {n} changed results");
+        }
+    }
+}

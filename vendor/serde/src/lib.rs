@@ -1,0 +1,15 @@
+//! Offline vendored subset of the `serde` facade.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the
+//! vendored `serde_derive` (see that crate's docs for why). The marker
+//! traits below keep `impl Serialize for T`-style bounds expressible if a
+//! future change needs them; they carry no methods because nothing
+//! in-tree serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

@@ -1,0 +1,20 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types so they
+//! are ready for wire formats, but nothing in-tree performs actual
+//! serialization (there is no `serde_json`/`bincode` dependency). With no
+//! network access to crates.io, these derives expand to nothing: the
+//! attribute positions stay valid and the real serde can be swapped back
+//! in without touching call sites.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
