@@ -61,6 +61,10 @@ pub struct BroadcastRun {
     pub arrivals: Vec<(ProcId, Cycles)>,
     /// Messages delivered (must be `P - 1`).
     pub messages: u64,
+    /// The full result of the single measured run — trace, lifecycle
+    /// log, and metrics (whatever `config` enabled), so callers never
+    /// re-run the simulation just to obtain them.
+    pub result: SimResult,
 }
 
 /// Run a broadcast along explicit child lists.
@@ -75,7 +79,7 @@ pub fn run_tree_broadcast(m: &LogP, children: &[Vec<ProcId>], config: SimConfig)
             received_at: cell.clone(),
         })
     });
-    let SimResult { stats, .. } = sim.run().expect("broadcast program terminates");
+    let result: SimResult = sim.run().expect("broadcast program terminates");
     let arrivals = cell.get();
     assert_eq!(
         arrivals.len(),
@@ -86,7 +90,8 @@ pub fn run_tree_broadcast(m: &LogP, children: &[Vec<ProcId>], config: SimConfig)
     BroadcastRun {
         completion,
         arrivals,
-        messages: stats.total_msgs,
+        messages: result.stats.total_msgs,
+        result,
     }
 }
 

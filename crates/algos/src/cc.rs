@@ -20,7 +20,7 @@
 //! Results are verified against a sequential union-find.
 
 use logp_core::{Cycles, LogP, ProcId};
-use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig, SimResult};
 use std::collections::HashMap;
 
 /// An undirected graph on vertices `0..n`.
@@ -377,6 +377,9 @@ pub struct CcRun {
     pub total_stall: Cycles,
     /// Maximum messages received by any one processor.
     pub max_recv: u64,
+    /// Full result of the single measured run (trace/log/metrics as
+    /// enabled by `config`), so callers never re-run for a trace.
+    pub result: SimResult,
 }
 
 /// Run distributed min-label CC. `combining` selects the mitigated
@@ -433,6 +436,7 @@ pub fn run_cc(m: &LogP, g: &Graph, combining: bool, config: SimConfig) -> CcRun 
             .map(|s| s.msgs_recvd)
             .max()
             .unwrap_or(0),
+        result,
     }
 }
 

@@ -17,7 +17,7 @@
 
 use logp_core::broadcast::{optimal_broadcast_tree, shape_children, TreeShape};
 use logp_core::{Cycles, LogP, ProcId};
-use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig, SimResult};
 use std::collections::HashMap;
 
 const TAG_ITEM: u32 = 0x100; // Pair(index, value)
@@ -34,6 +34,9 @@ pub struct KBcastOutcome {
 pub struct KBcastRun {
     pub completion: Cycles,
     pub messages: u64,
+    /// Full result of the single measured run (trace/log/metrics as
+    /// enabled by `config`), so callers never re-run for a trace.
+    pub result: SimResult,
 }
 
 // ---------------------------------------------------------------------
@@ -139,6 +142,7 @@ fn run_tree_pipeline(
     KBcastRun {
         completion: oc.finals.iter().map(|f| f.2).max().unwrap_or(0),
         messages: r.stats.total_msgs,
+        result: r,
     }
 }
 
@@ -340,6 +344,7 @@ pub fn run_kbcast_scatter_gather(m: &LogP, items: &[u64], config: SimConfig) -> 
     KBcastRun {
         completion: oc.finals.iter().map(|f| f.2).max().unwrap_or(0),
         messages: r.stats.total_msgs,
+        result: r,
     }
 }
 

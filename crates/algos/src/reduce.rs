@@ -16,7 +16,7 @@
 
 use logp_core::summation::{optimal_sum_schedule, SumSchedule};
 use logp_core::{Cycles, LogP, ProcId};
-use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig, SimResult};
 
 /// Tag for partial-sum messages.
 pub const TAG_PARTIAL: u32 = 0x50;
@@ -106,6 +106,9 @@ pub struct SumRun {
     pub procs: u32,
     /// Total inputs summed.
     pub inputs: u64,
+    /// The full result of the single measured run — trace, lifecycle
+    /// log, and metrics (whatever `config` enabled).
+    pub result: SimResult,
 }
 
 /// Execute an optimal summation schedule with synthetic input values
@@ -155,6 +158,7 @@ pub fn run_sum_schedule(sched: &SumSchedule, config: SimConfig) -> SumRun {
         completion: outcome.root_done_at.max(result.stats.completion),
         procs: sched.procs(),
         inputs: sched.total_inputs,
+        result,
     }
 }
 
@@ -242,6 +246,7 @@ pub fn run_binomial_sum(m: &LogP, n: u64, config: SimConfig) -> SumRun {
         completion: oc.root_done_at.max(result.stats.completion),
         procs: p,
         inputs: n,
+        result,
     }
 }
 

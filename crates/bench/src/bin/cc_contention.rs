@@ -3,7 +3,7 @@
 //! makes it visible, and combining mitigates it.
 
 use logp_algos::cc::{cc_sequential, run_cc, Graph};
-use logp_bench::{f2, threads_from_args, Scale, Table};
+use logp_bench::{f2, threads_from_args, ObsArgs, Scale, Table};
 use logp_core::LogP;
 use logp_sim::runner::sweep_map;
 use logp_sim::SimConfig;
@@ -37,9 +37,17 @@ fn main() {
     let cases: Vec<(usize, &str, bool)> = (0..graphs.len())
         .flat_map(|gi| [(gi, "naive", false), (gi, "combining", true)])
         .collect();
+    let obs = ObsArgs::from_args();
+    let cfg = obs.apply(SimConfig::default());
     let runs = sweep_map(threads, &cases, |&(gi, _, combining)| {
-        run_cc(&m, &graphs[gi].1, combining, SimConfig::default())
+        run_cc(&m, &graphs[gi].1, combining, cfg.clone())
     });
+    // Per-spec artifacts: one file per (graph, variant) case.
+    if obs.active() {
+        for ((gi, variant, _), run) in cases.iter().zip(&runs) {
+            obs.write(&format!("{}_{variant}", graphs[*gi].0), &run.result);
+        }
+    }
     for ((gi, variant, _), run) in cases.iter().zip(&runs) {
         let (name, g) = &graphs[*gi];
         assert_eq!(

@@ -1,16 +1,21 @@
 //! E1 — Figure 3: the optimal single-datum broadcast for
 //! `P = 8, L = 6, g = 4, o = 2`, with the per-processor activity
-//! timeline, plus baseline tree shapes for comparison.
+//! timeline and the critical-path breakdown, plus baseline tree shapes
+//! for comparison.
+//!
+//! `--trace-out PREFIX` / `--metrics-out PREFIX` export the observed
+//! run's Perfetto trace and metrics JSON.
 
 use logp_algos::broadcast::{run_optimal_broadcast, run_shape_broadcast};
-use logp_bench::Table;
+use logp_bench::{ObsArgs, Table};
 use logp_core::broadcast::{
     optimal_broadcast_time, optimal_broadcast_tree, shape_broadcast_time, TreeShape,
 };
 use logp_core::LogP;
-use logp_sim::SimConfig;
+use logp_sim::{critical_path, SimConfig};
 
 fn main() {
+    let obs = ObsArgs::from_args();
     let m = LogP::fig3();
     println!("Figure 3 — optimal broadcast on {m}\n");
 
@@ -32,42 +37,25 @@ fn main() {
         tree.completion()
     );
 
-    // Execute on the simulator with tracing and show the Figure-3-style
-    // activity panel (s = send overhead, r = receive overhead, . idle).
-    let run = run_optimal_broadcast(&m, SimConfig::traced());
+    // One fully-observed run: the returned `SimResult` carries the
+    // trace, lifecycle log, and metrics, so the measured run is also the
+    // rendered one (no second simulation).
+    let run = run_optimal_broadcast(&m, SimConfig::observed().with_metrics_grid(2));
     println!("simulated completion: {} cycles", run.completion);
     assert_eq!(run.completion, optimal_broadcast_time(&m));
 
-    // Re-run to grab the trace for rendering.
-    let mut sim = logp_sim::Sim::new(m, SimConfig::traced());
-    let ch2 = children.clone();
-    struct B {
-        children: Vec<u32>,
-        root: bool,
-    }
-    impl logp_sim::Process for B {
-        fn on_start(&mut self, ctx: &mut logp_sim::Ctx<'_>) {
-            if self.root {
-                for &c in &self.children {
-                    ctx.send(c, 0, logp_sim::Data::Empty);
-                }
-            }
-        }
-        fn on_message(&mut self, _m: &logp_sim::Message, ctx: &mut logp_sim::Ctx<'_>) {
-            for &c in &self.children {
-                ctx.send(c, 0, logp_sim::Data::Empty);
-            }
-        }
-    }
-    sim.set_all(|p| {
-        Box::new(B {
-            children: ch2[p as usize].clone(),
-            root: p == 0,
-        })
-    });
-    let result = sim.run().expect("broadcast terminates");
-    println!("\nactivity (1 column = 1 cycle; s=send o/h, r=recv o/h):");
-    print!("{}", result.trace.gantt(m.p, result.stats.completion, 1));
+    println!("\nactivity (1 column = 1 cycle):");
+    print!(
+        "{}",
+        run.result.trace.gantt(m.p, run.result.stats.completion, 1)
+    );
+
+    let cp = critical_path(&run.result).expect("observed run has a lifecycle log");
+    println!("\ncritical path (latest delivery, walked back to t = 0):");
+    print!("{}", cp.render());
+    assert_eq!(cp.total, run.completion);
+
+    obs.write("fig3_broadcast", &run.result);
 
     println!("\nbaseline tree shapes on the same machine:");
     let mut t = Table::new(&["shape", "analytic", "simulated"]);
@@ -79,10 +67,7 @@ fn main() {
         ("linear", Some(TreeShape::Linear)),
     ] {
         let (analytic, simulated) = match shape {
-            None => (
-                optimal_broadcast_time(&m),
-                run_optimal_broadcast(&m, SimConfig::default()).completion,
-            ),
+            None => (optimal_broadcast_time(&m), run.completion),
             Some(s) => (
                 shape_broadcast_time(&m, s),
                 run_shape_broadcast(&m, s, SimConfig::default()).completion,

@@ -3,12 +3,13 @@
 //! optimal-vs-binomial comparisons.
 
 use logp_algos::reduce::{run_binomial_sum, run_optimal_sum};
-use logp_bench::Table;
+use logp_bench::{ObsArgs, Table};
 use logp_core::summation::{min_sum_time, optimal_sum_schedule, sum_capacity_bounded};
 use logp_core::LogP;
-use logp_sim::SimConfig;
+use logp_sim::{critical_path, SimConfig};
 
 fn main() {
+    let obs = ObsArgs::from_args();
     let m = LogP::fig4();
     println!("Figure 4 — optimal summation on {m}, T = 28\n");
 
@@ -35,11 +36,17 @@ fn main() {
         sched.procs()
     );
 
-    let run = run_optimal_sum(&m, 28, SimConfig::default());
+    let run = run_optimal_sum(&m, 28, SimConfig::observed().with_metrics_grid(2));
     println!(
         "simulated: total = {} over {} inputs, root done at cycle {} (deadline 28)",
         run.total, run.inputs, run.completion
     );
+
+    let cp = critical_path(&run.result).expect("observed run has a lifecycle log");
+    println!("\ncritical path (latest delivery, walked back to t = 0):");
+    print!("{}", cp.render());
+
+    obs.write("fig4_summation", &run.result);
 
     println!("\noptimal vs binomial-tree reduction (same input count):");
     let mut t = Table::new(&["n", "optimal T", "binomial T", "ratio"]);

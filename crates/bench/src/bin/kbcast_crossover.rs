@@ -5,13 +5,14 @@
 use logp_algos::kbroadcast::{
     run_kbcast_binomial, run_kbcast_optimal_tree, run_kbcast_scatter_gather,
 };
-use logp_bench::{threads_from_args, Table};
+use logp_bench::{threads_from_args, ObsArgs, Table};
 use logp_core::LogP;
 use logp_sim::runner::sweep_map;
 use logp_sim::SimConfig;
 
 fn main() {
     let threads = threads_from_args();
+    let obs = ObsArgs::from_args();
     for m in [
         LogP::new(60, 20, 40, 16).unwrap(), // CM-5-like
         LogP::new(200, 4, 8, 16).unwrap(),  // latency-dominated
@@ -29,14 +30,24 @@ fn main() {
         // 30 independent simulations (10 payloads x 3 schedules); the
         // crossover scan below needs them back in k order, which
         // sweep_map guarantees at any thread count.
+        let cfg = obs.apply(SimConfig::default());
         let runs = sweep_map(threads, &ks, |&k| {
             let items: Vec<u64> = (0..k as u64).collect();
             (
-                run_kbcast_optimal_tree(&m, &items, SimConfig::default()),
-                run_kbcast_binomial(&m, &items, SimConfig::default()),
-                run_kbcast_scatter_gather(&m, &items, SimConfig::default()),
+                run_kbcast_optimal_tree(&m, &items, cfg.clone()),
+                run_kbcast_binomial(&m, &items, cfg.clone()),
+                run_kbcast_scatter_gather(&m, &items, cfg.clone()),
             )
         });
+        // Per-spec artifacts: one file per (machine, strategy, k) point.
+        if obs.active() {
+            for (&k, (tree, bino, sg)) in ks.iter().zip(&runs) {
+                let tag = format!("L{}o{}g{}P{}", m.l, m.o, m.g, m.p);
+                obs.write(&format!("{tag}_tree_k{k}"), &tree.result);
+                obs.write(&format!("{tag}_binomial_k{k}"), &bino.result);
+                obs.write(&format!("{tag}_sg_k{k}"), &sg.result);
+            }
+        }
         for (&k, (tree, bino, sg)) in ks.iter().zip(&runs) {
             let winner = if sg.completion < tree.completion.min(bino.completion) {
                 if crossover.is_none() {

@@ -1,0 +1,259 @@
+//! Observability overhead microbenchmark: the engine's events/second on
+//! the `engine_hotloop` workloads under each observability mode, so the
+//! "off by default is actually free" claim is a measured number, not a
+//! promise.
+//!
+//! Modes:
+//!
+//! * `disabled`   — `SimConfig::default()`: the PR-1 hot path; the obs
+//!   state is never constructed and the per-event hooks are a single
+//!   `Option` test.
+//! * `trace`      — activity spans only (`with_trace(true)`), the
+//!   pre-existing gantt/conservation machinery.
+//! * `msg_log`    — full message-lifecycle log + causal DAG
+//!   (`with_msg_log(true)`).
+//! * `full`       — lifecycle log + metrics registry with a sampling
+//!   grid (`SimConfig::observed().with_metrics_grid(64)`).
+//!
+//! Prints one JSON object to stdout (diffable, `BENCH_obs.json` at the
+//! repo root records the reference numbers); the stderr table is for
+//! humans. `--reps N` overrides repetitions. `--check` runs a fast
+//! correctness mode instead of a timing mode: every mode must finish
+//! with identical completion times and event counts (observability must
+//! never perturb the simulation), and the observed modes must actually
+//! populate their logs.
+
+use std::time::Instant;
+
+use logp_core::LogP;
+use logp_sim::process::{Ctx, Process};
+use logp_sim::{Data, Message, Sim, SimConfig};
+
+/// P0 and P1 exchange a decrementing counter until it hits zero.
+struct PingPong {
+    rounds: u64,
+}
+
+impl Process for PingPong {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.me() == 0 {
+            ctx.send(1, 0, Data::U64(self.rounds));
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let r = msg.data.as_u64();
+        if r > 0 {
+            let peer = 1 - ctx.me();
+            ctx.send(peer, 0, Data::U64(r - 1));
+        }
+    }
+}
+
+/// Every processor sends one word to every other processor, `rounds`
+/// times (capacity stalls included) — see `engine_hotloop`.
+struct AllToAll {
+    rounds: u64,
+    done: u64,
+    got: u32,
+}
+
+impl AllToAll {
+    fn blast(ctx: &mut Ctx<'_>) {
+        for dst in 0..ctx.procs() {
+            if dst != ctx.me() {
+                ctx.send(dst, 0, Data::Empty);
+            }
+        }
+    }
+}
+
+impl Process for AllToAll {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        Self::blast(ctx);
+    }
+
+    fn on_message(&mut self, _msg: &Message, ctx: &mut Ctx<'_>) {
+        self.got += 1;
+        if self.got == ctx.procs() - 1 {
+            self.got = 0;
+            self.done += 1;
+            if self.done < self.rounds {
+                Self::blast(ctx);
+            }
+        }
+    }
+}
+
+const MODES: [&str; 4] = ["disabled", "trace", "msg_log", "full"];
+
+fn mode_config(mode: &str) -> SimConfig {
+    match mode {
+        "disabled" => SimConfig::default(),
+        "trace" => SimConfig::default().with_trace(true),
+        "msg_log" => SimConfig::default().with_msg_log(true),
+        "full" => SimConfig::observed().with_metrics_grid(64),
+        other => panic!("unknown mode {other:?}"),
+    }
+}
+
+fn build(workload: &str, mode: &str, rounds: u64) -> Sim {
+    let cfg = mode_config(mode);
+    match workload {
+        "ping_pong" => {
+            let mut sim = Sim::new(LogP::new(6, 2, 4, 2).unwrap(), cfg);
+            sim.set_all(move |_| Box::new(PingPong { rounds }));
+            sim
+        }
+        "all_to_all" => {
+            let mut sim = Sim::new(LogP::new(6, 2, 4, 16).unwrap(), cfg);
+            sim.set_all(move |_| {
+                Box::new(AllToAll {
+                    rounds,
+                    done: 0,
+                    got: 0,
+                })
+            });
+            sim
+        }
+        other => panic!("unknown workload {other:?}"),
+    }
+}
+
+struct Measurement {
+    workload: &'static str,
+    mode: &'static str,
+    events: u64,
+    best_secs: f64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.best_secs
+    }
+}
+
+fn measure(workload: &'static str, mode: &'static str, rounds: u64, reps: u32) -> Measurement {
+    let reference = build(workload, mode, rounds).run().expect("completes");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = build(workload, mode, rounds).run().expect("completes");
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(r.stats.events, reference.stats.events);
+    }
+    Measurement {
+        workload,
+        mode,
+        events: reference.stats.events,
+        best_secs: best,
+    }
+}
+
+/// `--check`: observability must be an observer — identical completion
+/// and event counts in every mode, and the observed modes must actually
+/// record what they promise.
+fn check() {
+    for (workload, rounds) in [("ping_pong", 2_000u64), ("all_to_all", 20u64)] {
+        let baseline = build(workload, "disabled", rounds)
+            .run()
+            .expect("completes");
+        for mode in MODES {
+            let r = build(workload, mode, rounds).run().expect("completes");
+            assert_eq!(
+                r.stats.completion, baseline.stats.completion,
+                "{workload}/{mode}: completion must not change under observation"
+            );
+            assert_eq!(
+                r.stats.events, baseline.stats.events,
+                "{workload}/{mode}: event count must not change under observation"
+            );
+            assert_eq!(
+                r.stats.total_msgs, baseline.stats.total_msgs,
+                "{workload}/{mode}: message count must not change under observation"
+            );
+            match mode {
+                "disabled" => {
+                    assert!(r.trace.spans.is_empty() && r.obs.is_empty());
+                    assert!(r.metrics.to_csv().lines().count() <= 1);
+                }
+                "trace" => assert!(!r.trace.spans.is_empty()),
+                "msg_log" => {
+                    assert_eq!(r.obs.msgs.len() as u64, r.stats.total_msgs);
+                    assert!(r.obs.delivered().count() as u64 == r.stats.total_msgs);
+                }
+                "full" => {
+                    assert_eq!(r.obs.msgs.len() as u64, r.stats.total_msgs);
+                    assert_eq!(
+                        r.metrics.counter_value("messages_delivered"),
+                        Some(r.stats.total_msgs)
+                    );
+                    assert!(!r.metrics.gauges().is_empty());
+                }
+                _ => unreachable!(),
+            }
+        }
+        println!("{workload}: all modes agree (completion/events/msgs identical)");
+    }
+    println!("trace_overhead --check: OK");
+}
+
+fn main() {
+    let mut reps: u32 = 5;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps takes a positive integer");
+            }
+            "--check" => {
+                check();
+                return;
+            }
+            other => panic!("unknown argument {other:?} (expected --reps N | --check)"),
+        }
+    }
+
+    let workloads: [(&str, u64); 2] = [("ping_pong", 100_000), ("all_to_all", 400)];
+
+    eprintln!(
+        "{:>12} {:>9} {:>12} {:>14} {:>10}",
+        "workload", "mode", "events", "events/sec", "vs off"
+    );
+    let mut items = Vec::new();
+    for (workload, rounds) in workloads {
+        let mut base = 0.0f64;
+        for mode in MODES {
+            let m = measure(workload, mode, rounds, reps);
+            if mode == "disabled" {
+                base = m.events_per_sec();
+            }
+            let rel = m.events_per_sec() / base;
+            eprintln!(
+                "{:>12} {:>9} {:>12} {:>14.0} {:>9.3}x",
+                m.workload,
+                m.mode,
+                m.events,
+                m.events_per_sec(),
+                rel
+            );
+            items.push(format!(
+                "{{\"workload\":\"{}\",\"mode\":\"{}\",\"events\":{},\"best_secs\":{:.6},\"events_per_sec\":{:.0},\"vs_disabled\":{:.4}}}",
+                m.workload,
+                m.mode,
+                m.events,
+                m.best_secs,
+                m.events_per_sec(),
+                rel
+            ));
+        }
+    }
+    println!(
+        "{{\"bench\":\"trace_overhead\",\"modes\":{},\"runs\":[{}]}}",
+        MODES.len(),
+        items.join(",")
+    );
+}

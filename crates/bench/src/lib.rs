@@ -7,7 +7,10 @@
 //! paper scale (`--full`), and thread-count selection (`--threads N` /
 //! `LOGP_THREADS`) for the sweep-shaped binaries.
 
+use logp_sim::perfetto::write_artifacts;
 use logp_sim::runner::Threads;
+use logp_sim::{SimConfig, SimResult};
+use std::path::PathBuf;
 
 /// A simple fixed-width table printer for experiment output.
 #[derive(Debug, Default)]
@@ -99,6 +102,85 @@ impl Scale {
         match self {
             Scale::Quick => quick,
             Scale::Full => full,
+        }
+    }
+}
+
+/// Observability artifact flags shared by the experiment binaries:
+/// `--trace-out PREFIX` writes a Perfetto `trace_event` JSON per run,
+/// `--metrics-out PREFIX` a metrics JSON per run. A binary labels each
+/// run it exports (e.g. the sweep point), and artifacts land in
+/// `PREFIX_<label>.trace.json` / `PREFIX_<label>.metrics.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsArgs {
+    pub trace_prefix: Option<String>,
+    pub metrics_prefix: Option<String>,
+}
+
+impl ObsArgs {
+    /// Parse `--trace-out` / `--metrics-out` from the process arguments.
+    pub fn from_args() -> Self {
+        let mut out = ObsArgs::default();
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace-out" => {
+                    out.trace_prefix = Some(args.next().expect("--trace-out takes a path prefix"));
+                }
+                "--metrics-out" => {
+                    out.metrics_prefix =
+                        Some(args.next().expect("--metrics-out takes a path prefix"));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Any artifact was requested.
+    pub fn active(&self) -> bool {
+        self.trace_prefix.is_some() || self.metrics_prefix.is_some()
+    }
+
+    /// Turn on the observability the requested artifacts need.
+    pub fn apply(&self, config: SimConfig) -> SimConfig {
+        let config = if self.trace_prefix.is_some() {
+            config.with_msg_log(true)
+        } else {
+            config
+        };
+        if self.metrics_prefix.is_some() {
+            config.with_metrics(true)
+        } else {
+            config
+        }
+    }
+
+    fn path(prefix: &Option<String>, label: &str, suffix: &str) -> Option<PathBuf> {
+        let prefix = prefix.as_ref()?;
+        let label: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        Some(PathBuf::from(format!("{prefix}_{label}{suffix}")))
+    }
+
+    /// Per-run trace artifact path, if requested.
+    pub fn trace_path(&self, label: &str) -> Option<PathBuf> {
+        Self::path(&self.trace_prefix, label, ".trace.json")
+    }
+
+    /// Per-run metrics artifact path, if requested.
+    pub fn metrics_path(&self, label: &str) -> Option<PathBuf> {
+        Self::path(&self.metrics_prefix, label, ".metrics.json")
+    }
+
+    /// Write the requested artifacts for one labeled run.
+    pub fn write(&self, label: &str, res: &SimResult) {
+        let trace = self.trace_path(label);
+        let metrics = self.metrics_path(label);
+        if let Err(e) = write_artifacts(res, trace.as_deref(), metrics.as_deref()) {
+            eprintln!("warning: failed to write artifacts for {label}: {e}");
         }
     }
 }

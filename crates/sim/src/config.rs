@@ -48,6 +48,18 @@ pub struct SimConfig {
     pub barrier_cost: Cycles,
     /// Record per-processor activity spans for Gantt rendering.
     pub record_trace: bool,
+    /// Record the full message-lifecycle log (submit → inject → flight →
+    /// delivery timestamps plus causal parent IDs) in
+    /// `SimResult::obs`. Implies `record_trace` — the critical-path
+    /// analyzer needs activity spans to attribute wait windows.
+    pub record_msg_log: bool,
+    /// Maintain the metrics registry (counters and latency/stall
+    /// histograms) in `SimResult::metrics`.
+    pub record_metrics: bool,
+    /// Sampling period, in cycles, for time-series gauges (in-flight per
+    /// destination, ready-queue depth, utilization). `0` disables gauge
+    /// sampling; a positive value implies `record_metrics`.
+    pub metrics_grid: Cycles,
     /// Seed for all pseudo-random draws (jitter, drift). Two runs with the
     /// same seed and programs are bit-identical.
     pub seed: u64,
@@ -67,6 +79,9 @@ impl Default for SimConfig {
             loggp_big_g: None,
             barrier_cost: 0,
             record_trace: false,
+            record_msg_log: false,
+            record_metrics: false,
+            metrics_grid: 0,
             seed: 0x1092_7735_AC01,
             max_events: 2_000_000_000,
         }
@@ -74,12 +89,51 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Default config with tracing enabled.
+    /// Default config with tracing enabled. Equivalent to
+    /// `SimConfig::default().with_trace(true)`.
     pub fn traced() -> Self {
-        SimConfig {
-            record_trace: true,
-            ..Default::default()
+        Self::default().with_trace(true)
+    }
+
+    /// Default config with full observability: activity trace, message
+    /// lifecycle log, and metrics.
+    pub fn observed() -> Self {
+        Self::default()
+            .with_trace(true)
+            .with_msg_log(true)
+            .with_metrics(true)
+    }
+
+    /// Enable or disable activity-span tracing.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Enable or disable the message-lifecycle log (on also enables the
+    /// activity trace, which critical-path attribution requires).
+    pub fn with_msg_log(mut self, on: bool) -> Self {
+        self.record_msg_log = on;
+        if on {
+            self.record_trace = true;
         }
+        self
+    }
+
+    /// Enable or disable the metrics registry.
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.record_metrics = on;
+        self
+    }
+
+    /// Sample time-series gauges every `grid` cycles (implies metrics
+    /// when `grid > 0`).
+    pub fn with_metrics_grid(mut self, grid: Cycles) -> Self {
+        self.metrics_grid = grid;
+        if grid > 0 {
+            self.record_metrics = true;
+        }
+        self
     }
 
     /// Enable latency jitter of up to `j` cycles below `L`.
@@ -135,5 +189,37 @@ mod tests {
         assert_eq!(c.latency_jitter, 3);
         assert_eq!(c.drift_ppk, 10);
         assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn with_trace_composes_like_other_builders() {
+        let c = SimConfig::default()
+            .with_jitter(2)
+            .with_trace(true)
+            .with_seed(9);
+        assert!(c.record_trace);
+        assert_eq!(c, SimConfig::traced().with_jitter(2).with_seed(9));
+        assert!(!SimConfig::traced().with_trace(false).record_trace);
+    }
+
+    #[test]
+    fn msg_log_implies_trace() {
+        let c = SimConfig::default().with_msg_log(true);
+        assert!(c.record_msg_log);
+        assert!(c.record_trace);
+    }
+
+    #[test]
+    fn metrics_grid_implies_metrics() {
+        let c = SimConfig::default().with_metrics_grid(10);
+        assert!(c.record_metrics);
+        assert_eq!(c.metrics_grid, 10);
+        assert!(!SimConfig::default().with_metrics_grid(0).record_metrics);
+    }
+
+    #[test]
+    fn observed_enables_everything() {
+        let c = SimConfig::observed();
+        assert!(c.record_trace && c.record_msg_log && c.record_metrics);
     }
 }

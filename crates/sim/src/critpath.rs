@@ -1,0 +1,527 @@
+//! Critical-path analysis over the causal event DAG.
+//!
+//! Figure 3 of the paper argues the optimal broadcast's completion time
+//! by walking the chain of sends that ends at the last processor and
+//! attributing every cycle on it to `o`, `g`, or `L`. [`critical_path`]
+//! mechanizes that argument for *any* run with the lifecycle log enabled
+//! (`SimConfig::record_msg_log`): starting from the latest delivery,
+//! compute completion, or barrier release, it follows each record's
+//! [`Cause`] backward to time 0 and classifies every cycle in between.
+//!
+//! Because each node on the path covers exactly the interval from its
+//! cause's completion (when its command was submitted) to its own
+//! completion, the classified segments tile `[0, completion]` of the
+//! terminal event with no gaps — so the component cycles always sum to
+//! the path total, and for the paper's optimal broadcast and summation
+//! schedules the total reproduces the closed forms in `logp-core`
+//! cycle-exactly (pinned in `tests/observability.rs`).
+//!
+//! Attribution rules:
+//! * a message's send/receive overhead windows are `o`; its network
+//!   flight is `L` (for LogGP bulk messages the `(words-1)·G` stream is
+//!   folded into the flight segment);
+//! * within a wait window (command submitted but not started), time the
+//!   processor spent busy takes that activity's class (`o` for other
+//!   messages' overheads, compute, capacity stall, barrier), idle time
+//!   before the recorded gap gate is `g`, and residual idle time is
+//!   `wait`.
+
+use crate::engine::SimResult;
+use crate::obs::Cause;
+use crate::trace::{Activity, Span};
+use logp_core::{Cycles, ProcId};
+use std::fmt::Write as _;
+
+/// Classification of one critical-path segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// Send or receive overhead.
+    O,
+    /// Waiting for an injection/reception gap slot.
+    G,
+    /// Network flight.
+    L,
+    /// Local computation.
+    Compute,
+    /// Capacity-constraint stall.
+    Stall,
+    /// Barrier cost or barrier wait.
+    Barrier,
+    /// Idle time not explained by the gap gate (e.g. a handler waiting
+    /// for its processor to finish unrelated work).
+    Wait,
+}
+
+impl StepKind {
+    /// Short label used in rendered reports ("o", "g", "L", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StepKind::O => "o",
+            StepKind::G => "g",
+            StepKind::L => "L",
+            StepKind::Compute => "compute",
+            StepKind::Stall => "stall",
+            StepKind::Barrier => "barrier",
+            StepKind::Wait => "wait",
+        }
+    }
+
+    fn from_activity(a: Activity) -> StepKind {
+        match a {
+            Activity::SendOverhead | Activity::RecvOverhead => StepKind::O,
+            Activity::Compute => StepKind::Compute,
+            Activity::Stall => StepKind::Stall,
+            Activity::Barrier => StepKind::Barrier,
+        }
+    }
+}
+
+/// One contiguous classified segment `[start, end)` of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathStep {
+    pub kind: StepKind,
+    /// The processor the cycles were spent on (the sender for flight
+    /// segments).
+    pub proc: ProcId,
+    pub start: Cycles,
+    pub end: Cycles,
+}
+
+impl PathStep {
+    pub fn cycles(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// Cycle totals of the path by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Components {
+    pub o: Cycles,
+    pub g: Cycles,
+    pub l: Cycles,
+    pub compute: Cycles,
+    pub stall: Cycles,
+    pub barrier: Cycles,
+    pub wait: Cycles,
+}
+
+impl Components {
+    /// Sum of all classes — always equals [`CritPath::total`].
+    pub fn sum(&self) -> Cycles {
+        self.o + self.g + self.l + self.compute + self.stall + self.barrier + self.wait
+    }
+
+    fn add(&mut self, kind: StepKind, cycles: Cycles) {
+        match kind {
+            StepKind::O => self.o += cycles,
+            StepKind::G => self.g += cycles,
+            StepKind::L => self.l += cycles,
+            StepKind::Compute => self.compute += cycles,
+            StepKind::Stall => self.stall += cycles,
+            StepKind::Barrier => self.barrier += cycles,
+            StepKind::Wait => self.wait += cycles,
+        }
+    }
+}
+
+/// The analyzed critical path of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CritPath {
+    /// Completion time of the terminal event (= `components.sum()`).
+    pub total: Cycles,
+    pub components: Components,
+    /// The path's segments in time order, tiling `[0, total)`.
+    pub steps: Vec<PathStep>,
+}
+
+impl CritPath {
+    /// Human-readable report: component table plus the step sequence.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "critical path: {} cycles, {} steps",
+            self.total,
+            self.steps.len()
+        );
+        let c = &self.components;
+        for (label, v) in [
+            ("o", c.o),
+            ("g", c.g),
+            ("L", c.l),
+            ("compute", c.compute),
+            ("stall", c.stall),
+            ("barrier", c.barrier),
+            ("wait", c.wait),
+        ] {
+            if v > 0 {
+                let pct = 100.0 * v as f64 / self.total.max(1) as f64;
+                let _ = writeln!(s, "  {label:<8} {v:>8}  ({pct:5.1}%)");
+            }
+        }
+        let _ = writeln!(s, "steps (start..end  proc  class):");
+        for st in &self.steps {
+            let _ = writeln!(
+                s,
+                "  {:>8}..{:<8} P{:<4} {}",
+                st.start,
+                st.end,
+                st.proc,
+                st.kind.label()
+            );
+        }
+        s
+    }
+}
+
+/// Nodes of the causal DAG the walk can stand on.
+#[derive(Clone, Copy)]
+enum Node {
+    Msg(usize),
+    Comp(usize),
+    Bar(usize),
+}
+
+/// Classify the wait window `[from, to)` on `proc`: busy spans keep their
+/// activity class; idle cycles before `gate` are `g`, after it `wait`.
+fn attribute_window(
+    spans: &[Span],
+    proc: ProcId,
+    from: Cycles,
+    to: Cycles,
+    gate: Cycles,
+    out: &mut Vec<PathStep>,
+) {
+    if to <= from {
+        return;
+    }
+    let idle = |a: Cycles, b: Cycles, out: &mut Vec<PathStep>| {
+        let mid = gate.clamp(a, b);
+        if mid > a {
+            out.push(PathStep {
+                kind: StepKind::G,
+                proc,
+                start: a,
+                end: mid,
+            });
+        }
+        if b > mid {
+            out.push(PathStep {
+                kind: StepKind::Wait,
+                proc,
+                start: mid,
+                end: b,
+            });
+        }
+    };
+    let mut t = from;
+    for s in spans {
+        if s.end <= t {
+            continue;
+        }
+        if s.start >= to {
+            break;
+        }
+        let a = s.start.max(t);
+        if a > t {
+            idle(t, a, out);
+        }
+        let b = s.end.min(to);
+        out.push(PathStep {
+            kind: StepKind::from_activity(s.activity),
+            proc,
+            start: a,
+            end: b,
+        });
+        t = b;
+        if t >= to {
+            break;
+        }
+    }
+    if t < to {
+        idle(t, to, out);
+    }
+}
+
+/// Walk the causal DAG backward from the run's last event and classify
+/// every cycle on the chain. Returns `None` when the lifecycle log is
+/// empty (observability was off, or nothing happened).
+pub fn critical_path(res: &SimResult) -> Option<CritPath> {
+    let log = &res.obs;
+    // Terminal node: the latest-completing delivery / compute / barrier,
+    // with a deterministic (kind, id) tie-break.
+    let mut terminal: Option<(Cycles, u8, u64, Node)> = None;
+    let mut consider = |cand: (Cycles, u8, u64, Node)| {
+        let better = match &terminal {
+            None => true,
+            Some((t, k, i, _)) => (cand.0, cand.1, cand.2) > (*t, *k, *i),
+        };
+        if better {
+            terminal = Some(cand);
+        }
+    };
+    for m in log.delivered() {
+        consider((m.deliver, 0, m.id, Node::Msg(m.id as usize)));
+    }
+    for c in &log.computes {
+        consider((c.end, 1, c.id, Node::Comp(c.id as usize)));
+    }
+    for b in &log.barriers {
+        consider((b.release, 2, b.id, Node::Bar(b.id as usize)));
+    }
+    let (total, _, _, mut node) = terminal?;
+
+    // Per-processor spans in start order, for wait-window attribution.
+    let nprocs = res.stats.procs.len();
+    let mut spans: Vec<Vec<Span>> = vec![Vec::new(); nprocs];
+    for s in &res.trace.spans {
+        spans[s.proc as usize].push(*s);
+    }
+    for v in &mut spans {
+        v.sort_by_key(|s| s.start);
+    }
+
+    // Walk backward, collecting each node's (time-ordered) steps.
+    let mut rev_nodes: Vec<Vec<PathStep>> = Vec::new();
+    loop {
+        let mut seg = Vec::new();
+        let cause = match node {
+            Node::Msg(i) => {
+                let m = &log.msgs[i];
+                attribute_window(
+                    &spans[m.src as usize],
+                    m.src,
+                    m.submit,
+                    m.inject,
+                    m.send_gate,
+                    &mut seg,
+                );
+                if m.sent > m.inject {
+                    seg.push(PathStep {
+                        kind: StepKind::O,
+                        proc: m.src,
+                        start: m.inject,
+                        end: m.sent,
+                    });
+                }
+                if m.arrive > m.sent {
+                    seg.push(PathStep {
+                        kind: StepKind::L,
+                        proc: m.src,
+                        start: m.sent,
+                        end: m.arrive,
+                    });
+                }
+                attribute_window(
+                    &spans[m.dst as usize],
+                    m.dst,
+                    m.arrive,
+                    m.recv_start,
+                    m.recv_gate,
+                    &mut seg,
+                );
+                if m.deliver > m.recv_start {
+                    seg.push(PathStep {
+                        kind: StepKind::O,
+                        proc: m.dst,
+                        start: m.recv_start,
+                        end: m.deliver,
+                    });
+                }
+                m.cause
+            }
+            Node::Comp(i) => {
+                let c = &log.computes[i];
+                attribute_window(
+                    &spans[c.proc as usize],
+                    c.proc,
+                    c.submit,
+                    c.start,
+                    c.submit,
+                    &mut seg,
+                );
+                if c.end > c.start {
+                    seg.push(PathStep {
+                        kind: StepKind::Compute,
+                        proc: c.proc,
+                        start: c.start,
+                        end: c.end,
+                    });
+                }
+                c.cause
+            }
+            Node::Bar(i) => {
+                let b = &log.barriers[i];
+                attribute_window(
+                    &spans[b.last_proc as usize],
+                    b.last_proc,
+                    b.submit,
+                    b.enter,
+                    b.submit,
+                    &mut seg,
+                );
+                if b.release > b.enter {
+                    seg.push(PathStep {
+                        kind: StepKind::Barrier,
+                        proc: b.last_proc,
+                        start: b.enter,
+                        end: b.release,
+                    });
+                }
+                b.cause
+            }
+        };
+        rev_nodes.push(seg);
+        node = match cause {
+            Cause::Start => break,
+            Cause::Msg(id) => Node::Msg(id as usize),
+            Cause::Compute(id) => Node::Comp(id as usize),
+            Cause::Barrier(id) => Node::Bar(id as usize),
+        };
+    }
+
+    // Time order, merging contiguous same-class segments on one proc.
+    let mut steps: Vec<PathStep> = Vec::new();
+    let mut components = Components::default();
+    for step in rev_nodes.into_iter().rev().flatten() {
+        components.add(step.kind, step.cycles());
+        match steps.last_mut() {
+            Some(last)
+                if last.kind == step.kind && last.proc == step.proc && last.end == step.start =>
+            {
+                last.end = step.end;
+            }
+            _ => steps.push(step),
+        }
+    }
+    debug_assert_eq!(
+        components.sum(),
+        total,
+        "path segments must tile [0, total)"
+    );
+    Some(CritPath {
+        total,
+        components,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Sim;
+    use crate::message::Data;
+    use crate::process::{Ctx, Process, StartFn};
+    use logp_core::LogP;
+
+    #[test]
+    fn empty_log_has_no_path() {
+        assert!(critical_path(&SimResult::default()).is_none());
+    }
+
+    #[test]
+    fn single_ping_is_o_l_o() {
+        let model = LogP::new(6, 2, 4, 2).unwrap();
+        let mut sim = Sim::new(model, SimConfig::default().with_msg_log(true));
+        sim.set_process(
+            0,
+            Box::new(StartFn(|ctx: &mut Ctx<'_>| {
+                ctx.send(1, 0, Data::U64(1));
+            })),
+        );
+        let res = sim.run().unwrap();
+        let cp = critical_path(&res).expect("one message on the path");
+        assert_eq!(cp.total, model.point_to_point());
+        assert_eq!(cp.components.o, 2 * model.o);
+        assert_eq!(cp.components.l, model.l);
+        assert_eq!(cp.components.sum(), cp.total);
+        // o [0,2), L [2,8), o [8,10).
+        assert_eq!(cp.steps.len(), 3);
+        assert_eq!(cp.steps[1].kind, StepKind::L);
+        assert!(cp.render().contains("critical path: 10 cycles"));
+    }
+
+    #[test]
+    fn gap_limited_sends_show_g() {
+        // P0 sends two messages to P1 back-to-back: the second waits for
+        // the gap. Terminal is the second delivery at o + g + L + o... or
+        // rather inject at g (g > o), so total = g + o + L + o.
+        let model = LogP::new(6, 2, 4, 2).unwrap();
+        let mut sim = Sim::new(model, SimConfig::default().with_msg_log(true));
+        sim.set_process(
+            0,
+            Box::new(StartFn(|ctx: &mut Ctx<'_>| {
+                ctx.send(1, 0, Data::Empty);
+                ctx.send(1, 1, Data::Empty);
+            })),
+        );
+        let res = sim.run().unwrap();
+        let cp = critical_path(&res).unwrap();
+        assert_eq!(cp.total, model.g + model.o + model.l + model.o);
+        // The [o, g) idle slice of the wait window is attributed to g.
+        assert_eq!(cp.components.g, model.g - model.o);
+        assert_eq!(cp.components.sum(), cp.total);
+    }
+
+    #[test]
+    fn compute_chains_through_causes() {
+        struct ComputeThenSend;
+        impl Process for ComputeThenSend {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.me() == 0 {
+                    ctx.compute(50, 7);
+                }
+            }
+            fn on_compute_done(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+                ctx.send(1, 0, Data::Empty);
+            }
+        }
+        let model = LogP::new(6, 2, 4, 2).unwrap();
+        let mut sim = Sim::new(model, SimConfig::default().with_msg_log(true));
+        sim.set_all(|_| Box::new(ComputeThenSend));
+        let res = sim.run().unwrap();
+        let cp = critical_path(&res).unwrap();
+        assert_eq!(cp.total, 50 + model.point_to_point());
+        assert_eq!(cp.components.compute, 50);
+        assert_eq!(cp.components.o, 2 * model.o);
+        assert_eq!(cp.components.l, model.l);
+    }
+
+    #[test]
+    fn barrier_appears_on_path() {
+        struct BarrierThenSend;
+        impl Process for BarrierThenSend {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.me() == 0 {
+                    ctx.compute(10, 0);
+                } else {
+                    ctx.barrier();
+                }
+            }
+            fn on_compute_done(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+                ctx.barrier();
+            }
+            fn on_barrier_release(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.me() == 0 {
+                    ctx.send(1, 0, Data::Empty);
+                }
+            }
+        }
+        let model = LogP::new(6, 2, 4, 2).unwrap();
+        let config = SimConfig {
+            barrier_cost: 5,
+            ..SimConfig::default()
+        }
+        .with_msg_log(true);
+        let mut sim = Sim::new(model, config);
+        sim.set_all(|_| Box::new(BarrierThenSend));
+        let res = sim.run().unwrap();
+        let cp = critical_path(&res).unwrap();
+        // compute 10, barrier cost 5, then 2o + L.
+        assert_eq!(cp.total, 10 + 5 + model.point_to_point());
+        assert_eq!(cp.components.barrier, 5);
+        assert_eq!(cp.components.compute, 10);
+        assert_eq!(cp.components.sum(), cp.total);
+    }
+}

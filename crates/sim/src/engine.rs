@@ -25,6 +25,8 @@
 
 use crate::config::SimConfig;
 use crate::message::Message;
+use crate::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, PPK_SCALE};
+use crate::obs::{BarrierRecord, Cause, ComputeRecord, MsgRecord, ObsLog, UNSET};
 use crate::process::{Command, Ctx, Process};
 use crate::trace::{Activity, ProcStats, SimStats, Span, Trace};
 use logp_core::{Cycles, LogP, ProcId};
@@ -62,10 +64,16 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Results of a completed run.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimResult {
     pub stats: SimStats,
     pub trace: Trace,
+    /// Message/compute/barrier lifecycle log (empty unless
+    /// `SimConfig::record_msg_log`).
+    pub obs: ObsLog,
+    /// Counters, gauges, and histograms (empty unless
+    /// `SimConfig::record_metrics`).
+    pub metrics: MetricsRegistry,
 }
 
 #[derive(Debug)]
@@ -165,7 +173,9 @@ impl EventHeap {
         }
     }
 
-    #[inline]
+    // `always`: runs once per event at the top of the loop; with the
+    // loop monomorphized twice the inliner otherwise outlines it.
+    #[inline(always)]
     fn pop(&mut self) -> Option<(u128, EventKind)> {
         let n = self.keys.len();
         if n == 0 {
@@ -176,6 +186,11 @@ impl EventHeap {
         let key = self.keys.pop().expect("heap non-empty");
         let kind = self.kinds.pop().expect("heap non-empty");
         let n = n - 1;
+        // Sift down over fixed-length slices: the bound `n` is pinned to
+        // both lengths up front, so every index below stays provably in
+        // range regardless of the inlining context.
+        let keys = &mut self.keys[..n];
+        let kinds = &mut self.kinds[..n];
         let mut i = 0;
         loop {
             let first = i * Self::ARITY + 1;
@@ -184,15 +199,15 @@ impl EventHeap {
             }
             let mut min = first;
             for c in first + 1..(first + Self::ARITY).min(n) {
-                if self.keys[c] < self.keys[min] {
+                if keys[c] < keys[min] {
                     min = c;
                 }
             }
-            if self.keys[i] <= self.keys[min] {
+            if keys[i] <= keys[min] {
                 break;
             }
-            self.keys.swap(i, min);
-            self.kinds.swap(i, min);
+            keys.swap(i, min);
+            kinds.swap(i, min);
             i = min;
         }
         Some((key, kind))
@@ -202,7 +217,9 @@ impl EventHeap {
 #[derive(Debug)]
 struct InboxItem {
     /// Packed ordering key: arrival time in the high 64 bits, sequence
-    /// number in the low 64 (same trick as [`Event::key`]).
+    /// number in the low 64 (same trick as [`Event::key`]). Also the
+    /// lookup key for the message's observability payload in
+    /// the observability side-map when observability is active.
     key: u128,
     msg: Message,
 }
@@ -285,6 +302,99 @@ impl ProcState {
     }
 }
 
+/// Gauge handles, allocated only when `SimConfig::metrics_grid > 0`.
+struct GaugeSet {
+    inflight_total: GaugeId,
+    ready_cmds: GaugeId,
+    inbox_depth: GaugeId,
+    util_ppk: GaugeId,
+    /// One in-flight gauge per destination processor.
+    per_dst: Vec<GaugeId>,
+}
+
+/// Engine-side observability state; boxed behind an `Option` so the
+/// disabled path costs one null check per hook.
+struct ObsState {
+    log: ObsLog,
+    metrics: MetricsRegistry,
+    /// Lifecycle log (and causal metadata) enabled.
+    msg_log: bool,
+    /// Counters/histograms enabled.
+    metrics_on: bool,
+    /// Gauge sampling period (`0` = off).
+    grid: Cycles,
+    next_sample: Cycles,
+    c_injected: CounterId,
+    c_delivered: CounterId,
+    c_stall_episodes: CounterId,
+    c_computes: CounterId,
+    c_barrier_entries: CounterId,
+    h_latency: HistId,
+    h_stall: HistId,
+    gauges: Option<GaugeSet>,
+    /// Per-processor per-command metadata `(cause, submit)`, in lockstep
+    /// with that processor's `cmds` (lifecycle log only). Lives here (not
+    /// in `ProcState`) so the disabled engine keeps its lean layout.
+    cmd_meta: Vec<VecDeque<(Cause, Cycles)>>,
+    /// Per-processor payload of the message paying reception overhead.
+    recv_obs: Vec<u64>,
+    /// Per-processor [`ComputeRecord`] id of the compute in flight.
+    cur_compute: Vec<u64>,
+    /// Ride-along observability payload per message slab slot (record id
+    /// when the lifecycle log is on, injection time otherwise).
+    msg_slab_obs: Vec<u64>,
+    /// Payloads of messages sitting in inboxes, keyed by
+    /// [`InboxItem::key`] so `InboxItem` itself stays lean.
+    inbox_obs: std::collections::HashMap<u128, u64>,
+    /// `(proc, submit, enter, cause)` of the last barrier entrant, for
+    /// the [`BarrierRecord`] written at release.
+    barrier_last: (ProcId, Cycles, Cycles, Cause),
+}
+
+impl ObsState {
+    fn new(p: usize, config: &SimConfig) -> Self {
+        let mut metrics = MetricsRegistry::default();
+        let c_injected = metrics.counter("messages_injected");
+        let c_delivered = metrics.counter("messages_delivered");
+        let c_stall_episodes = metrics.counter("stall_episodes");
+        let c_computes = metrics.counter("computes");
+        let c_barrier_entries = metrics.counter("barrier_entries");
+        let h_latency = metrics.histogram("msg_latency_cycles");
+        let h_stall = metrics.histogram("stall_cycles");
+        let gauges = (config.metrics_grid > 0).then(|| GaugeSet {
+            inflight_total: metrics.gauge("inflight_total"),
+            ready_cmds: metrics.gauge("ready_cmds"),
+            inbox_depth: metrics.gauge("inbox_depth"),
+            util_ppk: metrics.gauge("util_ppk"),
+            per_dst: (0..p)
+                .map(|d| metrics.gauge(&format!("inflight_dst_{d}")))
+                .collect(),
+        });
+        ObsState {
+            log: ObsLog::default(),
+            metrics,
+            msg_log: config.record_msg_log,
+            metrics_on: config.record_metrics,
+            grid: config.metrics_grid,
+            next_sample: 0,
+            c_injected,
+            c_delivered,
+            c_stall_episodes,
+            c_computes,
+            c_barrier_entries,
+            h_latency,
+            h_stall,
+            gauges,
+            cmd_meta: vec![VecDeque::new(); p],
+            recv_obs: vec![0; p],
+            cur_compute: vec![0; p],
+            msg_slab_obs: Vec::new(),
+            inbox_obs: std::collections::HashMap::new(),
+            barrier_last: (0, 0, 0, Cause::Start),
+        }
+    }
+}
+
 /// A configured LogP machine with programs loaded on its processors.
 pub struct Sim {
     model: LogP,
@@ -325,12 +435,28 @@ pub struct Sim {
     /// Max admissible outstanding messages per destination:
     /// capacity (network window) + NI buffer.
     max_outstanding: u64,
+    /// Observability state; `None` keeps every hook a single null check.
+    /// Everything observability-owned (including message payload
+    /// side-maps) lives behind this box so `Sim`'s own layout — and the
+    /// cache lines the disabled hot path walks — matches the
+    /// unobservable engine exactly.
+    obs: Option<Box<ObsState>>,
 }
 
 impl Sim {
     /// Create a machine; every processor initially runs
     /// [`crate::process::Passive`].
     pub fn new(model: LogP, config: SimConfig) -> Self {
+        let mut config = config;
+        // The critical-path analyzer attributes wait windows by scanning
+        // activity spans, so the lifecycle log requires the trace; a
+        // positive gauge grid requires the registry.
+        if config.record_msg_log {
+            config.record_trace = true;
+        }
+        if config.metrics_grid > 0 {
+            config.record_metrics = true;
+        }
         let p = model.p as usize;
         let capacity = if config.enforce_capacity {
             model.capacity()
@@ -385,6 +511,8 @@ impl Sim {
             msg_slab: Vec::new(),
             msg_free: Vec::new(),
             max_outstanding,
+            obs: (config.record_msg_log || config.record_metrics)
+                .then(|| Box::new(ObsState::new(p, &config))),
             config,
         }
     }
@@ -492,8 +620,174 @@ impl Sim {
         }
     }
 
-    /// Run a program handler and enqueue the commands it issues.
-    fn run_handler<F>(&mut self, p: ProcId, f: F)
+    /// Dequeue the observability metadata of the command just popped from
+    /// `cmds` (a no-op unless the lifecycle log is on).
+    #[inline]
+    fn pop_meta(&mut self, idx: usize) -> (Cause, Cycles) {
+        match self.obs.as_deref_mut() {
+            Some(o) if o.msg_log => o.cmd_meta[idx]
+                .pop_front()
+                .expect("cmd_meta tracks cmds in lockstep"),
+            _ => (Cause::Start, self.now),
+        }
+    }
+
+    /// Park an arriving message's observability payload under its inbox
+    /// key (out of line: only runs when observability is active).
+    #[cold]
+    #[inline(never)]
+    fn note_arrival(&mut self, slot: MsgSlot, key: u128) {
+        let obs = self.obs.as_deref_mut().expect("only called when observed");
+        let val = obs.msg_slab_obs[slot as usize];
+        obs.inbox_obs.insert(key, val);
+    }
+
+    /// Claim a dequeued inbox message's observability payload and record
+    /// the reception start in its lifecycle record.
+    #[cold]
+    #[inline(never)]
+    fn note_reception(&mut self, p: ProcId, key: u128, recv_gate: Cycles) {
+        let now = self.now;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            let val = obs.inbox_obs.remove(&key).unwrap_or(0);
+            obs.recv_obs[p as usize] = val;
+            if obs.msg_log {
+                let rec = &mut obs.log.msgs[val as usize];
+                rec.recv_gate = recv_gate;
+                rec.recv_start = now;
+            }
+        }
+    }
+
+    /// Record an injected message's lifecycle head and return the value
+    /// to ride along with it (record id, or injection time for
+    /// metrics-only runs).
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn record_send(
+        &mut self,
+        slot: MsgSlot,
+        src: ProcId,
+        dst: ProcId,
+        tag: u32,
+        words: u64,
+        meta: (Cause, Cycles),
+        send_gate: Cycles,
+        inject: Cycles,
+        sent: Cycles,
+        arrive: Cycles,
+    ) {
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        let val = if obs.msg_log {
+            let id = obs.log.msgs.len() as u64;
+            obs.log.msgs.push(MsgRecord {
+                id,
+                src,
+                dst,
+                tag,
+                words,
+                cause: meta.0,
+                submit: meta.1,
+                send_gate,
+                inject,
+                sent,
+                arrive,
+                recv_gate: UNSET,
+                recv_start: UNSET,
+                deliver: UNSET,
+            });
+            id
+        } else {
+            inject
+        };
+        if obs.metrics_on {
+            let c = obs.c_injected;
+            obs.metrics.inc(c, 1);
+        }
+        let s = slot as usize;
+        if obs.msg_slab_obs.len() <= s {
+            obs.msg_slab_obs.resize(s + 1, 0);
+        }
+        obs.msg_slab_obs[s] = val;
+    }
+
+    /// Record the end of a capacity-stall episode.
+    #[cold]
+    #[inline(never)]
+    fn record_stall(&mut self, dur: Cycles) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if obs.metrics_on {
+                let (c, h) = (obs.c_stall_episodes, obs.h_stall);
+                obs.metrics.inc(c, 1);
+                obs.metrics.observe(h, dur);
+            }
+        }
+    }
+
+    /// Record a delivery completing now; `obs_val` is the message's
+    /// ride-along payload.
+    #[cold]
+    #[inline(never)]
+    fn record_delivery(&mut self, obs_val: u64) {
+        let now = self.now;
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        let since = if obs.msg_log {
+            let rec = &mut obs.log.msgs[obs_val as usize];
+            rec.deliver = now;
+            rec.submit
+        } else {
+            obs_val
+        };
+        if obs.metrics_on {
+            let (c, h) = (obs.c_delivered, obs.h_latency);
+            obs.metrics.inc(c, 1);
+            obs.metrics.observe(h, now - since);
+        }
+    }
+
+    /// Emit gauge samples for every grid instant strictly before `t`
+    /// (processor/network state is piecewise constant between events, so
+    /// the pre-event state is exact for those instants).
+    #[cold]
+    #[inline(never)]
+    fn sample_gauges_to(&mut self, t: Cycles) {
+        loop {
+            let s = match self.obs.as_deref() {
+                Some(o) if o.gauges.is_some() && o.next_sample < t => o.next_sample,
+                _ => return,
+            };
+            let inflight_total: u64 = self.in_flight_to.iter().sum();
+            let ready_cmds: u64 = self.procs.iter().map(|p| p.cmds.len() as u64).sum();
+            let inbox_depth: u64 = self.procs.iter().map(|p| p.inbox.len() as u64).sum();
+            let busy = self
+                .procs
+                .iter()
+                .filter(|p| p.busy_until > s || p.stall_since.is_some())
+                .count() as u64;
+            let util_ppk = busy * PPK_SCALE / self.model.p as u64;
+            let obs = self.obs.as_deref_mut().expect("checked above");
+            let g = obs.gauges.as_ref().expect("checked above");
+            let (gi, gr, gb, gu) = (g.inflight_total, g.ready_cmds, g.inbox_depth, g.util_ppk);
+            obs.metrics.sample(gi, s, inflight_total);
+            obs.metrics.sample(gr, s, ready_cmds);
+            obs.metrics.sample(gb, s, inbox_depth);
+            obs.metrics.sample(gu, s, util_ppk);
+            for d in 0..self.in_flight_to.len() {
+                let gd = obs.gauges.as_ref().expect("checked above").per_dst[d];
+                obs.metrics.sample(gd, s, self.in_flight_to[d]);
+            }
+            obs.next_sample += obs.grid;
+        }
+    }
+
+    /// Run a program handler and enqueue the commands it issues; `cause`
+    /// identifies the triggering event for the lifecycle log.
+    fn run_handler<const OBS: bool, F>(&mut self, p: ProcId, cause: Cause, f: F)
     where
         F: FnOnce(&mut dyn Process, &mut Ctx<'_>),
     {
@@ -510,12 +804,35 @@ impl Sim {
             f(program.as_mut(), &mut ctx);
         }
         self.procs[p as usize].program = Some(program);
+        let issued = cmds.len();
         self.procs[p as usize].cmds.extend(cmds.drain(..));
+        if OBS && issued > 0 {
+            self.push_meta(p, cause, issued);
+        }
         self.cmd_scratch = cmds;
     }
 
+    /// Tag `issued` freshly queued commands with their causal metadata.
+    #[cold]
+    #[inline(never)]
+    fn push_meta(&mut self, p: ProcId, cause: Cause, issued: usize) {
+        let now = self.now;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if obs.msg_log {
+                let meta = &mut obs.cmd_meta[p as usize];
+                for _ in 0..issued {
+                    meta.push_back((cause, now));
+                }
+            }
+        }
+    }
+
     /// Try to make progress on processor `p` at the current time.
-    fn advance(&mut self, p: ProcId) {
+    ///
+    /// Monomorphized over `OBS` (whether observability state exists for
+    /// this run) so the disabled hot path compiles with every hook
+    /// removed — `OBS` is `self.obs.is_some()`, fixed at [`Sim::run`].
+    fn advance<const OBS: bool>(&mut self, p: ProcId) {
         let now = self.now;
         let idx = p as usize;
         if self.procs[idx].engaged || self.procs[idx].halted {
@@ -535,7 +852,7 @@ impl Sim {
             {
                 if let Some(Reverse(item)) = st.inbox.peek() {
                     if item.arrival() <= now {
-                        self.start_reception(p);
+                        self.start_reception::<OBS>(p);
                         return;
                     }
                 }
@@ -579,11 +896,20 @@ impl Sim {
                         Some(Command::SendBulk { data, .. }) => data,
                         _ => unreachable!("front of queue checked above"),
                     };
+                    let meta = if OBS {
+                        self.pop_meta(idx)
+                    } else {
+                        (Cause::Start, now)
+                    };
                     let st = &mut self.procs[idx];
                     st.waiting_on_src = false;
+                    let send_gate = st.next_send_slot;
                     if let Some(since) = st.stall_since.take() {
                         st.stats.stall += now - since;
                         self.span(p, since, now, Activity::Stall);
+                        if OBS {
+                            self.record_stall(now - since);
+                        }
                     }
                     let o = self.model.o;
                     // LogGP semantics: the processor pays only `o`; the
@@ -604,6 +930,20 @@ impl Sim {
                         tag,
                         data,
                     });
+                    if OBS {
+                        self.record_send(
+                            slot,
+                            p,
+                            dst,
+                            tag,
+                            words,
+                            meta,
+                            send_gate,
+                            now,
+                            now + o,
+                            now + o + stream + lat,
+                        );
+                    }
                     // The capacity window mirrors the small-message rule:
                     // it covers the message's network occupancy (streaming
                     // plus flight), not the sender's overhead.
@@ -642,11 +982,20 @@ impl Sim {
                         Some(Command::Send { data, .. }) => data,
                         _ => unreachable!("front of queue checked above"),
                     };
+                    let meta = if OBS {
+                        self.pop_meta(idx)
+                    } else {
+                        (Cause::Start, now)
+                    };
                     let st = &mut self.procs[idx];
                     st.waiting_on_src = false;
+                    let send_gate = st.next_send_slot;
                     if let Some(since) = st.stall_since.take() {
                         st.stats.stall += now - since;
                         self.span(p, since, now, Activity::Stall);
+                        if OBS {
+                            self.record_stall(now - since);
+                        }
                     }
                     let o = self.model.o;
                     let st = &mut self.procs[idx];
@@ -663,6 +1012,20 @@ impl Sim {
                         tag,
                         data,
                     });
+                    if OBS {
+                        self.record_send(
+                            slot,
+                            p,
+                            dst,
+                            tag,
+                            1,
+                            meta,
+                            send_gate,
+                            now,
+                            now + o,
+                            now + o + lat,
+                        );
+                    }
                     self.schedule(now + lat, EventKind::Release { src: p, dst });
                     self.schedule(now + o + lat, EventKind::Arrive(slot));
                     self.finish_send(p);
@@ -674,12 +1037,36 @@ impl Sim {
                         return;
                     }
                     self.procs[idx].cmds.pop_front();
+                    let meta = if OBS {
+                        self.pop_meta(idx)
+                    } else {
+                        (Cause::Start, now)
+                    };
                     let dur = self.draw_compute(p, cycles);
                     let st = &mut self.procs[idx];
                     st.busy_until = now + dur;
                     st.stats.compute += dur;
                     st.engaged = true;
                     self.span(p, now, now + dur, Activity::Compute);
+                    if let Some(obs) = self.obs.as_deref_mut().filter(|_| OBS) {
+                        if obs.msg_log {
+                            let id = obs.log.computes.len() as u64;
+                            obs.log.computes.push(ComputeRecord {
+                                id,
+                                proc: p,
+                                tag,
+                                cause: meta.0,
+                                submit: meta.1,
+                                start: now,
+                                end: now + dur,
+                            });
+                            obs.cur_compute[idx] = id;
+                        }
+                        if obs.metrics_on {
+                            let c = obs.c_computes;
+                            obs.metrics.inc(c, 1);
+                        }
+                    }
                     self.schedule(now + dur, EventKind::ComputeDone(p, tag));
                 }
                 Command::Barrier => {
@@ -689,15 +1076,32 @@ impl Sim {
                         return;
                     }
                     self.procs[idx].cmds.pop_front();
+                    let meta = if OBS {
+                        self.pop_meta(idx)
+                    } else {
+                        (Cause::Start, now)
+                    };
                     let st = &mut self.procs[idx];
                     st.in_barrier = true;
                     st.barrier_entered_at = now;
                     st.engaged = true;
                     self.barrier_count += 1;
+                    if let Some(obs) = self.obs.as_deref_mut().filter(|_| OBS) {
+                        if obs.msg_log {
+                            obs.barrier_last = (p, meta.1, now, meta.0);
+                        }
+                        if obs.metrics_on {
+                            let c = obs.c_barrier_entries;
+                            obs.metrics.inc(c, 1);
+                        }
+                    }
                     self.check_barrier();
                 }
                 Command::Halt => {
                     self.procs[idx].cmds.pop_front();
+                    if OBS {
+                        self.pop_meta(idx);
+                    }
                     self.procs[idx].halted = true;
                     self.alive -= 1;
                     self.check_barrier();
@@ -714,14 +1118,14 @@ impl Sim {
                 self.schedule(r, EventKind::Wake(p));
                 return;
             }
-            self.start_reception(p);
+            self.start_reception::<OBS>(p);
         }
         // Otherwise: idle until something arrives.
     }
 
     /// Begin receiving the earliest-arrived inbox message at the current
     /// time. Caller guarantees the processor is free and the gap allows.
-    fn start_reception(&mut self, p: ProcId) {
+    fn start_reception<const OBS: bool>(&mut self, p: ProcId) {
         let now = self.now;
         let idx = p as usize;
         let Reverse(item) = self.procs[idx].inbox.pop().expect("inbox non-empty");
@@ -734,13 +1138,20 @@ impl Sim {
         if let Some(since) = self.procs[idx].stall_since.take() {
             self.procs[idx].stats.stall += now - since;
             self.span(p, since, now, Activity::Stall);
+            if OBS {
+                self.record_stall(now - since);
+            }
         }
         let st = &mut self.procs[idx];
+        let recv_gate = st.next_recv_slot;
         st.next_recv_slot = now + self.model.g;
         st.busy_until = now + o;
         st.stats.recv_overhead += o;
         st.receiving = Some(item.msg);
         st.engaged = true;
+        if OBS {
+            self.note_reception(p, item.key, recv_gate);
+        }
         self.span(p, now, now + o, Activity::RecvOverhead);
         self.schedule(now + o, EventKind::RecvDone(p));
     }
@@ -775,7 +1186,7 @@ impl Sim {
     /// drain their inboxes only through this path). Uses the reusable
     /// scratch buffer so the wake never allocates — `advance` may push a
     /// still-blocked sender back onto the very list being drained.
-    fn wake_dst_waiters(&mut self, dst: usize) {
+    fn wake_dst_waiters<const OBS: bool>(&mut self, dst: usize) {
         if self.dst_waiters[dst].is_empty() {
             return;
         }
@@ -783,7 +1194,7 @@ impl Sim {
         waiters.extend(self.dst_waiters[dst].drain(..));
         for &w in &waiters {
             self.procs[w as usize].waiting_on_dst = false;
-            self.advance(w);
+            self.advance::<OBS>(w);
         }
         waiters.clear();
         self.waiter_scratch = waiters;
@@ -801,94 +1212,13 @@ impl Sim {
     /// Run to quiescence. Consumes the machine and returns statistics and
     /// (if configured) the activity trace.
     pub fn run(mut self) -> Result<SimResult, SimError> {
-        // Start handlers fire at time 0 in processor-id order.
-        for p in 0..self.model.p {
-            self.run_handler(p, |prog, ctx| prog.on_start(ctx));
-        }
-        for p in 0..self.model.p {
-            self.advance(p);
-        }
-        while let Some((key, kind)) = self.heap.pop() {
-            self.stats.events += 1;
-            if self.stats.events > self.config.max_events {
-                return Err(SimError::MaxEventsExceeded {
-                    limit: self.config.max_events,
-                });
-            }
-            debug_assert!(key_time(key) >= self.now, "time must not run backwards");
-            self.now = key_time(key);
-            match kind {
-                EventKind::Release { src, dst } => {
-                    self.in_flight_from[src as usize] -= 1;
-                    self.in_flight_to[dst as usize] -= 1;
-                    // Wake capacity waiters of this destination (FIFO; each
-                    // re-checks and re-queues if still blocked).
-                    self.wake_dst_waiters(dst as usize);
-                    // The source may have been stalled on its own window.
-                    if self.procs[src as usize].waiting_on_src {
-                        self.procs[src as usize].waiting_on_src = false;
-                        self.advance(src);
-                    }
-                }
-                EventKind::Arrive(slot) => {
-                    let msg = self.unstash_msg(slot);
-                    let dst = msg.dst;
-                    self.stats.total_msgs += 1;
-                    self.seq += 1;
-                    let key = InboxItem::key(self.now, self.seq);
-                    self.procs[dst as usize]
-                        .inbox
-                        .push(Reverse(InboxItem { key, msg }));
-                    self.advance(dst);
-                }
-                EventKind::SendDone(p) => {
-                    self.procs[p as usize].engaged = false;
-                    self.advance(p);
-                }
-                EventKind::ComputeDone(p, tag) => {
-                    self.procs[p as usize].engaged = false;
-                    self.run_handler(p, |prog, ctx| prog.on_compute_done(tag, ctx));
-                    self.advance(p);
-                }
-                EventKind::RecvDone(p) => {
-                    let st = &mut self.procs[p as usize];
-                    st.engaged = false;
-                    st.stats.msgs_recvd += 1;
-                    let msg = st.receiving.take().expect("a reception was in progress");
-                    // The NI buffer slot frees: senders blocked on the
-                    // outstanding bound may proceed.
-                    self.outstanding_to[p as usize] -= 1;
-                    self.wake_dst_waiters(p as usize);
-                    self.run_handler(p, |prog, ctx| prog.on_message(&msg, ctx));
-                    self.advance(p);
-                }
-                EventKind::BarrierRelease => {
-                    self.barrier_count = 0;
-                    let mut released = std::mem::take(&mut self.released_scratch);
-                    released
-                        .extend((0..self.model.p).filter(|&p| self.procs[p as usize].in_barrier));
-                    for &p in &released {
-                        let st = &mut self.procs[p as usize];
-                        st.in_barrier = false;
-                        st.engaged = false;
-                        st.busy_until = self.now;
-                        let entered = st.barrier_entered_at;
-                        st.stats.barrier_wait += self.now - entered;
-                        self.span(p, entered, self.now, Activity::Barrier);
-                    }
-                    for &p in &released {
-                        self.run_handler(p, |prog, ctx| prog.on_barrier_release(ctx));
-                    }
-                    for &p in &released {
-                        self.advance(p);
-                    }
-                    released.clear();
-                    self.released_scratch = released;
-                }
-                EventKind::Wake(p) => {
-                    self.advance(p);
-                }
-            }
+        // Pick the monomorphization once: `self.obs` is installed before
+        // the run and taken only in the teardown below, so its presence
+        // is invariant across the whole event loop.
+        if self.obs.is_some() {
+            self.drive::<true>()?;
+        } else {
+            self.drive::<false>()?;
         }
         // Heap pops are time-ordered, so the clock is monotone and the
         // final `now` is the completion time — no per-event max needed.
@@ -909,9 +1239,170 @@ impl Sim {
         for p in 0..self.model.p as usize {
             self.stats.procs[p] = self.procs[p].stats;
         }
+        // Close the gauge series with the end-of-run state (one sample at
+        // the completion instant).
+        if self.obs.is_some() {
+            self.sample_gauges_to(self.now + 1);
+        }
+        let (obs_log, metrics) = match self.obs.take() {
+            Some(o) => (o.log, o.metrics),
+            None => (ObsLog::default(), MetricsRegistry::default()),
+        };
         Ok(SimResult {
             stats: self.stats,
             trace: self.trace,
+            obs: obs_log,
+            metrics,
         })
+    }
+
+    /// The event loop, monomorphized over observability. With `OBS`
+    /// false every hook below folds away and the loop compiles to the
+    /// uninstrumented hot path. `inline(never)` keeps the two
+    /// monomorphizations as separate compact functions instead of one
+    /// merged body inside [`Sim::run`].
+    #[inline(never)]
+    fn drive<const OBS: bool>(&mut self) -> Result<(), SimError> {
+        // Start handlers fire at time 0 in processor-id order.
+        for p in 0..self.model.p {
+            self.run_handler::<OBS, _>(p, Cause::Start, |prog, ctx| prog.on_start(ctx));
+        }
+        for p in 0..self.model.p {
+            self.advance::<OBS>(p);
+        }
+        while let Some((key, kind)) = self.heap.pop() {
+            self.stats.events += 1;
+            if self.stats.events > self.config.max_events {
+                return Err(SimError::MaxEventsExceeded {
+                    limit: self.config.max_events,
+                });
+            }
+            debug_assert!(key_time(key) >= self.now, "time must not run backwards");
+            if OBS {
+                self.sample_gauges_to(key_time(key));
+            }
+            self.now = key_time(key);
+            match kind {
+                EventKind::Release { src, dst } => {
+                    self.in_flight_from[src as usize] -= 1;
+                    self.in_flight_to[dst as usize] -= 1;
+                    // Wake capacity waiters of this destination (FIFO; each
+                    // re-checks and re-queues if still blocked).
+                    self.wake_dst_waiters::<OBS>(dst as usize);
+                    // The source may have been stalled on its own window.
+                    if self.procs[src as usize].waiting_on_src {
+                        self.procs[src as usize].waiting_on_src = false;
+                        self.advance::<OBS>(src);
+                    }
+                }
+                EventKind::Arrive(slot) => {
+                    let msg = self.unstash_msg(slot);
+                    let dst = msg.dst;
+                    self.stats.total_msgs += 1;
+                    self.seq += 1;
+                    let key = InboxItem::key(self.now, self.seq);
+                    if OBS {
+                        self.note_arrival(slot, key);
+                    }
+                    self.procs[dst as usize]
+                        .inbox
+                        .push(Reverse(InboxItem { key, msg }));
+                    self.advance::<OBS>(dst);
+                }
+                EventKind::SendDone(p) => {
+                    self.procs[p as usize].engaged = false;
+                    self.advance::<OBS>(p);
+                }
+                EventKind::ComputeDone(p, tag) => {
+                    self.procs[p as usize].engaged = false;
+                    let cause = if OBS {
+                        match self.obs.as_deref() {
+                            Some(o) if o.msg_log => Cause::Compute(o.cur_compute[p as usize]),
+                            _ => Cause::Start,
+                        }
+                    } else {
+                        Cause::Start
+                    };
+                    self.run_handler::<OBS, _>(p, cause, |prog, ctx| {
+                        prog.on_compute_done(tag, ctx)
+                    });
+                    self.advance::<OBS>(p);
+                }
+                EventKind::RecvDone(p) => {
+                    let st = &mut self.procs[p as usize];
+                    st.engaged = false;
+                    st.stats.msgs_recvd += 1;
+                    let msg = st.receiving.take().expect("a reception was in progress");
+                    // The NI buffer slot frees: senders blocked on the
+                    // outstanding bound may proceed.
+                    self.outstanding_to[p as usize] -= 1;
+                    let cause = if OBS {
+                        match self.obs.as_deref() {
+                            Some(o) => {
+                                let obs_val = o.recv_obs[p as usize];
+                                let log = o.msg_log;
+                                self.record_delivery(obs_val);
+                                if log {
+                                    Cause::Msg(obs_val)
+                                } else {
+                                    Cause::Start
+                                }
+                            }
+                            None => Cause::Start,
+                        }
+                    } else {
+                        Cause::Start
+                    };
+                    self.wake_dst_waiters::<OBS>(p as usize);
+                    self.run_handler::<OBS, _>(p, cause, |prog, ctx| prog.on_message(&msg, ctx));
+                    self.advance::<OBS>(p);
+                }
+                EventKind::BarrierRelease => {
+                    self.barrier_count = 0;
+                    let bcause = match self.obs.as_deref_mut().filter(|_| OBS) {
+                        Some(obs) if obs.msg_log => {
+                            let id = obs.log.barriers.len() as u64;
+                            let (last_proc, submit, enter, cause) = obs.barrier_last;
+                            obs.log.barriers.push(BarrierRecord {
+                                id,
+                                last_proc,
+                                submit,
+                                enter,
+                                release: self.now,
+                                cause,
+                            });
+                            Cause::Barrier(id)
+                        }
+                        _ => Cause::Start,
+                    };
+                    let mut released = std::mem::take(&mut self.released_scratch);
+                    released
+                        .extend((0..self.model.p).filter(|&p| self.procs[p as usize].in_barrier));
+                    for &p in &released {
+                        let st = &mut self.procs[p as usize];
+                        st.in_barrier = false;
+                        st.engaged = false;
+                        st.busy_until = self.now;
+                        let entered = st.barrier_entered_at;
+                        st.stats.barrier_wait += self.now - entered;
+                        self.span(p, entered, self.now, Activity::Barrier);
+                    }
+                    for &p in &released {
+                        self.run_handler::<OBS, _>(p, bcause, |prog, ctx| {
+                            prog.on_barrier_release(ctx)
+                        });
+                    }
+                    for &p in &released {
+                        self.advance::<OBS>(p);
+                    }
+                    released.clear();
+                    self.released_scratch = released;
+                }
+                EventKind::Wake(p) => {
+                    self.advance::<OBS>(p);
+                }
+            }
+        }
+        Ok(())
     }
 }

@@ -1,0 +1,223 @@
+//! Message-lifecycle observability: what every message (and compute, and
+//! barrier) experienced, with causal links.
+//!
+//! The LogP paper's methodology is *accounting* — Figure 3 argues
+//! optimality by attributing every cycle on the critical path to `o`, `g`
+//! or `L`. [`ObsLog`] is the simulator's raw material for that style of
+//! argument: when `SimConfig::record_msg_log` is on, the engine records
+//! one [`MsgRecord`] per message with its full lifecycle timestamps
+//! (submit → capacity-stall → inject → flight → arrival → reception →
+//! delivery) and a causal [`Cause`] linking the send back to the handler
+//! invocation that issued it. Compute commands and barriers get the same
+//! treatment, so the causal graph is complete and
+//! [`crate::critpath::critical_path`] can walk it backward from the last
+//! event of a run.
+//!
+//! Everything here is *off by default*: with observability disabled the
+//! engine never touches these structures and the hot path stays
+//! allocation-free (see the `trace_overhead` bench).
+
+use logp_core::{Cycles, ProcId};
+
+/// Identifier of a [`MsgRecord`] within an [`ObsLog`] (index into `msgs`).
+pub type MsgId = u64;
+
+/// Sentinel for a lifecycle timestamp that never happened (e.g. a message
+/// still in flight when the run ended).
+pub const UNSET: Cycles = Cycles::MAX;
+
+/// What triggered the handler that issued a command — the causal parent
+/// edge of the simulation's event DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Cause {
+    /// The `on_start` handler at time 0 (roots of the DAG).
+    #[default]
+    Start,
+    /// Delivery of the message with this [`MsgId`] (`on_message`).
+    Msg(MsgId),
+    /// Completion of the compute record with this id (`on_compute_done`).
+    Compute(u64),
+    /// Release of the barrier record with this id (`on_barrier_release`).
+    Barrier(u64),
+}
+
+/// Full lifecycle of one message.
+///
+/// Invariants for a delivered message (no jitter):
+/// `submit <= inject`, `sent = inject + o`, `arrive = sent + L'`
+/// (`L - jitter <= L' <= L`; bulk sends add the `(words-1)·G` stream),
+/// `recv_start >= arrive`, `deliver = recv_start + o`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// This record's id (its index in [`ObsLog::msgs`]).
+    pub id: MsgId,
+    pub src: ProcId,
+    pub dst: ProcId,
+    /// Application tag.
+    pub tag: u32,
+    /// Payload words (`1` for small messages, the declared length for
+    /// LogGP bulk sends).
+    pub words: u64,
+    /// What triggered the handler that issued this send.
+    pub cause: Cause,
+    /// Time the `send` command was issued by its handler.
+    pub submit: Cycles,
+    /// The sender's `next_send_slot` when the send committed — the gap
+    /// gate. Waiting attributable to `g` ends here.
+    pub send_gate: Cycles,
+    /// Time the send overhead began (submit + queueing + gap + stall).
+    pub inject: Cycles,
+    /// Time the message entered the network (`inject + o`).
+    pub sent: Cycles,
+    /// Time the message reached the destination's interface ([`UNSET`]
+    /// until it happens).
+    pub arrive: Cycles,
+    /// The receiver's `next_recv_slot` when reception began — the
+    /// reception gap gate.
+    pub recv_gate: Cycles,
+    /// Time reception overhead began ([`UNSET`] until it happens).
+    pub recv_start: Cycles,
+    /// Time the program observed the message (`recv_start + o`;
+    /// [`UNSET`] until it happens).
+    pub deliver: Cycles,
+}
+
+impl MsgRecord {
+    /// End-to-end latency (submit → deliver), if delivered.
+    pub fn latency(&self) -> Option<Cycles> {
+        (self.deliver != UNSET).then(|| self.deliver - self.submit)
+    }
+
+    /// Network flight time (sent → arrive), if arrived.
+    pub fn flight(&self) -> Option<Cycles> {
+        (self.arrive != UNSET).then(|| self.arrive - self.sent)
+    }
+}
+
+/// Lifecycle of one `compute` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeRecord {
+    /// This record's id (its index in [`ObsLog::computes`]).
+    pub id: u64,
+    pub proc: ProcId,
+    /// The program's tag.
+    pub tag: u64,
+    /// What triggered the handler that issued this compute.
+    pub cause: Cause,
+    /// Time the command was issued.
+    pub submit: Cycles,
+    /// Time execution began.
+    pub start: Cycles,
+    /// Time execution finished (perturbed duration included).
+    pub end: Cycles,
+}
+
+/// One global barrier episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierRecord {
+    /// This record's id (its index in [`ObsLog::barriers`]).
+    pub id: u64,
+    /// The last processor to enter (the one that released everyone).
+    pub last_proc: ProcId,
+    /// When that processor's barrier command was issued.
+    pub submit: Cycles,
+    /// When it entered the barrier.
+    pub enter: Cycles,
+    /// When the barrier released (`enter + barrier_cost`).
+    pub release: Cycles,
+    /// What triggered the handler that issued the binding barrier entry.
+    pub cause: Cause,
+}
+
+/// The complete causal event log of a run. Empty unless
+/// `SimConfig::record_msg_log` was set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsLog {
+    pub msgs: Vec<MsgRecord>,
+    pub computes: Vec<ComputeRecord>,
+    pub barriers: Vec<BarrierRecord>,
+}
+
+impl ObsLog {
+    /// True when nothing was recorded (observability disabled, or the run
+    /// genuinely produced no commands).
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty() && self.computes.is_empty() && self.barriers.is_empty()
+    }
+
+    /// Messages delivered before the run ended.
+    pub fn delivered(&self) -> impl Iterator<Item = &MsgRecord> {
+        self.msgs.iter().filter(|m| m.deliver != UNSET)
+    }
+
+    /// Causal ancestry of a message: the chain of [`Cause`]s from `id`
+    /// back to a [`Cause::Start`] root, nearest first.
+    pub fn ancestry(&self, id: MsgId) -> Vec<Cause> {
+        let mut chain = Vec::new();
+        let mut cause = match self.msgs.get(id as usize) {
+            Some(m) => m.cause,
+            None => return chain,
+        };
+        loop {
+            chain.push(cause);
+            cause = match cause {
+                Cause::Start => break,
+                Cause::Msg(m) => self.msgs[m as usize].cause,
+                Cause::Compute(c) => self.computes[c as usize].cause,
+                Cause::Barrier(b) => self.barriers[b as usize].cause,
+            };
+        }
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: MsgId, cause: Cause) -> MsgRecord {
+        MsgRecord {
+            id,
+            src: 0,
+            dst: 1,
+            tag: 0,
+            words: 1,
+            cause,
+            submit: 0,
+            send_gate: 0,
+            inject: 0,
+            sent: 2,
+            arrive: 8,
+            recv_gate: 0,
+            recv_start: 8,
+            deliver: 10,
+        }
+    }
+
+    #[test]
+    fn latency_and_flight_require_delivery() {
+        let mut m = rec(0, Cause::Start);
+        assert_eq!(m.latency(), Some(10));
+        assert_eq!(m.flight(), Some(6));
+        m.deliver = UNSET;
+        m.arrive = UNSET;
+        assert_eq!(m.latency(), None);
+        assert_eq!(m.flight(), None);
+    }
+
+    #[test]
+    fn ancestry_walks_to_start() {
+        let log = ObsLog {
+            msgs: vec![rec(0, Cause::Start), rec(1, Cause::Msg(0))],
+            ..Default::default()
+        };
+        assert_eq!(log.ancestry(1), vec![Cause::Msg(0), Cause::Start]);
+        assert_eq!(log.ancestry(0), vec![Cause::Start]);
+        assert!(log.ancestry(7).is_empty());
+    }
+
+    #[test]
+    fn empty_log_reports_empty() {
+        assert!(ObsLog::default().is_empty());
+    }
+}

@@ -32,8 +32,10 @@ use logp_core::{LogP, ProcId};
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
+use crate::perfetto::write_artifacts;
 use crate::process::Process;
 use crate::{Sim, SimConfig, SimError, SimResult};
+use std::path::PathBuf;
 
 /// Thread-count policy for a batch of runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +95,12 @@ pub struct RunSpec {
     pub model: LogP,
     pub config: SimConfig,
     factory: ProgramFactory,
+    /// Write a Perfetto `trace_event` JSON of the run here (enables the
+    /// lifecycle log for this spec).
+    pub trace_out: Option<PathBuf>,
+    /// Write the run's metrics registry as JSON here (enables metrics
+    /// for this spec).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for RunSpec {
@@ -100,6 +108,8 @@ impl std::fmt::Debug for RunSpec {
         f.debug_struct("RunSpec")
             .field("model", &self.model)
             .field("config", &self.config)
+            .field("trace_out", &self.trace_out)
+            .field("metrics_out", &self.metrics_out)
             .finish_non_exhaustive()
     }
 }
@@ -115,18 +125,47 @@ impl RunSpec {
             model,
             config,
             factory: Box::new(factory),
+            trace_out: None,
+            metrics_out: None,
         }
+    }
+
+    /// Write this spec's Perfetto trace to `path` after the run.
+    pub fn with_trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Write this spec's metrics JSON to `path` after the run.
+    pub fn with_metrics_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_out = Some(path.into());
+        self
     }
 
     /// Build and run this spec's simulation with an explicit seed.
     fn run_with_seed(&self, seed: u64) -> Result<SimResult, SimError> {
-        let config = SimConfig {
+        let mut config = SimConfig {
             seed,
             ..self.config.clone()
         };
+        // Artifact requests imply the observability they need.
+        if self.trace_out.is_some() {
+            config = config.with_msg_log(true);
+        }
+        if self.metrics_out.is_some() {
+            config = config.with_metrics(true);
+        }
         let mut sim = Sim::new(self.model, config);
         sim.set_all(|p| (self.factory)(p));
-        sim.run()
+        let result = sim.run();
+        if let Ok(res) = &result {
+            if let Err(e) =
+                write_artifacts(res, self.trace_out.as_deref(), self.metrics_out.as_deref())
+            {
+                eprintln!("warning: failed to write run artifacts: {e}");
+            }
+        }
+        result
     }
 
     /// Build and run this spec's simulation with its own config seed,
@@ -248,6 +287,29 @@ mod tests {
             let r = r.as_ref().expect("ping completes");
             assert_eq!(r.stats.completion, 10);
         }
+    }
+
+    #[test]
+    fn run_spec_writes_requested_artifacts() {
+        let dir = std::env::temp_dir().join("logp_runner_artifacts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("ping.trace.json");
+        let metrics = dir.join("ping.metrics.json");
+        let model = LogP::new(6, 2, 4, 2).unwrap();
+        let spec = RunSpec::new(model, SimConfig::default(), |_| Box::new(Ping))
+            .with_trace_out(&trace)
+            .with_metrics_out(&metrics);
+        let res = spec.run().unwrap();
+        // Artifact flags force the observability they need without the
+        // caller touching SimConfig.
+        assert!(!res.obs.msgs.is_empty());
+        assert!(std::fs::read_to_string(&trace)
+            .unwrap()
+            .contains("traceEvents"));
+        assert!(std::fs::read_to_string(&metrics)
+            .unwrap()
+            .contains("messages_delivered"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -32,6 +32,17 @@ impl Activity {
             Activity::Barrier => 'b',
         }
     }
+
+    /// Rendering priority when several activities land in one Gantt cell
+    /// (`scale > 1`): stall > overhead > compute > barrier.
+    fn priority(&self) -> u8 {
+        match self {
+            Activity::Stall => 4,
+            Activity::SendOverhead | Activity::RecvOverhead => 3,
+            Activity::Compute => 2,
+            Activity::Barrier => 1,
+        }
+    }
 }
 
 /// A half-open span `[start, end)` of processor activity.
@@ -65,24 +76,38 @@ impl Trace {
 
     /// Render an ASCII Gantt chart: one row per processor, one column per
     /// `scale` cycles ('.' = idle).
+    ///
+    /// When `scale > 1`, several spans can land in one cell. The cell
+    /// shows the highest-priority activity present (stall > overhead >
+    /// compute > barrier); two *different* activities of equal priority
+    /// (a send and a receive overhead) render as the mixed-cell glyph
+    /// `*`. The result is independent of span insertion order. A legend
+    /// line is appended after the rows.
     pub fn gantt(&self, procs: u32, horizon: Cycles, scale: Cycles) -> String {
         let scale = scale.max(1);
         let cols = (horizon / scale + 1) as usize;
-        let mut rows = vec![vec!['.'; cols]; procs as usize];
+        // Per cell: (priority, glyph); priority 0 = idle.
+        let mut rows = vec![vec![(0u8, '.'); cols]; procs as usize];
         for s in &self.spans {
             let row = &mut rows[s.proc as usize];
             let from = (s.start / scale) as usize;
             let to = (s.end.div_ceil(scale) as usize).min(cols);
-            for c in row.iter_mut().take(to).skip(from) {
-                *c = s.activity.glyph();
+            let (prio, glyph) = (s.activity.priority(), s.activity.glyph());
+            for cell in row.iter_mut().take(to).skip(from) {
+                if prio > cell.0 {
+                    *cell = (prio, glyph);
+                } else if prio == cell.0 && glyph != cell.1 {
+                    cell.1 = '*';
+                }
             }
         }
         let mut out = String::new();
         for (i, row) in rows.iter().enumerate() {
             out.push_str(&format!("P{i:<3}|"));
-            out.extend(row.iter());
+            out.extend(row.iter().map(|&(_, g)| g));
             out.push('\n');
         }
+        out.push_str("legend: s=send-o r=recv-o #=compute x=stall b=barrier *=mixed .=idle\n");
         out
     }
 }
@@ -165,6 +190,105 @@ mod tests {
         let lines: Vec<&str> = g.lines().collect();
         assert!(lines[0].starts_with("P0  |ss"));
         assert!(lines[1].ends_with("rr"), "got {:?}", lines[1]);
+    }
+
+    #[test]
+    fn gantt_emits_legend() {
+        let t = Trace::default();
+        let g = t.gantt(1, 4, 1);
+        let last = g.lines().last().unwrap();
+        assert!(last.starts_with("legend:"), "got {last:?}");
+        for needle in [
+            "s=send-o",
+            "r=recv-o",
+            "#=compute",
+            "x=stall",
+            "b=barrier",
+            "*=mixed",
+        ] {
+            assert!(last.contains(needle), "legend missing {needle}");
+        }
+    }
+
+    #[test]
+    fn gantt_cell_collisions_resolve_by_priority() {
+        // With scale 4, cycles [0,4) collapse into one cell. A stall and
+        // a compute share it: stall wins regardless of insertion order.
+        for flip in [false, true] {
+            let mut t = Trace::default();
+            let mut spans = vec![
+                Span {
+                    proc: 0,
+                    start: 0,
+                    end: 2,
+                    activity: Activity::Compute,
+                },
+                Span {
+                    proc: 0,
+                    start: 2,
+                    end: 4,
+                    activity: Activity::Stall,
+                },
+            ];
+            if flip {
+                spans.reverse();
+            }
+            for s in spans {
+                t.push(s);
+            }
+            let g = t.gantt(1, 3, 4);
+            assert!(g.lines().next().unwrap().starts_with("P0  |x"), "got {g}");
+        }
+    }
+
+    #[test]
+    fn gantt_mixed_overheads_render_star() {
+        // A send overhead and a receive overhead (equal priority,
+        // different glyphs) in one cell render as '*', either order.
+        for flip in [false, true] {
+            let mut t = Trace::default();
+            let mut spans = vec![
+                Span {
+                    proc: 0,
+                    start: 0,
+                    end: 2,
+                    activity: Activity::SendOverhead,
+                },
+                Span {
+                    proc: 0,
+                    start: 2,
+                    end: 4,
+                    activity: Activity::RecvOverhead,
+                },
+            ];
+            if flip {
+                spans.reverse();
+            }
+            for s in spans {
+                t.push(s);
+            }
+            let g = t.gantt(1, 3, 4);
+            assert!(g.lines().next().unwrap().starts_with("P0  |*"), "got {g}");
+        }
+    }
+
+    #[test]
+    fn gantt_overhead_beats_barrier_but_loses_to_stall() {
+        let mut t = Trace::default();
+        for (a, s, e) in [
+            (Activity::Barrier, 0, 1),
+            (Activity::SendOverhead, 1, 2),
+            (Activity::Stall, 2, 3),
+        ] {
+            t.push(Span {
+                proc: 0,
+                start: s,
+                end: e,
+                activity: a,
+            });
+        }
+        let g = t.gantt(1, 2, 4);
+        assert!(g.lines().next().unwrap().starts_with("P0  |x"), "got {g}");
     }
 
     #[test]

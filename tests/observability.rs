@@ -1,0 +1,200 @@
+//! Cross-crate observability tests: the critical-path analyzer against
+//! the paper's closed forms, the Perfetto export's structure, and the
+//! metrics registry's accounting — the analytic formulas of `logp-core`
+//! and the instrumented simulator must agree cycle-exactly.
+
+use logp::algos::broadcast::run_optimal_broadcast;
+use logp::algos::reduce::run_optimal_sum;
+use logp::core::broadcast::optimal_broadcast_time;
+use logp::core::summation::sum_capacity_bounded;
+use logp::prelude::*;
+use logp::sim::critpath::StepKind;
+use logp::sim::{critical_path, perfetto_trace_json};
+
+/// Three machine presets plus the paper's Figure-3/Figure-4 machines.
+fn presets() -> Vec<LogP> {
+    vec![
+        LogP::fig3(),                       // L=6, o=2, g=4, P=8
+        LogP::fig4(),                       // L=5, o=2, g=4, P=8
+        LogP::new(60, 20, 40, 16).unwrap(), // CM-5-like (§5)
+        LogP::new(200, 4, 8, 32).unwrap(),  // latency-dominated
+        LogP::new(2, 1, 12, 24).unwrap(),   // gap-dominated
+    ]
+}
+
+/// The critical path of the optimal broadcast telescopes to exactly the
+/// closed-form completion on every preset, and its component breakdown
+/// accounts for every cycle.
+#[test]
+fn broadcast_critical_path_matches_closed_form() {
+    for m in presets() {
+        let run = run_optimal_broadcast(&m, SimConfig::default().with_msg_log(true));
+        let cp = critical_path(&run.result).expect("msg log recorded");
+        assert_eq!(
+            cp.total,
+            optimal_broadcast_time(&m),
+            "critical path vs closed form on {m}"
+        );
+        assert_eq!(
+            cp.total, run.completion,
+            "critical path vs simulation on {m}"
+        );
+        assert_eq!(
+            cp.components.sum(),
+            cp.total,
+            "components must tile the path on {m}"
+        );
+        // A broadcast path is pure communication: o, L, and gap/wait.
+        assert_eq!(cp.components.compute, 0, "no compute on {m}");
+        assert!(cp.components.o > 0, "overhead on the path on {m}");
+        assert!(cp.components.l > 0, "latency on the path on {m}");
+        // Every step abuts the next (no holes, no overlap).
+        for w in cp.steps.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "path steps must tile on {m}");
+        }
+        assert_eq!(cp.steps.first().unwrap().start, 0);
+        assert_eq!(cp.steps.last().unwrap().end, cp.total);
+    }
+}
+
+/// The optimal summation completes exactly at its deadline `T`, and the
+/// critical path reproduces `T` with compute attributed on the path.
+#[test]
+fn summation_critical_path_matches_closed_form() {
+    for m in presets() {
+        for t in [18u64, 28, 40] {
+            if sum_capacity_bounded(&m, t, m.p) < 2 {
+                continue; // degenerate budget: nothing to communicate
+            }
+            let run = run_optimal_sum(&m, t, SimConfig::default().with_msg_log(true));
+            assert_eq!(run.completion, t, "summation deadline on {m}");
+            let cp = critical_path(&run.result).expect("msg log recorded");
+            assert_eq!(cp.total, t, "critical path vs deadline on {m}, T={t}");
+            assert_eq!(cp.components.sum(), cp.total);
+            assert!(
+                cp.components.compute > 0,
+                "summation path carries compute on {m}, T={t}"
+            );
+            for w in cp.steps.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+}
+
+/// The rendered report states the total, the nonzero components, and
+/// the step sequence.
+#[test]
+fn critical_path_report_is_complete() {
+    let m = LogP::fig3();
+    let run = run_optimal_broadcast(&m, SimConfig::observed());
+    let cp = critical_path(&run.result).unwrap();
+    let report = cp.render();
+    assert!(report.contains("critical path: 24 cycles"));
+    assert!(report.contains("steps (start..end"));
+    for kind in [StepKind::O, StepKind::L] {
+        assert!(
+            report.contains(kind.label()),
+            "report must mention {:?}",
+            kind
+        );
+    }
+    assert!(report.lines().count() >= 2 + cp.steps.len());
+}
+
+/// Perfetto export of a traced broadcast: per-processor thread tracks,
+/// slices, and one flow pair per delivered message.
+#[test]
+fn perfetto_export_has_tracks_and_flows() {
+    let m = LogP::fig3();
+    let run = run_optimal_broadcast(&m, SimConfig::observed().with_metrics_grid(4));
+    let json = perfetto_trace_json(&run.result);
+    for p in 0..m.p {
+        assert!(
+            json.contains(&format!("\"name\":\"P{p}\"")),
+            "track for processor {p}"
+        );
+    }
+    let flows_out = json.matches("\"ph\":\"s\"").count();
+    let flows_in = json.matches("\"ph\":\"f\"").count();
+    assert_eq!(flows_out as u64, run.result.stats.total_msgs);
+    assert_eq!(flows_in as u64, run.result.stats.total_msgs);
+    assert!(json.matches("\"ph\":\"X\"").count() >= run.result.trace.spans.len());
+    assert!(json.contains("\"ph\":\"C\""), "gauge counter samples");
+}
+
+/// The metrics registry accounts for the run: message counters match the
+/// engine totals, the latency histogram holds every delivery, and the
+/// gauge grid covers the run.
+#[test]
+fn metrics_registry_accounts_for_the_run() {
+    let m = LogP::fig4();
+    let run = run_optimal_sum(&m, 28, SimConfig::observed().with_metrics_grid(4));
+    let res = &run.result;
+    let msgs = res.stats.total_msgs;
+    assert_eq!(res.metrics.counter_value("messages_injected"), Some(msgs));
+    assert_eq!(res.metrics.counter_value("messages_delivered"), Some(msgs));
+    let h = res.metrics.histogram_named("msg_latency_cycles").unwrap();
+    assert_eq!(h.count, msgs);
+    // Every message latency is at least the point-to-point minimum 2o+L.
+    assert!(h.min >= m.point_to_point());
+    let (name, samples) = {
+        let g = &res.metrics.gauges()[0];
+        (g.name.clone(), g.samples.len() as u64)
+    };
+    assert!(
+        samples >= res.stats.completion / 4,
+        "gauge {name} must cover the run"
+    );
+    // Exports are consistent with the registry contents.
+    let json = res.metrics.to_json();
+    assert!(json.contains("messages_delivered"));
+    assert!(json.contains("msg_latency_cycles"));
+    let csv = res.metrics.to_csv();
+    assert!(csv
+        .lines()
+        .any(|l| l.starts_with("counter,messages_delivered")));
+}
+
+/// Causal ancestry: every message in a broadcast chains back to a
+/// `Cause::Start` root through `Cause::Msg` parents, and the messages
+/// sent by the root carry `Cause::Start` directly.
+#[test]
+fn broadcast_ancestry_reaches_the_root() {
+    let m = LogP::fig3();
+    let run = run_optimal_broadcast(&m, SimConfig::default().with_msg_log(true));
+    let obs = &run.result.obs;
+    assert_eq!(obs.msgs.len() as u64, m.p as u64 - 1);
+    for rec in &obs.msgs {
+        let chain = obs.ancestry(rec.id);
+        assert_eq!(chain.last().copied(), Some(logp::sim::Cause::Start));
+        for link in &chain[..chain.len() - 1] {
+            assert!(
+                matches!(link, logp::sim::Cause::Msg(_)),
+                "a broadcast chain is pure message causality"
+            );
+        }
+        if rec.src == 0 {
+            assert_eq!(chain, vec![logp::sim::Cause::Start]);
+        } else {
+            assert!(chain.len() >= 2, "non-root senders were themselves caused");
+        }
+    }
+}
+
+/// Observability off is really off: identical stats to an observed run,
+/// empty logs, and no metrics.
+#[test]
+fn disabled_observability_changes_nothing() {
+    let m = LogP::new(60, 20, 40, 16).unwrap();
+    let plain = run_optimal_broadcast(&m, SimConfig::default());
+    let observed = run_optimal_broadcast(&m, SimConfig::observed().with_metrics_grid(8));
+    assert_eq!(plain.completion, observed.completion);
+    assert_eq!(
+        plain.result.stats.events, observed.result.stats.events,
+        "observation must not perturb the event schedule"
+    );
+    assert!(plain.result.obs.is_empty());
+    assert!(plain.result.trace.spans.is_empty());
+    assert!(plain.result.metrics.gauges().is_empty());
+}

@@ -367,6 +367,71 @@ proptest! {
     }
 }
 
+/// Trace/stats conservation: for a traced run, the cycles in each
+/// processor's activity spans must sum exactly to the corresponding
+/// `ProcStats` accumulator — the trace and the counters are two views of
+/// the same execution and may never drift apart.
+fn assert_span_stats_conservation(r: &logp::sim::SimResult) -> Result<(), TestCaseError> {
+    use logp::sim::Activity;
+    let p = r.stats.procs.len();
+    let mut sums = vec![[0u64; 5]; p];
+    for sp in &r.trace.spans {
+        let slot = match sp.activity {
+            Activity::SendOverhead => 0,
+            Activity::RecvOverhead => 1,
+            Activity::Compute => 2,
+            Activity::Stall => 3,
+            Activity::Barrier => 4,
+        };
+        sums[sp.proc as usize][slot] += sp.end - sp.start;
+    }
+    for (q, st) in r.stats.procs.iter().enumerate() {
+        prop_assert_eq!(sums[q][0], st.send_overhead, "P{} send overhead", q);
+        prop_assert_eq!(sums[q][1], st.recv_overhead, "P{} recv overhead", q);
+        prop_assert_eq!(sums[q][2], st.compute, "P{} compute", q);
+        prop_assert_eq!(sums[q][3], st.stall, "P{} stall", q);
+        prop_assert_eq!(sums[q][4], st.barrier_wait, "P{} barrier wait", q);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Span/stats conservation holds for broadcast on arbitrary machines.
+    #[test]
+    fn trace_conserves_stats_broadcast(m in machine()) {
+        let run = run_optimal_broadcast(&m, SimConfig::default().with_trace(true));
+        assert_span_stats_conservation(&run.result)?;
+    }
+
+    /// Span/stats conservation holds for capacity-stalled all-to-all
+    /// traffic (stall spans included).
+    #[test]
+    fn trace_conserves_stats_all_to_all(m in machine(), msgs_per in 1u64..6) {
+        let mut sim = Sim::new(m, SimConfig::default().with_trace(true));
+        sim.set_all(move |me| {
+            Box::new(logp::sim::process::StartFn(move |ctx: &mut Ctx<'_>| {
+                ctx.compute(3, 0);
+                for i in 0..msgs_per {
+                    let dst = (me + 1 + (i as u32 % (ctx.procs() - 1))) % ctx.procs();
+                    ctx.send(dst, 0, Data::U64(i));
+                }
+            }))
+        });
+        let r = sim.run().expect("terminates");
+        assert_span_stats_conservation(&r)?;
+    }
+
+    /// Span/stats conservation holds for the optimal summation (compute
+    /// spans included), and full observation does not disturb it.
+    #[test]
+    fn trace_conserves_stats_summation(m in machine(), t in 1u64..40) {
+        let run = run_optimal_sum(&m, t, SimConfig::observed().with_metrics_grid(8));
+        assert_span_stats_conservation(&run.result)?;
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
