@@ -19,7 +19,7 @@
 //!   rate, so the pipe stays full);
 //! * **latency**: `L = RTT/2 - 2o` from the measurements above.
 
-use logp_core::{Cycles, LogP};
+use logp_core::{Cycles, LogP, LogPEstimate, ParamEstimate};
 use logp_sim::runner::{sweep_map, Threads};
 use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
 
@@ -60,6 +60,22 @@ impl ExtractedParams {
                 }
             })
             .fold(0.0, f64::max)
+    }
+
+    /// The measurements in the shared estimate vocabulary
+    /// (`logp_core::estimate`), for a `p`-processor machine. These
+    /// scalar micro-benchmarks carry no spread, so every parameter is an
+    /// exact point estimate; `g` is reported as the measured steady-state
+    /// interval `max(g, o)` — the observable bound, exactly as the
+    /// series-based calibrator (`logp-calib`) reports it in the
+    /// overhead-bound regime.
+    pub fn estimates(&self, p: u32) -> LogPEstimate {
+        LogPEstimate {
+            l: ParamEstimate::exact(self.l),
+            o: ParamEstimate::exact(self.o),
+            g: ParamEstimate::exact(self.send_interval),
+            p,
+        }
     }
 }
 
@@ -281,6 +297,14 @@ mod tests {
             result.is_err(),
             "extraction must refuse the gap-limited regime"
         );
+    }
+
+    #[test]
+    fn estimates_round_trip_through_the_shared_vocabulary() {
+        let m = LogP::new(60, 20, 40, 2).unwrap();
+        let est = extract_params(&m, 200, SimConfig::default()).estimates(m.p);
+        assert_eq!(est.to_logp().unwrap(), m);
+        assert!(est.recovers_exactly(&m), "{est}");
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //! "refining the process of parameter determination and evaluating a
 //! large number of machines"; this experiment runs the classic
 //! micro-benchmarks (ping-pong, spaced sends, flooding) against simulated
-//! machines treated as black boxes and recovers their (L, o, g).
+//! machines treated as black boxes and recovers their (L, o, g), reported
+//! in the shared estimate vocabulary (`logp_core::estimate`). The full
+//! series-based pipeline with uncertainty bands lives in the `calibrate`
+//! experiment.
 
 use logp_algos::measure::extract_params_sweep;
-use logp_bench::{f1, threads_from_args, Table};
+use logp_bench::{threads_from_args, Table};
 use logp_core::{LogP, MachinePreset};
 use logp_sim::SimConfig;
 
@@ -30,12 +33,13 @@ fn main() {
     let models: Vec<LogP> = machines.iter().map(|(_, m)| *m).collect();
     let extracted = extract_params_sweep(&models, 400, &SimConfig::default(), threads_from_args());
     for ((name, m), p) in machines.into_iter().zip(extracted) {
+        let est = p.estimates(m.p);
         t.row(&[
             name,
             format!("({}, {}, {})", m.l, m.o, m.send_interval()),
-            f1(p.l),
-            f1(p.o),
-            f1(p.send_interval),
+            est.l.to_string(),
+            est.o.to_string(),
+            est.g.to_string(),
             format!("{:.2}", p.worst_relative_error(&m) * 100.0),
         ]);
     }

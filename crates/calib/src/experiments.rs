@@ -1,0 +1,150 @@
+//! The timed experiments: size-series micro-benchmarks over a black-box
+//! [`Machine`].
+//!
+//! Each experiment runs at several sizes `k` and returns the raw series
+//! `(k, finish_clock)`. The calibrator fits lines through these series
+//! ([`crate::fit::theil_sen`]); working with *slopes* makes every
+//! estimate independent of startup transients, warm-up effects, and
+//! whatever constant offsets a backend's clock carries.
+
+use crate::fit::{theil_sen, LineFit};
+use crate::machine::Machine;
+use crate::script::Script;
+
+/// Ping-pong series: `k` request/reply exchanges between `src` and
+/// `dst`, finish clock observed at `src`. Slope = round trip per
+/// exchange, `RTT = 2(2o + L)` — unless the machine is gap-limited
+/// (`g > RTT`), where consecutive pings are gated by the sender's own
+/// injection gap and the slope collapses onto `max(RTT, g)`.
+pub fn ping_pong_series(m: &mut dyn Machine, src: u32, dst: u32, ks: &[u64]) -> Vec<(f64, f64)> {
+    ks.iter()
+        .map(|&k| {
+            let clocks = m.run(&[(src, Script::ping(dst, k)), (dst, Script::pong(src, k))]);
+            (k as f64, clocks[0] as f64)
+        })
+        .collect()
+}
+
+/// Flood series: `src` issues `k` back-to-back `words`-word sends,
+/// `dst` absorbs them; finish clock observed at the *receiver*. Slope =
+/// steady-state delivery interval, `max(g, o)` on an unloaded machine —
+/// the receiver-side view generalizes to loaded networks, where delivery
+/// (not issue) is what congestion throttles.
+pub fn flood_series(
+    m: &mut dyn Machine,
+    src: u32,
+    dst: u32,
+    ks: &[u64],
+    words: u64,
+) -> Vec<(f64, f64)> {
+    ks.iter()
+        .map(|&k| {
+            let clocks = m.run(&[(src, Script::flood(dst, k, words)), (dst, Script::sink(k))]);
+            (k as f64, clocks[1] as f64)
+        })
+        .collect()
+}
+
+/// Spaced-send series: `k` iterations of send-then-compute(`spacing`)
+/// at `src`, finish clock observed at the sender. With `spacing` above
+/// the gap each iteration costs exactly `o + spacing`, so
+/// slope − spacing isolates the overhead.
+pub fn spaced_series(
+    m: &mut dyn Machine,
+    src: u32,
+    dst: u32,
+    ks: &[u64],
+    spacing: u64,
+) -> Vec<(f64, f64)> {
+    ks.iter()
+        .map(|&k| {
+            let clocks = m.run(&[
+                (src, Script::spaced_flood(dst, k, spacing)),
+                (dst, Script::sink(k)),
+            ]);
+            (k as f64, clocks[0] as f64)
+        })
+        .collect()
+}
+
+/// Per-message-size gap fit: flood `k` messages at each size in
+/// `words`, fit the per-message issue interval at every size, then fit
+/// interval-vs-words. The returned line's slope is the incremental
+/// per-word gap (LogGP's `G` on a bulk-transfer backend, the per-packet
+/// serialization on a packet backend); its intercept extrapolates the
+/// fixed per-message cost.
+///
+/// Sizes are measured at the *sender* — backends disagree on what one
+/// large message looks like on arrival (one bulk delivery vs `words`
+/// packets), but all of them serialize it through the sender's
+/// interface, so the issue interval is the size-comparable clock.
+pub fn size_fit(m: &mut dyn Machine, src: u32, dst: u32, ks: &[u64], words: &[u64]) -> LineFit {
+    let per_size: Vec<(f64, f64)> = words
+        .iter()
+        .map(|&w| {
+            let series: Vec<(f64, f64)> = ks
+                .iter()
+                .map(|&k| {
+                    let clocks = m.run(&[(src, Script::flood(dst, k, w)), (dst, Script::sink(k))]);
+                    (k as f64, clocks[0] as f64)
+                })
+                .collect();
+            (w as f64, theil_sen(&series).slope)
+        })
+        .collect();
+    theil_sen(&per_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Op;
+
+    /// Closed-form machine: sends cost `a + b·words`, recvs are delivered
+    /// at the sender's pace, computes cost their face value.
+    struct Affine {
+        a: f64,
+        b: f64,
+    }
+
+    impl Machine for Affine {
+        fn procs(&self) -> u32 {
+            2
+        }
+        fn run(&mut self, programs: &[(u32, Script)]) -> Vec<u64> {
+            // Total send cost across all scripts paces the whole run.
+            let total: f64 = programs
+                .iter()
+                .flat_map(|(_, s)| s.ops.iter())
+                .map(|op| match op {
+                    Op::Send { words, .. } => self.a + self.b * *words as f64,
+                    Op::Compute(c) => *c as f64,
+                    Op::Recv => 0.0,
+                })
+                .sum();
+            programs.iter().map(|_| total.round() as u64).collect()
+        }
+    }
+
+    #[test]
+    fn size_fit_recovers_per_word_cost() {
+        let mut m = Affine { a: 7.0, b: 3.0 };
+        let fit = size_fit(&mut m, 0, 1, &[4, 8, 16], &[1, 2, 4, 8]);
+        assert!(
+            (fit.slope - 3.0).abs() < 1e-9,
+            "per-word slope {}",
+            fit.slope
+        );
+        assert!((fit.intercept - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_are_reported_in_k_order() {
+        let mut m = Affine { a: 5.0, b: 0.0 };
+        let s = flood_series(&mut m, 0, 1, &[2, 4, 8], 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].0, 2.0);
+        assert_eq!(s[2].0, 8.0);
+        assert!(s[0].1 < s[2].1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Robust line fitting for timing series.
+//!
+//! Every calibration experiment produces points `(k, T(k))` — experiment
+//! size against finish clock — whose *slope* is the parameter of
+//! interest (`RTT` per exchange, `max(g, o)` per message, `o + Δ` per
+//! spaced iteration). Slopes are immune to constant startup costs, and
+//! the Theil–Sen estimator (the median of all pairwise slopes) is immune
+//! to a minority of contaminated points: up to ~29% of the measurements
+//! can be arbitrarily wrong — a cold cache, a straggler packet — without
+//! moving the estimate. On a noiseless machine the fit is exact: every
+//! pairwise slope coincides, so `ci` and `residual` collapse to zero and
+//! the calibrator can claim cycle-exact recovery.
+
+use logp_core::ParamEstimate;
+
+/// A fitted line `y ≈ intercept + slope·x` with robust uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Median absolute deviation of the pairwise slopes around the
+    /// fitted slope — zero iff the points are exactly collinear.
+    pub slope_mad: f64,
+    /// Median absolute residual of the points around the fitted line.
+    pub residual: f64,
+}
+
+impl LineFit {
+    /// The slope as a [`ParamEstimate`]: value = slope, ci = the slope
+    /// MAD, residual = the median absolute residual.
+    pub fn slope_estimate(&self) -> ParamEstimate {
+        ParamEstimate::new(self.slope, self.slope_mad, self.residual)
+    }
+}
+
+/// Median of a slice (mean of the middle pair for even lengths).
+/// Panics on an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty series");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timing values are finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Theil–Sen line fit over `points`; needs at least two distinct x
+/// values.
+pub fn theil_sen(points: &[(f64, f64)]) -> LineFit {
+    let mut slopes = Vec::with_capacity(points.len() * (points.len() - 1) / 2);
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        for &(xj, yj) in &points[i + 1..] {
+            if xj != xi {
+                slopes.push((yj - yi) / (xj - xi));
+            }
+        }
+    }
+    assert!(
+        !slopes.is_empty(),
+        "Theil-Sen needs at least two distinct x values"
+    );
+    let slope = median(&slopes);
+    let deviations: Vec<f64> = slopes.iter().map(|s| (s - slope).abs()).collect();
+    let slope_mad = median(&deviations);
+    let intercepts: Vec<f64> = points.iter().map(|&(x, y)| y - slope * x).collect();
+    let intercept = median(&intercepts);
+    let residuals: Vec<f64> = points
+        .iter()
+        .map(|&(x, y)| (y - intercept - slope * x).abs())
+        .collect();
+    LineFit {
+        slope,
+        intercept,
+        slope_mad,
+        residual: median(&residuals),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_lines_fit_exactly() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|k| (k as f64, 17.0 + 40.0 * k as f64))
+            .collect();
+        let fit = theil_sen(&pts);
+        assert_eq!(fit.slope, 40.0);
+        assert_eq!(fit.intercept, 17.0);
+        assert_eq!(fit.slope_mad, 0.0);
+        assert_eq!(fit.residual, 0.0);
+        assert!(fit.slope_estimate().recovers_exactly(40));
+    }
+
+    #[test]
+    fn a_single_outlier_cannot_move_the_slope() {
+        let mut pts: Vec<(f64, f64)> = (1..=9).map(|k| (k as f64, 5.0 * k as f64)).collect();
+        pts[8].1 += 1000.0; // one wildly contaminated measurement
+        let fit = theil_sen(&pts);
+        assert_eq!(fit.slope, 5.0, "median of pairwise slopes shrugs it off");
+        assert!(fit.slope_mad < 0.5, "most pairs still agree");
+        // Least squares, for contrast, would be pulled far off 5.0.
+        let n = pts.len() as f64;
+        let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        let ls = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>()
+            / pts.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>();
+        assert!((ls - 5.0).abs() > 5.0, "least squares slope {ls}");
+    }
+
+    #[test]
+    fn noise_widens_the_bands() {
+        // Deterministic zig-zag noise around slope 10.
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|k| {
+                let jitter = if k % 2 == 0 { 0.8 } else { -0.8 };
+                (k as f64, 10.0 * k as f64 + jitter)
+            })
+            .collect();
+        let fit = theil_sen(&pts);
+        assert!((fit.slope - 10.0).abs() < 0.5);
+        assert!(fit.slope_mad > 0.0);
+        assert!(fit.residual > 0.0);
+        assert!(!fit.slope_estimate().recovers_exactly(10) || fit.slope_mad < 0.5);
+    }
+
+    #[test]
+    fn median_handles_both_parities() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct x")]
+    fn vertical_series_is_rejected() {
+        theil_sen(&[(1.0, 2.0), (1.0, 3.0)]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # logp-calib — black-box microbenchmark calibration of (L, o, g, P)
+//!
+//! The paper's methodology is a loop: *measure* a machine to obtain its
+//! LogP parameters, then design algorithms against the measured values
+//! (§4.1.4 calibrates the CM-5 to `o = 2 µs, L = 6 µs, g = 4 µs`
+//! before predicting FFT performance with them). This crate is the
+//! measuring half of that loop:
+//!
+//! * [`machine`] — the black-box target trait: anything that can run a
+//!   [`script::Script`] and report a finish clock is calibratable;
+//! * [`script`] — the micro-benchmark vocabulary (ping-pong, flood,
+//!   spaced sends) as straight-line programs;
+//! * [`experiments`] — size-series experiments whose slopes carry the
+//!   parameters, independent of startup transients;
+//! * [`fit`] — robust Theil–Sen line fits: exact on noiseless series,
+//!   outlier-immune on contaminated ones;
+//! * [`mod@calibrate`] — the pipeline from raw series to a
+//!   [`LogPEstimate`], with regime detection (gap-limited machines,
+//!   overhead-bound gaps);
+//! * [`sim_backend`] — the `logp-sim` engine as a target. Calibrating
+//!   it must *round-trip*: a machine configured with known (L, o, g, P)
+//!   is recovered cycle-exactly, a standing oracle for engine and
+//!   calibrator alike (`tests/calibration.rs` pins every preset);
+//! * [`net_backend`] — the `logp-net` packet router as a target:
+//!   endpoint constants come from Table 1, and calibration under
+//!   background load reproduces §5.3's saturation as a measured
+//!   `g(ρ)` curve.
+//!
+//! The estimate vocabulary ([`ParamEstimate`], [`LogPEstimate`]) lives
+//! in `logp-core` so the datasheet helpers in `logp-net` and the
+//! micro-benchmarks in `logp-algos` speak it too; this crate re-exports
+//! it as the calibration entry point.
+
+pub mod calibrate;
+pub mod experiments;
+pub mod fit;
+pub mod machine;
+pub mod net_backend;
+pub mod script;
+pub mod sim_backend;
+
+pub use calibrate::{calibrate, CalibConfig, Calibration};
+pub use fit::{median, theil_sen, LineFit};
+pub use logp_core::{LogPEstimate, ParamEstimate};
+pub use machine::Machine;
+pub use net_backend::{g_knee, g_of_load, PacketMachine};
+pub use script::{Op, Script};
+pub use sim_backend::{calibrate_sim_sweep, SimMachine};

@@ -1,0 +1,70 @@
+//! The black-box machine abstraction.
+//!
+//! The calibrator never looks inside a machine: it hands each backend a
+//! set of [`Script`]s, gets back one finish clock per scripted
+//! processor, and infers (L, o, g, P) purely from how those clocks grow
+//! with the experiment size. Anything that can run a script and read a
+//! clock — the discrete-event LogP simulator, the packet-level router,
+//! in principle real hardware behind a socket — is a calibration target.
+
+use crate::script::Script;
+
+/// A machine the calibrator can experiment on.
+///
+/// `run` executes the given scripts concurrently from a common time
+/// origin — processor `id` runs its paired script, every other processor
+/// idles (absorbing stray traffic) — and returns, in input order, the
+/// clock at which each script completed its last action. Clocks are in
+/// the machine's own cycle unit and must be deterministic for a fixed
+/// machine state: the calibrator relies on repeat runs with larger
+/// scripts landing on the same line.
+pub trait Machine {
+    /// Number of processors visible to scripts (the LogP `P`, measured
+    /// trivially — the one parameter you never benchmark for).
+    fn procs(&self) -> u32;
+
+    /// Run the scripts to completion; returns finish clocks in the order
+    /// the `(processor, script)` pairs were given.
+    fn run(&mut self, programs: &[(u32, Script)]) -> Vec<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Op;
+
+    /// A closed-form machine: each op costs a fixed number of cycles and
+    /// messages are ignored. Exercises the trait object plumbing.
+    struct Arithmetic {
+        per_send: u64,
+    }
+
+    impl Machine for Arithmetic {
+        fn procs(&self) -> u32 {
+            2
+        }
+        fn run(&mut self, programs: &[(u32, Script)]) -> Vec<u64> {
+            programs
+                .iter()
+                .map(|(_, s)| {
+                    s.ops
+                        .iter()
+                        .map(|op| match op {
+                            Op::Send { .. } => self.per_send,
+                            Op::Compute(c) => *c,
+                            Op::Recv => 0,
+                        })
+                        .sum()
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn trait_objects_run_scripts() {
+        let mut m: Box<dyn Machine> = Box::new(Arithmetic { per_send: 3 });
+        assert_eq!(m.procs(), 2);
+        let clocks = m.run(&[(0, Script::flood(1, 5, 1)), (1, Script::sink(5))]);
+        assert_eq!(clocks, vec![15, 0]);
+    }
+}

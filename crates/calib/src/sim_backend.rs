@@ -1,0 +1,235 @@
+//! Calibration backend over the `logp-sim` discrete-event engine.
+//!
+//! The simulator *is* the LogP model, so calibrating it must round-trip:
+//! run the micro-benchmarks against a machine configured with known
+//! (L, o, g, P) and recover exactly those integers. That closed loop is
+//! a standing oracle for both sides — an engine bug that mis-prices a
+//! send, or a calibrator bug that mis-fits a series, breaks it.
+//!
+//! The backend interprets a [`Script`] as a [`Process`]: ops are queued
+//! as engine commands until the script blocks on a `Recv`, and the
+//! finish clock is captured by a zero-cycle compute issued after the
+//! last op (a same-time callback after all earlier commands complete,
+//! so it reads the correct clock whether the script ended on a send, a
+//! receive, or local work).
+
+use crate::calibrate::{calibrate, CalibConfig, Calibration};
+use crate::machine::Machine;
+use crate::script::{Op, Script};
+use logp_core::LogP;
+use logp_sim::runner::{sweep_map, Threads};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use std::collections::VecDeque;
+
+/// Message tag used by all calibration traffic.
+const TAG_MSG: u32 = 0xCA11;
+/// Compute tag for script-internal local work.
+const TAG_STEP: u64 = 0xCA11_0000;
+/// Compute tag for the zero-cycle finish marker.
+const TAG_FIN: u64 = 0xCA11_0001;
+
+/// A [`Script`] interpreter running on one simulated processor.
+struct ScriptProcess {
+    ops: VecDeque<Op>,
+    /// Messages received but not yet consumed by a `Recv` op.
+    pending: u64,
+    /// Blocked on a `Recv` with nothing pending.
+    waiting: bool,
+    fin_issued: bool,
+    finish: SharedCell<u64>,
+}
+
+impl ScriptProcess {
+    fn new(script: Script, finish: SharedCell<u64>) -> Self {
+        ScriptProcess {
+            ops: script.ops.into(),
+            pending: 0,
+            waiting: false,
+            fin_issued: false,
+            finish,
+        }
+    }
+
+    /// Queue commands for ops up to the next unsatisfiable `Recv` (or the
+    /// end of the script, where the finish marker goes out).
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(&op) = self.ops.front() {
+            match op {
+                Op::Send { dst, words } => {
+                    self.ops.pop_front();
+                    if words <= 1 {
+                        ctx.send(dst, TAG_MSG, Data::Empty);
+                    } else {
+                        // Long messages use the LogGP extension; the
+                        // engine asserts `SimConfig::loggp_big_g` is set.
+                        ctx.send_bulk(dst, TAG_MSG, Data::Empty, words);
+                    }
+                }
+                Op::Compute(cycles) => {
+                    self.ops.pop_front();
+                    ctx.compute(cycles, TAG_STEP);
+                }
+                Op::Recv => {
+                    if self.pending > 0 {
+                        self.pending -= 1;
+                        self.ops.pop_front();
+                    } else {
+                        self.waiting = true;
+                        return;
+                    }
+                }
+            }
+        }
+        if !self.fin_issued {
+            self.fin_issued = true;
+            ctx.compute(0, TAG_FIN);
+        }
+    }
+}
+
+impl Process for ScriptProcess {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.advance(ctx);
+    }
+
+    fn on_message(&mut self, _msg: &Message, ctx: &mut Ctx<'_>) {
+        self.pending += 1;
+        if self.waiting {
+            self.waiting = false;
+            self.advance(ctx);
+        }
+    }
+
+    fn on_compute_done(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        if tag == TAG_FIN {
+            let now = ctx.now();
+            self.finish.with(|t| *t = now);
+        } else if self.waiting {
+            // A stray step callback while blocked changes nothing.
+        } else {
+            self.advance(ctx);
+        }
+    }
+}
+
+/// The `logp-sim` engine as a black-box calibration target.
+#[derive(Debug, Clone)]
+pub struct SimMachine {
+    pub model: LogP,
+    pub config: SimConfig,
+}
+
+impl SimMachine {
+    /// Target with the default (exact, jitter-free) fidelity config.
+    pub fn new(model: LogP) -> Self {
+        SimMachine {
+            model,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Target with an explicit fidelity config (jitter, drift, …) — the
+    /// calibrator's robust fits are exercised by noisy configs.
+    pub fn with_config(model: LogP, config: SimConfig) -> Self {
+        SimMachine { model, config }
+    }
+}
+
+impl Machine for SimMachine {
+    fn procs(&self) -> u32 {
+        self.model.p
+    }
+
+    fn run(&mut self, programs: &[(u32, Script)]) -> Vec<u64> {
+        let cells: Vec<SharedCell<u64>> = programs.iter().map(|_| SharedCell::of(0)).collect();
+        let mut sim = Sim::new(self.model, self.config.clone());
+        for ((proc, script), cell) in programs.iter().zip(&cells) {
+            sim.set_process(
+                *proc,
+                Box::new(ScriptProcess::new(script.clone(), cell.clone())),
+            );
+        }
+        sim.run().expect("calibration scripts terminate");
+        cells.iter().map(|c| c.get()).collect()
+    }
+}
+
+/// Calibrate a fleet of simulated machines in parallel — §7's "evaluating
+/// a large number of machines", routed through the deterministic sweep
+/// runner so results are bit-identical at any thread count (each machine
+/// is its own self-contained simulation).
+pub fn calibrate_sim_sweep(
+    machines: &[LogP],
+    sim_config: &SimConfig,
+    cfg: &CalibConfig,
+    threads: Threads,
+) -> Vec<Calibration> {
+    sweep_map(threads, machines, |m| {
+        calibrate(&mut SimMachine::with_config(*m, sim_config.clone()), cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_finish_is_k_round_trips() {
+        let m = LogP::new(30, 5, 7, 2).unwrap();
+        let mut sm = SimMachine::new(m);
+        for k in [1u64, 4, 16] {
+            let clocks = sm.run(&[(0, Script::ping(1, k)), (1, Script::pong(0, k))]);
+            assert_eq!(
+                clocks[0],
+                k * 2 * m.point_to_point(),
+                "k={k}: finish {} is not k exchanges",
+                clocks[0]
+            );
+        }
+    }
+
+    #[test]
+    fn flood_sink_finishes_at_the_send_interval() {
+        // Steady-state delivery interval is max(g, o) in both regimes.
+        for (l, o, g) in [(60u64, 20u64, 40u64), (20, 9, 2)] {
+            let m = LogP::new(l, o, g, 2).unwrap();
+            let mut sm = SimMachine::new(m);
+            let t1 = sm.run(&[(0, Script::flood(1, 8, 1)), (1, Script::sink(8))])[1];
+            let t2 = sm.run(&[(0, Script::flood(1, 40, 1)), (1, Script::sink(40))])[1];
+            assert_eq!(
+                t2 - t1,
+                32 * m.send_interval(),
+                "{m}: delivery slope mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn spaced_flood_costs_o_plus_spacing_per_iteration() {
+        let m = LogP::new(60, 20, 40, 2).unwrap();
+        let mut sm = SimMachine::new(m);
+        let spacing = 100;
+        let t1 = sm.run(&[(0, Script::spaced_flood(1, 10, spacing))])[0];
+        let t2 = sm.run(&[(0, Script::spaced_flood(1, 30, spacing))])[0];
+        assert_eq!(t2 - t1, 20 * (m.o + spacing));
+    }
+
+    #[test]
+    fn scripts_on_wide_machines_leave_bystanders_passive() {
+        // Calibration uses two endpoints of a 128-proc machine; the other
+        // 126 stay passive and the clocks match the 2-proc run.
+        let wide = LogP::new(60, 20, 40, 128).unwrap();
+        let narrow = wide.with_p(2);
+        let w = SimMachine::new(wide).run(&[(0, Script::ping(1, 8)), (1, Script::pong(0, 8))]);
+        let n = SimMachine::new(narrow).run(&[(0, Script::ping(1, 8)), (1, Script::pong(0, 8))]);
+        assert_eq!(w, n);
+    }
+
+    #[test]
+    fn compute_only_scripts_finish_on_their_own_clock() {
+        let m = LogP::new(6, 2, 4, 2).unwrap();
+        let clocks =
+            SimMachine::new(m).run(&[(0, Script::new(vec![Op::Compute(13), Op::Compute(7)]))]);
+        assert_eq!(clocks, vec![20]);
+    }
+}

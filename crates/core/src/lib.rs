@@ -14,6 +14,10 @@
 //!   laws (capacity, `2o+L` point-to-point, `2L+4o` remote read, …);
 //! * [`machines`] — calibrated presets (CM-5 with the paper's §4.1.4
 //!   parameters, and others);
+//! * [`estimate`] — measured parameters with uncertainty
+//!   ([`estimate::ParamEstimate`]), the shared vocabulary of every
+//!   calibration path (`logp-net` datasheet arithmetic, `logp-algos`
+//!   micro-benchmarks, the `logp-calib` black-box calibrator);
 //! * [`broadcast`] — the optimal single-datum broadcast of §3.3 / Fig. 3,
 //!   plus baseline tree shapes;
 //! * [`summation`] — the optimal summation schedules of §3.3 / Fig. 4;
@@ -30,6 +34,7 @@
 
 pub mod broadcast;
 pub mod cost;
+pub mod estimate;
 pub mod extensions;
 pub mod machines;
 pub mod models;
@@ -39,5 +44,6 @@ pub mod summation;
 pub mod sweep;
 pub mod techtrends;
 
+pub use estimate::{LogPEstimate, ParamEstimate};
 pub use machines::MachinePreset;
 pub use params::{Cycles, LogP, ParamError, ProcId};

@@ -12,6 +12,7 @@
 //! `g`.
 
 use crate::topology::{Network, Topology};
+use logp_core::ParamEstimate;
 
 /// Bisection width in (unidirectional) links for a `p`-processor
 /// instance, by the standard formulas.
@@ -52,6 +53,18 @@ pub fn per_proc_bisection_bw(topology: Topology, p: u64, link_bytes_per_cycle: f
 /// the per-message interval `g = payload / bandwidth` (µs).
 pub fn calibrate_g_us(payload_bytes: f64, per_proc_mb_s: f64) -> f64 {
     payload_bytes / per_proc_mb_s
+}
+
+/// [`calibrate_g_us`] in the workspace-wide estimation vocabulary: the
+/// value is exact arithmetic on the measured bandwidth, but the paper
+/// itself rounds 3.2 µs up to "g = 4 µs" — the gap between serialization
+/// and interface slack is recorded as the residual band.
+pub fn calibrate_g_estimate(payload_bytes: f64, per_proc_mb_s: f64) -> ParamEstimate {
+    let g = calibrate_g_us(payload_bytes, per_proc_mb_s);
+    // Bandwidth-derived gaps are a floor: the interface may add slack on
+    // top of pure serialization (§4.1.4 footnote 5). Report a one-sided
+    // uncertainty of 25% toward larger g, matching the paper's rounding.
+    ParamEstimate::new(g, 0.25 * g, 0.0)
 }
 
 /// Brute-force minimum balanced-cut width for small networks (≤ ~16
@@ -150,6 +163,15 @@ mod tests {
         // interface slack gives their chosen 4 µs).
         let g = calibrate_g_us(16.0, 5.0);
         assert!((3.0..=4.0).contains(&g), "calibrated g = {g} µs");
+    }
+
+    #[test]
+    fn estimate_brackets_the_papers_rounded_g() {
+        // The estimate's band must contain both the raw 3.2 µs and the
+        // paper's rounded-up 4 µs.
+        let est = calibrate_g_estimate(16.0, 5.0);
+        assert_eq!(est.value, calibrate_g_us(16.0, 5.0));
+        assert!(est.value - est.ci <= 3.2 && 4.0 <= est.value + est.ci);
     }
 
     #[test]

@@ -22,10 +22,10 @@ pub mod routing;
 pub mod timing;
 pub mod topology;
 
-pub use bisection::{bisection_width, calibrate_g_us, per_proc_bisection_bw};
+pub use bisection::{bisection_width, calibrate_g_estimate, calibrate_g_us, per_proc_bisection_bw};
 pub use packet::{
-    knee, load_sweep, simulate_load, simulate_permutation, LoadPoint, PacketSimConfig,
-    PermutationRun,
+    knee, load_sweep, shortest_path_routes, simulate_load, simulate_permutation, LoadPoint,
+    PacketSimConfig, PermutationRun,
 };
 pub use patterns::{hypercube_ecube_congestion, mesh_xy_congestion, Permutation};
 pub use routing::Router;

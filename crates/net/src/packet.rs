@@ -71,6 +71,15 @@ fn link_cap(net: &Network, v: usize, hop: u32) -> u32 {
 }
 
 /// Routing tables: `next_hop[node][dst]` = neighbor index toward dst.
+///
+/// For each destination, a reverse BFS assigns every node its parent
+/// toward the destination (lowest-index tie-break for determinism).
+/// Public so external packet-level experiments — e.g. the `logp-calib`
+/// network backend — route identically to [`simulate_load`].
+pub fn shortest_path_routes(net: &Network) -> Vec<Vec<u32>> {
+    build_routes(net)
+}
+
 fn build_routes(net: &Network) -> Vec<Vec<u32>> {
     let n = net.adj.len();
     let mut next = vec![vec![u32::MAX; n]; n];

@@ -8,6 +8,7 @@
 //! the two Active-Message rows); we embed the published constants and
 //! regenerate the `T(M=160)` column exactly.
 
+use logp_core::{LogPEstimate, ParamEstimate};
 use serde::{Deserialize, Serialize};
 
 /// One machine's network timing constants (one Table 1 row).
@@ -28,10 +29,17 @@ pub struct MachineTiming {
 }
 
 impl MachineTiming {
+    /// Channel occupancy of an `m_bits` message: `⌈M/w⌉` cycles. This is
+    /// the serialization-limited per-message interval — the datasheet's
+    /// lower bound on `g`.
+    pub fn serialization_cycles(&self, m_bits: u64) -> u64 {
+        m_bits.div_ceil(self.w)
+    }
+
     /// Unloaded transmission time of an `m_bits` message over `h` hops,
     /// in cycles.
     pub fn unloaded_time(&self, m_bits: u64, h: f64) -> f64 {
-        self.tsnd_plus_trcv as f64 + m_bits.div_ceil(self.w) as f64 + h * self.r as f64
+        self.tsnd_plus_trcv as f64 + self.serialization_cycles(m_bits) as f64 + h * self.r as f64
     }
 
     /// The Table 1 column: `T(M=160)` at the 1024-processor average
@@ -54,7 +62,38 @@ impl MachineTiming {
     }
 
     pub fn suggested_logp_l(&self, m_bits: u64) -> f64 {
-        self.avg_h_1024 * self.r as f64 + m_bits.div_ceil(self.w) as f64
+        self.avg_h_1024 * self.r as f64 + self.serialization_cycles(m_bits) as f64
+    }
+
+    /// [`suggested_logp_o`](Self::suggested_logp_o) in the workspace-wide
+    /// estimation vocabulary. Datasheet arithmetic is exact by
+    /// construction, so the estimate carries zero `ci`/`residual`.
+    pub fn o_estimate(&self) -> ParamEstimate {
+        ParamEstimate::exact(self.suggested_logp_o())
+    }
+
+    /// [`suggested_logp_l`](Self::suggested_logp_l) as a [`ParamEstimate`].
+    pub fn l_estimate(&self, m_bits: u64) -> ParamEstimate {
+        ParamEstimate::exact(self.suggested_logp_l(m_bits))
+    }
+
+    /// The serialization-limited gap `⌈M/w⌉` as a [`ParamEstimate`]. A
+    /// real machine's `g` is the *larger* of this channel occupancy and
+    /// the endpoint overhead; the packet-level calibration in `logp-calib`
+    /// measures which one binds.
+    pub fn g_estimate(&self, m_bits: u64) -> ParamEstimate {
+        ParamEstimate::exact(self.serialization_cycles(m_bits) as f64)
+    }
+
+    /// The full datasheet-derived quadruple as a [`LogPEstimate`], for an
+    /// `m_bits` message on a `p`-processor configuration.
+    pub fn logp_estimate(&self, m_bits: u64, p: u32) -> LogPEstimate {
+        LogPEstimate {
+            l: self.l_estimate(m_bits),
+            o: self.o_estimate(),
+            g: self.g_estimate(m_bits),
+            p,
+        }
     }
 }
 
@@ -203,6 +242,21 @@ mod tests {
         // order as the paper's L = 6 µs calibration under load.
         let l = cm5_am.suggested_logp_l(160);
         assert!((l - 114.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_forward_the_datasheet_arithmetic() {
+        let monsoon = &table1()[4];
+        let est = monsoon.logp_estimate(160, 256);
+        // Exact by construction: zero uncertainty, values equal to the
+        // plain free functions.
+        assert_eq!(est.o, ParamEstimate::exact(monsoon.suggested_logp_o()));
+        assert_eq!(est.l, ParamEstimate::exact(monsoon.suggested_logp_l(160)));
+        assert_eq!(est.g.value, 10.0); // ⌈160/16⌉
+        assert_eq!(est.p, 256);
+        assert!(est.o.recovers_exactly(5));
+        let m = est.to_logp().expect("valid model");
+        assert_eq!((m.o, m.g, m.p), (5, 10, 256));
     }
 
     #[test]

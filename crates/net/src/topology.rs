@@ -287,6 +287,19 @@ impl Network {
         }
     }
 
+    /// Widen every link by an integer `factor` (packets per cycle).
+    /// Distances are unchanged; only saturation moves — a `factor`-wide
+    /// network sustains `factor`× the offered load before its knee, which
+    /// the calibration proptests assert monotonically.
+    pub fn scale_link_capacity(&mut self, factor: u32) {
+        assert!(factor >= 1, "a link carries at least one packet per cycle");
+        for caps in &mut self.cap {
+            for c in caps {
+                *c *= factor;
+            }
+        }
+    }
+
     /// Single-source BFS distances.
     pub fn bfs(&self, src: u32) -> Vec<u32> {
         let mut dist = vec![u32::MAX; self.adj.len()];
@@ -529,5 +542,22 @@ mod tests {
     #[should_panic(expected = "perfect square")]
     fn grid_validates_size() {
         Network::build(Topology::Mesh2D, 37);
+    }
+
+    #[test]
+    fn capacity_scaling_widens_links_uniformly() {
+        let mut net = Network::build(Topology::FatTree4, 64);
+        let before: Vec<Vec<u32>> = net.cap.clone();
+        net.scale_link_capacity(3);
+        for (a, b) in net.cap.iter().zip(before.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(*x, 3 * *y);
+            }
+        }
+        // Structure untouched.
+        assert_eq!(net.avg_endpoint_distance(), {
+            let fresh = Network::build(Topology::FatTree4, 64);
+            fresh.avg_endpoint_distance()
+        });
     }
 }

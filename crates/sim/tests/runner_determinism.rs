@@ -161,3 +161,38 @@ fn run_sweep_is_thread_count_independent() {
     };
     assert_eq!(sweep_at(Threads::Fixed(1)), sweep_at(Threads::Fixed(8)));
 }
+
+#[test]
+fn sweep_map_preserves_order_and_thread_independence() {
+    // The generic fan-out used by calibration sweeps (`logp-calib`):
+    // results come back in input order, bit-identical at any worker
+    // count, even when each item runs a full simulation internally.
+    use logp_sim::runner::sweep_map;
+    use logp_sim::Sim;
+
+    let grid = grid();
+    let machines = grid.machines();
+    let measure = |m: &LogP| -> (LogP, SimStats) {
+        let mut sim = Sim::new(*m, noisy_config());
+        for p in 0..m.p {
+            sim.set_process(
+                p,
+                Box::new(Scatter {
+                    rounds: 5,
+                    done: 0,
+                    got: 0,
+                }),
+            );
+        }
+        (*m, sim.run().expect("scatter terminates").stats)
+    };
+    let serial = sweep_map(Threads::Fixed(1), &machines, measure);
+    assert_eq!(
+        serial.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+        machines,
+        "sweep_map must preserve input order"
+    );
+    for threads in [Threads::Fixed(2), Threads::Fixed(8), Threads::Auto] {
+        assert_eq!(serial, sweep_map(threads, &machines, measure));
+    }
+}

@@ -15,7 +15,9 @@
 //! * [`sim`] (`logp-sim`) — the LogP machine simulator;
 //! * [`algos`] (`logp-algos`) — portable parallel algorithms;
 //! * [`net`] (`logp-net`) — topologies, unloaded timing, saturation;
-//! * [`baselines`] (`logp-baselines`) — executable PRAM and BSP.
+//! * [`baselines`] (`logp-baselines`) — executable PRAM and BSP;
+//! * [`calib`] (`logp-calib`) — black-box (L, o, g, P) calibration by
+//!   micro-benchmark, with simulator and packet-network backends.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,7 @@
 
 pub use logp_algos as algos;
 pub use logp_baselines as baselines;
+pub use logp_calib as calib;
 pub use logp_core as core;
 pub use logp_net as net;
 pub use logp_sim as sim;

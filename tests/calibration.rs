@@ -1,0 +1,159 @@
+//! The calibration loop, end to end: measuring a machine recovers the
+//! parameters it was built with, and algorithms designed against the
+//! *measured* parameters are identical to those designed against the
+//! truth — §4.1.4's methodology (calibrate, then predict) closed into a
+//! standing oracle.
+
+use logp::calib::{
+    calibrate, calibrate_sim_sweep, g_knee, g_of_load, CalibConfig, PacketMachine, SimMachine,
+};
+use logp::core::broadcast::{optimal_broadcast_time, optimal_broadcast_tree};
+use logp::core::summation::min_sum_time;
+use logp::net::{table1, Topology};
+use logp::prelude::*;
+use logp::sim::runner::Threads;
+
+/// Every preset the repo knows, plus the paper's Figure 3 toy machine.
+fn preset_models() -> Vec<(String, LogP)> {
+    let mut v: Vec<(String, LogP)> = MachinePreset::all()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.logp))
+        .collect();
+    v.push(("fig3 toy".into(), LogP::fig3()));
+    v
+}
+
+/// The tentpole oracle: calibrating the simulator configured with any
+/// preset's (L, o, g, P) recovers exactly those integers. On machines
+/// with `g > o` every estimate is tight (`recovers_exactly`); on the
+/// `o = g` presets the gap is only observable as the upper bound
+/// `max(g, o)`, which still rounds to the true value.
+#[test]
+fn sim_backend_round_trips_every_preset() {
+    for (name, truth) in preset_models() {
+        let cal = calibrate(&mut SimMachine::new(truth), &CalibConfig::default());
+        assert_eq!(cal.model(), truth, "{name}: {:?}", cal.logp);
+        assert_eq!(cal.capacity, truth.capacity(), "{name}");
+        assert!(!cal.gap_limited, "{name}: presets are not gap-limited");
+        if truth.g > truth.o {
+            assert!(!cal.overhead_bound, "{name}");
+            assert!(cal.logp.recovers_exactly(&truth), "{name}: {}", cal.logp);
+        } else {
+            // o >= g: the flood interval is pinned by the overhead, so g
+            // is an upper bound with a band reaching the hidden truth.
+            assert!(cal.overhead_bound, "{name}");
+            assert!(
+                cal.logp.g.value - cal.logp.g.ci <= truth.g as f64,
+                "{name}: band must contain the hidden gap"
+            );
+        }
+    }
+}
+
+/// Calibration under simulated timing noise still lands within a few
+/// percent: the Theil-Sen fits absorb jitter instead of folding it into
+/// the slopes.
+#[test]
+fn sim_backend_tolerates_jitter() {
+    let truth = MachinePreset::cm5().logp;
+    let noisy = SimConfig::default().with_jitter(3).with_seed(7);
+    let cal = calibrate(
+        &mut SimMachine::with_config(truth, noisy),
+        &CalibConfig::default(),
+    );
+    assert!(cal.logp.o.within(truth.o as f64, 0.05), "o {}", cal.logp.o);
+    assert!(cal.logp.g.within(truth.g as f64, 0.05), "g {}", cal.logp.g);
+    // Jitter shaves up to 3 cycles off each flight, so L lands in the
+    // jitter band below its configured value.
+    assert!(
+        cal.logp.l.value > truth.l as f64 - 4.0 && cal.logp.l.value < truth.l as f64 + 1.0,
+        "L {} outside the jitter band",
+        cal.logp.l
+    );
+}
+
+/// Closing the loop: broadcast trees and summation schedules designed
+/// from the calibrated parameters are identical to those designed from
+/// the true ones, on every preset.
+#[test]
+fn calibrated_parameters_reproduce_algorithm_designs() {
+    for (name, truth) in preset_models() {
+        let cal = calibrate(&mut SimMachine::new(truth), &CalibConfig::quick());
+        let measured = cal.model();
+        let (t, c) = (truth.with_p(32), measured.with_p(32));
+        assert_eq!(
+            optimal_broadcast_tree(&c).children(),
+            optimal_broadcast_tree(&t).children(),
+            "{name}: calibrated broadcast tree differs"
+        );
+        assert_eq!(
+            optimal_broadcast_time(&c),
+            optimal_broadcast_time(&t),
+            "{name}"
+        );
+        for n in [100, 5_000] {
+            assert_eq!(
+                min_sum_time(&c, n, 32),
+                min_sum_time(&t, n, 32),
+                "{name}: n={n}"
+            );
+        }
+    }
+}
+
+/// The packet-network backend cross-checks Table 1: below saturation the
+/// measured gap sits within 10% of the datasheet-derived serialization
+/// value, and past the knee the measured `g(ρ)` rises — §5.3 as a
+/// calibration observable.
+#[test]
+fn packet_backend_matches_table1_and_saturates() {
+    // Monsoon: 16-bit channels, Tsnd + Trcv = 10 cycles => o = 5,
+    // serialize(160 bits) = 10 > o.
+    let monsoon = table1()[4].clone();
+    let base = PacketMachine::from_timing(&monsoon, Topology::Butterfly, 64, 160);
+    let cfg = CalibConfig::quick().with_endpoints(0, 40);
+
+    let cal = calibrate(&mut base.clone(), &cfg);
+    let derived = base.derived_g() as f64;
+    assert!(
+        cal.logp.g.within(derived, 0.1),
+        "unloaded g {} vs Table-1-derived {derived}",
+        cal.logp.g
+    );
+    assert!(
+        cal.logp.o.within(base.overhead as f64, 0.1),
+        "o {} vs datasheet {}",
+        cal.logp.o,
+        base.overhead
+    );
+
+    let curve = g_of_load(&base, &[0.0, 0.3, 0.6, 0.9], &cfg);
+    assert!(
+        curve[0].1.within(derived, 0.1),
+        "below saturation the curve starts on the datasheet gap"
+    );
+    let knee = g_knee(&curve, 1.3);
+    assert!(knee.is_some(), "curve never saturated: {curve:?}");
+    let hot = curve.last().expect("nonempty").1.value;
+    assert!(
+        hot > 1.3 * curve[0].1.value,
+        "g must rise past the knee: {} -> {hot}",
+        curve[0].1.value
+    );
+}
+
+/// Calibration sweeps ride the deterministic runner: bit-identical
+/// results at any worker count.
+#[test]
+fn calibration_sweeps_are_thread_count_independent() {
+    let machines: Vec<LogP> = preset_models().into_iter().map(|(_, m)| m).collect();
+    let cfg = CalibConfig::quick();
+    let serial = calibrate_sim_sweep(&machines, &SimConfig::default(), &cfg, Threads::Fixed(1));
+    for threads in [Threads::Fixed(2), Threads::Fixed(8)] {
+        assert_eq!(
+            serial,
+            calibrate_sim_sweep(&machines, &SimConfig::default(), &cfg, threads),
+            "sweep results must not depend on {threads:?}"
+        );
+    }
+}

@@ -462,3 +462,31 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Widening every link of the packet machine can only push the
+    /// saturation knee of the measured `g(ρ)` curve to higher offered
+    /// load: more bandwidth, later breakdown. (`None` = the curve never
+    /// left the flat region, treated as a knee beyond every probed load.)
+    #[test]
+    fn saturation_knee_moves_up_with_link_bandwidth(
+        seed in 0u64..1_000,
+        widen in 2u32..=4,
+    ) {
+        use logp::calib::{g_knee, g_of_load, CalibConfig, PacketMachine};
+        use logp::net::{Network, Topology};
+
+        let loads = [0.0, 0.2, 0.4, 0.6, 0.8];
+        let cfg = CalibConfig::quick().with_endpoints(0, 15);
+        let knee_at = |factor: u32| {
+            let mut m = PacketMachine::new(Network::build(Topology::Mesh2D, 16), 2, 4);
+            m.seed = seed;
+            m.net.scale_link_capacity(factor);
+            let curve = g_of_load(&m, &loads, &cfg);
+            g_knee(&curve, 1.3).unwrap_or(1.0)
+        };
+        prop_assert!(knee_at(widen) >= knee_at(1));
+    }
+}
