@@ -12,9 +12,13 @@
 //!   on the machine point, exactly the kind of adaptivity the paper
 //!   advocates.
 
+use crate::resilient::{
+    survivor_binomial_role, survivor_tree_children, ResilientError, SurvivorMap,
+};
 use logp_core::broadcast::optimal_broadcast_tree;
 use logp_core::{Cycles, LogP, ProcId};
-use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+use logp_sim::reliable::{Endpoint, RetryConfig};
+use logp_sim::{Ctx, Data, FaultPlan, Message, Process, SharedCell, Sim, SimConfig};
 use std::collections::HashMap;
 
 const TAG_UP: u32 = 0x91;
@@ -223,6 +227,132 @@ pub fn run_allreduce_doubling(m: &LogP, values: &[f64], config: SimConfig) -> Al
     )
 }
 
+// ---------------------------------------------------------------------
+// Fault-tolerant variant: binomial reduce + optimal broadcast over the
+// survivors, every edge carried by a reliable endpoint.
+// ---------------------------------------------------------------------
+
+struct ReliableAllReduce {
+    ep: Endpoint,
+    value: f64,
+    expect_up: u32,
+    got_up: u32,
+    up_parent: Option<ProcId>,
+    down_children: Vec<ProcId>,
+    out: SharedCell<AllReduceOutcome>,
+}
+
+impl ReliableAllReduce {
+    fn maybe_send_up(&mut self, ctx: &mut Ctx<'_>) {
+        if self.got_up != self.expect_up {
+            return;
+        }
+        match self.up_parent {
+            Some(p) => {
+                self.ep.send(ctx, p, TAG_UP, Data::F64(self.value));
+            }
+            None => self.distribute(ctx), // root: switch to broadcast
+        }
+    }
+
+    fn distribute(&mut self, ctx: &mut Ctx<'_>) {
+        for &c in &self.down_children {
+            self.ep.send(ctx, c, TAG_DOWN, Data::F64(self.value));
+        }
+        let rec = (ctx.me(), self.value, ctx.now());
+        self.out.with(|o| o.finals.push(rec));
+    }
+}
+
+impl Process for ReliableAllReduce {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.maybe_send_up(ctx);
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let Some(inner) = self.ep.on_message(msg, ctx) else {
+            return; // ack or suppressed duplicate
+        };
+        match msg.tag {
+            TAG_UP => {
+                self.value += inner.as_f64();
+                self.got_up += 1;
+                self.maybe_send_up(ctx);
+            }
+            TAG_DOWN => {
+                self.value = inner.as_f64();
+                self.distribute(ctx);
+            }
+            other => unreachable!("unknown tag {other}"),
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        self.ep.on_timer(tag, ctx);
+    }
+}
+
+/// All-reduce that tolerates the fault plan: the *survivors'* values are
+/// combined up a binomial tree over survivor ranks and broadcast back
+/// down the survivors' optimal tree, with every edge reliable (ack /
+/// timeout / retransmit). `values` is indexed by physical processor;
+/// crashed processors' entries do not contribute. Errors when everyone
+/// crashes.
+pub fn run_reliable_allreduce(
+    m: &LogP,
+    values: &[f64],
+    plan: &FaultPlan,
+    retry: RetryConfig,
+    config: SimConfig,
+) -> Result<AllReduceRun, ResilientError> {
+    let p = m.p;
+    assert_eq!(values.len(), p as usize);
+    let map = SurvivorMap::new(p, plan)?;
+    let down = survivor_tree_children(m, &map);
+    let out: SharedCell<AllReduceOutcome> = SharedCell::new();
+    let mut sim = Sim::new(*m, config.with_faults(plan.clone()));
+    for r in 0..map.k() {
+        let q = map.id_of(r);
+        let (expect_up, up_parent) = survivor_binomial_role(&map, r);
+        sim.set_process(
+            q,
+            Box::new(ReliableAllReduce {
+                ep: Endpoint::new(retry.clone()),
+                value: values[q as usize],
+                expect_up,
+                got_up: 0,
+                up_parent,
+                down_children: down[q as usize].clone(),
+                out: out.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("reliable all-reduce terminates");
+    let oc = out.get();
+    assert_eq!(
+        oc.finals.len(),
+        map.k() as usize,
+        "every survivor must finish"
+    );
+    let expect: f64 = map.survivors().iter().map(|&q| values[q as usize]).sum();
+    let tol = 1e-12 * expect.abs().max(1.0);
+    for (q, v, _) in &oc.finals {
+        assert!(map.is_survivor(*q));
+        assert!(
+            (*v - expect).abs() <= tol,
+            "survivor {q} holds a wrong total: {v} vs {expect}"
+        );
+    }
+    // Logical completion: the last survivor's final value, not the tail
+    // of stale retransmission timers in `stats.completion`.
+    let done = oc.finals.iter().map(|f| f.2).max().unwrap_or(0);
+    Ok(AllReduceRun {
+        value: expect,
+        completion: done,
+        messages: result.stats.total_msgs,
+    })
+}
+
 fn finish(
     out: SharedCell<AllReduceOutcome>,
     completion: Cycles,
@@ -317,6 +447,23 @@ mod tests {
             assert_eq!(a.value, 36.0, "seed {seed}");
             assert_eq!(b.value, 36.0, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn reliable_allreduce_survives_drops_and_crashes() {
+        let m = LogP::new(6, 2, 4, 16).unwrap();
+        let v = vals(16);
+        let retry = RetryConfig::for_model(&m);
+        let plan = FaultPlan::new(0xA11).with_drop_ppm(50_000);
+        let a = run_reliable_allreduce(&m, &v, &plan, retry.clone(), SimConfig::default()).unwrap();
+        assert_eq!(a.value, 136.0);
+        // Crash two (values 3 and 9 drop out of the sum).
+        let plan = FaultPlan::new(0xA11)
+            .with_drop_ppm(50_000)
+            .with_crash(2, 0)
+            .with_crash(8, 0);
+        let b = run_reliable_allreduce(&m, &v, &plan, retry, SimConfig::default()).unwrap();
+        assert_eq!(b.value, 136.0 - 3.0 - 9.0);
     }
 
     #[test]

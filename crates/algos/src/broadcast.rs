@@ -5,9 +5,11 @@
 //! simulated completion can be checked against (and visualized beside)
 //! the closed-form prediction.
 
+use crate::resilient::{survivor_tree_children, ResilientError, SurvivorMap};
 use logp_core::broadcast::{optimal_broadcast_tree, shape_children, TreeShape};
 use logp_core::{Cycles, LogP, ProcId};
-use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig, SimResult};
+use logp_sim::reliable::{Endpoint, RetryConfig};
+use logp_sim::{Ctx, Data, FaultPlan, Message, Process, SharedCell, Sim, SimConfig, SimResult};
 
 /// Tag used by broadcast messages.
 pub const TAG_BCAST: u32 = 0x42;
@@ -106,6 +108,172 @@ pub fn run_shape_broadcast(m: &LogP, shape: TreeShape, config: SimConfig) -> Bro
     run_tree_broadcast(m, &shape_children(shape, m.p), config)
 }
 
+// ---------------------------------------------------------------------
+// Fault-tolerant variants (see `crate::resilient` and
+// `docs/FAILURE_MODEL.md`).
+// ---------------------------------------------------------------------
+
+/// Outcome of a broadcast degraded to a fault plan's survivors.
+#[derive(Debug, Clone)]
+pub struct ResilientBcastRun {
+    /// Simulated time at which the last *survivor* held the datum.
+    pub completion: Cycles,
+    /// Per-survivor (id, time-held) pairs in arrival order.
+    pub arrivals: Vec<(ProcId, Cycles)>,
+    /// Retransmissions performed across all endpoints (`0` for the
+    /// unreliable survivor broadcast).
+    pub retries: u64,
+    /// Wire messages delivered, acks included.
+    pub messages: u64,
+    /// Full result of the run (trace/log/metrics as `config` enabled).
+    pub result: SimResult,
+}
+
+/// Broadcast over the plan's survivors only, with plain (unreliable)
+/// sends: the optimal single-item tree is rebuilt on the `k`-survivor
+/// machine and re-rooted at the lowest-numbered survivor.
+///
+/// With a crash-only plan (no message faults) the completion equals
+/// `optimal_broadcast_time` of the `k`-processor machine — the
+/// degradation oracle `fault_sweep`'s companion bench `degradation`
+/// checks against.
+pub fn run_survivor_broadcast(
+    m: &LogP,
+    plan: &FaultPlan,
+    config: SimConfig,
+) -> Result<ResilientBcastRun, ResilientError> {
+    let map = SurvivorMap::new(m.p, plan)?;
+    let children = survivor_tree_children(m, &map);
+    let root = map.root();
+    let cell: SharedCell<Vec<(ProcId, Cycles)>> = SharedCell::new();
+    let mut sim = Sim::new(*m, config.with_faults(plan.clone()));
+    for &q in map.survivors() {
+        sim.set_process(
+            q,
+            Box::new(BroadcastProc {
+                children: children[q as usize].clone(),
+                is_root: q == root,
+                datum: if q == root { Some(0xBEEF) } else { None },
+                received_at: cell.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("survivor broadcast terminates");
+    Ok(finish_resilient(&map, cell, 0, result))
+}
+
+/// The per-survivor reliable broadcast program: deliveries come through
+/// an [`Endpoint`], which acks them and retransmits unacked forwards.
+struct ReliableBcastProc {
+    ep: Endpoint,
+    children: Vec<ProcId>,
+    is_root: bool,
+    datum: Option<u64>,
+    received_at: SharedCell<Vec<(ProcId, Cycles)>>,
+    retries: SharedCell<u64>,
+}
+
+impl ReliableBcastProc {
+    fn fan_out(&mut self, ctx: &mut Ctx<'_>) {
+        let v = self.datum.expect("fan-out requires the datum");
+        for &c in &self.children {
+            self.ep.send(ctx, c, TAG_BCAST, Data::U64(v));
+        }
+    }
+}
+
+impl Process for ReliableBcastProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_root {
+            let me = ctx.me();
+            self.received_at.with(|v| v.push((me, 0)));
+            self.fan_out(ctx);
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let Some(inner) = self.ep.on_message(msg, ctx) else {
+            return; // ack or duplicate
+        };
+        assert_eq!(msg.tag, TAG_BCAST);
+        assert!(self.datum.is_none(), "duplicates are suppressed upstream");
+        self.datum = Some(inner.as_u64());
+        let (me, now) = (ctx.me(), ctx.now());
+        self.received_at.with(|v| v.push((me, now)));
+        self.fan_out(ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        let before = self.ep.stats.retries;
+        self.ep.on_timer(tag, ctx);
+        let delta = self.ep.stats.retries - before;
+        if delta > 0 {
+            self.retries.with(|r| *r += delta);
+        }
+    }
+}
+
+/// Broadcast that completes correctly under message loss: the survivor
+/// tree of [`run_survivor_broadcast`] with every edge carried by a
+/// reliable [`Endpoint`] (ack / timeout / retransmit, at-most-once
+/// delivery). Crashed processors — including a crashed physical root —
+/// are excluded up front.
+pub fn run_reliable_broadcast(
+    m: &LogP,
+    plan: &FaultPlan,
+    retry: RetryConfig,
+    config: SimConfig,
+) -> Result<ResilientBcastRun, ResilientError> {
+    let map = SurvivorMap::new(m.p, plan)?;
+    let children = survivor_tree_children(m, &map);
+    let root = map.root();
+    let cell: SharedCell<Vec<(ProcId, Cycles)>> = SharedCell::new();
+    let retries: SharedCell<u64> = SharedCell::new();
+    let mut sim = Sim::new(*m, config.with_faults(plan.clone()));
+    for &q in map.survivors() {
+        sim.set_process(
+            q,
+            Box::new(ReliableBcastProc {
+                ep: Endpoint::new(retry.clone()),
+                children: children[q as usize].clone(),
+                is_root: q == root,
+                datum: if q == root { Some(0xBEEF) } else { None },
+                received_at: cell.clone(),
+                retries: retries.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("reliable broadcast terminates");
+    Ok(finish_resilient(&map, cell, retries.get(), result))
+}
+
+fn finish_resilient(
+    map: &SurvivorMap,
+    cell: SharedCell<Vec<(ProcId, Cycles)>>,
+    retries: u64,
+    result: SimResult,
+) -> ResilientBcastRun {
+    let arrivals = cell.get();
+    assert_eq!(
+        arrivals.len(),
+        map.k() as usize,
+        "every survivor must receive the datum exactly once"
+    );
+    for (q, _) in &arrivals {
+        assert!(map.is_survivor(*q));
+    }
+    // Logical completion: the last survivor's delivery. `stats.completion`
+    // would also count trailing stale retransmission timers.
+    let completion = arrivals.iter().map(|a| a.1).max().unwrap_or(0);
+    ResilientBcastRun {
+        completion,
+        arrivals,
+        retries,
+        messages: result.stats.total_msgs,
+        result,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +324,59 @@ mod tests {
         for (p, t) in &run.arrivals {
             assert_eq!(*t, analytic[*p as usize], "processor {p}");
         }
+    }
+
+    #[test]
+    fn survivor_broadcast_matches_submachine_oracle() {
+        // Crash two of 16: completion equals the optimal broadcast time
+        // of the induced 14-processor machine — graceful degradation.
+        let m = LogP::new(6, 2, 4, 16).unwrap();
+        let plan = FaultPlan::new(1).with_crash(3, 0).with_crash(11, 0);
+        let run = run_survivor_broadcast(&m, &plan, SimConfig::default()).unwrap();
+        assert_eq!(run.arrivals.len(), 14);
+        assert_eq!(run.completion, optimal_broadcast_time(&m.with_p(14)));
+        assert_eq!(run.retries, 0);
+    }
+
+    #[test]
+    fn crashed_root_re_roots_and_all_crashed_errors() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        let plan = FaultPlan::new(1).with_crash(0, 0);
+        let run = run_survivor_broadcast(&m, &plan, SimConfig::default()).unwrap();
+        // Survivor 1 becomes the root (holds the datum at time 0).
+        assert!(run.arrivals.contains(&(1, 0)));
+        assert_eq!(run.arrivals.len(), 7);
+        let mut all = FaultPlan::new(2);
+        for q in 0..8 {
+            all = all.with_crash(q, 0);
+        }
+        assert_eq!(
+            run_survivor_broadcast(&m, &all, SimConfig::default()).unwrap_err(),
+            crate::resilient::ResilientError::AllCrashed
+        );
+    }
+
+    #[test]
+    fn reliable_broadcast_survives_drops() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        // 5% drops: still covers everyone; retransmissions do the work.
+        let plan = FaultPlan::new(0xD0_5E).with_drop_ppm(50_000);
+        let run = run_reliable_broadcast(
+            &m,
+            &plan,
+            RetryConfig::for_tree(&m, 4),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.arrivals.len(), 8);
+        let lossless = run_reliable_broadcast(
+            &m,
+            &FaultPlan::new(0xD0_5E),
+            RetryConfig::for_tree(&m, 4),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert!(run.completion >= lossless.completion);
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //!   bandwidth-optimal strategy for large `k` (every processor moves
 //!   ~`2k` items instead of `k·fanout`).
 
+use crate::resilient::{survivor_tree_children, ResilientError, SurvivorMap};
 use logp_core::broadcast::{optimal_broadcast_tree, shape_children, TreeShape};
 use logp_core::{Cycles, LogP, ProcId};
-use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig, SimResult};
+use logp_sim::reliable::{Endpoint, RetryConfig};
+use logp_sim::{Ctx, Data, FaultPlan, Message, Process, SharedCell, Sim, SimConfig, SimResult};
 use std::collections::HashMap;
 
 const TAG_ITEM: u32 = 0x100; // Pair(index, value)
@@ -154,6 +156,129 @@ pub fn run_kbcast_optimal_tree(m: &LogP, items: &[u64], config: SimConfig) -> KB
 /// Stream `items` down the binomial tree.
 pub fn run_kbcast_binomial(m: &LogP, items: &[u64], config: SimConfig) -> KBcastRun {
     run_tree_pipeline(m, shape_children(TreeShape::Binomial, m.p), items, config)
+}
+
+// ---------------------------------------------------------------------
+// Fault-tolerant pipelined tree: survivors only, reliable edges.
+// ---------------------------------------------------------------------
+
+struct ReliablePipeProc {
+    ep: Endpoint,
+    children: Vec<ProcId>,
+    items: Vec<Option<u64>>,
+    received: usize,
+    is_root: bool,
+    out: SharedCell<KBcastOutcome>,
+    done: bool,
+}
+
+impl ReliablePipeProc {
+    fn forward(&mut self, idx: u64, v: u64, ctx: &mut Ctx<'_>) {
+        for &c in &self.children {
+            self.ep.send(ctx, c, TAG_ITEM, Data::Pair(idx, v));
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.done && self.received == self.items.len() {
+            self.done = true;
+            let me = ctx.me();
+            let now = ctx.now();
+            let items = self
+                .items
+                .iter()
+                .map(|i| i.expect("all received"))
+                .collect();
+            self.out.with(|o| o.finals.push((me, items, now)));
+        }
+    }
+}
+
+impl Process for ReliablePipeProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_root {
+            let items: Vec<u64> = self
+                .items
+                .iter()
+                .map(|i| i.expect("root holds all"))
+                .collect();
+            self.received = items.len();
+            for (idx, v) in items.into_iter().enumerate() {
+                self.forward(idx as u64, v, ctx);
+            }
+            self.maybe_finish(ctx);
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let Some(inner) = self.ep.on_message(msg, ctx) else {
+            return; // ack or suppressed duplicate
+        };
+        let (idx, v) = inner.as_pair();
+        debug_assert!(self.items[idx as usize].is_none());
+        self.items[idx as usize] = Some(v);
+        self.received += 1;
+        self.forward(idx, v, ctx);
+        self.maybe_finish(ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        self.ep.on_timer(tag, ctx);
+    }
+}
+
+/// Pipelined k-item broadcast that tolerates the fault plan: `items`
+/// stream down the optimal single-item tree rebuilt over the survivors
+/// (re-rooted if processor 0 crashes), every edge reliable. Errors when
+/// everyone crashes.
+pub fn run_reliable_kbroadcast(
+    m: &LogP,
+    items: &[u64],
+    plan: &FaultPlan,
+    retry: RetryConfig,
+    config: SimConfig,
+) -> Result<KBcastRun, ResilientError> {
+    let map = SurvivorMap::new(m.p, plan)?;
+    let children = survivor_tree_children(m, &map);
+    let root = map.root();
+    let out: SharedCell<KBcastOutcome> = SharedCell::new();
+    let mut sim = Sim::new(*m, config.with_faults(plan.clone()));
+    for &q in map.survivors() {
+        let holdings: Vec<Option<u64>> = if q == root {
+            items.iter().map(|&v| Some(v)).collect()
+        } else {
+            vec![None; items.len()]
+        };
+        sim.set_process(
+            q,
+            Box::new(ReliablePipeProc {
+                ep: Endpoint::new(retry.clone()),
+                children: children[q as usize].clone(),
+                items: holdings,
+                received: 0,
+                is_root: q == root,
+                out: out.clone(),
+                done: false,
+            }),
+        );
+    }
+    let r = sim.run().expect("reliable pipelined broadcast terminates");
+    let oc = out.get();
+    assert_eq!(
+        oc.finals.len(),
+        map.k() as usize,
+        "every survivor must finish"
+    );
+    for (q, got, _) in &oc.finals {
+        assert_eq!(got, &items.to_vec(), "survivor {q} received a wrong vector");
+    }
+    Ok(KBcastRun {
+        // Logical completion: the last survivor's full vector, not the
+        // tail of stale retransmission timers in `stats.completion`.
+        completion: oc.finals.iter().map(|f| f.2).max().unwrap_or(0),
+        messages: r.stats.total_msgs,
+        result: r,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -408,6 +533,16 @@ mod tests {
             tree.completion,
             sg.completion
         );
+    }
+
+    #[test]
+    fn reliable_kbroadcast_survives_drops_and_crashes() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        let v = items(12);
+        let retry = RetryConfig::for_tree(&m, 4);
+        let plan = FaultPlan::new(0x6B).with_drop_ppm(50_000).with_crash(0, 0);
+        let run = run_reliable_kbroadcast(&m, &v, &plan, retry, SimConfig::default()).unwrap();
+        assert!(run.completion > 0);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! | [`stencil`] | §6.4 | 1D Jacobi halo exchange; surface-to-volume economics |
 //! | [`stencil2d`] | §6.4 | 5-point Jacobi on a √P×√P grid; 4b surface vs b² volume |
 //! | [`matmul`] | §6.6 | SUMMA on a √P×√P grid; 1D-vs-2D layout costs |
+//! | [`resilient`] | — | survivor remapping for fault-tolerant collectives |
 
 pub mod allreduce;
 pub mod am;
@@ -44,6 +45,7 @@ pub mod multithread;
 pub mod radix;
 pub mod reduce;
 pub mod remap;
+pub mod resilient;
 pub mod scan;
 pub mod sort;
 pub mod stencil;

@@ -14,9 +14,11 @@
 //! A binomial-tree reduction with evenly distributed inputs serves as the
 //! baseline the optimal schedule is compared against.
 
+use crate::resilient::{survivor_binomial_role, ResilientError, SurvivorMap};
 use logp_core::summation::{optimal_sum_schedule, SumSchedule};
 use logp_core::{Cycles, LogP, ProcId};
-use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig, SimResult};
+use logp_sim::reliable::{Endpoint, RetryConfig};
+use logp_sim::{Ctx, Data, FaultPlan, Message, Process, SharedCell, Sim, SimConfig, SimResult};
 
 /// Tag for partial-sum messages.
 pub const TAG_PARTIAL: u32 = 0x50;
@@ -250,6 +252,102 @@ pub fn run_binomial_sum(m: &LogP, n: u64, config: SimConfig) -> SumRun {
     }
 }
 
+/// The per-survivor reliable summation node: partial sums travel through
+/// an [`Endpoint`], so the total is correct even when the fault plan
+/// drops or duplicates messages.
+struct ReliableSumProc {
+    ep: Endpoint,
+    partial: f64,
+    expect: u32,
+    got: u32,
+    parent: Option<ProcId>,
+    out: SharedCell<SumOutcome>,
+}
+
+impl ReliableSumProc {
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_>) {
+        if self.got != self.expect {
+            return;
+        }
+        if let Some(parent) = self.parent {
+            self.ep
+                .send(ctx, parent, TAG_PARTIAL, Data::F64(self.partial));
+        } else {
+            let outcome = SumOutcome {
+                total: self.partial,
+                root_done_at: ctx.now(),
+            };
+            self.out.with(|o| *o = outcome.clone());
+        }
+    }
+}
+
+impl Process for ReliableSumProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.maybe_finish(ctx); // leaves ship immediately
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let Some(inner) = self.ep.on_message(msg, ctx) else {
+            return; // ack or suppressed duplicate
+        };
+        assert_eq!(msg.tag, TAG_PARTIAL);
+        self.partial += inner.as_f64();
+        self.got += 1;
+        self.maybe_finish(ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        self.ep.on_timer(tag, ctx);
+    }
+}
+
+/// Summation of `n` synthetic inputs `0, 1, 2, …` that tolerates the
+/// fault plan: inputs are distributed round-robin over the *survivors*,
+/// combined up a binomial tree rebuilt on survivor ranks (re-rooted if
+/// processor 0 crashes), with every partial sum carried reliably
+/// (ack / timeout / retransmit, duplicates suppressed). Errors when the
+/// plan crashes every processor.
+pub fn run_reliable_sum(
+    m: &LogP,
+    n: u64,
+    plan: &FaultPlan,
+    retry: RetryConfig,
+    config: SimConfig,
+) -> Result<SumRun, ResilientError> {
+    let map = SurvivorMap::new(m.p, plan)?;
+    let k = map.k();
+    let out: SharedCell<SumOutcome> = SharedCell::new();
+    let mut sim = Sim::new(*m, config.with_faults(plan.clone()));
+    for r in 0..k {
+        // Survivor rank r owns inputs {r, r + k, r + 2k, …} ∩ [0, n).
+        let local: f64 = (r as u64..n).step_by(k as usize).map(|v| v as f64).sum();
+        let (expect, parent) = survivor_binomial_role(&map, r);
+        sim.set_process(
+            map.id_of(r),
+            Box::new(ReliableSumProc {
+                ep: Endpoint::new(retry.clone()),
+                partial: local,
+                expect,
+                got: 0,
+                parent,
+                out: out.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("reliable summation terminates");
+    let outcome = out.get();
+    Ok(SumRun {
+        total: outcome.total,
+        // Logical completion: the root's last combine. `stats.completion`
+        // would also count trailing stale retransmission timers.
+        completion: outcome.root_done_at,
+        procs: k,
+        inputs: n,
+        result,
+    })
+}
+
 /// In the canonical binomial combining tree (see
 /// `logp_core::broadcast::binomial_children`), processor `i` receives
 /// from its children and then sends to its parent (the root 0 sends
@@ -331,6 +429,25 @@ mod tests {
                 t
             );
         }
+    }
+
+    #[test]
+    fn reliable_sum_correct_under_drops_and_crashes() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        let retry = RetryConfig::for_model(&m);
+        // 5% drops, no crashes: full total.
+        let plan = FaultPlan::new(0x5EED).with_drop_ppm(50_000);
+        let run = run_reliable_sum(&m, 100, &plan, retry.clone(), SimConfig::default()).unwrap();
+        assert_eq!(run.total, (0..100).map(|v| v as f64).sum::<f64>());
+        assert_eq!(run.procs, 8);
+        // Crash the root: re-roots and still sums all 100 inputs (inputs
+        // live on survivors only, so nothing is lost with them).
+        let plan = FaultPlan::new(0x5EED)
+            .with_drop_ppm(50_000)
+            .with_crash(0, 0);
+        let run = run_reliable_sum(&m, 100, &plan, retry, SimConfig::default()).unwrap();
+        assert_eq!(run.total, (0..100).map(|v| v as f64).sum::<f64>());
+        assert_eq!(run.procs, 7);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Shared machinery for fault-tolerant collectives: survivor remapping.
+//!
+//! The paper's schedules assume all `P` processors participate. When a
+//! [`logp_sim::FaultPlan`] crash-stops some of them, the collectives in
+//! [`crate::broadcast`], [`crate::reduce`], [`crate::allreduce`] and
+//! [`crate::kbroadcast`] degrade gracefully instead: they rebuild their
+//! communication trees over the `k` survivors — re-rooting if the root
+//! itself crashed — and run the same optimal schedule on the induced
+//! `k`-processor machine. [`SurvivorMap`] is the rank translation that
+//! makes this mechanical: contiguous *ranks* `0..k` (which the
+//! `logp-core` tree constructions understand) on one side, the surviving
+//! physical processor ids on the other.
+
+use logp_core::broadcast::optimal_broadcast_tree;
+use logp_core::{LogP, ProcId};
+use logp_sim::FaultPlan;
+
+/// Why a resilient collective could not run at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResilientError {
+    /// Every processor is scheduled to crash — there is no survivor to
+    /// re-root on.
+    AllCrashed,
+}
+
+impl std::fmt::Display for ResilientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilientError::AllCrashed => write!(f, "all processors crash in the fault plan"),
+        }
+    }
+}
+
+impl std::error::Error for ResilientError {}
+
+/// Bijection between survivor *ranks* `0..k` and physical processor ids.
+///
+/// Rank 0 — the lowest-numbered survivor — is the root of every rebuilt
+/// tree, so a crashed physical root transparently re-roots the
+/// collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurvivorMap {
+    survivors: Vec<ProcId>,
+    rank: Vec<Option<u32>>,
+}
+
+impl SurvivorMap {
+    /// Build the map for a `p`-processor machine under `plan`. Any
+    /// processor with a scheduled crash — at whatever cycle — is
+    /// excluded; a collective must not route through a processor that
+    /// dies mid-run. Errors when nobody survives.
+    pub fn new(p: u32, plan: &FaultPlan) -> Result<Self, ResilientError> {
+        let survivors = plan.survivors(p);
+        if survivors.is_empty() {
+            return Err(ResilientError::AllCrashed);
+        }
+        let mut rank = vec![None; p as usize];
+        for (r, &id) in survivors.iter().enumerate() {
+            rank[id as usize] = Some(r as u32);
+        }
+        Ok(SurvivorMap { survivors, rank })
+    }
+
+    /// Number of survivors `k`.
+    pub fn k(&self) -> u32 {
+        self.survivors.len() as u32
+    }
+
+    /// Surviving physical ids, ascending (index = rank).
+    pub fn survivors(&self) -> &[ProcId] {
+        &self.survivors
+    }
+
+    /// The root every rebuilt tree hangs from: the rank-0 survivor.
+    pub fn root(&self) -> ProcId {
+        self.survivors[0]
+    }
+
+    /// Rank of physical processor `id`, or `None` if it crashes.
+    pub fn rank_of(&self, id: ProcId) -> Option<u32> {
+        self.rank[id as usize]
+    }
+
+    /// Physical id of rank `r`.
+    pub fn id_of(&self, r: u32) -> ProcId {
+        self.survivors[r as usize]
+    }
+
+    /// Whether `id` survives the plan.
+    pub fn is_survivor(&self, id: ProcId) -> bool {
+        self.rank[id as usize].is_some()
+    }
+
+    /// The machine the survivors form: `m` with `P` replaced by `k`.
+    pub fn sub_model(&self, m: &LogP) -> LogP {
+        m.with_p(self.k())
+    }
+}
+
+/// Child lists (indexed by *physical* id, full length `m.p`) of the
+/// optimal single-item broadcast tree over the survivors. Crashed
+/// processors get empty lists and receive nothing.
+pub fn survivor_tree_children(m: &LogP, map: &SurvivorMap) -> Vec<Vec<ProcId>> {
+    let tree = optimal_broadcast_tree(&map.sub_model(m));
+    let by_rank = tree.children();
+    let mut out = vec![Vec::new(); m.p as usize];
+    for (r, kids) in by_rank.iter().enumerate() {
+        out[map.id_of(r as u32) as usize] = kids.iter().map(|&c| map.id_of(c)).collect();
+    }
+    out
+}
+
+/// Binomial-tree role of the survivor with rank `r`: how many children
+/// send to it, and the physical id of its parent (`None` at the root).
+/// Used by the resilient reductions.
+pub fn survivor_binomial_role(map: &SurvivorMap, r: u32) -> (u32, Option<ProcId>) {
+    use logp_core::broadcast::{binomial_children, binomial_parent};
+    let expect = binomial_children(r, map.k()).len() as u32;
+    let parent = if r == 0 {
+        None
+    } else {
+        Some(map.id_of(binomial_parent(r)))
+    };
+    (expect, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_a_bijection_over_survivors() {
+        let plan = FaultPlan::new(1).with_crash(0, 0).with_crash(5, 10);
+        let map = SurvivorMap::new(8, &plan).unwrap();
+        assert_eq!(map.k(), 6);
+        assert_eq!(map.survivors(), &[1, 2, 3, 4, 6, 7]);
+        assert_eq!(map.root(), 1, "crashed root 0 re-roots to survivor 1");
+        assert_eq!(map.rank_of(0), None);
+        assert_eq!(map.rank_of(6), Some(4));
+        assert_eq!(map.id_of(4), 6);
+        assert!(!map.is_survivor(5));
+        for r in 0..map.k() {
+            assert_eq!(map.rank_of(map.id_of(r)), Some(r));
+        }
+    }
+
+    #[test]
+    fn all_crashed_is_an_error() {
+        let plan = FaultPlan::new(1).with_crash(0, 0).with_crash(1, 0);
+        assert_eq!(SurvivorMap::new(2, &plan), Err(ResilientError::AllCrashed));
+        assert_eq!(
+            ResilientError::AllCrashed.to_string(),
+            "all processors crash in the fault plan"
+        );
+    }
+
+    #[test]
+    fn survivor_tree_covers_exactly_the_survivors() {
+        let m = LogP::new(6, 2, 4, 8).unwrap();
+        let plan = FaultPlan::new(2).with_crash(0, 0).with_crash(3, 0);
+        let map = SurvivorMap::new(m.p, &plan).unwrap();
+        let children = survivor_tree_children(&m, &map);
+        assert!(children[0].is_empty() && children[3].is_empty());
+        let mut reached = vec![false; m.p as usize];
+        reached[map.root() as usize] = true;
+        let mut frontier = vec![map.root()];
+        while let Some(q) = frontier.pop() {
+            for &c in &children[q as usize] {
+                assert!(map.is_survivor(c), "tree must not route through a crash");
+                assert!(!reached[c as usize], "each survivor reached once");
+                reached[c as usize] = true;
+                frontier.push(c);
+            }
+        }
+        for q in 0..m.p {
+            assert_eq!(reached[q as usize], map.is_survivor(q));
+        }
+    }
+
+    #[test]
+    fn binomial_roles_form_a_tree_over_ranks() {
+        let plan = FaultPlan::new(3).with_crash(2, 0);
+        let map = SurvivorMap::new(8, &plan).unwrap();
+        let mut recv = vec![0u32; map.k() as usize];
+        for r in 1..map.k() {
+            let (_, parent) = survivor_binomial_role(&map, r);
+            let pid = parent.expect("non-root has a parent");
+            recv[map.rank_of(pid).unwrap() as usize] += 1;
+        }
+        for r in 0..map.k() {
+            let (expect, _) = survivor_binomial_role(&map, r);
+            assert_eq!(expect, recv[r as usize], "rank {r}");
+        }
+    }
+}

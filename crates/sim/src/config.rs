@@ -1,5 +1,6 @@
 //! Simulator configuration: the fidelity knobs beyond the LogP quadruple.
 
+use crate::faults::FaultPlan;
 use logp_core::Cycles;
 
 /// Configuration for a simulation run.
@@ -66,6 +67,12 @@ pub struct SimConfig {
     /// Hard cap on simulated events, to turn runaway programs into errors
     /// instead of hangs.
     pub max_events: u64,
+    /// Deterministic fault-injection plan (message drop/duplicate/delay
+    /// and crash-stop schedules; see [`FaultPlan`] and
+    /// `docs/FAILURE_MODEL.md`). `None` — the default — monomorphizes
+    /// every fault branch out of the engine's hot path, and a plan with
+    /// all rates zero and no crashes is cycle-identical to `None`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -84,6 +91,7 @@ impl Default for SimConfig {
             metrics_grid: 0,
             seed: 0x1092_7735_AC01,
             max_events: 2_000_000_000,
+            faults: None,
         }
     }
 }
@@ -163,6 +171,12 @@ impl SimConfig {
     /// Enable LogGP long messages with bulk gap `big_g`.
     pub fn with_big_g(mut self, big_g: Cycles) -> Self {
         self.loggp_big_g = Some(big_g);
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }

@@ -50,6 +50,11 @@ pub enum StepKind {
     /// Idle time not explained by the gap gate (e.g. a handler waiting
     /// for its processor to finish unrelated work).
     Wait,
+    /// Time spent waiting on a retransmission timer — the protocol cost
+    /// a reliable-delivery layer pays when a fault plan drops messages
+    /// (the window between arming a [`crate::obs::TimerRecord`]'s timer
+    /// and its fire, minus any busy activity inside it).
+    Retry,
 }
 
 impl StepKind {
@@ -63,6 +68,7 @@ impl StepKind {
             StepKind::Stall => "stall",
             StepKind::Barrier => "barrier",
             StepKind::Wait => "wait",
+            StepKind::Retry => "retry",
         }
     }
 
@@ -103,12 +109,13 @@ pub struct Components {
     pub stall: Cycles,
     pub barrier: Cycles,
     pub wait: Cycles,
+    pub retry: Cycles,
 }
 
 impl Components {
     /// Sum of all classes — always equals [`CritPath::total`].
     pub fn sum(&self) -> Cycles {
-        self.o + self.g + self.l + self.compute + self.stall + self.barrier + self.wait
+        self.o + self.g + self.l + self.compute + self.stall + self.barrier + self.wait + self.retry
     }
 
     fn add(&mut self, kind: StepKind, cycles: Cycles) {
@@ -120,6 +127,7 @@ impl Components {
             StepKind::Stall => self.stall += cycles,
             StepKind::Barrier => self.barrier += cycles,
             StepKind::Wait => self.wait += cycles,
+            StepKind::Retry => self.retry += cycles,
         }
     }
 }
@@ -153,6 +161,7 @@ impl CritPath {
             ("stall", c.stall),
             ("barrier", c.barrier),
             ("wait", c.wait),
+            ("retry", c.retry),
         ] {
             if v > 0 {
                 let pct = 100.0 * v as f64 / self.total.max(1) as f64;
@@ -180,6 +189,7 @@ enum Node {
     Msg(usize),
     Comp(usize),
     Bar(usize),
+    Timer(usize),
 }
 
 /// Classify the wait window `[from, to)` on `proc`: busy spans keep their
@@ -370,6 +380,26 @@ pub fn critical_path(res: &SimResult) -> Option<CritPath> {
                 }
                 b.cause
             }
+            Node::Timer(i) => {
+                let t = &log.timers[i];
+                attribute_window(
+                    &spans[t.proc as usize],
+                    t.proc,
+                    t.submit,
+                    t.fire,
+                    t.submit,
+                    &mut seg,
+                );
+                // Idle cycles inside the timer window are protocol cost
+                // (waiting out a retransmission timeout), not g or
+                // unexplained wait.
+                for st in &mut seg {
+                    if matches!(st.kind, StepKind::Wait | StepKind::G) {
+                        st.kind = StepKind::Retry;
+                    }
+                }
+                t.cause
+            }
         };
         rev_nodes.push(seg);
         node = match cause {
@@ -377,6 +407,7 @@ pub fn critical_path(res: &SimResult) -> Option<CritPath> {
             Cause::Msg(id) => Node::Msg(id as usize),
             Cause::Compute(id) => Node::Comp(id as usize),
             Cause::Barrier(id) => Node::Bar(id as usize),
+            Cause::Retry(id) => Node::Timer(id as usize),
         };
     }
 

@@ -24,9 +24,10 @@
 //! by (class, sequence number).
 
 use crate::config::SimConfig;
-use crate::message::Message;
+use crate::faults::FaultState;
+use crate::message::{Data, Message};
 use crate::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, PPK_SCALE};
-use crate::obs::{BarrierRecord, Cause, ComputeRecord, MsgRecord, ObsLog, UNSET};
+use crate::obs::{BarrierRecord, Cause, ComputeRecord, MsgRecord, ObsLog, TimerRecord, UNSET};
 use crate::process::{Command, Ctx, Process};
 use crate::trace::{Activity, ProcStats, SimStats, Span, Trace};
 use logp_core::{Cycles, LogP, ProcId};
@@ -96,6 +97,10 @@ enum EventKind {
     RecvDone(ProcId),
     /// All processors entered the barrier; release them.
     BarrierRelease,
+    /// A program timer elapsed; run `on_timer` with the token.
+    TimerFire(ProcId, u64),
+    /// A scheduled crash-stop failure from the fault plan.
+    Crash(ProcId),
     /// Re-examine a processor that deferred progress to this time.
     Wake(ProcId),
 }
@@ -109,10 +114,15 @@ impl EventKind {
     /// completions, then wakes.
     fn class(&self) -> u8 {
         match self {
-            EventKind::Release { .. } | EventKind::Arrive(_) => 0,
+            // Crashes share the arrivals class but are scheduled up front,
+            // so their lower sequence numbers order them before any
+            // same-cycle arrival: a message reaching a processor at its
+            // crash cycle is already lost.
+            EventKind::Release { .. } | EventKind::Arrive(_) | EventKind::Crash(_) => 0,
             EventKind::SendDone(_)
             | EventKind::ComputeDone(..)
             | EventKind::RecvDone(_)
+            | EventKind::TimerFire(..)
             | EventKind::BarrierRelease => 1,
             EventKind::Wake(_) => 2,
         }
@@ -131,6 +141,10 @@ fn event_key(time: Cycles, class: u8, seq: u64) -> u128 {
 
 fn key_time(key: u128) -> Cycles {
     (key >> 64) as Cycles
+}
+
+fn key_seq(key: u128) -> u64 {
+    (key & ((1 << 56) - 1)) as u64
 }
 
 /// A 4-ary min-heap specialized for the event queue.
@@ -346,6 +360,9 @@ struct ObsState {
     /// Payloads of messages sitting in inboxes, keyed by
     /// [`InboxItem::key`] so `InboxItem` itself stays lean.
     inbox_obs: std::collections::HashMap<u128, u64>,
+    /// [`TimerRecord`] ids of armed timers, keyed by the `TimerFire`
+    /// event's sequence number (lifecycle log only).
+    timer_obs: std::collections::HashMap<u64, u64>,
     /// `(proc, submit, enter, cause)` of the last barrier entrant, for
     /// the [`BarrierRecord`] written at release.
     barrier_last: (ProcId, Cycles, Cycles, Cause),
@@ -390,6 +407,7 @@ impl ObsState {
             cur_compute: vec![0; p],
             msg_slab_obs: Vec::new(),
             inbox_obs: std::collections::HashMap::new(),
+            timer_obs: std::collections::HashMap::new(),
             barrier_last: (0, 0, 0, Cause::Start),
         }
     }
@@ -435,6 +453,9 @@ pub struct Sim {
     /// Max admissible outstanding messages per destination:
     /// capacity (network window) + NI buffer.
     max_outstanding: u64,
+    /// Fault-injection state; `None` monomorphizes every fault branch
+    /// away (`FAULTS` is `self.faults.is_some()`, fixed at [`Sim::run`]).
+    faults: Option<Box<FaultState>>,
     /// Observability state; `None` keeps every hook a single null check.
     /// Everything observability-owned (including message payload
     /// side-maps) lives behind this box so `Sim`'s own layout — and the
@@ -511,6 +532,16 @@ impl Sim {
             msg_slab: Vec::new(),
             msg_free: Vec::new(),
             max_outstanding,
+            faults: config.faults.clone().map(|plan| {
+                for &(proc, _) in &plan.crashes {
+                    assert!(
+                        proc < model.p,
+                        "fault plan crashes processor {proc} but P = {}",
+                        model.p
+                    );
+                }
+                Box::new(FaultState::new(plan, p))
+            }),
             obs: (config.record_msg_log || config.record_metrics)
                 .then(|| Box::new(ObsState::new(p, &config))),
             config,
@@ -714,6 +745,88 @@ impl Sim {
         obs.msg_slab_obs[s] = val;
     }
 
+    /// Record a message the fault layer dropped in flight: it gets a
+    /// lifecycle record like any injected message, but its arrival-side
+    /// timestamps stay [`UNSET`] forever.
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn record_lost(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        tag: u32,
+        words: u64,
+        meta: (Cause, Cycles),
+        send_gate: Cycles,
+        inject: Cycles,
+        sent: Cycles,
+    ) {
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        if obs.msg_log {
+            let id = obs.log.msgs.len() as u64;
+            obs.log.msgs.push(MsgRecord {
+                id,
+                src,
+                dst,
+                tag,
+                words,
+                cause: meta.0,
+                submit: meta.1,
+                send_gate,
+                inject,
+                sent,
+                arrive: UNSET,
+                recv_gate: UNSET,
+                recv_start: UNSET,
+                deliver: UNSET,
+            });
+        }
+        if obs.metrics_on {
+            let c = obs.c_injected;
+            obs.metrics.inc(c, 1);
+        }
+    }
+
+    /// Record an armed timer's lifecycle, keyed by the `TimerFire`
+    /// event's sequence number so the fire can recover the record id.
+    #[cold]
+    #[inline(never)]
+    fn record_timer(&mut self, p: ProcId, tag: u64, meta: (Cause, Cycles), fire: Cycles) {
+        let seq = self.seq;
+        let now = self.now;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if obs.msg_log {
+                let id = obs.log.timers.len() as u64;
+                obs.log.timers.push(TimerRecord {
+                    id,
+                    proc: p,
+                    tag,
+                    cause: meta.0,
+                    submit: meta.1,
+                    armed: now,
+                    fire,
+                });
+                obs.timer_obs.insert(seq, id);
+            }
+        }
+    }
+
+    /// Resolve a firing timer's causal identity from its event key.
+    #[cold]
+    #[inline(never)]
+    fn timer_cause(&mut self, key: u128) -> Cause {
+        match self.obs.as_deref_mut() {
+            Some(o) if o.msg_log => match o.timer_obs.remove(&key_seq(key)) {
+                Some(id) => Cause::Retry(id),
+                None => Cause::Start,
+            },
+            _ => Cause::Start,
+        }
+    }
+
     /// Record the end of a capacity-stall episode.
     #[cold]
     #[inline(never)]
@@ -785,6 +898,193 @@ impl Sim {
         }
     }
 
+    /// Whether `p` has crash-stopped under the fault plan. Only meaningful
+    /// on the `FAULTS` monomorphization.
+    #[inline]
+    fn is_crashed(&self, p: ProcId) -> bool {
+        self.faults
+            .as_deref()
+            .is_some_and(|f| f.crashed[p as usize])
+    }
+
+    /// Inject a committed send through the fault layer: consult the plan,
+    /// then drop the message, stretch its flight, and/or inject a trailing
+    /// duplicate. Replaces the fault-free injection tail (note_injection →
+    /// stash → Release/Arrive scheduling); `lat` was drawn by the caller
+    /// so the engine RNG stream is identical to the fault-free path.
+    #[allow(clippy::too_many_arguments)]
+    fn inject_faulty<const OBS: bool>(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        tag: u32,
+        data: Data,
+        words: u64,
+        meta: (Cause, Cycles),
+        send_gate: Cycles,
+        o: Cycles,
+        stream: Cycles,
+        lat: Cycles,
+    ) {
+        let now = self.now;
+        let idx = src as usize;
+        let p = self.model.p as usize;
+        let d = self
+            .faults
+            .as_deref_mut()
+            .expect("FAULTS implies a fault plan")
+            .decide(src, dst, &data, p);
+        if d.drop {
+            // The message occupies both network windows for its would-be
+            // flight — the sender cannot tell a dropped message from a
+            // slow one — but the destination NI never sees it: no slab
+            // slot, no Arrive, no NI-buffer occupancy.
+            self.stats.msgs_dropped += 1;
+            self.in_flight_from[idx] += 1;
+            self.in_flight_to[dst as usize] += 1;
+            self.stats.max_inflight_per_src = self
+                .stats
+                .max_inflight_per_src
+                .max(self.in_flight_from[idx]);
+            self.stats.max_inflight_per_dst = self
+                .stats
+                .max_inflight_per_dst
+                .max(self.in_flight_to[dst as usize]);
+            if OBS {
+                self.record_lost(src, dst, tag, words, meta, send_gate, now, now + o);
+            }
+            self.schedule(
+                now + stream + lat + d.delay,
+                EventKind::Release { src, dst },
+            );
+            return;
+        }
+        if d.delay > 0 {
+            self.stats.msgs_delayed += 1;
+        }
+        let copy = d.duplicate.then(|| data.clone());
+        self.note_injection(idx, dst as usize);
+        let slot = self.stash_msg(Message {
+            src,
+            dst,
+            tag,
+            data,
+        });
+        if OBS {
+            self.record_send(
+                slot,
+                src,
+                dst,
+                tag,
+                words,
+                meta,
+                send_gate,
+                now,
+                now + o,
+                now + o + stream + lat + d.delay,
+            );
+        }
+        self.schedule(
+            now + stream + lat + d.delay,
+            EventKind::Release { src, dst },
+        );
+        self.schedule(now + o + stream + lat + d.delay, EventKind::Arrive(slot));
+        if let Some(data) = copy {
+            // The duplicate is a full extra injection (own capacity
+            // window, own lifecycle record) trailing the original by at
+            // least one cycle, so duplicates also reorder.
+            self.stats.msgs_duplicated += 1;
+            let extra = d.delay + d.dup_delay;
+            self.note_injection(idx, dst as usize);
+            let slot = self.stash_msg(Message {
+                src,
+                dst,
+                tag,
+                data,
+            });
+            if OBS {
+                self.record_send(
+                    slot,
+                    src,
+                    dst,
+                    tag,
+                    words,
+                    meta,
+                    send_gate,
+                    now,
+                    now + o,
+                    now + o + stream + lat + extra,
+                );
+            }
+            self.schedule(now + stream + lat + extra, EventKind::Release { src, dst });
+            self.schedule(now + o + stream + lat + extra, EventKind::Arrive(slot));
+        }
+    }
+
+    /// Crash-stop processor `p` now: no handler of `p` runs at or after
+    /// this instant, queued work is abandoned, and the network interface
+    /// discards everything it holds (and everything that arrives later).
+    #[cold]
+    #[inline(never)]
+    fn apply_crash<const OBS: bool>(&mut self, p: ProcId) {
+        let idx = p as usize;
+        let faults = self
+            .faults
+            .as_deref_mut()
+            .expect("crash events require a fault plan");
+        if self.procs[idx].halted {
+            // Already halted (or a duplicate crash entry): just mark the
+            // interface dead so future arrivals are discarded.
+            faults.crashed[idx] = true;
+            return;
+        }
+        faults.crashed[idx] = true;
+        let now = self.now;
+        self.stats.procs_crashed += 1;
+        if let Some(since) = self.procs[idx].stall_since.take() {
+            self.procs[idx].stats.stall += now - since;
+            self.span(p, since, now, Activity::Stall);
+            if OBS {
+                self.record_stall(now - since);
+            }
+        }
+        // Abandon queued commands (causal metadata stays in lockstep).
+        self.procs[idx].cmds.clear();
+        if OBS {
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.cmd_meta[idx].clear();
+            }
+        }
+        // An in-progress reception dies with the interface; its NI slot
+        // frees (the pending RecvDone is ignored via the crash guard).
+        if self.procs[idx].receiving.take().is_some() {
+            self.outstanding_to[idx] -= 1;
+            self.stats.msgs_dropped += 1;
+        }
+        // Everything buffered in the dead interface is lost.
+        while let Some(Reverse(item)) = self.procs[idx].inbox.pop() {
+            self.outstanding_to[idx] -= 1;
+            self.stats.msgs_dropped += 1;
+            if OBS {
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.inbox_obs.remove(&item.key);
+                }
+            }
+        }
+        // A crashed processor no longer counts toward the barrier quorum.
+        if self.procs[idx].in_barrier {
+            self.procs[idx].in_barrier = false;
+            self.barrier_count -= 1;
+        }
+        self.procs[idx].halted = true;
+        self.procs[idx].waiting_on_src = false;
+        self.alive -= 1;
+        self.check_barrier();
+        // Freed NI slots may unblock stalled senders (whose future
+        // messages will simply be discarded on arrival).
+        self.wake_dst_waiters::<OBS, true>(idx);
+    }
+
     /// Run a program handler and enqueue the commands it issues; `cause`
     /// identifies the triggering event for the lifecycle log.
     fn run_handler<const OBS: bool, F>(&mut self, p: ProcId, cause: Cause, f: F)
@@ -830,9 +1130,11 @@ impl Sim {
     /// Try to make progress on processor `p` at the current time.
     ///
     /// Monomorphized over `OBS` (whether observability state exists for
-    /// this run) so the disabled hot path compiles with every hook
-    /// removed — `OBS` is `self.obs.is_some()`, fixed at [`Sim::run`].
-    fn advance<const OBS: bool>(&mut self, p: ProcId) {
+    /// this run) and `FAULTS` (whether a fault plan is installed) so the
+    /// disabled hot path compiles with every hook removed — the flags are
+    /// `self.obs.is_some()` / `self.faults.is_some()`, fixed at
+    /// [`Sim::run`].
+    fn advance<const OBS: bool, const FAULTS: bool>(&mut self, p: ProcId) {
         let now = self.now;
         let idx = p as usize;
         if self.procs[idx].engaged || self.procs[idx].halted {
@@ -922,33 +1224,41 @@ impl Sim {
                     st.stats.send_overhead += o;
                     st.stats.msgs_sent += 1;
                     self.span(p, now, now + o, Activity::SendOverhead);
-                    self.note_injection(idx, dst as usize);
-                    let lat = self.draw_latency();
-                    let slot = self.stash_msg(Message {
-                        src: p,
-                        dst,
-                        tag,
-                        data,
-                    });
-                    if OBS {
-                        self.record_send(
-                            slot,
-                            p,
+                    if FAULTS {
+                        let lat = self.draw_latency();
+                        self.inject_faulty::<OBS>(
+                            p, dst, tag, data, words, meta, send_gate, o, stream, lat,
+                        );
+                    } else {
+                        self.note_injection(idx, dst as usize);
+                        let lat = self.draw_latency();
+                        let slot = self.stash_msg(Message {
+                            src: p,
                             dst,
                             tag,
-                            words,
-                            meta,
-                            send_gate,
-                            now,
-                            now + o,
-                            now + o + stream + lat,
-                        );
+                            data,
+                        });
+                        if OBS {
+                            self.record_send(
+                                slot,
+                                p,
+                                dst,
+                                tag,
+                                words,
+                                meta,
+                                send_gate,
+                                now,
+                                now + o,
+                                now + o + stream + lat,
+                            );
+                        }
+                        // The capacity window mirrors the small-message
+                        // rule: it covers the message's network occupancy
+                        // (streaming plus flight), not the sender's
+                        // overhead.
+                        self.schedule(now + stream + lat, EventKind::Release { src: p, dst });
+                        self.schedule(now + o + stream + lat, EventKind::Arrive(slot));
                     }
-                    // The capacity window mirrors the small-message rule:
-                    // it covers the message's network occupancy (streaming
-                    // plus flight), not the sender's overhead.
-                    self.schedule(now + stream + lat, EventKind::Release { src: p, dst });
-                    self.schedule(now + o + stream + lat, EventKind::Arrive(slot));
                     self.finish_send(p);
                 }
                 Command::Send { dst, tag, .. } => {
@@ -1004,30 +1314,35 @@ impl Sim {
                     st.stats.send_overhead += o;
                     st.stats.msgs_sent += 1;
                     self.span(p, now, now + o, Activity::SendOverhead);
-                    self.note_injection(idx, dst as usize);
-                    let lat = self.draw_latency();
-                    let slot = self.stash_msg(Message {
-                        src: p,
-                        dst,
-                        tag,
-                        data,
-                    });
-                    if OBS {
-                        self.record_send(
-                            slot,
-                            p,
+                    if FAULTS {
+                        let lat = self.draw_latency();
+                        self.inject_faulty::<OBS>(p, dst, tag, data, 1, meta, send_gate, o, 0, lat);
+                    } else {
+                        self.note_injection(idx, dst as usize);
+                        let lat = self.draw_latency();
+                        let slot = self.stash_msg(Message {
+                            src: p,
                             dst,
                             tag,
-                            1,
-                            meta,
-                            send_gate,
-                            now,
-                            now + o,
-                            now + o + lat,
-                        );
+                            data,
+                        });
+                        if OBS {
+                            self.record_send(
+                                slot,
+                                p,
+                                dst,
+                                tag,
+                                1,
+                                meta,
+                                send_gate,
+                                now,
+                                now + o,
+                                now + o + lat,
+                            );
+                        }
+                        self.schedule(now + lat, EventKind::Release { src: p, dst });
+                        self.schedule(now + o + lat, EventKind::Arrive(slot));
                     }
-                    self.schedule(now + lat, EventKind::Release { src: p, dst });
-                    self.schedule(now + o + lat, EventKind::Arrive(slot));
                     self.finish_send(p);
                 }
                 Command::Compute { cycles, tag } => {
@@ -1096,6 +1411,21 @@ impl Sim {
                         }
                     }
                     self.check_barrier();
+                }
+                Command::Timer { cycles, tag } => {
+                    // Arming is free: no overhead, no gap, no busy wait.
+                    self.procs[idx].cmds.pop_front();
+                    let meta = if OBS {
+                        self.pop_meta(idx)
+                    } else {
+                        (Cause::Start, now)
+                    };
+                    self.schedule(now + cycles, EventKind::TimerFire(p, tag));
+                    if OBS {
+                        self.record_timer(p, tag, meta, now + cycles);
+                    }
+                    // Keep draining the command queue behind the timer.
+                    self.advance::<OBS, FAULTS>(p);
                 }
                 Command::Halt => {
                     self.procs[idx].cmds.pop_front();
@@ -1186,7 +1516,7 @@ impl Sim {
     /// drain their inboxes only through this path). Uses the reusable
     /// scratch buffer so the wake never allocates — `advance` may push a
     /// still-blocked sender back onto the very list being drained.
-    fn wake_dst_waiters<const OBS: bool>(&mut self, dst: usize) {
+    fn wake_dst_waiters<const OBS: bool, const FAULTS: bool>(&mut self, dst: usize) {
         if self.dst_waiters[dst].is_empty() {
             return;
         }
@@ -1194,7 +1524,7 @@ impl Sim {
         waiters.extend(self.dst_waiters[dst].drain(..));
         for &w in &waiters {
             self.procs[w as usize].waiting_on_dst = false;
-            self.advance::<OBS>(w);
+            self.advance::<OBS, FAULTS>(w);
         }
         waiters.clear();
         self.waiter_scratch = waiters;
@@ -1212,13 +1542,14 @@ impl Sim {
     /// Run to quiescence. Consumes the machine and returns statistics and
     /// (if configured) the activity trace.
     pub fn run(mut self) -> Result<SimResult, SimError> {
-        // Pick the monomorphization once: `self.obs` is installed before
-        // the run and taken only in the teardown below, so its presence
-        // is invariant across the whole event loop.
-        if self.obs.is_some() {
-            self.drive::<true>()?;
-        } else {
-            self.drive::<false>()?;
+        // Pick the monomorphization once: `self.obs` and `self.faults`
+        // are installed before the run and never change during it, so
+        // their presence is invariant across the whole event loop.
+        match (self.obs.is_some(), self.faults.is_some()) {
+            (false, false) => self.drive::<false, false>()?,
+            (false, true) => self.drive::<false, true>()?,
+            (true, false) => self.drive::<true, false>()?,
+            (true, true) => self.drive::<true, true>()?,
         }
         // Heap pops are time-ordered, so the clock is monotone and the
         // final `now` is the completion time — no per-event max needed.
@@ -1262,13 +1593,36 @@ impl Sim {
     /// monomorphizations as separate compact functions instead of one
     /// merged body inside [`Sim::run`].
     #[inline(never)]
-    fn drive<const OBS: bool>(&mut self) -> Result<(), SimError> {
+    fn drive<const OBS: bool, const FAULTS: bool>(&mut self) -> Result<(), SimError> {
+        if FAULTS {
+            // Schedule the crash plan before anything else: a cycle-0
+            // crash suppresses even `on_start`, and later crashes get the
+            // lowest sequence numbers of their cycle so they order before
+            // same-cycle arrivals.
+            let crashes = self
+                .faults
+                .as_deref()
+                .expect("FAULTS implies a fault plan")
+                .plan
+                .crashes
+                .clone();
+            for (p, t) in crashes {
+                if t == 0 {
+                    self.apply_crash::<OBS>(p);
+                } else {
+                    self.schedule(t, EventKind::Crash(p));
+                }
+            }
+        }
         // Start handlers fire at time 0 in processor-id order.
         for p in 0..self.model.p {
+            if FAULTS && self.procs[p as usize].halted {
+                continue;
+            }
             self.run_handler::<OBS, _>(p, Cause::Start, |prog, ctx| prog.on_start(ctx));
         }
         for p in 0..self.model.p {
-            self.advance::<OBS>(p);
+            self.advance::<OBS, FAULTS>(p);
         }
         while let Some((key, kind)) = self.heap.pop() {
             self.stats.events += 1;
@@ -1288,16 +1642,24 @@ impl Sim {
                     self.in_flight_to[dst as usize] -= 1;
                     // Wake capacity waiters of this destination (FIFO; each
                     // re-checks and re-queues if still blocked).
-                    self.wake_dst_waiters::<OBS>(dst as usize);
+                    self.wake_dst_waiters::<OBS, FAULTS>(dst as usize);
                     // The source may have been stalled on its own window.
                     if self.procs[src as usize].waiting_on_src {
                         self.procs[src as usize].waiting_on_src = false;
-                        self.advance::<OBS>(src);
+                        self.advance::<OBS, FAULTS>(src);
                     }
                 }
                 EventKind::Arrive(slot) => {
                     let msg = self.unstash_msg(slot);
                     let dst = msg.dst;
+                    if FAULTS && self.is_crashed(dst) {
+                        // Dead interface: the message is lost, but its
+                        // NI-buffer slot frees for blocked senders.
+                        self.stats.msgs_dropped += 1;
+                        self.outstanding_to[dst as usize] -= 1;
+                        self.wake_dst_waiters::<OBS, FAULTS>(dst as usize);
+                        continue;
+                    }
                     self.stats.total_msgs += 1;
                     self.seq += 1;
                     let key = InboxItem::key(self.now, self.seq);
@@ -1307,13 +1669,16 @@ impl Sim {
                     self.procs[dst as usize]
                         .inbox
                         .push(Reverse(InboxItem { key, msg }));
-                    self.advance::<OBS>(dst);
+                    self.advance::<OBS, FAULTS>(dst);
                 }
                 EventKind::SendDone(p) => {
                     self.procs[p as usize].engaged = false;
-                    self.advance::<OBS>(p);
+                    self.advance::<OBS, FAULTS>(p);
                 }
                 EventKind::ComputeDone(p, tag) => {
+                    if FAULTS && self.is_crashed(p) {
+                        continue;
+                    }
                     self.procs[p as usize].engaged = false;
                     let cause = if OBS {
                         match self.obs.as_deref() {
@@ -1326,9 +1691,14 @@ impl Sim {
                     self.run_handler::<OBS, _>(p, cause, |prog, ctx| {
                         prog.on_compute_done(tag, ctx)
                     });
-                    self.advance::<OBS>(p);
+                    self.advance::<OBS, FAULTS>(p);
                 }
                 EventKind::RecvDone(p) => {
+                    if FAULTS && self.is_crashed(p) {
+                        // The reception died with the processor; its NI
+                        // slot was freed by the crash cleanup.
+                        continue;
+                    }
                     let st = &mut self.procs[p as usize];
                     st.engaged = false;
                     st.stats.msgs_recvd += 1;
@@ -1353,9 +1723,9 @@ impl Sim {
                     } else {
                         Cause::Start
                     };
-                    self.wake_dst_waiters::<OBS>(p as usize);
+                    self.wake_dst_waiters::<OBS, FAULTS>(p as usize);
                     self.run_handler::<OBS, _>(p, cause, |prog, ctx| prog.on_message(&msg, ctx));
-                    self.advance::<OBS>(p);
+                    self.advance::<OBS, FAULTS>(p);
                 }
                 EventKind::BarrierRelease => {
                     self.barrier_count = 0;
@@ -1393,13 +1763,31 @@ impl Sim {
                         });
                     }
                     for &p in &released {
-                        self.advance::<OBS>(p);
+                        self.advance::<OBS, FAULTS>(p);
                     }
                     released.clear();
                     self.released_scratch = released;
                 }
+                EventKind::TimerFire(p, tag) => {
+                    // Timers die with their processor: a halted or
+                    // crashed processor never observes the fire.
+                    if self.procs[p as usize].halted {
+                        continue;
+                    }
+                    let cause = if OBS {
+                        self.timer_cause(key)
+                    } else {
+                        Cause::Start
+                    };
+                    self.run_handler::<OBS, _>(p, cause, |prog, ctx| prog.on_timer(tag, ctx));
+                    self.advance::<OBS, FAULTS>(p);
+                }
+                EventKind::Crash(p) => {
+                    debug_assert!(FAULTS, "crash events only exist under a fault plan");
+                    self.apply_crash::<OBS>(p);
+                }
                 EventKind::Wake(p) => {
-                    self.advance::<OBS>(p);
+                    self.advance::<OBS, FAULTS>(p);
                 }
             }
         }

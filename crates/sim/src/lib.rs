@@ -40,22 +40,26 @@
 pub mod config;
 pub mod critpath;
 pub mod engine;
+pub mod faults;
 pub mod message;
 pub mod metrics;
 pub mod obs;
 pub mod perfetto;
 pub mod process;
+pub mod reliable;
 pub mod runner;
 pub mod trace;
 
 pub use config::SimConfig;
 pub use critpath::{critical_path, CritPath, PathStep, StepKind};
 pub use engine::{Sim, SimError, SimResult};
+pub use faults::{FaultDecision, FaultPlan};
 pub use message::{Data, Message};
 pub use metrics::MetricsRegistry;
-pub use obs::{BarrierRecord, Cause, ComputeRecord, MsgId, MsgRecord, ObsLog};
+pub use obs::{BarrierRecord, Cause, ComputeRecord, MsgId, MsgRecord, ObsLog, TimerRecord};
 pub use perfetto::perfetto_trace_json;
 pub use process::{Ctx, Process};
+pub use reliable::{Endpoint, EndpointStats, RetryConfig};
 pub use runner::{derive_seed, run_batch, run_sweep, sweep_map, RunSpec, Threads};
 pub use trace::{Activity, ProcStats, SimStats, Span, Trace};
 

@@ -29,6 +29,17 @@ pub enum Data {
     /// serializing. Use message trains for anything the model should
     /// charge for.
     Block(Arc<Vec<u64>>),
+    /// A sequenced payload: an inner payload tagged with a per-sender
+    /// sequence number. This is the wire format of the reliable-delivery
+    /// layer (`logp_sim::reliable`); the fault layer keys its decisions on
+    /// `seq` so every retransmission of the same logical message draws the
+    /// same fault lottery ticket per attempt.
+    Seq {
+        /// Logical message identity on this channel.
+        seq: u64,
+        /// The wrapped application payload.
+        inner: Box<Data>,
+    },
 }
 
 impl Data {
@@ -40,6 +51,24 @@ impl Data {
             Data::Pair(..) | Data::IdxF64(..) => 2,
             Data::Cplx { .. } => 3,
             Data::Block(b) => b.len() as u64,
+            // One header word for the sequence number.
+            Data::Seq { inner, .. } => 1 + inner.words(),
+        }
+    }
+
+    /// The sequence number of a [`Data::Seq`] payload, `None` otherwise.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Data::Seq { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+
+    /// Unwrap a [`Data::Seq`] payload into `(seq, inner)`.
+    pub fn as_seq(&self) -> (u64, &Data) {
+        match self {
+            Data::Seq { seq, inner } => (*seq, inner),
+            other => panic!("expected Data::Seq, got {other:?}"),
         }
     }
 

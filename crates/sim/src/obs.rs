@@ -39,6 +39,11 @@ pub enum Cause {
     Compute(u64),
     /// Release of the barrier record with this id (`on_barrier_release`).
     Barrier(u64),
+    /// Firing of the timer record with this id (`on_timer`) — the
+    /// retransmission edge of the reliable-delivery layer. A send caused
+    /// by a retry carries this edge, so timeout waits are attributable on
+    /// the critical path just like `o`, `g` and `L`.
+    Retry(u64),
 }
 
 /// Full lifecycle of one message.
@@ -129,6 +134,27 @@ pub struct BarrierRecord {
     pub cause: Cause,
 }
 
+/// Lifecycle of one armed timer ([`crate::process::Ctx::timer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerRecord {
+    /// This record's id (its index in [`ObsLog::timers`]).
+    pub id: u64,
+    /// The processor that armed it.
+    pub proc: ProcId,
+    /// The program's token (for the reliable layer, the in-flight
+    /// sequence number with the timer-namespace bit set).
+    pub tag: u64,
+    /// What triggered the handler that armed this timer.
+    pub cause: Cause,
+    /// Time the timer command was issued by its handler.
+    pub submit: Cycles,
+    /// Time the command was dequeued and the countdown started.
+    pub armed: Cycles,
+    /// Scheduled fire time (`armed + cycles`). Crashed or halted
+    /// processors never observe the fire, but the schedule is recorded.
+    pub fire: Cycles,
+}
+
 /// The complete causal event log of a run. Empty unless
 /// `SimConfig::record_msg_log` was set.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -136,13 +162,17 @@ pub struct ObsLog {
     pub msgs: Vec<MsgRecord>,
     pub computes: Vec<ComputeRecord>,
     pub barriers: Vec<BarrierRecord>,
+    pub timers: Vec<TimerRecord>,
 }
 
 impl ObsLog {
     /// True when nothing was recorded (observability disabled, or the run
     /// genuinely produced no commands).
     pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty() && self.computes.is_empty() && self.barriers.is_empty()
+        self.msgs.is_empty()
+            && self.computes.is_empty()
+            && self.barriers.is_empty()
+            && self.timers.is_empty()
     }
 
     /// Messages delivered before the run ended.
@@ -165,6 +195,7 @@ impl ObsLog {
                 Cause::Msg(m) => self.msgs[m as usize].cause,
                 Cause::Compute(c) => self.computes[c as usize].cause,
                 Cause::Barrier(b) => self.barriers[b as usize].cause,
+                Cause::Retry(t) => self.timers[t as usize].cause,
             };
         }
         chain

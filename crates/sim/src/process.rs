@@ -34,6 +34,12 @@ pub enum Command {
     /// Enter the global barrier; `on_barrier_release` fires when every
     /// non-halted processor has entered.
     Barrier,
+    /// Arm a local timer: `on_timer(tag)` fires `cycles` after this
+    /// command is dequeued. Arming is free (no overhead, no gap) and does
+    /// not block later commands. There is no cancellation — a fire the
+    /// program no longer cares about is simply ignored by its handler —
+    /// and a halted or crashed processor's pending timers never fire.
+    Timer { cycles: Cycles, tag: u64 },
     /// Stop participating; a processor with no pending work and a halted
     /// program is skipped by the scheduler.
     Halt,
@@ -112,6 +118,13 @@ impl<'a> Ctx<'a> {
         self.commands.push(Command::Barrier);
     }
 
+    /// Arm a local timer firing `on_timer(tag)` after `cycles` (see
+    /// [`Command::Timer`]). The reliable-delivery layer builds its
+    /// retransmission timeouts from this.
+    pub fn timer(&mut self, cycles: Cycles, tag: u64) {
+        self.commands.push(Command::Timer { cycles, tag });
+    }
+
     /// Queue a halt.
     pub fn halt(&mut self) {
         self.commands.push(Command::Halt);
@@ -136,6 +149,12 @@ pub trait Process {
 
     /// The global barrier released.
     fn on_barrier_release(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A [`Ctx::timer`] armed by this processor elapsed. Fires are
+    /// best-effort notifications: a timer armed before a halt or crash
+    /// never fires, and stale fires (for work that has since completed)
+    /// should be ignored.
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_>) {}
 }
 
 /// A no-op process: passively receives messages and never halts on its

@@ -1,0 +1,429 @@
+//! Reliable delivery over a faulty network: ack / timeout / retransmit
+//! with exponential backoff and at-most-once duplicate suppression.
+//!
+//! The LogP paper assumes the communication layer masks network failures
+//! (the CM-5's active-message layer does this in software). This module is
+//! that layer for the simulator: an [`Endpoint`] embedded in a
+//! [`crate::process::Process`] wraps outgoing payloads in sequence numbers
+//! ([`crate::Data::Seq`]), acknowledges every received copy, retransmits
+//! unacknowledged messages on a backoff schedule driven by
+//! [`crate::process::Ctx::timer`], and delivers each logical message to the
+//! application at most once.
+//!
+//! Cost model: each reliable message adds one ack (`o` at both ends plus
+//! `L` of flight, contending for the same gap `g` slots as data), and each
+//! loss adds at least one timeout of `timeout · 2^attempt` before the
+//! retransmission pays the usual `2o + L`. Retries surface in the
+//! observability layer as [`crate::Cause::Retry`] edges, so the
+//! critical-path analyzer prices timeout waits alongside `o`, `g`, and `L`
+//! (see `docs/FAILURE_MODEL.md`).
+//!
+//! # Example: one reliable message across a lossless link
+//!
+//! ```
+//! use logp_core::LogP;
+//! use logp_sim::process::{Ctx, Process};
+//! use logp_sim::reliable::{Endpoint, RetryConfig};
+//! use logp_sim::{Data, Message, SharedCell, Sim, SimConfig};
+//!
+//! struct Node {
+//!     ep: Endpoint,
+//!     got: SharedCell<Vec<u64>>,
+//! }
+//!
+//! impl Process for Node {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         if ctx.me() == 0 {
+//!             self.ep.send(ctx, 1, 7, Data::U64(42));
+//!         }
+//!     }
+//!     fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+//!         if let Some(inner) = self.ep.on_message(msg, ctx) {
+//!             self.got.with(|v| v.push(inner.as_u64()));
+//!         }
+//!     }
+//!     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+//!         self.ep.on_timer(tag, ctx);
+//!     }
+//! }
+//!
+//! let m = LogP::new(6, 2, 4, 2).unwrap();
+//! let retry = RetryConfig::for_model(&m);
+//! let got = SharedCell::new();
+//! let mut sim = Sim::new(m, SimConfig::default());
+//! sim.set_all(|_| {
+//!     Box::new(Node {
+//!         ep: Endpoint::new(retry.clone()),
+//!         got: got.clone(),
+//!     })
+//! });
+//! sim.run().unwrap();
+//! // Delivered exactly once, with zero retransmissions needed.
+//! assert_eq!(got.get(), vec![42]);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use logp_core::{Cycles, LogP, ProcId};
+
+use crate::faults::splitmix64;
+use crate::message::{Data, Message};
+use crate::process::Ctx;
+
+/// Wire tag reserved for acknowledgements. Application protocols must not
+/// use it for data.
+pub const TAG_ACK: u32 = 0xFFFF_FFFE;
+
+/// High bit of the timer-token namespace claimed by [`Endpoint`]s; the
+/// low bits carry the sequence number being timed. Programs that arm
+/// their own timers alongside an endpoint must keep this bit clear.
+pub const TIMER_NAMESPACE: u64 = 1 << 63;
+
+/// Retransmission policy of an [`Endpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Base retransmission timeout in cycles, doubled on every retry of
+    /// the same message (exponential backoff).
+    pub timeout: Cycles,
+    /// Retransmissions attempted before the message is abandoned and
+    /// recorded in [`Endpoint::failed`].
+    pub max_retries: u32,
+    /// Maximum deterministic jitter added to each timeout, in cycles, to
+    /// de-synchronize retry bursts. The actual jitter is a SplitMix64
+    /// hash of `(seed, seq, attempt)` in `0..=jitter`.
+    pub jitter: Cycles,
+    /// Seed of the jitter hash.
+    pub seed: u64,
+}
+
+impl RetryConfig {
+    /// A policy matched to a machine: the timeout covers a full
+    /// data + ack round trip (`2·(2o + L)`) plus a gap of slack per
+    /// direction, with jitter of one gap.
+    pub fn for_model(m: &LogP) -> Self {
+        RetryConfig {
+            timeout: 2 * (2 * m.o + m.l) + 2 * m.g,
+            max_retries: 8,
+            jitter: m.g,
+            seed: 0xFA417,
+        }
+    }
+
+    /// The same policy stretched for a node that fans out to `fanout`
+    /// children: sends are spaced by `max(g, o)` and the last child's ack
+    /// contends behind the whole burst, so the base timeout grows by one
+    /// slot per child. Keeps spurious (early) retransmissions rare
+    /// without affecting correctness — duplicates are suppressed anyway.
+    pub fn for_tree(m: &LogP, fanout: u32) -> Self {
+        let mut cfg = Self::for_model(m);
+        cfg.timeout += fanout as u64 * m.g.max(m.o);
+        cfg
+    }
+
+    /// Override the base timeout.
+    pub fn with_timeout(mut self, timeout: Cycles) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Override the retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+}
+
+/// Delivery counters of one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Retransmissions performed.
+    pub retries: u64,
+    /// Acks transmitted (one per received copy, duplicates included).
+    pub acks_sent: u64,
+    /// Received copies suppressed as duplicates.
+    pub dups_suppressed: u64,
+    /// Messages abandoned after exhausting the retry budget.
+    pub failed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    dst: ProcId,
+    tag: u32,
+    data: Data,
+    attempt: u32,
+}
+
+/// A reliable-delivery endpoint: sequence numbers out, acks back,
+/// timeout-driven retransmission, at-most-once delivery in.
+///
+/// Owns no engine state — it is plain data a [`crate::process::Process`]
+/// embeds, translating between the application's sends and the faulty
+/// wire. The owning process must forward `on_message` and `on_timer` to
+/// it (see the module example). All internal maps are ordered, so endpoint
+/// behavior is deterministic.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    cfg: RetryConfig,
+    next_seq: u64,
+    /// Unacknowledged outbound messages by sequence number.
+    pending: BTreeMap<u64, Pending>,
+    /// Sequence numbers already delivered upward, per source.
+    seen: BTreeMap<ProcId, BTreeSet<u64>>,
+    /// `(dst, seq)` of messages abandoned after `max_retries`.
+    pub failed: Vec<(ProcId, u64)>,
+    /// Delivery counters.
+    pub stats: EndpointStats,
+}
+
+impl Endpoint {
+    /// A fresh endpoint with the given retransmission policy.
+    pub fn new(cfg: RetryConfig) -> Self {
+        Endpoint {
+            cfg,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            failed: Vec::new(),
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// Send `data` reliably to `dst` under the application tag `tag`.
+    /// Returns the sequence number assigned to the message.
+    pub fn send(&mut self, ctx: &mut Ctx<'_>, dst: ProcId, tag: u32, data: Data) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        ctx.send(
+            dst,
+            tag,
+            Data::Seq {
+                seq,
+                inner: Box::new(data.clone()),
+            },
+        );
+        ctx.timer(self.backoff(seq, 0), TIMER_NAMESPACE | seq);
+        self.pending.insert(
+            seq,
+            Pending {
+                dst,
+                tag,
+                data,
+                attempt: 0,
+            },
+        );
+        seq
+    }
+
+    /// Process an incoming wire message. Returns the inner payload the
+    /// first time each logical message is seen (`None` for acks,
+    /// duplicates, and non-sequenced traffic the endpoint ignores —
+    /// unwrapped messages pass through untouched by returning `None`, so
+    /// route only sequenced protocols here).
+    ///
+    /// Every received copy is (re-)acknowledged, including duplicates:
+    /// the earlier ack may itself have been lost.
+    pub fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) -> Option<Data> {
+        let Data::Seq { seq, inner } = &msg.data else {
+            return None;
+        };
+        if msg.tag == TAG_ACK {
+            self.pending.remove(seq);
+            return None;
+        }
+        ctx.send(
+            msg.src,
+            TAG_ACK,
+            Data::Seq {
+                seq: *seq,
+                inner: Box::new(Data::Empty),
+            },
+        );
+        self.stats.acks_sent += 1;
+        if self.seen.entry(msg.src).or_default().insert(*seq) {
+            Some((**inner).clone())
+        } else {
+            self.stats.dups_suppressed += 1;
+            None
+        }
+    }
+
+    /// Process a timer fire. Returns `true` if the token belonged to this
+    /// endpoint (callers multiplexing their own timers should check).
+    /// Retransmits the timed message if it is still unacknowledged,
+    /// abandoning it once the retry budget is spent.
+    pub fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) -> bool {
+        if token & TIMER_NAMESPACE == 0 {
+            return false;
+        }
+        let seq = token & !TIMER_NAMESPACE;
+        let Some(pend) = self.pending.get_mut(&seq) else {
+            return true; // acked since: a stale fire.
+        };
+        if pend.attempt >= self.cfg.max_retries {
+            let dst = pend.dst;
+            self.pending.remove(&seq);
+            self.failed.push((dst, seq));
+            self.stats.failed += 1;
+            return true;
+        }
+        pend.attempt += 1;
+        let (dst, tag, data, attempt) = (pend.dst, pend.tag, pend.data.clone(), pend.attempt);
+        ctx.send(
+            dst,
+            tag,
+            Data::Seq {
+                seq,
+                inner: Box::new(data),
+            },
+        );
+        ctx.timer(self.backoff(seq, attempt), token);
+        self.stats.retries += 1;
+        true
+    }
+
+    /// True when nothing is awaiting an ack.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of messages still awaiting acknowledgement.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The timeout before attempt `attempt + 1`: exponential backoff on
+    /// the base timeout plus deterministic per-(seq, attempt) jitter.
+    fn backoff(&self, seq: u64, attempt: u32) -> Cycles {
+        let base = self.cfg.timeout << attempt.min(12);
+        let jitter = if self.cfg.jitter == 0 {
+            0
+        } else {
+            splitmix64(self.cfg.seed ^ seq.rotate_left(17) ^ attempt as u64) % (self.cfg.jitter + 1)
+        };
+        base + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Command;
+
+    fn ctx_cmds() -> Vec<Command> {
+        Vec::new()
+    }
+
+    #[test]
+    fn send_wraps_and_arms_timer() {
+        let mut cmds = ctx_cmds();
+        let mut ctx = Ctx::new(0, 0, 2, &mut cmds);
+        let mut ep = Endpoint::new(RetryConfig::for_model(&LogP::new(6, 2, 4, 2).unwrap()));
+        let seq = ep.send(&mut ctx, 1, 9, Data::U64(5));
+        assert_eq!(seq, 0);
+        assert_eq!(ep.pending_count(), 1);
+        assert!(matches!(
+            &cmds[0],
+            Command::Send {
+                dst: 1,
+                tag: 9,
+                data: Data::Seq { seq: 0, .. }
+            }
+        ));
+        assert!(matches!(&cmds[1], Command::Timer { tag, .. } if tag & TIMER_NAMESPACE != 0));
+    }
+
+    #[test]
+    fn receive_acks_and_dedups() {
+        let mut ep = Endpoint::new(RetryConfig::for_model(&LogP::new(6, 2, 4, 2).unwrap()));
+        let msg = Message {
+            src: 1,
+            dst: 0,
+            tag: 9,
+            data: Data::Seq {
+                seq: 3,
+                inner: Box::new(Data::U64(7)),
+            },
+        };
+        let mut cmds = ctx_cmds();
+        let mut ctx = Ctx::new(0, 0, 2, &mut cmds);
+        assert_eq!(ep.on_message(&msg, &mut ctx), Some(Data::U64(7)));
+        assert_eq!(ep.on_message(&msg, &mut ctx), None); // duplicate
+        assert_eq!(ep.stats.dups_suppressed, 1);
+        // Both copies were acked.
+        let acks = cmds
+            .iter()
+            .filter(|c| matches!(c, Command::Send { tag: TAG_ACK, .. }))
+            .count();
+        assert_eq!(acks, 2);
+    }
+
+    #[test]
+    fn ack_clears_pending() {
+        let m = LogP::new(6, 2, 4, 2).unwrap();
+        let mut ep = Endpoint::new(RetryConfig::for_model(&m));
+        let mut cmds = ctx_cmds();
+        let seq = {
+            let mut ctx = Ctx::new(0, 0, 2, &mut cmds);
+            let seq = ep.send(&mut ctx, 1, 9, Data::Empty);
+            let ack = Message {
+                src: 1,
+                dst: 0,
+                tag: TAG_ACK,
+                data: Data::Seq {
+                    seq,
+                    inner: Box::new(Data::Empty),
+                },
+            };
+            assert_eq!(ep.on_message(&ack, &mut ctx), None);
+            assert!(ep.idle());
+            seq
+        };
+        // A later (stale) timer fire does nothing.
+        let before = cmds.len();
+        {
+            let mut ctx = Ctx::new(0, 0, 2, &mut cmds);
+            assert!(ep.on_timer(TIMER_NAMESPACE | seq, &mut ctx));
+        }
+        assert_eq!(cmds.len(), before);
+        assert_eq!(ep.stats.retries, 0);
+    }
+
+    #[test]
+    fn timeout_retransmits_then_gives_up() {
+        let m = LogP::new(6, 2, 4, 2).unwrap();
+        let mut ep = Endpoint::new(RetryConfig::for_model(&m).with_max_retries(2));
+        let mut cmds = ctx_cmds();
+        let mut ctx = Ctx::new(0, 0, 2, &mut cmds);
+        let seq = ep.send(&mut ctx, 1, 9, Data::U64(1));
+        let token = TIMER_NAMESPACE | seq;
+        assert!(ep.on_timer(token, &mut ctx));
+        assert!(ep.on_timer(token, &mut ctx));
+        assert_eq!(ep.stats.retries, 2);
+        assert!(!ep.idle());
+        // Third fire exhausts the budget.
+        assert!(ep.on_timer(token, &mut ctx));
+        assert!(ep.idle());
+        assert_eq!(ep.failed, vec![(1, seq)]);
+        assert_eq!(ep.stats.failed, 1);
+    }
+
+    #[test]
+    fn foreign_tokens_are_not_consumed() {
+        let m = LogP::new(6, 2, 4, 2).unwrap();
+        let mut ep = Endpoint::new(RetryConfig::for_model(&m));
+        let mut cmds = ctx_cmds();
+        let mut ctx = Ctx::new(0, 0, 2, &mut cmds);
+        assert!(!ep.on_timer(41, &mut ctx));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let m = LogP::new(6, 2, 4, 2).unwrap();
+        let mut cfg = RetryConfig::for_model(&m);
+        cfg.jitter = 0;
+        let ep = Endpoint::new(cfg.clone());
+        assert_eq!(ep.backoff(0, 0), cfg.timeout);
+        assert_eq!(ep.backoff(0, 3), cfg.timeout << 3);
+    }
+}

@@ -32,6 +32,7 @@ use logp_core::{LogP, ProcId};
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
+use crate::faults::splitmix64;
 use crate::perfetto::write_artifacts;
 use crate::process::Process;
 use crate::{Sim, SimConfig, SimError, SimResult};
@@ -173,15 +174,6 @@ impl RunSpec {
     pub fn run(&self) -> Result<SimResult, SimError> {
         self.run_with_seed(self.config.seed)
     }
-}
-
-/// SplitMix64 finalizer — the standard 64-bit avalanche mix.
-#[inline]
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Seed for run `index` of a batch whose specs carry `base` seeds.

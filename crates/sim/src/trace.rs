@@ -154,6 +154,16 @@ pub struct SimStats {
     pub max_inflight_per_src: u64,
     /// Number of simulated events processed.
     pub events: u64,
+    /// Messages discarded by the fault layer: injected but dropped in
+    /// flight, or arriving at a crashed processor's interface. Always 0
+    /// without a [`crate::FaultPlan`].
+    pub msgs_dropped: u64,
+    /// Extra message copies injected by the fault layer.
+    pub msgs_duplicated: u64,
+    /// Messages whose flight the fault layer stretched.
+    pub msgs_delayed: u64,
+    /// Processors crash-stopped by the fault plan during this run.
+    pub procs_crashed: u32,
 }
 
 impl SimStats {

@@ -1,0 +1,278 @@
+//! Engine-level fault-injection semantics: drops, duplicates, delays,
+//! crash-stops, and the retransmission timers that ride on them (see
+//! `docs/FAILURE_MODEL.md`).
+
+use logp_core::LogP;
+use logp_sim::critpath::critical_path;
+use logp_sim::process::{Ctx, Process, StartFn};
+use logp_sim::{Cause, Data, FaultPlan, Message, SharedCell, Sim, SimConfig};
+
+fn model() -> LogP {
+    LogP::new(6, 2, 4, 2).unwrap()
+}
+
+/// P0 sends one word to P1; P1 counts deliveries.
+struct Ping {
+    got: SharedCell<Vec<u64>>,
+}
+
+impl Process for Ping {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.me() == 0 {
+            ctx.send(1, 0, Data::U64(7));
+        }
+    }
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let _ = msg;
+        self.got.with(|v| v.push(now));
+    }
+}
+
+fn run_ping(plan: FaultPlan, config: SimConfig) -> (Vec<u64>, logp_sim::SimResult) {
+    let got: SharedCell<Vec<u64>> = SharedCell::new();
+    let mut sim = Sim::new(model(), config.with_faults(plan));
+    let g = got.clone();
+    sim.set_all(move |_| Box::new(Ping { got: g.clone() }));
+    let res = sim.run().unwrap();
+    (got.get(), res)
+}
+
+#[test]
+fn dropped_message_never_delivers_but_frees_capacity() {
+    let plan = FaultPlan::new(1).with_drop_ppm(1_000_000);
+    let (got, res) = run_ping(plan, SimConfig::default());
+    assert!(got.is_empty());
+    assert_eq!(res.stats.msgs_dropped, 1);
+    assert_eq!(res.stats.total_msgs, 0);
+    // The sender's capacity slot was released: a second run with two
+    // sends back-to-back also terminates (no leaked in-flight count).
+    let plan = FaultPlan::new(1).with_drop_ppm(1_000_000);
+    let got: SharedCell<Vec<u64>> = SharedCell::new();
+    let mut sim = Sim::new(model(), SimConfig::default().with_faults(plan));
+    let g = got.clone();
+    sim.set_process(
+        0,
+        Box::new(StartFn(|ctx: &mut Ctx<'_>| {
+            for _ in 0..8 {
+                ctx.send(1, 0, Data::Empty);
+            }
+        })),
+    );
+    let g2 = g;
+    sim.set_process(1, Box::new(Ping { got: g2 }));
+    let res = sim.run().unwrap();
+    assert_eq!(res.stats.msgs_dropped, 8);
+    assert!(got.get().is_empty());
+}
+
+#[test]
+fn duplicated_message_delivers_twice() {
+    let plan = FaultPlan::new(2).with_dup_ppm(1_000_000);
+    let (got, res) = run_ping(plan, SimConfig::default());
+    assert_eq!(got.len(), 2, "original + duplicate");
+    assert_eq!(res.stats.msgs_duplicated, 1);
+    assert_eq!(res.stats.total_msgs, 2);
+    // The duplicate trails the original.
+    assert!(got[1] > got[0]);
+    assert_eq!(got[0], model().point_to_point());
+}
+
+#[test]
+fn delayed_message_arrives_late() {
+    let plan = FaultPlan::new(3).with_delay(1_000_000, 16);
+    let (got, res) = run_ping(plan, SimConfig::default());
+    assert_eq!(got.len(), 1);
+    assert_eq!(res.stats.msgs_delayed, 1);
+    let base = model().point_to_point();
+    assert!(got[0] > base, "delayed past 2o+L={base}: {}", got[0]);
+    assert!(got[0] <= base + 16);
+}
+
+#[test]
+fn crashed_destination_drops_arrivals_without_deadlock() {
+    let plan = FaultPlan::new(4).with_crash(1, 0);
+    let (got, res) = run_ping(plan, SimConfig::default());
+    assert!(got.is_empty());
+    assert_eq!(res.stats.procs_crashed, 1);
+    assert_eq!(res.stats.msgs_dropped, 1);
+    assert_eq!(res.stats.total_msgs, 0);
+}
+
+#[test]
+fn crash_at_arrival_cycle_beats_the_message() {
+    // Crash scheduled at exactly the arrival cycle: the crash event was
+    // enqueued first (lower sequence in the same class), so the message
+    // finds a dead processor — deterministic crash-before-arrival.
+    let t = model().point_to_point();
+    let plan = FaultPlan::new(5).with_crash(1, t);
+    let (got, res) = run_ping(plan, SimConfig::default());
+    assert!(got.is_empty());
+    assert_eq!(res.stats.msgs_dropped, 1);
+}
+
+#[test]
+fn mid_run_crash_stops_a_processor() {
+    // P0 streams to P1; P1 crashes mid-stream. Deliveries before the
+    // crash land, the rest drop, and the run still terminates.
+    let plan = FaultPlan::new(6).with_crash(1, 25);
+    let got: SharedCell<Vec<u64>> = SharedCell::new();
+    let mut sim = Sim::new(model(), SimConfig::default().with_faults(plan));
+    let g = got.clone();
+    sim.set_process(
+        0,
+        Box::new(StartFn(|ctx: &mut Ctx<'_>| {
+            for _ in 0..10 {
+                ctx.send(1, 0, Data::Empty);
+            }
+        })),
+    );
+    sim.set_process(1, Box::new(Ping { got: g }));
+    let res = sim.run().unwrap();
+    let got = got.get();
+    assert!(!got.is_empty(), "early deliveries precede the crash");
+    assert!(got.iter().all(|&t| t < 25));
+    assert_eq!(got.len() as u64 + res.stats.msgs_dropped, 10);
+}
+
+#[test]
+fn zero_plan_is_cycle_identical_to_no_plan() {
+    // The FAULTS = true monomorphization with an all-zero plan must
+    // produce the same bytes as faults: None — including under latency
+    // jitter, whose RNG draws must stay aligned.
+    for jitter in [0, 5] {
+        let config = SimConfig::observed().with_jitter(jitter).with_seed(42);
+        let (got_none, res_none) = {
+            let got: SharedCell<Vec<u64>> = SharedCell::new();
+            let mut sim = Sim::new(model(), config.clone());
+            let g = got.clone();
+            sim.set_all(move |_| Box::new(Ping { got: g.clone() }));
+            (got.clone(), sim.run().unwrap())
+        };
+        let (got_zero, res_zero) = run_ping(FaultPlan::new(9), config);
+        assert_eq!(res_none, res_zero, "jitter={jitter}");
+        assert_eq!(got_none.get(), got_zero);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timers.
+// ---------------------------------------------------------------------
+
+struct TimerProg {
+    fires: SharedCell<Vec<(u64, u64)>>,
+    halt_first: bool,
+}
+
+impl Process for TimerProg {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.me() == 0 {
+            ctx.timer(10, 0xAB);
+            ctx.timer(3, 0xCD);
+            if self.halt_first {
+                ctx.halt();
+            }
+        }
+    }
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.fires.with(|v| v.push((tag, now)));
+    }
+}
+
+fn run_timers(halt_first: bool, config: SimConfig) -> Vec<(u64, u64)> {
+    let fires: SharedCell<Vec<(u64, u64)>> = SharedCell::new();
+    let mut sim = Sim::new(model(), config);
+    let f = fires.clone();
+    sim.set_all(move |_| {
+        Box::new(TimerProg {
+            fires: f.clone(),
+            halt_first,
+        })
+    });
+    sim.run().unwrap();
+    fires.get()
+}
+
+#[test]
+fn timers_fire_at_their_deadline_in_order() {
+    // Timers are a general engine feature: they work without any fault
+    // plan (the FAULTS = false monomorphization).
+    let fires = run_timers(false, SimConfig::default());
+    assert_eq!(fires, vec![(0xCD, 3), (0xAB, 10)]);
+    // And identically with a fault plan installed.
+    let fires = {
+        let f: SharedCell<Vec<(u64, u64)>> = SharedCell::new();
+        let mut sim = Sim::new(model(), SimConfig::default().with_faults(FaultPlan::new(1)));
+        let ff = f.clone();
+        sim.set_all(move |_| {
+            Box::new(TimerProg {
+                fires: ff.clone(),
+                halt_first: false,
+            })
+        });
+        sim.run().unwrap();
+        f.get()
+    };
+    assert_eq!(fires, vec![(0xCD, 3), (0xAB, 10)]);
+}
+
+#[test]
+fn halt_cancels_pending_timers() {
+    let fires = run_timers(true, SimConfig::default());
+    assert!(fires.is_empty(), "a halted processor's timers never fire");
+}
+
+#[test]
+fn crash_cancels_pending_timers() {
+    let fires = {
+        let f: SharedCell<Vec<(u64, u64)>> = SharedCell::new();
+        let mut sim = Sim::new(
+            model(),
+            SimConfig::default().with_faults(FaultPlan::new(1).with_crash(0, 5)),
+        );
+        let ff = f.clone();
+        sim.set_all(move |_| {
+            Box::new(TimerProg {
+                fires: ff.clone(),
+                halt_first: false,
+            })
+        });
+        sim.run().unwrap();
+        f.get()
+    };
+    assert_eq!(fires, vec![(0xCD, 3)], "only the pre-crash fire lands");
+}
+
+#[test]
+fn timer_caused_sends_appear_as_retry_edges() {
+    // A send submitted from on_timer carries Cause::Retry(timer), the
+    // timer is recorded, and the critical path prices the timer wait as
+    // a `retry` component.
+    struct SendOnTimer;
+    impl Process for SendOnTimer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.me() == 0 {
+                ctx.timer(10, 1);
+            }
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+            ctx.send(1, 0, Data::Empty);
+        }
+    }
+    let m = model();
+    let mut sim = Sim::new(m, SimConfig::default().with_msg_log(true));
+    sim.set_all(|_| Box::new(SendOnTimer));
+    let res = sim.run().unwrap();
+    assert_eq!(res.obs.timers.len(), 1);
+    let t = &res.obs.timers[0];
+    assert_eq!((t.proc, t.tag, t.submit, t.fire), (0, 1, 0, 10));
+    let msg = &res.obs.msgs[0];
+    assert_eq!(msg.cause, Cause::Retry(0));
+    let cp = critical_path(&res).unwrap();
+    assert_eq!(cp.total, 10 + m.point_to_point());
+    assert_eq!(cp.components.retry, 10, "the timer wait is priced as retry");
+    assert_eq!(cp.components.o, 2 * m.o);
+    assert_eq!(cp.components.l, m.l);
+    assert_eq!(cp.components.sum(), cp.total);
+}

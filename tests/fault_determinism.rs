@@ -1,0 +1,212 @@
+//! Determinism and correctness properties of the fault-injection layer
+//! (see `docs/FAILURE_MODEL.md`): seeded fault plans replay
+//! bit-identically on any worker count, fault decisions are monotone in
+//! the configured rate, and the reliable collectives complete correctly
+//! under a 5% drop rate on every machine preset.
+
+use logp::algos::allreduce::run_reliable_allreduce;
+use logp::algos::broadcast::{run_reliable_broadcast, run_survivor_broadcast};
+use logp::algos::reduce::run_reliable_sum;
+use logp::algos::resilient::ResilientError;
+use logp::prelude::*;
+use logp::sim::reliable::{Endpoint, RetryConfig};
+use logp::sim::runner::{sweep_map, Threads};
+use logp::sim::{Cause, FaultPlan};
+use proptest::prelude::*;
+
+const DROP_PPM: [u32; 3] = [0, 50_000, 150_000];
+
+/// A small random machine (modest parameters keep proptest fast).
+fn machine() -> impl Strategy<Value = LogP> {
+    (1u64..=20, 0u64..=8, 1u64..=10, 2u32..=16)
+        .prop_map(|(l, o, g, p)| LogP::new(l, o, g, p).expect("generated parameters are valid"))
+}
+
+fn retry_for(m: &LogP) -> RetryConfig {
+    RetryConfig::for_tree(m, m.p).with_max_retries(16)
+}
+
+/// One measured sweep row, compared bit-for-bit across thread counts.
+fn sweep_rows(m: &LogP, seed: u64, threads: Threads) -> Vec<(u64, u64, u64, u64)> {
+    sweep_map(threads, &DROP_PPM, |&ppm| {
+        let plan = FaultPlan::new(seed).with_drop_ppm(ppm);
+        let run = run_reliable_broadcast(m, &plan, retry_for(m), SimConfig::default())
+            .expect("no crashes");
+        (
+            run.completion,
+            run.retries,
+            run.result.stats.msgs_dropped,
+            run.result.stats.total_msgs,
+        )
+    })
+}
+
+/// P0 sends one reliable message to P1; records the delivery instant.
+struct ReliablePing {
+    ep: Endpoint,
+    got: SharedCell<Vec<u64>>,
+}
+
+impl Process for ReliablePing {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.me() == 0 {
+            self.ep.send(ctx, 1, 7, Data::U64(1));
+        }
+    }
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        if self.ep.on_message(msg, ctx).is_some() {
+            let now = ctx.now();
+            self.got.with(|v| v.push(now));
+        }
+    }
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        self.ep.on_timer(tag, ctx);
+    }
+}
+
+/// Delivery time of a single reliable message under `drop_ppm`.
+fn reliable_ping_delivery(m: &LogP, seed: u64, drop_ppm: u32) -> u64 {
+    let plan = FaultPlan::new(seed).with_drop_ppm(drop_ppm);
+    let got: SharedCell<Vec<u64>> = SharedCell::new();
+    let retry = retry_for(m);
+    let mut sim = Sim::new(m.with_p(2), SimConfig::default().with_faults(plan));
+    let g = got.clone();
+    sim.set_all(move |_| {
+        Box::new(ReliablePing {
+            ep: Endpoint::new(retry.clone()),
+            got: g.clone(),
+        })
+    });
+    sim.run().unwrap();
+    let got = got.get();
+    assert_eq!(got.len(), 1, "the message must eventually deliver");
+    got[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A seeded fault plan replays bit-identically on 1, 4, and 8 worker
+    /// threads: the whole measured sweep row must match.
+    #[test]
+    fn fault_sweep_is_thread_count_invariant(m in machine(), seed in 0u64..10_000) {
+        let rows1 = sweep_rows(&m, seed, Threads::Fixed(1));
+        let rows4 = sweep_rows(&m, seed, Threads::Fixed(4));
+        let rows8 = sweep_rows(&m, seed, Threads::Fixed(8));
+        prop_assert_eq!(&rows1, &rows4);
+        prop_assert_eq!(&rows1, &rows8);
+    }
+
+    /// Fault decisions are pure and monotone in the configured rate: a
+    /// message dropped at rate lo is also dropped at any rate hi >= lo.
+    #[test]
+    fn drop_decisions_are_monotone_in_rate(
+        seed in 0u64..u64::MAX,
+        src in 0u32..64, dst in 0u32..64, ident in 0u64..1_000_000, attempt in 0u64..8,
+        lo in 0u32..=1_000_000, delta in 0u32..=1_000_000,
+    ) {
+        let hi = lo.saturating_add(delta).min(1_000_000);
+        let plo = FaultPlan::new(seed).with_drop_ppm(lo);
+        let phi = FaultPlan::new(seed).with_drop_ppm(hi);
+        // Purity: same inputs, same decision.
+        prop_assert_eq!(
+            plo.decide(src, dst, ident, attempt),
+            plo.decide(src, dst, ident, attempt)
+        );
+        if plo.decide(src, dst, ident, attempt).drop {
+            prop_assert!(phi.decide(src, dst, ident, attempt).drop);
+        }
+    }
+
+    /// On a single reliable channel with drop-only faults, the delivery
+    /// time is monotone non-decreasing in the drop rate: raising the
+    /// rate only grows the set of dropped attempts, and the retransmit
+    /// schedule (exponential backoff, seeded jitter) is fixed per
+    /// attempt, so delivery can only move to a later attempt.
+    #[test]
+    fn single_channel_delivery_is_monotone_in_drop_rate(
+        m in machine(), seed in 0u64..10_000,
+    ) {
+        let mut last = 0u64;
+        for ppm in [0u32, 25_000, 100_000, 250_000] {
+            let t = reliable_ping_delivery(&m, seed, ppm);
+            prop_assert!(
+                t >= last,
+                "delivery at rho={} ({} cycles) earlier than at the lower rate ({last})",
+                ppm, t
+            );
+            last = t;
+        }
+    }
+}
+
+/// The acceptance sweep: on every built-in machine preset, a seeded 5%
+/// drop rate leaves broadcast, summation, and all-reduce correct, with
+/// the retransmissions visible as `Cause::Retry` edges in the causal
+/// DAG — and the runs replay bit-identically on 1, 4, and 8 threads.
+#[test]
+fn reliable_collectives_survive_5pct_drops_on_all_presets() {
+    for preset in MachinePreset::all() {
+        let m = preset.logp;
+        let plan = FaultPlan::new(0x5EED_FA17).with_drop_ppm(50_000);
+        let retry = retry_for(&m);
+        let config = SimConfig::default().with_msg_log(true);
+
+        let b = run_reliable_broadcast(&m, &plan, retry.clone(), config.clone()).unwrap();
+        assert_eq!(b.arrivals.len(), m.p as usize, "{}", preset.name);
+
+        let s = run_reliable_sum(&m, 256, &plan, retry.clone(), config.clone()).unwrap();
+        assert_eq!(
+            s.total,
+            (0..256).map(|v| v as f64).sum::<f64>(),
+            "{}",
+            preset.name
+        );
+
+        let values: Vec<f64> = (0..m.p).map(|i| i as f64).collect();
+        let a = run_reliable_allreduce(&m, &values, &plan, retry.clone(), config).unwrap();
+        assert_eq!(a.value, values.iter().sum::<f64>(), "{}", preset.name);
+
+        // Retries happened and are visible in the causal DAG.
+        assert!(
+            b.retries > 0,
+            "{}: 5% drops must force retries",
+            preset.name
+        );
+        let retry_edges = b
+            .result
+            .obs
+            .msgs
+            .iter()
+            .filter(|r| matches!(r.cause, Cause::Retry(_)))
+            .count();
+        assert!(retry_edges > 0, "{}: no Cause::Retry edges", preset.name);
+
+        // Bit-identical across worker counts.
+        let rows1 = sweep_rows(&m, 0x5EED_FA17, Threads::Fixed(1));
+        let rows4 = sweep_rows(&m, 0x5EED_FA17, Threads::Fixed(4));
+        let rows8 = sweep_rows(&m, 0x5EED_FA17, Threads::Fixed(8));
+        assert_eq!(rows1, rows4, "{}", preset.name);
+        assert_eq!(rows1, rows8, "{}", preset.name);
+    }
+}
+
+/// A crashed root re-roots the broadcast on the lowest survivor; a plan
+/// that crashes everyone errors cleanly instead of hanging.
+#[test]
+fn crashed_root_re_roots_or_errors_cleanly() {
+    let m = LogP::new(6, 2, 4, 8).unwrap();
+    let plan = FaultPlan::new(1).with_crash(0, 0);
+    let run = run_survivor_broadcast(&m, &plan, SimConfig::default()).unwrap();
+    assert_eq!(run.arrivals.len(), 7);
+    assert!(run.arrivals.contains(&(1, 0)), "P1 takes over as root");
+
+    let mut all = FaultPlan::new(2);
+    for q in 0..m.p {
+        all = all.with_crash(q, 0);
+    }
+    assert_eq!(
+        run_survivor_broadcast(&m, &all, SimConfig::default()).unwrap_err(),
+        ResilientError::AllCrashed
+    );
+}
