@@ -18,7 +18,7 @@ use crate::resilient::{
 use logp_core::broadcast::optimal_broadcast_tree;
 use logp_core::{Cycles, LogP, ProcId};
 use logp_sim::reliable::{Endpoint, RetryConfig};
-use logp_sim::{Ctx, Data, FaultPlan, Message, Process, SharedCell, Sim, SimConfig};
+use logp_sim::{Ctx, Data, FaultPlan, Message, Process, SharedCell, Sim, SimConfig, SimResult};
 use std::collections::HashMap;
 
 const TAG_UP: u32 = 0x91;
@@ -38,6 +38,8 @@ pub struct AllReduceRun {
     pub value: f64,
     pub completion: Cycles,
     pub messages: u64,
+    /// The underlying engine result (stats, trace, obs, metrics).
+    pub result: SimResult,
 }
 
 // ---------------------------------------------------------------------
@@ -132,13 +134,7 @@ pub fn run_allreduce_reduce_bcast(m: &LogP, values: &[f64], config: SimConfig) -
         );
     }
     let result = sim.run().expect("all-reduce terminates");
-    finish(
-        out,
-        result.stats.completion,
-        result.stats.total_msgs,
-        p,
-        values,
-    )
+    finish(out, result, p, values)
 }
 
 // ---------------------------------------------------------------------
@@ -218,13 +214,7 @@ pub fn run_allreduce_doubling(m: &LogP, values: &[f64], config: SimConfig) -> Al
         );
     }
     let result = sim.run().expect("all-reduce terminates");
-    finish(
-        out,
-        result.stats.completion,
-        result.stats.total_msgs,
-        p,
-        values,
-    )
+    finish(out, result, p, values)
 }
 
 // ---------------------------------------------------------------------
@@ -350,13 +340,13 @@ pub fn run_reliable_allreduce(
         value: expect,
         completion: done,
         messages: result.stats.total_msgs,
+        result,
     })
 }
 
 fn finish(
     out: SharedCell<AllReduceOutcome>,
-    completion: Cycles,
-    messages: u64,
+    result: SimResult,
     p: u32,
     values: &[f64],
 ) -> AllReduceRun {
@@ -373,11 +363,17 @@ fn finish(
             "processor {q} holds a wrong total: {v} vs {expect}"
         );
     }
-    let done = oc.finals.iter().map(|f| f.2).max().unwrap_or(completion);
+    let done = oc
+        .finals
+        .iter()
+        .map(|f| f.2)
+        .max()
+        .unwrap_or(result.stats.completion);
     AllReduceRun {
         value: expect,
         completion: done,
-        messages,
+        messages: result.stats.total_msgs,
+        result,
     }
 }
 

@@ -10,8 +10,9 @@
 //!   its time allocating for.
 //!
 //! Prints one JSON object to stdout so results can be diffed across
-//! engine revisions (see `BENCH_engine.json` at the repo root). The table
-//! on stderr is for humans. `--reps N` overrides the repetition count.
+//! engine revisions (see `BENCH_engine.json` at the repo root);
+//! `--json PATH` writes the object to a file instead. The table on
+//! stderr is for humans. `--reps N` overrides the repetition count.
 
 use std::time::Instant;
 
@@ -129,6 +130,7 @@ fn measure(name: &'static str, reps: u32, build: impl Fn() -> Sim) -> Measuremen
 
 fn main() {
     let mut reps: u32 = 5;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -138,7 +140,10 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--reps takes a positive integer");
             }
-            other => panic!("unknown argument {other:?} (expected --reps N)"),
+            "--json" => {
+                json_path = Some(args.next().expect("--json takes a file path"));
+            }
+            other => panic!("unknown argument {other:?} (expected --reps N | --json PATH)"),
         }
     }
 
@@ -193,8 +198,12 @@ fn main() {
             m.msgs_per_sec()
         ));
     }
-    println!(
+    let json = format!(
         "{{\"bench\":\"engine_hotloop\",\"workloads\":[{}]}}",
         items.join(",")
     );
+    match json_path {
+        Some(path) => std::fs::write(&path, format!("{json}\n")).expect("write --json file"),
+        None => println!("{json}"),
+    }
 }

@@ -40,6 +40,7 @@ pub mod machines;
 pub mod models;
 pub mod params;
 pub mod product_line;
+pub mod rng;
 pub mod summation;
 pub mod sweep;
 pub mod techtrends;

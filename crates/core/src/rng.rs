@@ -1,0 +1,111 @@
+//! Deterministic mixing primitives shared across the workspace.
+//!
+//! Three subsystems need order-independent pseudo-randomness — the sweep
+//! runner's per-spec seed derivation, the fault layer's per-message
+//! decisions, and the reliable endpoint's retransmission jitter — and all
+//! three previously carried private copies of the same SplitMix64
+//! finalizer. This module is the single definition; everything that wants
+//! "a well-mixed u64 from a handful of integers, independent of execution
+//! order" goes through it.
+
+/// SplitMix64: Steele, Lea & Flood's 64-bit finalizer (the `splitmix64`
+/// output function). Bijective on `u64`, so distinct inputs never collide,
+/// and statistically strong enough to decorrelate adjacent integers.
+#[inline]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fold a sequence of words into one well-mixed value by chaining
+/// [`splitmix64`]: `mix(&[a, b])` is `splitmix64(splitmix64(a) ^ b)`-style
+/// feed-forward, so every prefix acts as the seed of the next word. Used
+/// where a decision must be a pure function of several identity fields
+/// (seed, processor, counter) rather than of a mutable generator state.
+#[inline]
+pub fn mix(words: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &w in words {
+        acc = splitmix64(acc ^ w);
+    }
+    acc
+}
+
+/// A tiny counter-mode stream over [`splitmix64`]: draw `i` of stream
+/// `seed` is `splitmix64(seed ^ splitmix64(i))`. Unlike a stateful RNG,
+/// any draw can be computed independently of the others, which is what
+/// makes simulation results independent of event-processing order (the
+/// sharded engine's latency/drift draws are exactly these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterRng {
+    seed: u64,
+    next: u64,
+}
+
+impl CounterRng {
+    /// Stream rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        CounterRng { seed, next: 0 }
+    }
+
+    /// The `i`-th draw of this stream, without advancing it.
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(i))
+    }
+
+    /// The next sequential draw (advances the counter).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let v = self.at(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// The next draw reduced to `0..=bound` (inclusive). `bound + 1` need
+    /// not divide `2^64`; the modulo bias is negligible for the cycle-size
+    /// ranges the simulator draws (jitter, drift are tiny next to 2^64).
+    #[inline]
+    pub fn next_in(&mut self, bound: u64) -> u64 {
+        self.next_u64() % (bound + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_bijective_on_samples() {
+        // Distinct inputs map to distinct outputs (spot check).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            assert!(seen.insert(splitmix64(i)));
+        }
+    }
+
+    #[test]
+    fn mix_distinguishes_order() {
+        assert_ne!(mix(&[1, 2]), mix(&[2, 1]));
+        assert_ne!(mix(&[1, 2]), mix(&[1, 3]));
+        assert_eq!(mix(&[7, 9]), mix(&[7, 9]));
+    }
+
+    #[test]
+    fn counter_rng_is_order_free() {
+        let mut a = CounterRng::new(42);
+        let b = CounterRng::new(42);
+        let first = a.next_u64();
+        let second = a.next_u64();
+        // Random access reproduces the sequential stream.
+        assert_eq!(b.at(0), first);
+        assert_eq!(b.at(1), second);
+        // Bounded draws stay in range.
+        let mut c = CounterRng::new(7);
+        for _ in 0..256 {
+            assert!(c.next_in(5) <= 5);
+        }
+    }
+}

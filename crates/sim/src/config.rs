@@ -73,6 +73,18 @@ pub struct SimConfig {
     /// every fault branch out of the engine's hot path, and a plan with
     /// all rates zero and no crashes is cycle-identical to `None`.
     pub faults: Option<FaultPlan>,
+    /// Number of event lanes for the sharded engine (see
+    /// `logp_sim::engine::shard`). `0` and `1` — the default — run the
+    /// classic single-heap engine unchanged. Any value `>= 2` partitions
+    /// the processors into that many contiguous lanes synchronized by
+    /// conservative `o + L` lookahead windows; results are bit-identical
+    /// across every lane count `>= 2`, and match the classic engine's
+    /// workload-level outcome whenever both sample the same randomness
+    /// (`latency_jitter == 0`, `drift_ppk == 0`). The sharded engine
+    /// enforces the source-side ⌈L/g⌉ window only (no destination
+    /// backpressure), and runs needing gauge sampling
+    /// (`metrics_grid > 0`) fall back to the classic engine.
+    pub shards: u32,
 }
 
 impl Default for SimConfig {
@@ -92,6 +104,7 @@ impl Default for SimConfig {
             seed: 0x1092_7735_AC01,
             max_events: 2_000_000_000,
             faults: None,
+            shards: 0,
         }
     }
 }
@@ -177,6 +190,15 @@ impl SimConfig {
     /// Install a deterministic fault-injection plan (see [`FaultPlan`]).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Run on the sharded lane engine with `n >= 2` lanes (`0` and `1`
+    /// select the classic single-heap engine). Lane counts larger than
+    /// `P` are clamped at partition time; results are bit-identical
+    /// across every lane count `>= 2` (see the `shards` field).
+    pub fn with_shards(mut self, n: u32) -> Self {
+        self.shards = n;
         self
     }
 }

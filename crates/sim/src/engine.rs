@@ -36,6 +36,8 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+pub mod shard;
+
 /// Errors terminating a simulation abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -77,7 +79,7 @@ pub struct SimResult {
     pub metrics: MetricsRegistry,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum EventKind {
     /// A message leaves the capacity window: the model counts a message as
     /// "in transit" for exactly its network flight time `L'` starting at
@@ -185,6 +187,13 @@ impl EventHeap {
             self.kinds.swap(i, parent);
             i = parent;
         }
+    }
+
+    /// Smallest key without popping it (the window driver's lookahead
+    /// probe).
+    #[inline]
+    fn peek(&self) -> Option<u128> {
+        self.keys.first().copied()
     }
 
     // `always`: runs once per event at the top of the loop; with the
@@ -314,6 +323,46 @@ impl ProcState {
             stats: ProcStats::default(),
         }
     }
+}
+
+/// One event lane of the sharded engine (`crate::shard`): a contiguous
+/// block of processors with its own event heap and message slab. The
+/// classic path never constructs these.
+struct Lane {
+    /// Near-term calendar: a power-of-two ring of per-cycle buckets.
+    /// Cycle `t` lives in `buckets[t & (buckets.len() - 1)]`; the ring
+    /// covers `[bbase, bbase + buckets.len())`, wide enough that every
+    /// window-local push (and, on ordinary machines, every arrival)
+    /// inserts in O(1) instead of sifting a heap.
+    buckets: Vec<Vec<(u128, EventKind)>>,
+    /// First cycle the ring currently covers (the active window start).
+    bbase: Cycles,
+    /// Events parked in `buckets` (scan shortcut).
+    bcount: u64,
+    /// Overflow queue for events beyond the ring horizon (long timers
+    /// and computes, bulk streams); spilled into the ring when their
+    /// window arrives.
+    far: EventHeap,
+    /// Messages in flight toward this lane's processors (allocated in the
+    /// *destination's* lane so arrivals stay lane-local).
+    slab: Vec<Option<Message>>,
+    free: Vec<MsgSlot>,
+}
+
+/// One barrier-relevant state change, logged by the sharded engine during
+/// a window pass and replayed in canonical `(time, proc)` order by the
+/// window driver to find the instant the barrier completed.
+#[derive(Debug, Clone)]
+struct BarrierDelta {
+    t: Cycles,
+    proc: ProcId,
+    /// Change to the entered-count (`+1` on entry, `-1` when an entrant
+    /// crashes out).
+    dcount: i32,
+    /// Change to the alive-count (`-1` on halt or crash).
+    dalive: i32,
+    /// `(cause, submit)` of a barrier entry, for the lifecycle record.
+    meta: Option<(Cause, Cycles)>,
 }
 
 /// Gauge handles, allocated only when `SimConfig::metrics_grid > 0`.
@@ -462,6 +511,31 @@ pub struct Sim {
     /// cache lines the disabled hot path walks — matches the
     /// unobservable engine exactly.
     obs: Option<Box<ObsState>>,
+    // ---- sharded lane engine state (`crate::shard`) ----
+    // Everything below is built by the sharded driver and stays empty on
+    // the classic path; the `SHARDED = false` monomorphizations never
+    // touch it.
+    /// Per-lane event heaps and message slabs.
+    lanes: Vec<Lane>,
+    /// Processor → owning lane.
+    lane_of: Vec<u32>,
+    /// Per-processor counters feeding the low 36 bits of every canonical
+    /// event key that processor issues (and its latency/drift draws), so
+    /// keys and draws depend only on processor-local execution order —
+    /// never on how processors are partitioned into lanes.
+    pctr: Vec<u64>,
+    /// Per-source release-time rings: the network-release instants of the
+    /// source's in-flight messages, kept sorted. Replaces the classic
+    /// engine's `Release` events for source-capacity admission.
+    rings: Vec<VecDeque<Cycles>>,
+    /// Barrier deltas logged during the current window pass.
+    bdeltas: Vec<BarrierDelta>,
+    /// Debug-only count of arena growths past the construction-time
+    /// pre-size (event heap, message slab). Million-processor setup must
+    /// allocate each arena exactly once; tests pin this at zero for the
+    /// standard collectives.
+    #[cfg(debug_assertions)]
+    arena_reallocs: u64,
 }
 
 impl Sim {
@@ -529,8 +603,13 @@ impl Sim {
             cmd_scratch: Vec::with_capacity(8),
             waiter_scratch: Vec::new(),
             released_scratch: Vec::new(),
-            msg_slab: Vec::new(),
-            msg_free: Vec::new(),
+            // Sized from P so million-processor construction does one
+            // allocation per arena instead of doubling growth: in-flight
+            // messages are bounded by the per-source window when capacity
+            // is enforced, and the collectives top out near one message
+            // per processor plus slack when it is not.
+            msg_slab: Vec::with_capacity(2 * p + 16),
+            msg_free: Vec::with_capacity(2 * p + 16),
             max_outstanding,
             faults: config.faults.clone().map(|plan| {
                 for &(proc, _) in &plan.crashes {
@@ -545,7 +624,22 @@ impl Sim {
             obs: (config.record_msg_log || config.record_metrics)
                 .then(|| Box::new(ObsState::new(p, &config))),
             config,
+            lanes: Vec::new(),
+            lane_of: Vec::new(),
+            pctr: Vec::new(),
+            rings: Vec::new(),
+            bdeltas: Vec::new(),
+            #[cfg(debug_assertions)]
+            arena_reallocs: 0,
         }
+    }
+
+    /// Debug builds count every growth of a pre-sized arena past its
+    /// construction-time capacity; the standard collectives pin this at
+    /// zero so `P = 10^6` setup stays one-allocation-per-arena.
+    #[cfg(debug_assertions)]
+    pub fn arena_reallocs(&self) -> u64 {
+        self.arena_reallocs
     }
 
     /// The machine model being simulated.
@@ -572,6 +666,10 @@ impl Sim {
     fn schedule(&mut self, time: Cycles, kind: EventKind) {
         let class = kind.class();
         self.seq += 1;
+        #[cfg(debug_assertions)]
+        if self.heap.keys.len() == self.heap.keys.capacity() {
+            self.arena_reallocs += 1;
+        }
         self.heap.push(event_key(time, class, self.seq), kind);
     }
 
@@ -582,6 +680,10 @@ impl Sim {
             self.msg_slab[slot as usize] = Some(msg);
             slot
         } else {
+            #[cfg(debug_assertions)]
+            if self.msg_slab.len() == self.msg_slab.capacity() {
+                self.arena_reallocs += 1;
+            }
             self.msg_slab.push(Some(msg));
             (self.msg_slab.len() - 1) as MsgSlot
         }
@@ -594,6 +696,208 @@ impl Sim {
         self.msg_slab[slot as usize]
             .take()
             .expect("message slot occupied")
+    }
+
+    // ---- sharded lane engine primitives ----
+    //
+    // The sharded engine keys every event canonically: the low 56 bits of
+    // the heap key are `(proc + 1) << 36 | ctr` where `ctr` is a
+    // per-processor issuance counter (`pctr`), so same-timestamp ordering
+    // depends only on processor-local execution order and is therefore
+    // identical for every lane count. Crash events use the bare processor
+    // id (< 2^20 < 2^36 ≤ any counter-derived key), preserving the
+    // classic rule that a crash orders before every same-cycle arrival.
+    // The `+ 1` keeps processor 0's counter keys out of the crash
+    // namespace; it costs one slot of the 20-bit processor budget
+    // (`P <= 2^20 - 1`, checked at dispatch).
+
+    /// Claim the next canonical key-counter value of processor `p`.
+    #[inline]
+    fn bump_pctr(&mut self, p: ProcId) -> u64 {
+        let c = self.pctr[p as usize];
+        debug_assert!(c < 1 << 36, "per-processor event counter overflow");
+        self.pctr[p as usize] = c + 1;
+        c
+    }
+
+    /// Park an event in the lane owning `owner`: O(1) into the calendar
+    /// ring when the instant is within the ring horizon, otherwise into
+    /// the lane's overflow heap (spilled back when its window arrives).
+    /// Event times never precede `bbase` — they are strictly after
+    /// `self.now`, which the window driver keeps at or above every
+    /// lane's ring base.
+    #[inline]
+    fn push_lane(&mut self, owner: ProcId, key: u128, kind: EventKind) {
+        let lane = &mut self.lanes[self.lane_of[owner as usize] as usize];
+        let t = key_time(key);
+        let b = lane.buckets.len() as u64;
+        if t.wrapping_sub(lane.bbase) < b {
+            lane.buckets[(t & (b - 1)) as usize].push((key, kind));
+            lane.bcount += 1;
+        } else {
+            #[cfg(debug_assertions)]
+            if lane.far.keys.len() == lane.far.keys.capacity() {
+                self.arena_reallocs += 1;
+            }
+            lane.far.push(key, kind);
+        }
+    }
+
+    /// Schedule an event on either engine. On the classic path this is
+    /// exactly [`Sim::schedule`]; on the sharded path the event goes to
+    /// its owning processor's lane under a canonical key. Returns the
+    /// sequence number assigned (the `TimerFire` observability key).
+    #[inline]
+    fn sched<const SHARDED: bool>(&mut self, time: Cycles, kind: EventKind) -> u64 {
+        if !SHARDED {
+            self.schedule(time, kind);
+            return self.seq;
+        }
+        let owner = match kind {
+            EventKind::SendDone(p)
+            | EventKind::ComputeDone(p, _)
+            | EventKind::RecvDone(p)
+            | EventKind::TimerFire(p, _)
+            | EventKind::Wake(p) => p,
+            // Arrivals go through `sched_arrive` (source-canonical key,
+            // destination-lane routing); releases are rings and barrier
+            // releases are window-driver work — neither reaches a heap.
+            _ => unreachable!("classic-only event scheduled on the sharded path"),
+        };
+        let seq = ((owner as u64 + 1) << 36) | self.bump_pctr(owner);
+        self.push_lane(owner, event_key(time, kind.class(), seq), kind);
+        seq
+    }
+
+    /// Schedule a message arrival: source-canonical key (`src << 36 |
+    /// ctr`, also the inbox tiebreak at the destination), routed to the
+    /// destination's lane.
+    #[inline]
+    fn sched_arrive<const SHARDED: bool>(
+        &mut self,
+        time: Cycles,
+        slot: MsgSlot,
+        src: ProcId,
+        dst: ProcId,
+    ) {
+        if !SHARDED {
+            self.schedule(time, EventKind::Arrive(slot));
+            return;
+        }
+        let seq = ((src as u64 + 1) << 36) | self.bump_pctr(src);
+        self.push_lane(dst, event_key(time, 0, seq), EventKind::Arrive(slot));
+    }
+
+    /// Park a message in its destination lane's slab (sharded path). The
+    /// returned slot is interleaved-encoded (`idx * lanes + lane`) so
+    /// observability side-arrays stay dense across lanes.
+    #[inline]
+    fn stash_msg_sharded(&mut self, dst: ProcId, msg: Message) -> MsgSlot {
+        let n = self.lanes.len() as u32;
+        let li = self.lane_of[dst as usize];
+        let lane = &mut self.lanes[li as usize];
+        let idx = if let Some(slot) = lane.free.pop() {
+            lane.slab[slot as usize] = Some(msg);
+            slot
+        } else {
+            #[cfg(debug_assertions)]
+            if lane.slab.len() == lane.slab.capacity() {
+                self.arena_reallocs += 1;
+            }
+            lane.slab.push(Some(msg));
+            (lane.slab.len() - 1) as MsgSlot
+        };
+        idx * n + li
+    }
+
+    /// Reclaim an interleaved-encoded slot at arrival (sharded path).
+    #[inline]
+    fn unstash_msg_sharded(&mut self, slot: MsgSlot) -> Message {
+        let n = self.lanes.len() as u32;
+        let (li, idx) = (slot % n, slot / n);
+        let lane = &mut self.lanes[li as usize];
+        lane.free.push(idx);
+        lane.slab[idx as usize]
+            .take()
+            .expect("message slot occupied")
+    }
+
+    /// Record an in-flight message's network-release instant in its
+    /// source's ring (sharded replacement for `Release` events). Keeps
+    /// the ring sorted; jitter-free runs append in O(1).
+    #[inline]
+    fn ring_push(&mut self, src: usize, release: Cycles) {
+        let now = self.now;
+        let ring = &mut self.rings[src];
+        while ring.front().is_some_and(|&t| t <= now) {
+            ring.pop_front();
+        }
+        if ring.back().is_some_and(|&b| b > release) {
+            let pos = ring.partition_point(|&t| t <= release);
+            ring.insert(pos, release);
+        } else {
+            ring.push_back(release);
+        }
+        self.stats.max_inflight_per_src = self.stats.max_inflight_per_src.max(ring.len() as u64);
+    }
+
+    /// Evict released entries and report whether `src` may inject another
+    /// message at `now` under the ⌈L/g⌉ source window. Mirrors the
+    /// classic engine exactly: a message released at `t` frees its slot
+    /// for sends attempted at `t` (`Release` carries event class 0).
+    #[inline]
+    fn ring_admit(&mut self, src: usize, now: Cycles) -> bool {
+        let ring = &mut self.rings[src];
+        while ring.front().is_some_and(|&t| t <= now) {
+            ring.pop_front();
+        }
+        (ring.len() as u64) < self.capacity
+    }
+
+    /// Latency draw on either engine. The sharded draw is counter-mode
+    /// (`logp_core::rng`): a pure function of `(seed, src, ctr)`, so the
+    /// stream each source sees is independent of lane count. The two
+    /// engines draw different (equally legitimate) jitter streams; they
+    /// coincide exactly when `latency_jitter` is 0.
+    #[inline]
+    fn draw_latency_on<const SHARDED: bool>(&mut self, src: ProcId) -> Cycles {
+        if !SHARDED {
+            return self.draw_latency();
+        }
+        let j = self
+            .config
+            .latency_jitter
+            .min(self.model.l.saturating_sub(1));
+        if j == 0 {
+            self.model.l
+        } else {
+            let ctr = self.bump_pctr(src);
+            let r = logp_core::rng::mix(&[self.config.seed, 0x004C_4154, src as u64, ctr]);
+            self.model.l - r % (j + 1)
+        }
+    }
+
+    /// Compute-perturbation draw on either engine (sharded: counter-mode
+    /// per processor, see [`Sim::draw_latency_on`]).
+    #[inline]
+    fn draw_compute_on<const SHARDED: bool>(&mut self, proc: ProcId, cycles: Cycles) -> Cycles {
+        if !SHARDED {
+            return self.draw_compute(proc, cycles);
+        }
+        let ppk = self.config.drift_ppk as i64;
+        if cycles == 0 || (ppk == 0 && self.config.proc_skew_ppk == 0) {
+            return cycles;
+        }
+        let noise = if ppk == 0 {
+            0
+        } else {
+            let ctr = self.bump_pctr(proc);
+            let r = logp_core::rng::mix(&[self.config.seed, 0x0044_5246, proc as u64, ctr]);
+            -ppk + (r % (2 * ppk as u64 + 1)) as i64
+        };
+        let scale = self.proc_scale[proc as usize] + noise;
+        let scaled = cycles as i128 * scale.max(0) as i128 / 1024;
+        scaled.max(0) as Cycles
     }
 
     /// Record one message injected from `src` toward `dst`: bump both
@@ -794,8 +1098,7 @@ impl Sim {
     /// event's sequence number so the fire can recover the record id.
     #[cold]
     #[inline(never)]
-    fn record_timer(&mut self, p: ProcId, tag: u64, meta: (Cause, Cycles), fire: Cycles) {
-        let seq = self.seq;
+    fn record_timer(&mut self, p: ProcId, tag: u64, meta: (Cause, Cycles), fire: Cycles, seq: u64) {
         let now = self.now;
         if let Some(obs) = self.obs.as_deref_mut() {
             if obs.msg_log {
@@ -913,7 +1216,7 @@ impl Sim {
     /// stash → Release/Arrive scheduling); `lat` was drawn by the caller
     /// so the engine RNG stream is identical to the fault-free path.
     #[allow(clippy::too_many_arguments)]
-    fn inject_faulty<const OBS: bool>(
+    fn inject_faulty<const OBS: bool, const SHARDED: bool>(
         &mut self,
         src: ProcId,
         dst: ProcId,
@@ -928,48 +1231,60 @@ impl Sim {
     ) {
         let now = self.now;
         let idx = src as usize;
-        let p = self.model.p as usize;
         let d = self
             .faults
             .as_deref_mut()
             .expect("FAULTS implies a fault plan")
-            .decide(src, dst, &data, p);
+            .decide(src, dst, &data);
         if d.drop {
             // The message occupies both network windows for its would-be
             // flight — the sender cannot tell a dropped message from a
             // slow one — but the destination NI never sees it: no slab
             // slot, no Arrive, no NI-buffer occupancy.
             self.stats.msgs_dropped += 1;
-            self.in_flight_from[idx] += 1;
-            self.in_flight_to[dst as usize] += 1;
-            self.stats.max_inflight_per_src = self
-                .stats
-                .max_inflight_per_src
-                .max(self.in_flight_from[idx]);
-            self.stats.max_inflight_per_dst = self
-                .stats
-                .max_inflight_per_dst
-                .max(self.in_flight_to[dst as usize]);
+            if SHARDED {
+                self.ring_push(idx, now + stream + lat + d.delay);
+            } else {
+                self.in_flight_from[idx] += 1;
+                self.in_flight_to[dst as usize] += 1;
+                self.stats.max_inflight_per_src = self
+                    .stats
+                    .max_inflight_per_src
+                    .max(self.in_flight_from[idx]);
+                self.stats.max_inflight_per_dst = self
+                    .stats
+                    .max_inflight_per_dst
+                    .max(self.in_flight_to[dst as usize]);
+            }
             if OBS {
                 self.record_lost(src, dst, tag, words, meta, send_gate, now, now + o);
             }
-            self.schedule(
-                now + stream + lat + d.delay,
-                EventKind::Release { src, dst },
-            );
+            if !SHARDED {
+                self.schedule(
+                    now + stream + lat + d.delay,
+                    EventKind::Release { src, dst },
+                );
+            }
             return;
         }
         if d.delay > 0 {
             self.stats.msgs_delayed += 1;
         }
         let copy = d.duplicate.then(|| data.clone());
-        self.note_injection(idx, dst as usize);
-        let slot = self.stash_msg(Message {
+        if !SHARDED {
+            self.note_injection(idx, dst as usize);
+        }
+        let msg = Message {
             src,
             dst,
             tag,
             data,
-        });
+        };
+        let slot = if SHARDED {
+            self.stash_msg_sharded(dst, msg)
+        } else {
+            self.stash_msg(msg)
+        };
         if OBS {
             self.record_send(
                 slot,
@@ -984,24 +1299,35 @@ impl Sim {
                 now + o + stream + lat + d.delay,
             );
         }
-        self.schedule(
-            now + stream + lat + d.delay,
-            EventKind::Release { src, dst },
-        );
-        self.schedule(now + o + stream + lat + d.delay, EventKind::Arrive(slot));
+        if SHARDED {
+            self.ring_push(idx, now + stream + lat + d.delay);
+        } else {
+            self.schedule(
+                now + stream + lat + d.delay,
+                EventKind::Release { src, dst },
+            );
+        }
+        self.sched_arrive::<SHARDED>(now + o + stream + lat + d.delay, slot, src, dst);
         if let Some(data) = copy {
             // The duplicate is a full extra injection (own capacity
             // window, own lifecycle record) trailing the original by at
             // least one cycle, so duplicates also reorder.
             self.stats.msgs_duplicated += 1;
             let extra = d.delay + d.dup_delay;
-            self.note_injection(idx, dst as usize);
-            let slot = self.stash_msg(Message {
+            if !SHARDED {
+                self.note_injection(idx, dst as usize);
+            }
+            let msg = Message {
                 src,
                 dst,
                 tag,
                 data,
-            });
+            };
+            let slot = if SHARDED {
+                self.stash_msg_sharded(dst, msg)
+            } else {
+                self.stash_msg(msg)
+            };
             if OBS {
                 self.record_send(
                     slot,
@@ -1016,8 +1342,12 @@ impl Sim {
                     now + o + stream + lat + extra,
                 );
             }
-            self.schedule(now + stream + lat + extra, EventKind::Release { src, dst });
-            self.schedule(now + o + stream + lat + extra, EventKind::Arrive(slot));
+            if SHARDED {
+                self.ring_push(idx, now + stream + lat + extra);
+            } else {
+                self.schedule(now + stream + lat + extra, EventKind::Release { src, dst });
+            }
+            self.sched_arrive::<SHARDED>(now + o + stream + lat + extra, slot, src, dst);
         }
     }
 
@@ -1026,7 +1356,7 @@ impl Sim {
     /// discards everything it holds (and everything that arrives later).
     #[cold]
     #[inline(never)]
-    fn apply_crash<const OBS: bool>(&mut self, p: ProcId) {
+    fn apply_crash<const OBS: bool, const SHARDED: bool>(&mut self, p: ProcId) {
         let idx = p as usize;
         let faults = self
             .faults
@@ -1058,12 +1388,16 @@ impl Sim {
         // An in-progress reception dies with the interface; its NI slot
         // frees (the pending RecvDone is ignored via the crash guard).
         if self.procs[idx].receiving.take().is_some() {
-            self.outstanding_to[idx] -= 1;
+            if !SHARDED {
+                self.outstanding_to[idx] -= 1;
+            }
             self.stats.msgs_dropped += 1;
         }
         // Everything buffered in the dead interface is lost.
         while let Some(Reverse(item)) = self.procs[idx].inbox.pop() {
-            self.outstanding_to[idx] -= 1;
+            if !SHARDED {
+                self.outstanding_to[idx] -= 1;
+            }
             self.stats.msgs_dropped += 1;
             if OBS {
                 if let Some(obs) = self.obs.as_deref_mut() {
@@ -1072,17 +1406,28 @@ impl Sim {
             }
         }
         // A crashed processor no longer counts toward the barrier quorum.
-        if self.procs[idx].in_barrier {
+        let was_in_barrier = self.procs[idx].in_barrier;
+        if was_in_barrier {
             self.procs[idx].in_barrier = false;
             self.barrier_count -= 1;
         }
         self.procs[idx].halted = true;
         self.procs[idx].waiting_on_src = false;
         self.alive -= 1;
-        self.check_barrier();
-        // Freed NI slots may unblock stalled senders (whose future
-        // messages will simply be discarded on arrival).
-        self.wake_dst_waiters::<OBS, true>(idx);
+        if SHARDED {
+            self.bdeltas.push(BarrierDelta {
+                t: now,
+                proc: p,
+                dcount: if was_in_barrier { -1 } else { 0 },
+                dalive: -1,
+                meta: None,
+            });
+        } else {
+            self.check_barrier();
+            // Freed NI slots may unblock stalled senders (whose future
+            // messages will simply be discarded on arrival).
+            self.wake_dst_waiters::<OBS, true>(idx);
+        }
     }
 
     /// Run a program handler and enqueue the commands it issues; `cause`
@@ -1134,7 +1479,7 @@ impl Sim {
     /// disabled hot path compiles with every hook removed — the flags are
     /// `self.obs.is_some()` / `self.faults.is_some()`, fixed at
     /// [`Sim::run`].
-    fn advance<const OBS: bool, const FAULTS: bool>(&mut self, p: ProcId) {
+    fn advance<const OBS: bool, const FAULTS: bool, const SHARDED: bool>(&mut self, p: ProcId) {
         let now = self.now;
         let idx = p as usize;
         if self.procs[idx].engaged || self.procs[idx].halted {
@@ -1154,7 +1499,7 @@ impl Sim {
             {
                 if let Some(Reverse(item)) = st.inbox.peek() {
                     if item.arrival() <= now {
-                        self.start_reception::<OBS>(p);
+                        self.start_reception::<OBS, SHARDED>(p);
                         return;
                     }
                 }
@@ -1172,25 +1517,40 @@ impl Sim {
                     let st = &self.procs[idx];
                     let s = st.busy_until.max(st.next_send_slot);
                     if now < s {
-                        self.schedule(s, EventKind::Wake(p));
+                        self.sched::<SHARDED>(s, EventKind::Wake(p));
                         return;
                     }
-                    if self.in_flight_from[idx] >= self.capacity {
-                        let st = &mut self.procs[idx];
-                        st.stall_since.get_or_insert(now);
-                        st.waiting_on_src = true;
-                        return;
-                    }
-                    if self.in_flight_to[dst as usize] >= self.capacity
-                        || self.outstanding_to[dst as usize] >= self.max_outstanding
-                    {
-                        let st = &mut self.procs[idx];
-                        st.stall_since.get_or_insert(now);
-                        if !st.waiting_on_dst {
-                            st.waiting_on_dst = true;
-                            self.dst_waiters[dst as usize].push_back(p);
+                    if SHARDED {
+                        // Source window via the release ring; destination
+                        // admission is relaxed on the sharded path (its
+                        // zero-lookahead coupling is what lanes remove —
+                        // see `crate::shard`).
+                        if self.config.enforce_capacity && !self.ring_admit(idx, now) {
+                            let wake = self.rings[idx][0];
+                            let st = &mut self.procs[idx];
+                            st.stall_since.get_or_insert(now);
+                            st.waiting_on_src = true;
+                            self.sched::<SHARDED>(wake, EventKind::Wake(p));
+                            return;
                         }
-                        return;
+                    } else {
+                        if self.in_flight_from[idx] >= self.capacity {
+                            let st = &mut self.procs[idx];
+                            st.stall_since.get_or_insert(now);
+                            st.waiting_on_src = true;
+                            return;
+                        }
+                        if self.in_flight_to[dst as usize] >= self.capacity
+                            || self.outstanding_to[dst as usize] >= self.max_outstanding
+                        {
+                            let st = &mut self.procs[idx];
+                            st.stall_since.get_or_insert(now);
+                            if !st.waiting_on_dst {
+                                st.waiting_on_dst = true;
+                                self.dst_waiters[dst as usize].push_back(p);
+                            }
+                            return;
+                        }
                     }
                     // Committed: dequeue by value so the payload moves
                     // instead of cloning.
@@ -1225,19 +1585,26 @@ impl Sim {
                     st.stats.msgs_sent += 1;
                     self.span(p, now, now + o, Activity::SendOverhead);
                     if FAULTS {
-                        let lat = self.draw_latency();
-                        self.inject_faulty::<OBS>(
+                        let lat = self.draw_latency_on::<SHARDED>(p);
+                        self.inject_faulty::<OBS, SHARDED>(
                             p, dst, tag, data, words, meta, send_gate, o, stream, lat,
                         );
                     } else {
-                        self.note_injection(idx, dst as usize);
-                        let lat = self.draw_latency();
-                        let slot = self.stash_msg(Message {
+                        if !SHARDED {
+                            self.note_injection(idx, dst as usize);
+                        }
+                        let lat = self.draw_latency_on::<SHARDED>(p);
+                        let msg = Message {
                             src: p,
                             dst,
                             tag,
                             data,
-                        });
+                        };
+                        let slot = if SHARDED {
+                            self.stash_msg_sharded(dst, msg)
+                        } else {
+                            self.stash_msg(msg)
+                        };
                         if OBS {
                             self.record_send(
                                 slot,
@@ -1256,35 +1623,53 @@ impl Sim {
                         // rule: it covers the message's network occupancy
                         // (streaming plus flight), not the sender's
                         // overhead.
-                        self.schedule(now + stream + lat, EventKind::Release { src: p, dst });
-                        self.schedule(now + o + stream + lat, EventKind::Arrive(slot));
+                        if SHARDED {
+                            self.ring_push(idx, now + stream + lat);
+                        } else {
+                            self.schedule(now + stream + lat, EventKind::Release { src: p, dst });
+                        }
+                        self.sched_arrive::<SHARDED>(now + o + stream + lat, slot, p, dst);
                     }
-                    self.finish_send(p);
+                    self.finish_send::<SHARDED>(p);
                 }
                 Command::Send { dst, tag, .. } => {
                     let st = &self.procs[idx];
                     let s = st.busy_until.max(st.next_send_slot);
                     if now < s {
-                        self.schedule(s, EventKind::Wake(p));
+                        self.sched::<SHARDED>(s, EventKind::Wake(p));
                         return;
                     }
-                    if self.in_flight_from[idx] >= self.capacity {
-                        // Stall until one of our own messages arrives.
-                        let st = &mut self.procs[idx];
-                        st.stall_since.get_or_insert(now);
-                        st.waiting_on_src = true;
-                        return;
-                    }
-                    if self.in_flight_to[dst as usize] >= self.capacity
-                        || self.outstanding_to[dst as usize] >= self.max_outstanding
-                    {
-                        let st = &mut self.procs[idx];
-                        st.stall_since.get_or_insert(now);
-                        if !st.waiting_on_dst {
-                            st.waiting_on_dst = true;
-                            self.dst_waiters[dst as usize].push_back(p);
+                    if SHARDED {
+                        // Source window via the release ring; destination
+                        // admission is relaxed on the sharded path (see
+                        // `crate::shard`).
+                        if self.config.enforce_capacity && !self.ring_admit(idx, now) {
+                            let wake = self.rings[idx][0];
+                            let st = &mut self.procs[idx];
+                            st.stall_since.get_or_insert(now);
+                            st.waiting_on_src = true;
+                            self.sched::<SHARDED>(wake, EventKind::Wake(p));
+                            return;
                         }
-                        return;
+                    } else {
+                        if self.in_flight_from[idx] >= self.capacity {
+                            // Stall until one of our own messages arrives.
+                            let st = &mut self.procs[idx];
+                            st.stall_since.get_or_insert(now);
+                            st.waiting_on_src = true;
+                            return;
+                        }
+                        if self.in_flight_to[dst as usize] >= self.capacity
+                            || self.outstanding_to[dst as usize] >= self.max_outstanding
+                        {
+                            let st = &mut self.procs[idx];
+                            st.stall_since.get_or_insert(now);
+                            if !st.waiting_on_dst {
+                                st.waiting_on_dst = true;
+                                self.dst_waiters[dst as usize].push_back(p);
+                            }
+                            return;
+                        }
                     }
                     // Proceed with the send at `now`: dequeue by value so
                     // the payload moves instead of cloning.
@@ -1315,17 +1700,26 @@ impl Sim {
                     st.stats.msgs_sent += 1;
                     self.span(p, now, now + o, Activity::SendOverhead);
                     if FAULTS {
-                        let lat = self.draw_latency();
-                        self.inject_faulty::<OBS>(p, dst, tag, data, 1, meta, send_gate, o, 0, lat);
+                        let lat = self.draw_latency_on::<SHARDED>(p);
+                        self.inject_faulty::<OBS, SHARDED>(
+                            p, dst, tag, data, 1, meta, send_gate, o, 0, lat,
+                        );
                     } else {
-                        self.note_injection(idx, dst as usize);
-                        let lat = self.draw_latency();
-                        let slot = self.stash_msg(Message {
+                        if !SHARDED {
+                            self.note_injection(idx, dst as usize);
+                        }
+                        let lat = self.draw_latency_on::<SHARDED>(p);
+                        let msg = Message {
                             src: p,
                             dst,
                             tag,
                             data,
-                        });
+                        };
+                        let slot = if SHARDED {
+                            self.stash_msg_sharded(dst, msg)
+                        } else {
+                            self.stash_msg(msg)
+                        };
                         if OBS {
                             self.record_send(
                                 slot,
@@ -1340,15 +1734,19 @@ impl Sim {
                                 now + o + lat,
                             );
                         }
-                        self.schedule(now + lat, EventKind::Release { src: p, dst });
-                        self.schedule(now + o + lat, EventKind::Arrive(slot));
+                        if SHARDED {
+                            self.ring_push(idx, now + lat);
+                        } else {
+                            self.schedule(now + lat, EventKind::Release { src: p, dst });
+                        }
+                        self.sched_arrive::<SHARDED>(now + o + lat, slot, p, dst);
                     }
-                    self.finish_send(p);
+                    self.finish_send::<SHARDED>(p);
                 }
                 Command::Compute { cycles, tag } => {
                     if now < self.procs[idx].busy_until {
                         let t = self.procs[idx].busy_until;
-                        self.schedule(t, EventKind::Wake(p));
+                        self.sched::<SHARDED>(t, EventKind::Wake(p));
                         return;
                     }
                     self.procs[idx].cmds.pop_front();
@@ -1357,7 +1755,7 @@ impl Sim {
                     } else {
                         (Cause::Start, now)
                     };
-                    let dur = self.draw_compute(p, cycles);
+                    let dur = self.draw_compute_on::<SHARDED>(p, cycles);
                     let st = &mut self.procs[idx];
                     st.busy_until = now + dur;
                     st.stats.compute += dur;
@@ -1382,12 +1780,12 @@ impl Sim {
                             obs.metrics.inc(c, 1);
                         }
                     }
-                    self.schedule(now + dur, EventKind::ComputeDone(p, tag));
+                    self.sched::<SHARDED>(now + dur, EventKind::ComputeDone(p, tag));
                 }
                 Command::Barrier => {
                     if now < self.procs[idx].busy_until {
                         let t = self.procs[idx].busy_until;
-                        self.schedule(t, EventKind::Wake(p));
+                        self.sched::<SHARDED>(t, EventKind::Wake(p));
                         return;
                     }
                     self.procs[idx].cmds.pop_front();
@@ -1410,7 +1808,19 @@ impl Sim {
                             obs.metrics.inc(c, 1);
                         }
                     }
-                    self.check_barrier();
+                    if SHARDED {
+                        // Completion is decided by the window driver's
+                        // canonical delta replay, not mid-pass.
+                        self.bdeltas.push(BarrierDelta {
+                            t: now,
+                            proc: p,
+                            dcount: 1,
+                            dalive: 0,
+                            meta: Some(meta),
+                        });
+                    } else {
+                        self.check_barrier();
+                    }
                 }
                 Command::Timer { cycles, tag } => {
                     // Arming is free: no overhead, no gap, no busy wait.
@@ -1420,12 +1830,12 @@ impl Sim {
                     } else {
                         (Cause::Start, now)
                     };
-                    self.schedule(now + cycles, EventKind::TimerFire(p, tag));
+                    let seq = self.sched::<SHARDED>(now + cycles, EventKind::TimerFire(p, tag));
                     if OBS {
-                        self.record_timer(p, tag, meta, now + cycles);
+                        self.record_timer(p, tag, meta, now + cycles, seq);
                     }
                     // Keep draining the command queue behind the timer.
-                    self.advance::<OBS, FAULTS>(p);
+                    self.advance::<OBS, FAULTS, SHARDED>(p);
                 }
                 Command::Halt => {
                     self.procs[idx].cmds.pop_front();
@@ -1434,7 +1844,17 @@ impl Sim {
                     }
                     self.procs[idx].halted = true;
                     self.alive -= 1;
-                    self.check_barrier();
+                    if SHARDED {
+                        self.bdeltas.push(BarrierDelta {
+                            t: now,
+                            proc: p,
+                            dcount: 0,
+                            dalive: -1,
+                            meta: None,
+                        });
+                    } else {
+                        self.check_barrier();
+                    }
                 }
             }
             return;
@@ -1445,17 +1865,17 @@ impl Sim {
         if let Some(Reverse(item)) = st.inbox.peek() {
             let r = st.busy_until.max(st.next_recv_slot).max(item.arrival());
             if now < r {
-                self.schedule(r, EventKind::Wake(p));
+                self.sched::<SHARDED>(r, EventKind::Wake(p));
                 return;
             }
-            self.start_reception::<OBS>(p);
+            self.start_reception::<OBS, SHARDED>(p);
         }
         // Otherwise: idle until something arrives.
     }
 
     /// Begin receiving the earliest-arrived inbox message at the current
     /// time. Caller guarantees the processor is free and the gap allows.
-    fn start_reception<const OBS: bool>(&mut self, p: ProcId) {
+    fn start_reception<const OBS: bool, const SHARDED: bool>(&mut self, p: ProcId) {
         let now = self.now;
         let idx = p as usize;
         let Reverse(item) = self.procs[idx].inbox.pop().expect("inbox non-empty");
@@ -1483,7 +1903,7 @@ impl Sim {
             self.note_reception(p, item.key, recv_gate);
         }
         self.span(p, now, now + o, Activity::RecvOverhead);
-        self.schedule(now + o, EventKind::RecvDone(p));
+        self.sched::<SHARDED>(now + o, EventKind::RecvDone(p));
     }
 
     /// Close out an injection that just occupied `[now, busy_until)`.
@@ -1496,14 +1916,14 @@ impl Sim {
     /// message arriving during the overhead window finds the processor
     /// un-engaged and schedules its own wake at `busy_until`.
     #[inline]
-    fn finish_send(&mut self, p: ProcId) {
+    fn finish_send<const SHARDED: bool>(&mut self, p: ProcId) {
         let st = &self.procs[p as usize];
         if st.cmds.is_empty() && st.inbox.is_empty() {
             return;
         }
         let done = st.busy_until;
         self.procs[p as usize].engaged = true;
-        self.schedule(done, EventKind::SendDone(p));
+        self.sched::<SHARDED>(done, EventKind::SendDone(p));
     }
 
     /// Wake every sender queued on destination `dst`'s capacity list
@@ -1524,7 +1944,7 @@ impl Sim {
         waiters.extend(self.dst_waiters[dst].drain(..));
         for &w in &waiters {
             self.procs[w as usize].waiting_on_dst = false;
-            self.advance::<OBS, FAULTS>(w);
+            self.advance::<OBS, FAULTS, false>(w);
         }
         waiters.clear();
         self.waiter_scratch = waiters;
@@ -1541,15 +1961,40 @@ impl Sim {
 
     /// Run to quiescence. Consumes the machine and returns statistics and
     /// (if configured) the activity trace.
-    pub fn run(mut self) -> Result<SimResult, SimError> {
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.run_counting_reallocs().map(|(result, _)| result)
+    }
+
+    /// [`Sim::run`], additionally returning the arena-growth count (see
+    /// [`Sim::arena_reallocs`]; always 0 in release builds, where the
+    /// counter is compiled out). The pre-sizing pin tests use this to
+    /// assert that construction-time arena capacities stay exact.
+    pub fn run_counting_reallocs(mut self) -> Result<(SimResult, u64), SimError> {
         // Pick the monomorphization once: `self.obs` and `self.faults`
         // are installed before the run and never change during it, so
         // their presence is invariant across the whole event loop.
-        match (self.obs.is_some(), self.faults.is_some()) {
-            (false, false) => self.drive::<false, false>()?,
-            (false, true) => self.drive::<false, true>()?,
-            (true, false) => self.drive::<true, false>()?,
-            (true, true) => self.drive::<true, true>()?,
+        //
+        // `shards >= 2` selects the windowed lane engine (`crate::shard`);
+        // `0` and `1` run the classic single-heap engine unchanged. Gauge
+        // sampling (`metrics_grid > 0`) needs globally time-ordered event
+        // processing, which windowed lanes deliberately give up, so those
+        // runs stay on the classic engine.
+        // Canonical keys budget 20 bits for `proc + 1`, which covers the
+        // million-processor target with room to spare; anything larger
+        // falls back to the classic engine rather than overflowing.
+        let sharded = self.config.shards >= 2
+            && self.config.metrics_grid == 0
+            && self.model.p >= 2
+            && (self.model.p as u64) < (1 << 20);
+        match (self.obs.is_some(), self.faults.is_some(), sharded) {
+            (false, false, false) => self.drive::<false, false>()?,
+            (false, true, false) => self.drive::<false, true>()?,
+            (true, false, false) => self.drive::<true, false>()?,
+            (true, true, false) => self.drive::<true, true>()?,
+            (false, false, true) => self.drive_sharded::<false, false>()?,
+            (false, true, true) => self.drive_sharded::<false, true>()?,
+            (true, false, true) => self.drive_sharded::<true, false>()?,
+            (true, true, true) => self.drive_sharded::<true, true>()?,
         }
         // Heap pops are time-ordered, so the clock is monotone and the
         // final `now` is the completion time — no per-event max needed.
@@ -1579,12 +2024,19 @@ impl Sim {
             Some(o) => (o.log, o.metrics),
             None => (ObsLog::default(), MetricsRegistry::default()),
         };
-        Ok(SimResult {
-            stats: self.stats,
-            trace: self.trace,
-            obs: obs_log,
-            metrics,
-        })
+        #[cfg(debug_assertions)]
+        let reallocs = self.arena_reallocs;
+        #[cfg(not(debug_assertions))]
+        let reallocs = 0u64;
+        Ok((
+            SimResult {
+                stats: self.stats,
+                trace: self.trace,
+                obs: obs_log,
+                metrics,
+            },
+            reallocs,
+        ))
     }
 
     /// The event loop, monomorphized over observability. With `OBS`
@@ -1608,7 +2060,7 @@ impl Sim {
                 .clone();
             for (p, t) in crashes {
                 if t == 0 {
-                    self.apply_crash::<OBS>(p);
+                    self.apply_crash::<OBS, false>(p);
                 } else {
                     self.schedule(t, EventKind::Crash(p));
                 }
@@ -1622,7 +2074,7 @@ impl Sim {
             self.run_handler::<OBS, _>(p, Cause::Start, |prog, ctx| prog.on_start(ctx));
         }
         for p in 0..self.model.p {
-            self.advance::<OBS, FAULTS>(p);
+            self.advance::<OBS, FAULTS, false>(p);
         }
         while let Some((key, kind)) = self.heap.pop() {
             self.stats.events += 1;
@@ -1646,7 +2098,7 @@ impl Sim {
                     // The source may have been stalled on its own window.
                     if self.procs[src as usize].waiting_on_src {
                         self.procs[src as usize].waiting_on_src = false;
-                        self.advance::<OBS, FAULTS>(src);
+                        self.advance::<OBS, FAULTS, false>(src);
                     }
                 }
                 EventKind::Arrive(slot) => {
@@ -1669,11 +2121,11 @@ impl Sim {
                     self.procs[dst as usize]
                         .inbox
                         .push(Reverse(InboxItem { key, msg }));
-                    self.advance::<OBS, FAULTS>(dst);
+                    self.advance::<OBS, FAULTS, false>(dst);
                 }
                 EventKind::SendDone(p) => {
                     self.procs[p as usize].engaged = false;
-                    self.advance::<OBS, FAULTS>(p);
+                    self.advance::<OBS, FAULTS, false>(p);
                 }
                 EventKind::ComputeDone(p, tag) => {
                     if FAULTS && self.is_crashed(p) {
@@ -1691,7 +2143,7 @@ impl Sim {
                     self.run_handler::<OBS, _>(p, cause, |prog, ctx| {
                         prog.on_compute_done(tag, ctx)
                     });
-                    self.advance::<OBS, FAULTS>(p);
+                    self.advance::<OBS, FAULTS, false>(p);
                 }
                 EventKind::RecvDone(p) => {
                     if FAULTS && self.is_crashed(p) {
@@ -1725,7 +2177,7 @@ impl Sim {
                     };
                     self.wake_dst_waiters::<OBS, FAULTS>(p as usize);
                     self.run_handler::<OBS, _>(p, cause, |prog, ctx| prog.on_message(&msg, ctx));
-                    self.advance::<OBS, FAULTS>(p);
+                    self.advance::<OBS, FAULTS, false>(p);
                 }
                 EventKind::BarrierRelease => {
                     self.barrier_count = 0;
@@ -1763,7 +2215,7 @@ impl Sim {
                         });
                     }
                     for &p in &released {
-                        self.advance::<OBS, FAULTS>(p);
+                        self.advance::<OBS, FAULTS, false>(p);
                     }
                     released.clear();
                     self.released_scratch = released;
@@ -1780,14 +2232,14 @@ impl Sim {
                         Cause::Start
                     };
                     self.run_handler::<OBS, _>(p, cause, |prog, ctx| prog.on_timer(tag, ctx));
-                    self.advance::<OBS, FAULTS>(p);
+                    self.advance::<OBS, FAULTS, false>(p);
                 }
                 EventKind::Crash(p) => {
                     debug_assert!(FAULTS, "crash events only exist under a fault plan");
-                    self.apply_crash::<OBS>(p);
+                    self.apply_crash::<OBS, false>(p);
                 }
                 EventKind::Wake(p) => {
-                    self.advance::<OBS, FAULTS>(p);
+                    self.advance::<OBS, FAULTS, false>(p);
                 }
             }
         }

@@ -1,0 +1,619 @@
+//! The sharded lane engine: per-shard event lanes synchronized by
+//! conservative `L`-lookahead windows.
+//!
+//! # Why lanes are legal
+//!
+//! The LogP network is the *only* channel between processors, and it has
+//! a hard lower bound: a message injected at time `s` costs `o` cycles of
+//! send overhead and at least `L - jitter` cycles of flight, so no
+//! arrival it causes can land before `s + W` where
+//!
+//! ```text
+//! W = o + (L - min(jitter, L - 1))        (always >= 1)
+//! ```
+//!
+//! Partition the processors into contiguous *lanes*, each with its own
+//! event heap and message slab. Within a half-open window `[T, T + W)`
+//! the lanes are causally independent: any cross-processor influence
+//! created inside the window (an arrival) lands at or after `T + W`, i.e.
+//! in a later window. Each lane can therefore drain its own heap
+//! event-by-event through the window with no global ordering at all, and
+//! cross-lane arrivals are pushed directly into the destination's lane
+//! heap for a future window. The next window starts at the earliest
+//! pending event across all lanes — empty stretches are skipped in one
+//! step (quiescence fast-forward), so a mostly-idle machine costs nothing
+//! per idle cycle.
+//!
+//! # Why results are lane-count-invariant
+//!
+//! Bit-identical results across lane counts require that nothing
+//! observable depends on *which* lane processed an event first:
+//!
+//! * **Canonical keys.** Every heap key's tiebreak is
+//!   `(proc + 1) << 36 | ctr` with `ctr` a per-processor issuance
+//!   counter, so same-cycle ordering inside any one heap is a pure
+//!   function of processor-local execution order — identical however the
+//!   processors are grouped. Arrivals carry their *source's* counter and
+//!   reuse it as the destination inbox tiebreak.
+//! * **Counter-mode randomness.** Latency jitter and compute drift are
+//!   drawn as `mix(seed, tag, proc, ctr)` ([`logp_core::rng`]) — a pure
+//!   function of the drawing processor's identity and progress, not of
+//!   global event interleaving.
+//! * **Source rings instead of `Release` events.** The classic engine's
+//!   per-message `Release` bookkeeping events would demand global time
+//!   order. Each source instead keeps a sorted ring of its in-flight
+//!   messages' network-release instants; admission pops expired entries
+//!   and compares the ring length against `⌈L/g⌉`. A stalled sender
+//!   schedules its own `Wake` at the ring head — the exact instant the
+//!   classic engine would have woken it.
+//! * **Barrier deltas.** Barrier entry/halt/crash events append
+//!   `(t, proc, Δcount, Δalive)` deltas during the pass; the window
+//!   driver replays them in `(t, proc)` order to find the first instant
+//!   the quorum completes. Completion is *stable* (once every live
+//!   processor is in the barrier, later deltas can only remove matched
+//!   pairs), so the end-of-cycle completion predicate is replay-order
+//!   invariant and the release instant is exact.
+//! * **Canonical finalize.** Lifecycle records are appended in lane-pass
+//!   order, so at the end of the run they are stably re-sorted by
+//!   canonical keys — messages by `(inject, src)`, computes by
+//!   `(start, proc)`, timers by `(armed, proc)` — ids renumbered, and
+//!   causal references remapped. Activity spans re-sort by processor.
+//!   Metrics counters and histograms are commutative sums and need no
+//!   treatment.
+//!
+//! # What the sharded engine relaxes
+//!
+//! Destination-side admission (the `⌈L/g⌉` per-destination window plus
+//! the NI buffer) is zero-lookahead coupling: a sender's admission at `t`
+//! would depend on the destination's reception progress at `t`, which is
+//! exactly what windowed execution gives up. The sharded engine enforces
+//! the *source* window only; `SimStats::max_inflight_per_dst` reads 0 on
+//! this path. Runs that need receiver backpressure (hot-spot studies) or
+//! gauge sampling (`metrics_grid > 0`) use the classic engine — the
+//! dispatch in [`Sim::run`] routes them there automatically.
+//!
+//! Because the classic engine draws jitter and drift from a sequential
+//! generator in global event order, the two engines sample different
+//! (equally legitimate) streams; they coincide exactly when
+//! `latency_jitter == 0` and `drift_ppk == 0`. Lane counts `>= 2` are
+//! bit-identical to each other in all configurations, including under
+//! observability and fault plans.
+
+use super::{event_key, key_seq, key_time, EventHeap, EventKind, InboxItem, Lane, Sim, SimError};
+use crate::obs::Cause;
+use crate::trace::Activity;
+use logp_core::Cycles;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+
+/// Stable-sort `v` by `key`, renumbering positions; returns the
+/// old-index → new-index map used to rewrite causal references.
+fn sort_remap<T, K: Ord>(v: &mut Vec<T>, key: impl Fn(&T) -> K) -> Vec<u64> {
+    let mut idx: Vec<u32> = (0..v.len() as u32).collect();
+    idx.sort_by_key(|&i| (key(&v[i as usize]), i));
+    let mut map = vec![0u64; v.len()];
+    for (new, &old) in idx.iter().enumerate() {
+        map[old as usize] = new as u64;
+    }
+    let mut slots: Vec<Option<T>> = std::mem::take(v).into_iter().map(Some).collect();
+    *v = idx
+        .iter()
+        .map(|&old| slots[old as usize].take().expect("index permutation"))
+        .collect();
+    map
+}
+
+impl Sim {
+    /// Partition the processors into contiguous lanes and build the
+    /// sharded engine's state (lane heaps and slabs, canonical counters,
+    /// source rings). Arenas are pre-sized so steady-state collectives
+    /// never reallocate (pinned by the debug realloc counter).
+    fn setup_lanes(&mut self) {
+        let p = self.model.p as usize;
+        let want = (self.config.shards as usize).min(p);
+        let per = p.div_ceil(want);
+        let n = p.div_ceil(per);
+        let b = self.ring_span();
+        self.lane_of = vec![0; p];
+        self.lanes = Vec::with_capacity(n);
+        for li in 0..n {
+            let first = li * per;
+            let last = ((li + 1) * per).min(p) - 1;
+            for q in first..=last {
+                self.lane_of[q] = li as u32;
+            }
+            let lp = last - first + 1;
+            self.lanes.push(Lane {
+                buckets: vec![Vec::new(); b as usize],
+                bbase: 0,
+                bcount: 0,
+                far: EventHeap::with_capacity(lp + 16),
+                slab: Vec::with_capacity(2 * lp + 16),
+                free: Vec::with_capacity(2 * lp + 16),
+            });
+        }
+        self.pctr = vec![0; p];
+        self.rings = vec![VecDeque::new(); p];
+    }
+
+    /// The model's conservative lookahead: no send inside `[T, T + W)`
+    /// can cause an arrival before `T + W` where `W = o + (L - jitter)`.
+    fn model_lookahead(&self) -> Cycles {
+        let jclamp = self
+            .config
+            .latency_jitter
+            .min(self.model.l.saturating_sub(1));
+        self.model.o + (self.model.l - jclamp)
+    }
+
+    /// Calendar-ring span: a power of two covering one full window plus
+    /// the arrival horizon (`W + o + L` past the window start), so every
+    /// plain-send arrival inserts O(1). Capped so absurd `L` cannot
+    /// balloon the ring — beyond-horizon events overflow into the `far`
+    /// heap and are spilled back when their window comes, so the cap
+    /// costs time, never correctness.
+    fn ring_span(&self) -> Cycles {
+        let jclamp = self
+            .config
+            .latency_jitter
+            .min(self.model.l.saturating_sub(1));
+        (2 * self.model_lookahead() + jclamp + 2)
+            .next_power_of_two()
+            .clamp(16, 8192)
+    }
+
+    /// Effective window width: the model lookahead, narrowed if the
+    /// capped ring cannot cover it (windows narrower than the lookahead
+    /// are always legal — lanes just resynchronize more often).
+    fn window_width(&self) -> Cycles {
+        self.model_lookahead().min(self.ring_span() / 2)
+    }
+
+    /// The earliest pending instant in lane `li`, if any. Ring entries
+    /// always precede `far` entries (pushes beyond the horizon go to
+    /// `far`; rebasing spills everything nearer back into the ring), so
+    /// the ring scan short-circuits the heap.
+    fn lane_min(&self, li: usize) -> Option<Cycles> {
+        let lane = &self.lanes[li];
+        if lane.bcount == 0 {
+            return lane.far.peek().map(key_time);
+        }
+        let b = lane.buckets.len() as u64;
+        (lane.bbase..lane.bbase + b).find(|&t| !lane.buckets[(t & (b - 1)) as usize].is_empty())
+    }
+
+    /// Move lane `li`'s ring base up to `t0` and spill newly in-horizon
+    /// overflow events into the ring. Bucketed leftovers stay valid: they
+    /// all lie in `[t0, old_base + span) ⊆ [t0, t0 + span)`.
+    fn rebase_lane(&mut self, li: usize, t0: Cycles) {
+        let lane = &mut self.lanes[li];
+        lane.bbase = t0;
+        let b = lane.buckets.len() as u64;
+        let horizon = t0.saturating_add(b);
+        while lane.far.peek().is_some_and(|k| key_time(k) < horizon) {
+            let (key, kind) = lane.far.pop().expect("peeked non-empty");
+            lane.buckets[(key_time(key) & (b - 1)) as usize].push((key, kind));
+            lane.bcount += 1;
+        }
+    }
+
+    /// Drain one lane's calendar through `[bbase, t_end)`. Returns the
+    /// timestamp of the last event processed, or `None` if the lane had
+    /// nothing due.
+    ///
+    /// Each cycle's bucket is taken out, sorted by packed key, and
+    /// drained in order — exactly the order the per-lane heap would have
+    /// popped. Zero-duration corners (`o = 0` sends, `compute(0)`,
+    /// `timer(0)`) can insert *into the cycle being drained*; those land
+    /// in the vacated bucket and are merged into the unprocessed tail,
+    /// preserving heap semantics (the next event is always the minimum
+    /// remaining key).
+    fn pump_lane<const OBS: bool, const FAULTS: bool>(
+        &mut self,
+        li: usize,
+        t_end: Cycles,
+    ) -> Result<Option<Cycles>, SimError> {
+        let mut last = None;
+        let b = self.lanes[li].buckets.len() as u64;
+        let mut t = self.lanes[li].bbase;
+        while t < t_end {
+            if self.lanes[li].bcount == 0 {
+                break;
+            }
+            let slot = (t & (b - 1)) as usize;
+            if self.lanes[li].buckets[slot].is_empty() {
+                t += 1;
+                continue;
+            }
+            let mut batch = std::mem::take(&mut self.lanes[li].buckets[slot]);
+            self.lanes[li].bcount -= batch.len() as u64;
+            batch.sort_unstable_by_key(|e| e.0);
+            let mut i = 0;
+            loop {
+                if !self.lanes[li].buckets[slot].is_empty() {
+                    // Rare: same-cycle insertions made while draining.
+                    let late = std::mem::take(&mut self.lanes[li].buckets[slot]);
+                    self.lanes[li].bcount -= late.len() as u64;
+                    batch.extend(late);
+                    batch[i..].sort_unstable_by_key(|e| e.0);
+                }
+                if i >= batch.len() {
+                    break;
+                }
+                let (key, kind) = batch[i];
+                i += 1;
+                self.process_event::<OBS, FAULTS>(key, kind)?;
+                last = Some(self.now);
+            }
+            batch.clear();
+            // Hand the allocation back so steady-state cycles reuse it.
+            let hole = &mut self.lanes[li].buckets[slot];
+            if hole.capacity() < batch.capacity() {
+                *hole = batch;
+            }
+            t += 1;
+        }
+        Ok(last)
+    }
+
+    /// Dispatch one sharded event: the lane-engine counterpart of the
+    /// classic drive loop's match, sharing `advance` and every handler
+    /// path with it.
+    fn process_event<const OBS: bool, const FAULTS: bool>(
+        &mut self,
+        key: u128,
+        kind: EventKind,
+    ) -> Result<(), SimError> {
+        self.stats.events += 1;
+        if self.stats.events > self.config.max_events {
+            return Err(SimError::MaxEventsExceeded {
+                limit: self.config.max_events,
+            });
+        }
+        // Time is monotone per lane (cycles drain in order); the
+        // global clock rewinds when the driver switches lanes, which
+        // is exactly the reordering the window bound licenses.
+        self.now = key_time(key);
+        match kind {
+            EventKind::Arrive(slot) => {
+                let msg = self.unstash_msg_sharded(slot);
+                let dst = msg.dst;
+                if FAULTS && self.is_crashed(dst) {
+                    // Dead interface: the message is lost. (No NI
+                    // occupancy to release — the sharded engine does
+                    // not track destination admission.)
+                    self.stats.msgs_dropped += 1;
+                    return Ok(());
+                }
+                self.stats.total_msgs += 1;
+                // The source-canonical event tiebreak doubles as the
+                // inbox tiebreak, so same-cycle arrival order at a
+                // destination is lane-count-invariant.
+                let ikey = InboxItem::key(self.now, key_seq(key));
+                if OBS {
+                    self.note_arrival(slot, ikey);
+                }
+                self.procs[dst as usize]
+                    .inbox
+                    .push(Reverse(InboxItem { key: ikey, msg }));
+                self.advance::<OBS, FAULTS, true>(dst);
+            }
+            EventKind::SendDone(p) => {
+                self.procs[p as usize].engaged = false;
+                self.advance::<OBS, FAULTS, true>(p);
+            }
+            EventKind::ComputeDone(p, tag) => {
+                if FAULTS && self.is_crashed(p) {
+                    return Ok(());
+                }
+                self.procs[p as usize].engaged = false;
+                let cause = if OBS {
+                    match self.obs.as_deref() {
+                        Some(o) if o.msg_log => Cause::Compute(o.cur_compute[p as usize]),
+                        _ => Cause::Start,
+                    }
+                } else {
+                    Cause::Start
+                };
+                self.run_handler::<OBS, _>(p, cause, |prog, ctx| prog.on_compute_done(tag, ctx));
+                self.advance::<OBS, FAULTS, true>(p);
+            }
+            EventKind::RecvDone(p) => {
+                if FAULTS && self.is_crashed(p) {
+                    return Ok(());
+                }
+                let st = &mut self.procs[p as usize];
+                st.engaged = false;
+                st.stats.msgs_recvd += 1;
+                let msg = st.receiving.take().expect("a reception was in progress");
+                let cause = if OBS {
+                    match self.obs.as_deref() {
+                        Some(o) => {
+                            let obs_val = o.recv_obs[p as usize];
+                            let log = o.msg_log;
+                            self.record_delivery(obs_val);
+                            if log {
+                                Cause::Msg(obs_val)
+                            } else {
+                                Cause::Start
+                            }
+                        }
+                        None => Cause::Start,
+                    }
+                } else {
+                    Cause::Start
+                };
+                self.run_handler::<OBS, _>(p, cause, |prog, ctx| prog.on_message(&msg, ctx));
+                self.advance::<OBS, FAULTS, true>(p);
+            }
+            EventKind::TimerFire(p, tag) => {
+                if self.procs[p as usize].halted {
+                    return Ok(());
+                }
+                let cause = if OBS {
+                    self.timer_cause(key)
+                } else {
+                    Cause::Start
+                };
+                self.run_handler::<OBS, _>(p, cause, |prog, ctx| prog.on_timer(tag, ctx));
+                self.advance::<OBS, FAULTS, true>(p);
+            }
+            EventKind::Crash(p) => {
+                debug_assert!(FAULTS, "crash events only exist under a fault plan");
+                self.apply_crash::<OBS, true>(p);
+            }
+            EventKind::Wake(p) => {
+                // Self-scheduled at the source ring head: the slot is
+                // free now, so the retried send re-polls the network
+                // first (the classic `Release` arm's wake semantics).
+                self.procs[p as usize].waiting_on_src = false;
+                self.advance::<OBS, FAULTS, true>(p);
+            }
+            EventKind::Release { .. } | EventKind::BarrierRelease => {
+                unreachable!("classic-only event on the sharded path")
+            }
+        }
+        Ok(())
+    }
+
+    /// Replay the logged barrier deltas in canonical `(t, proc)` order to
+    /// find the instant the quorum completed, and return the release
+    /// instant `t_done + barrier_cost`. Also repairs `barrier_last` —
+    /// lane passes update it in pass order, but the record belongs to the
+    /// canonically last entrant.
+    fn barrier_release_time(&mut self, alive_base: i64) -> Cycles {
+        self.bdeltas.sort_unstable_by_key(|d| (d.t, d.proc));
+        let mut count = 0i64;
+        let mut alive = alive_base;
+        let mut t_done = None;
+        let mut last_enter: Option<usize> = None;
+        for (i, d) in self.bdeltas.iter().enumerate() {
+            count += d.dcount as i64;
+            alive += d.dalive as i64;
+            if d.dcount > 0 {
+                last_enter = Some(i);
+            }
+            if t_done.is_none() && alive > 0 && count == alive {
+                t_done = Some(d.t);
+            }
+        }
+        let t_done = t_done.expect("live quorum implies the replay completes");
+        if let Some(i) = last_enter {
+            let d = &self.bdeltas[i];
+            let (proc, t) = (d.proc, d.t);
+            let (cause, submit) = d.meta.expect("barrier entries carry their metadata");
+            if let Some(obs) = self.obs.as_deref_mut() {
+                if obs.msg_log {
+                    obs.barrier_last = (proc, submit, t, cause);
+                }
+            }
+        }
+        t_done + self.config.barrier_cost
+    }
+
+    /// Release the barrier at `t_rel`: the classic `BarrierRelease` arm,
+    /// re-run against the canonical release instant.
+    fn apply_barrier_release<const OBS: bool, const FAULTS: bool>(&mut self, t_rel: Cycles) {
+        self.now = t_rel;
+        self.barrier_count = 0;
+        let bcause = match self.obs.as_deref_mut().filter(|_| OBS) {
+            Some(obs) if obs.msg_log => {
+                let id = obs.log.barriers.len() as u64;
+                let (last_proc, submit, enter, cause) = obs.barrier_last;
+                obs.log.barriers.push(crate::obs::BarrierRecord {
+                    id,
+                    last_proc,
+                    submit,
+                    enter,
+                    release: t_rel,
+                    cause,
+                });
+                Cause::Barrier(id)
+            }
+            _ => Cause::Start,
+        };
+        let mut released = std::mem::take(&mut self.released_scratch);
+        released.extend((0..self.model.p).filter(|&p| self.procs[p as usize].in_barrier));
+        for &p in &released {
+            let st = &mut self.procs[p as usize];
+            st.in_barrier = false;
+            st.engaged = false;
+            st.busy_until = t_rel;
+            let entered = st.barrier_entered_at;
+            st.stats.barrier_wait += t_rel - entered;
+            self.span(p, entered, t_rel, Activity::Barrier);
+        }
+        for &p in &released {
+            self.run_handler::<OBS, _>(p, bcause, |prog, ctx| prog.on_barrier_release(ctx));
+        }
+        for &p in &released {
+            self.advance::<OBS, FAULTS, true>(p);
+        }
+        released.clear();
+        self.released_scratch = released;
+    }
+
+    /// Re-sort the observability log and activity trace into canonical
+    /// order and rewrite causal references. Lane passes append records in
+    /// pass order; the canonical order is the per-record primary
+    /// timestamp with the owning processor as tiebreak (both
+    /// lane-count-invariant). Sorts are stable, and within one processor
+    /// the append order is already chronological, so same-key runs stay
+    /// correctly ordered.
+    fn canonicalize_results(&mut self) {
+        if self.config.record_trace {
+            self.trace.spans.sort_by_key(|s| s.proc);
+        }
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        if !obs.msg_log {
+            return;
+        }
+        let log = &mut obs.log;
+        let msg_map = sort_remap(&mut log.msgs, |m| (m.inject, m.src));
+        let comp_map = sort_remap(&mut log.computes, |c| (c.start, c.proc));
+        let timer_map = sort_remap(&mut log.timers, |t| (t.armed, t.proc));
+        for (id, m) in log.msgs.iter_mut().enumerate() {
+            m.id = id as u64;
+        }
+        for (id, c) in log.computes.iter_mut().enumerate() {
+            c.id = id as u64;
+        }
+        for (id, t) in log.timers.iter_mut().enumerate() {
+            t.id = id as u64;
+        }
+        let fix = |cause: &mut Cause| match cause {
+            Cause::Msg(id) => *id = msg_map[*id as usize],
+            Cause::Compute(id) => *id = comp_map[*id as usize],
+            Cause::Retry(id) => *id = timer_map[*id as usize],
+            Cause::Start | Cause::Barrier(_) => {}
+        };
+        for m in &mut log.msgs {
+            fix(&mut m.cause);
+        }
+        for c in &mut log.computes {
+            fix(&mut c.cause);
+        }
+        for t in &mut log.timers {
+            fix(&mut t.cause);
+        }
+        for b in &mut log.barriers {
+            fix(&mut b.cause);
+        }
+    }
+
+    /// The windowed lane driver. Mirrors [`Sim::drive`]'s prologue and
+    /// event semantics, replacing the single globally ordered heap with
+    /// per-lane heaps drained window-by-window.
+    #[inline(never)]
+    pub(crate) fn drive_sharded<const OBS: bool, const FAULTS: bool>(
+        &mut self,
+    ) -> Result<(), SimError> {
+        self.setup_lanes();
+        let w = self.window_width();
+        // `alive` before any delta below is the replay baseline.
+        let mut alive_base = self.alive as i64;
+        if FAULTS {
+            // One crash per processor (the earliest wins — a processor
+            // cannot die twice), keyed canonically below every
+            // counter-derived key of its cycle.
+            let mut crashes = self
+                .faults
+                .as_deref()
+                .expect("FAULTS implies a fault plan")
+                .plan
+                .crashes
+                .clone();
+            crashes.sort_unstable_by_key(|&(p, t)| (p, t));
+            crashes.dedup_by_key(|&mut (p, _)| p);
+            for (p, t) in crashes {
+                if t == 0 {
+                    self.apply_crash::<OBS, true>(p);
+                } else {
+                    self.push_lane(p, event_key(t, 0, p as u64), EventKind::Crash(p));
+                }
+            }
+        }
+        for p in 0..self.model.p {
+            if FAULTS && self.procs[p as usize].halted {
+                continue;
+            }
+            self.run_handler::<OBS, _>(p, Cause::Start, |prog, ctx| prog.on_start(ctx));
+        }
+        for p in 0..self.model.p {
+            self.advance::<OBS, FAULTS, true>(p);
+        }
+        let mut pending_release: Option<Cycles> = None;
+        let mut completion: Cycles = 0;
+        loop {
+            // Next window start: the earliest pending instant anywhere.
+            // Jumping straight to it is the quiescence fast-forward — a
+            // machine with nothing due until cycle 10^9 costs one probe,
+            // not 10^9 window steps.
+            let mut t0 = pending_release;
+            for li in 0..self.lanes.len() {
+                if let Some(t) = self.lane_min(li) {
+                    if t0.is_none_or(|b| t < b) {
+                        t0 = Some(t);
+                    }
+                }
+            }
+            let Some(t0) = t0 else {
+                break;
+            };
+            for li in 0..self.lanes.len() {
+                self.rebase_lane(li, t0);
+            }
+            let t_end = t0.saturating_add(w);
+            // Drain the window to a fixed point: a barrier release inside
+            // the window re-arms processors across every lane, so lanes
+            // are re-pumped (same bound) until nothing is due before
+            // `t_end`.
+            loop {
+                let mut progressed = false;
+                for li in 0..self.lanes.len() {
+                    if let Some(t) = self.pump_lane::<OBS, FAULTS>(li, t_end)? {
+                        completion = completion.max(t);
+                        progressed = true;
+                    }
+                }
+                if pending_release.is_none() && self.alive > 0 && self.barrier_count == self.alive {
+                    pending_release = Some(self.barrier_release_time(alive_base));
+                }
+                if let Some(t_rel) = pending_release {
+                    if t_rel < t_end {
+                        self.apply_barrier_release::<OBS, FAULTS>(t_rel);
+                        completion = completion.max(t_rel);
+                        // Deltas before the release are consumed; the
+                        // next quorum replays from the post-release
+                        // state.
+                        self.bdeltas.clear();
+                        alive_base = self.alive as i64;
+                        pending_release = None;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        // The classic engine's clock ends at the last event popped —
+        // which includes the per-message `Release` bookkeeping events, so
+        // its completion covers the network fully draining (a dropped
+        // message's release, or `g > L` windows, can trail the last
+        // delivery). The sharded equivalent is the latest release
+        // instant still parked in any source ring: rings evict an entry
+        // only while processing an event at or after it, so the maximum
+        // below matches the classic engine's final `Release` exactly.
+        for ring in &self.rings {
+            if let Some(&r) = ring.back() {
+                completion = completion.max(r);
+            }
+        }
+        self.now = completion;
+        self.canonicalize_results();
+        Ok(())
+    }
+}

@@ -50,19 +50,11 @@
 //! assert_eq!(res.stats.total_msgs, 0);
 //! ```
 
+use logp_core::rng::splitmix64;
 use logp_core::{Cycles, ProcId};
 use std::collections::HashMap;
 
 use crate::message::Data;
-
-/// SplitMix64: the mixing function behind every fault decision and behind
-/// the sweep runner's per-spec seed derivation.
-pub(crate) fn splitmix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Parts-per-million denominator for all fault rates.
 const PPM: u64 = 1_000_000;
@@ -233,9 +225,10 @@ impl FaultPlan {
 /// actually crashed so far in this run.
 pub(crate) struct FaultState {
     pub(crate) plan: FaultPlan,
-    /// Per-`(src, dst)` injection counters for unsequenced messages,
-    /// indexed `src * p + dst`.
-    chan_seq: Vec<u64>,
+    /// Per-`(src, dst)` injection counters for unsequenced messages.
+    /// Keyed sparsely: a dense `p * p` table would be 8 TB at P = 10^6,
+    /// while real traffic touches only the channels programs actually use.
+    chan_seq: HashMap<(ProcId, ProcId), u64>,
     /// Injection (attempt) counters per sequenced logical message,
     /// keyed by `(src, dst, seq)`.
     attempts: HashMap<(ProcId, ProcId, u64), u64>,
@@ -247,7 +240,7 @@ impl FaultState {
     pub(crate) fn new(plan: FaultPlan, p: usize) -> Self {
         FaultState {
             plan,
-            chan_seq: vec![0; p * p],
+            chan_seq: HashMap::new(),
             attempts: HashMap::new(),
             crashed: vec![false; p],
         }
@@ -257,13 +250,7 @@ impl FaultState {
     /// identity counters. Sequenced payloads are keyed by their sequence
     /// number so every retransmission of the same logical message gets its
     /// own stable decision; raw payloads are keyed by injection order.
-    pub(crate) fn decide(
-        &mut self,
-        src: ProcId,
-        dst: ProcId,
-        data: &Data,
-        p: usize,
-    ) -> FaultDecision {
+    pub(crate) fn decide(&mut self, src: ProcId, dst: ProcId, data: &Data) -> FaultDecision {
         let (ident, attempt) = match data.seq() {
             Some(seq) => {
                 let a = self.attempts.entry((src, dst, seq)).or_insert(0);
@@ -272,7 +259,7 @@ impl FaultState {
                 (seq, attempt)
             }
             None => {
-                let c = &mut self.chan_seq[src as usize * p + dst as usize];
+                let c = self.chan_seq.entry((src, dst)).or_insert(0);
                 let n = *c;
                 *c += 1;
                 (IDENT_CHANNEL, n)
@@ -354,8 +341,8 @@ mod tests {
         };
         // First and second injection of the same logical message are
         // attempts 0 and 1 of identity 4 — exactly the pure decisions.
-        let first = st.decide(0, 1, &payload, 2);
-        let second = st.decide(0, 1, &payload, 2);
+        let first = st.decide(0, 1, &payload);
+        let second = st.decide(0, 1, &payload);
         assert_eq!(first, plan.decide(0, 1, 4, 0));
         assert_eq!(second, plan.decide(0, 1, 4, 1));
     }

@@ -66,9 +66,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use logp_core::{Cycles, LogP, ProcId};
 
-use crate::faults::splitmix64;
 use crate::message::{Data, Message};
 use crate::process::Ctx;
+use logp_core::rng::splitmix64;
 
 /// Wire tag reserved for acknowledgements. Application protocols must not
 /// use it for data.

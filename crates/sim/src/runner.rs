@@ -32,10 +32,10 @@ use logp_core::{LogP, ProcId};
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
-use crate::faults::splitmix64;
 use crate::perfetto::write_artifacts;
 use crate::process::Process;
 use crate::{Sim, SimConfig, SimError, SimResult};
+use logp_core::rng::splitmix64;
 use std::path::PathBuf;
 
 /// Thread-count policy for a batch of runs.

@@ -138,6 +138,90 @@ proptest! {
             last = t;
         }
     }
+
+    /// The sharded lane engine is lane-count invariant on random
+    /// machines: lane counts 2, 3, and 8 produce bit-identical
+    /// `SimResult`s whatever the jitter, observability, and fault-plan
+    /// combination — and at zero jitter (where both engines sample the
+    /// same randomness) the classic engine agrees on the workload-level
+    /// projection. The classic comparison runs uncapped: destination
+    /// admission is exactly what the sharded engine relaxes, so capped
+    /// hot-spot traffic may legally complete earlier on lanes.
+    #[test]
+    fn sharded_runs_are_lane_count_invariant(
+        m in machine(), seed in 0u64..10_000, jitter in 0u64..=8,
+        observed in proptest::bool::ANY, faulty in proptest::bool::ANY,
+    ) {
+        let base = if observed { SimConfig::observed() } else { SimConfig::default() };
+        let mut config = base.with_jitter(jitter);
+        if faulty {
+            config = config.with_faults(FaultPlan::new(seed).with_drop_ppm(50_000));
+        }
+        let run = |config: &SimConfig, n: u32| {
+            let mut sim = Sim::new(m, config.clone().with_shards(n));
+            sim.set_all(|_| Box::new(ScatterStorm { rounds: 3 }));
+            sim.run().expect("scatter terminates without waiting on receptions")
+        };
+        let r2 = run(&config, 2);
+        let r3 = run(&config, 3);
+        let r8 = run(&config, 8);
+        prop_assert_eq!(&r2, &r3);
+        prop_assert_eq!(&r2, &r8);
+        if jitter == 0 {
+            let mut uncapped = config.clone();
+            uncapped.enforce_capacity = false;
+            let classic = run(&uncapped, 0);
+            let lanes = run(&uncapped, 2);
+            prop_assert_eq!(
+                workload_projection(&classic),
+                workload_projection(&lanes)
+            );
+        }
+    }
+}
+
+/// Fire-and-forget traffic for the shard invariance property: timers,
+/// compute, and pseudo-random fan-out, with termination independent of
+/// receptions (so drop plans cannot deadlock it).
+struct ScatterStorm {
+    rounds: u64,
+}
+
+impl Process for ScatterStorm {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(u64::from(ctx.me() % 5) * 3, 0);
+        ctx.timer(1 + u64::from(ctx.me() % 3), 0);
+    }
+    fn on_timer(&mut self, round: u64, ctx: &mut Ctx<'_>) {
+        let p = u64::from(ctx.procs());
+        let me = u64::from(ctx.me());
+        for k in 0..2u64 {
+            let dst = (me + 1 + (me * 7 + round * 13 + k * 5) % (p - 1)) % p;
+            if dst != me {
+                ctx.send(dst as u32, round as u32, Data::U64(me * 100 + round));
+            }
+        }
+        if round + 1 < self.rounds {
+            ctx.timer(2 + (me + round) % 4, round + 1);
+        }
+    }
+}
+
+/// The engine-independent outcome of a run: completion, message counts,
+/// and per-processor send/receive tallies. Event counts are engine
+/// vocabulary (the classic engine's `Release` bookkeeping events have no
+/// sharded counterpart) and stay out.
+fn workload_projection(r: &logp::sim::SimResult) -> (u64, u64, u64, Vec<(u64, u64)>) {
+    (
+        r.stats.completion,
+        r.stats.total_msgs,
+        r.stats.msgs_dropped,
+        r.stats
+            .procs
+            .iter()
+            .map(|p| (p.msgs_sent, p.msgs_recvd))
+            .collect(),
+    )
 }
 
 /// The acceptance sweep: on every built-in machine preset, a seeded 5%
