@@ -16,6 +16,7 @@
 
 use std::time::Instant;
 
+use logp_bench::ObsArgs;
 use logp_core::LogP;
 use logp_sim::process::{Ctx, Process};
 use logp_sim::{Data, Message, Sim, SimConfig};
@@ -101,14 +102,23 @@ impl Measurement {
     }
 }
 
-fn measure(name: &'static str, reps: u32, build: impl Fn() -> Sim) -> Measurement {
+fn measure(
+    name: &'static str,
+    reps: u32,
+    obs: &ObsArgs,
+    build: impl Fn(SimConfig) -> Sim,
+) -> Measurement {
     // One untimed run to warm caches and learn the event count.
-    let reference = build().run().expect("benchmark workload must complete");
+    let reference = build(SimConfig::default())
+        .run()
+        .expect("benchmark workload must complete");
     let mut best = f64::INFINITY;
     let mut total = 0.0;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let r = build().run().expect("benchmark workload must complete");
+        let r = build(SimConfig::default())
+            .run()
+            .expect("benchmark workload must complete");
         let dt = t0.elapsed().as_secs_f64();
         best = best.min(dt);
         total += dt;
@@ -116,6 +126,15 @@ fn measure(name: &'static str, reps: u32, build: impl Fn() -> Sim) -> Measuremen
             r.stats.events, reference.stats.events,
             "{name}: event count must be deterministic across reps"
         );
+    }
+    // Artifacts come from one extra instrumented run so the timed reps
+    // above stay on the zero-overhead disabled path.
+    if obs.active() {
+        let r = build(obs.apply_for(name, SimConfig::default()))
+            .run()
+            .expect("benchmark workload must complete");
+        assert_eq!(r.stats.events, reference.stats.events);
+        obs.write(name, &r);
     }
     Measurement {
         name,
@@ -131,6 +150,7 @@ fn measure(name: &'static str, reps: u32, build: impl Fn() -> Sim) -> Measuremen
 fn main() {
     let mut reps: u32 = 5;
     let mut json_path: Option<String> = None;
+    let obs = ObsArgs::from_args();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -143,7 +163,15 @@ fn main() {
             "--json" => {
                 json_path = Some(args.next().expect("--json takes a file path"));
             }
-            other => panic!("unknown argument {other:?} (expected --reps N | --json PATH)"),
+            // Parsed by ObsArgs::from_args.
+            "--trace-out" | "--metrics-out" | "--vitals-out" => {
+                args.next();
+            }
+            "--stream" => {}
+            other => panic!(
+                "unknown argument {other:?} (expected --reps N | --json PATH | --stream | \
+                 --trace-out/--metrics-out/--vitals-out PREFIX)"
+            ),
         }
     }
 
@@ -151,13 +179,13 @@ fn main() {
     let pair = LogP::new(6, 2, 4, 2).expect("valid model");
 
     let results = [
-        measure("ping_pong", reps, || {
-            let mut sim = Sim::new(pair, SimConfig::default());
+        measure("ping_pong", reps, &obs, |config| {
+            let mut sim = Sim::new(pair, config);
             sim.set_all(|_| Box::new(PingPong { rounds: 100_000 }));
             sim
         }),
-        measure("all_to_all", reps, || {
-            let mut sim = Sim::new(model, SimConfig::default());
+        measure("all_to_all", reps, &obs, |config| {
+            let mut sim = Sim::new(model, config);
             sim.set_all(|_| {
                 Box::new(AllToAll {
                     rounds: 400,

@@ -36,6 +36,7 @@ use std::time::Instant;
 
 use logp_algos::allreduce::run_allreduce_reduce_bcast;
 use logp_algos::broadcast::run_optimal_broadcast;
+use logp_bench::ObsArgs;
 use logp_core::LogP;
 use logp_sim::process::{Ctx, Process};
 use logp_sim::{Data, Message, Sim, SimConfig, SimResult};
@@ -362,10 +363,56 @@ fn check() {
     println!("shard_scale --check: all pins hold");
 }
 
+/// `--obs-smoke`: one sharded broadcast at `P = p` with the streaming
+/// observability stack live — `PerfettoSink` if `--stream --trace-out`
+/// was given (aggregation-only otherwise), engine vitals always — and
+/// the invariants that make the artifacts trustworthy asserted inline.
+/// Memory stays bounded by in-flight messages, which is the point: this
+/// is the configuration that exports traces at scales where retaining
+/// the log would not fit.
+fn obs_smoke(obs: &ObsArgs, p: u32) {
+    let m = LogP::new(60, 4, 8, p).expect("valid model");
+    let label = format!("bcast{p}");
+    let mut config = obs.apply_for(&label, SimConfig::default().with_shards(8));
+    if !config.aggregate {
+        config = config.with_aggregate(true);
+    }
+    let t0 = Instant::now();
+    let run = run_optimal_broadcast(&m, config);
+    let secs = t0.elapsed().as_secs_f64();
+    let res = &run.result;
+    assert!(res.obs.is_empty(), "streaming must retain no records");
+    let agg = res.aggregate.as_ref().expect("aggregate maintained");
+    assert_eq!(agg.delivered, u64::from(p) - 1, "every processor reached");
+    assert_eq!(
+        agg.critical_total, run.completion,
+        "online critical path must land on the last arrival"
+    );
+    let v = &res.vitals;
+    assert_eq!(v.engine, "sharded");
+    assert_eq!(v.lane_events.iter().sum::<u64>(), v.events);
+    obs.write(&label, res);
+    eprintln!(
+        "obs-smoke: P={p} broadcast, completion {}, {} delivered, {:.2}s wall, \
+         {:.0} events/sec, {} lanes, {} windows, {} fast-forwards",
+        run.completion,
+        agg.delivered,
+        secs,
+        v.events_per_sec(),
+        v.lanes,
+        v.windows,
+        v.fast_forwards
+    );
+    println!("shard_scale --obs-smoke: ok");
+}
+
 fn main() {
     let mut reps: u32 = 3;
     let mut json_path: Option<String> = None;
     let mut run_check = false;
+    let mut run_obs_smoke = false;
+    let mut smoke_p: u32 = 100_000;
+    let obs = ObsArgs::from_args();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -379,14 +426,33 @@ fn main() {
                 json_path = Some(args.next().expect("--json takes a file path"));
             }
             "--check" => run_check = true,
+            "--obs-smoke" => run_obs_smoke = true,
+            "--p" => {
+                smoke_p = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--p takes a processor count");
+            }
+            // Parsed by ObsArgs::from_args.
+            "--trace-out" | "--metrics-out" | "--vitals-out" => {
+                args.next();
+            }
+            "--stream" => {}
             other => {
-                panic!("unknown argument {other:?} (expected --reps N | --json PATH | --check)")
+                panic!(
+                    "unknown argument {other:?} (expected --reps N | --json PATH | --check | \
+                     --obs-smoke [--p N] | --stream | --trace-out/--metrics-out/--vitals-out PREFIX)"
+                )
             }
         }
     }
 
     if run_check {
         check();
+        return;
+    }
+    if run_obs_smoke {
+        obs_smoke(&obs, smoke_p);
         return;
     }
 

@@ -14,6 +14,16 @@
 //!   (`with_msg_log(true)`).
 //! * `full`       — lifecycle log + metrics registry with a sampling
 //!   grid (`SimConfig::observed().with_metrics_grid(64)`).
+//! * `aggregate`  — online critical-path aggregation only
+//!   (`with_aggregate(true)`); nothing retained, nothing written.
+//! * `sampled`    — streaming JSONL sink under a seeded reservoir
+//!   (`k = 64`); bounded output, bounded memory.
+//! * `stream`     — full streaming JSONL sink plus online aggregation;
+//!   the bounded-memory configuration used for large-`P` exports.
+//!
+//! `--engine sharded` runs the same sweep on the sharded calendar engine
+//! (4 lanes); the `full` mode is classic-only because a metrics sampling
+//! grid pins dispatch to the classic engine.
 //!
 //! Prints one JSON object to stdout (diffable, `BENCH_obs.json` at the
 //! repo root records the reference numbers); the stderr table is for
@@ -21,13 +31,14 @@
 //! correctness mode instead of a timing mode: every mode must finish
 //! with identical completion times and event counts (observability must
 //! never perturb the simulation), and the observed modes must actually
-//! populate their logs.
+//! populate their logs / sinks / aggregates.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use logp_core::LogP;
 use logp_sim::process::{Ctx, Process};
-use logp_sim::{Data, Message, Sim, SimConfig};
+use logp_sim::{replay_jsonl, Data, Message, ObsSampling, Sim, SimConfig, SinkSpec};
 
 /// P0 and P1 exchange a decrementing counter until it hits zero.
 struct PingPong {
@@ -85,20 +96,56 @@ impl Process for AllToAll {
     }
 }
 
-const MODES: [&str; 4] = ["disabled", "trace", "msg_log", "full"];
+const MODES: [&str; 7] = [
+    "disabled",
+    "trace",
+    "msg_log",
+    "full",
+    "aggregate",
+    "sampled",
+    "stream",
+];
 
-fn mode_config(mode: &str) -> SimConfig {
+/// `full` needs a metrics sampling grid, which pins dispatch to the
+/// classic engine; every other mode runs on both.
+fn modes_for(engine: &str) -> Vec<&'static str> {
+    MODES
+        .iter()
+        .copied()
+        .filter(|m| engine == "classic" || *m != "full")
+        .collect()
+}
+
+/// Scratch file for the streaming modes (overwritten every run; the
+/// sweep measures sink throughput, not artifact management).
+fn scratch(mode: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("logp_trace_overhead_{mode}.jsonl"))
+}
+
+fn mode_config(mode: &str, engine: &str) -> SimConfig {
+    let base = match engine {
+        "classic" => SimConfig::default(),
+        "sharded" => SimConfig::default().with_shards(4),
+        other => panic!("unknown engine {other:?} (expected classic | sharded)"),
+    };
     match mode {
-        "disabled" => SimConfig::default(),
-        "trace" => SimConfig::default().with_trace(true),
-        "msg_log" => SimConfig::default().with_msg_log(true),
+        "disabled" => base,
+        "trace" => base.with_trace(true),
+        "msg_log" => base.with_msg_log(true),
         "full" => SimConfig::observed().with_metrics_grid(64),
+        "aggregate" => base.with_aggregate(true),
+        "sampled" => base
+            .with_sink(SinkSpec::Jsonl(scratch("sampled")))
+            .with_sampling(ObsSampling::Reservoir { k: 64, seed: 0xB0B }),
+        "stream" => base
+            .with_sink(SinkSpec::Jsonl(scratch("stream")))
+            .with_aggregate(true),
         other => panic!("unknown mode {other:?}"),
     }
 }
 
-fn build(workload: &str, mode: &str, rounds: u64) -> Sim {
-    let cfg = mode_config(mode);
+fn build(workload: &str, mode: &str, engine: &str, rounds: u64) -> Sim {
+    let cfg = mode_config(mode, engine);
     match workload {
         "ping_pong" => {
             let mut sim = Sim::new(LogP::new(6, 2, 4, 2).unwrap(), cfg);
@@ -133,12 +180,22 @@ impl Measurement {
     }
 }
 
-fn measure(workload: &'static str, mode: &'static str, rounds: u64, reps: u32) -> Measurement {
-    let reference = build(workload, mode, rounds).run().expect("completes");
+fn measure(
+    workload: &'static str,
+    mode: &'static str,
+    engine: &str,
+    rounds: u64,
+    reps: u32,
+) -> Measurement {
+    let reference = build(workload, mode, engine, rounds)
+        .run()
+        .expect("completes");
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let r = build(workload, mode, rounds).run().expect("completes");
+        let r = build(workload, mode, engine, rounds)
+            .run()
+            .expect("completes");
         best = best.min(t0.elapsed().as_secs_f64());
         assert_eq!(r.stats.events, reference.stats.events);
     }
@@ -153,13 +210,15 @@ fn measure(workload: &'static str, mode: &'static str, rounds: u64, reps: u32) -
 /// `--check`: observability must be an observer — identical completion
 /// and event counts in every mode, and the observed modes must actually
 /// record what they promise.
-fn check() {
+fn check(engine: &str) {
     for (workload, rounds) in [("ping_pong", 2_000u64), ("all_to_all", 20u64)] {
-        let baseline = build(workload, "disabled", rounds)
+        let baseline = build(workload, "disabled", engine, rounds)
             .run()
             .expect("completes");
-        for mode in MODES {
-            let r = build(workload, mode, rounds).run().expect("completes");
+        for mode in modes_for(engine) {
+            let r = build(workload, mode, engine, rounds)
+                .run()
+                .expect("completes");
             assert_eq!(
                 r.stats.completion, baseline.stats.completion,
                 "{workload}/{mode}: completion must not change under observation"
@@ -190,16 +249,48 @@ fn check() {
                     );
                     assert!(!r.metrics.gauges().is_empty());
                 }
+                "aggregate" | "stream" => {
+                    assert!(r.obs.is_empty(), "streaming modes retain nothing");
+                    let agg = r
+                        .aggregate
+                        .as_ref()
+                        .expect("online aggregate must be maintained");
+                    assert_eq!(
+                        agg.delivered, r.stats.total_msgs,
+                        "{workload}/{mode}: aggregate must count every delivery"
+                    );
+                    assert!(
+                        agg.critical_total > 0 && agg.critical_total <= r.stats.completion,
+                        "{workload}/{mode}: online critical path must be plausible"
+                    );
+                    if mode == "stream" {
+                        let text = std::fs::read_to_string(scratch(mode)).expect("sink wrote");
+                        let replay = replay_jsonl(&text).expect("sink output replays");
+                        assert_eq!(replay.msgs.len() as u64, r.stats.total_msgs);
+                    }
+                }
+                "sampled" => {
+                    assert!(r.obs.is_empty(), "sampling retains nothing");
+                    let text = std::fs::read_to_string(scratch(mode)).expect("sink wrote");
+                    let replay = replay_jsonl(&text).expect("sink output replays");
+                    assert_eq!(
+                        replay.msgs.len() as u64,
+                        r.stats.total_msgs.min(64),
+                        "{workload}/{mode}: reservoir must keep exactly min(k, n) messages"
+                    );
+                }
                 _ => unreachable!(),
             }
         }
-        println!("{workload}: all modes agree (completion/events/msgs identical)");
+        println!("{workload}: all modes agree on {engine} (completion/events/msgs identical)");
     }
-    println!("trace_overhead --check: OK");
+    println!("trace_overhead --check: OK ({engine})");
 }
 
 fn main() {
     let mut reps: u32 = 5;
+    let mut engine = "classic".to_string();
+    let mut run_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -209,15 +300,29 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--reps takes a positive integer");
             }
-            "--check" => {
-                check();
-                return;
+            "--engine" => {
+                engine = args
+                    .next()
+                    .expect("--engine takes `classic` or `sharded`");
             }
-            other => panic!("unknown argument {other:?} (expected --reps N | --check)"),
+            "--check" => run_check = true,
+            other => panic!(
+                "unknown argument {other:?} (expected --reps N | --engine classic|sharded | --check)"
+            ),
         }
+    }
+    assert!(
+        engine == "classic" || engine == "sharded",
+        "--engine takes `classic` or `sharded`, got {engine:?}"
+    );
+
+    if run_check {
+        check(&engine);
+        return;
     }
 
     let workloads: [(&str, u64); 2] = [("ping_pong", 100_000), ("all_to_all", 400)];
+    let modes = modes_for(&engine);
 
     eprintln!(
         "{:>12} {:>9} {:>12} {:>14} {:>10}",
@@ -226,9 +331,9 @@ fn main() {
     let mut items = Vec::new();
     for (workload, rounds) in workloads {
         let mut base = 0.0f64;
-        for mode in MODES {
-            let m = measure(workload, mode, rounds, reps);
-            if mode == "disabled" {
+        for mode in &modes {
+            let m = measure(workload, mode, &engine, rounds, reps);
+            if *mode == "disabled" {
                 base = m.events_per_sec();
             }
             let rel = m.events_per_sec() / base;
@@ -252,8 +357,9 @@ fn main() {
         }
     }
     println!(
-        "{{\"bench\":\"trace_overhead\",\"modes\":{},\"runs\":[{}]}}",
-        MODES.len(),
+        "{{\"bench\":\"trace_overhead\",\"engine\":\"{}\",\"modes\":{},\"runs\":[{}]}}",
+        engine,
+        modes.len(),
         items.join(",")
     );
 }

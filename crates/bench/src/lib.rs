@@ -108,17 +108,26 @@ impl Scale {
 
 /// Observability artifact flags shared by the experiment binaries:
 /// `--trace-out PREFIX` writes a Perfetto `trace_event` JSON per run,
-/// `--metrics-out PREFIX` a metrics JSON per run. A binary labels each
+/// `--metrics-out PREFIX` a metrics JSON per run, `--vitals-out PREFIX`
+/// an engine-vitals JSON per run (events/sec, lane balance, lookahead
+/// windows — see `logp_sim::metrics::EngineVitals`). `--stream` switches
+/// the trace artifact to the bounded-memory streaming `PerfettoSink`
+/// (with online aggregation instead of a retained log), which is the
+/// only way to export traces at `P = 10^5..10^6`. A binary labels each
 /// run it exports (e.g. the sweep point), and artifacts land in
-/// `PREFIX_<label>.trace.json` / `PREFIX_<label>.metrics.json`.
+/// `PREFIX_<label>.trace.json` / `.metrics.json` / `.vitals.json`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ObsArgs {
     pub trace_prefix: Option<String>,
     pub metrics_prefix: Option<String>,
+    pub vitals_prefix: Option<String>,
+    /// Stream artifacts instead of retaining the run in memory.
+    pub stream: bool,
 }
 
 impl ObsArgs {
-    /// Parse `--trace-out` / `--metrics-out` from the process arguments.
+    /// Parse `--trace-out` / `--metrics-out` / `--vitals-out` /
+    /// `--stream` from the process arguments.
     pub fn from_args() -> Self {
         let mut out = ObsArgs::default();
         let mut args = std::env::args();
@@ -131,6 +140,11 @@ impl ObsArgs {
                     out.metrics_prefix =
                         Some(args.next().expect("--metrics-out takes a path prefix"));
                 }
+                "--vitals-out" => {
+                    out.vitals_prefix =
+                        Some(args.next().expect("--vitals-out takes a path prefix"));
+                }
+                "--stream" => out.stream = true,
                 _ => {}
             }
         }
@@ -139,11 +153,23 @@ impl ObsArgs {
 
     /// Any artifact was requested.
     pub fn active(&self) -> bool {
-        self.trace_prefix.is_some() || self.metrics_prefix.is_some()
+        self.trace_prefix.is_some() || self.metrics_prefix.is_some() || self.vitals_prefix.is_some()
     }
 
-    /// Turn on the observability the requested artifacts need.
+    /// Turn on the observability the requested artifacts need. In
+    /// streaming mode the trace goes through a `PerfettoSink` (one per
+    /// labeled run — see [`ObsArgs::apply_for`]) and the aggregate is
+    /// maintained online; nothing is retained. Vitals are free: the
+    /// engine always fills them in.
     pub fn apply(&self, config: SimConfig) -> SimConfig {
+        if self.stream {
+            let config = if self.trace_prefix.is_some() || self.metrics_prefix.is_some() {
+                config.with_aggregate(true)
+            } else {
+                config
+            };
+            return config;
+        }
         let config = if self.trace_prefix.is_some() {
             config.with_msg_log(true)
         } else {
@@ -153,6 +179,17 @@ impl ObsArgs {
             config.with_metrics(true)
         } else {
             config
+        }
+    }
+
+    /// [`ObsArgs::apply`] plus the per-run streaming sink for `label`
+    /// (streaming sinks write one file per run, so the label must be
+    /// known at config time).
+    pub fn apply_for(&self, label: &str, config: SimConfig) -> SimConfig {
+        let config = self.apply(config);
+        match (self.stream, self.trace_path(label)) {
+            (true, Some(path)) => config.with_sink(logp_sim::SinkSpec::Perfetto(path)),
+            _ => config,
         }
     }
 
@@ -175,12 +212,42 @@ impl ObsArgs {
         Self::path(&self.metrics_prefix, label, ".metrics.json")
     }
 
-    /// Write the requested artifacts for one labeled run.
+    /// Per-run vitals artifact path, if requested.
+    pub fn vitals_path(&self, label: &str) -> Option<PathBuf> {
+        Self::path(&self.vitals_prefix, label, ".vitals.json")
+    }
+
+    /// Write the requested artifacts for one labeled run. In streaming
+    /// mode the trace file was already written by the run's sink, so
+    /// only metrics (aggregate summary) and vitals are assembled here.
     pub fn write(&self, label: &str, res: &SimResult) {
-        let trace = self.trace_path(label);
+        let trace = if self.stream {
+            None
+        } else {
+            self.trace_path(label)
+        };
         let metrics = self.metrics_path(label);
-        if let Err(e) = write_artifacts(res, trace.as_deref(), metrics.as_deref()) {
-            eprintln!("warning: failed to write artifacts for {label}: {e}");
+        match (&res.aggregate, metrics) {
+            // A streamed run's metrics artifact is the online aggregate
+            // (the registry was never populated).
+            (Some(agg), Some(path)) if self.stream => {
+                if let Err(e) = std::fs::write(&path, agg.to_json()) {
+                    eprintln!("warning: failed to write aggregate for {label}: {e}");
+                }
+                if let Err(e) = write_artifacts(res, trace.as_deref(), None) {
+                    eprintln!("warning: failed to write artifacts for {label}: {e}");
+                }
+            }
+            (_, metrics) => {
+                if let Err(e) = write_artifacts(res, trace.as_deref(), metrics.as_deref()) {
+                    eprintln!("warning: failed to write artifacts for {label}: {e}");
+                }
+            }
+        }
+        if let Some(path) = self.vitals_path(label) {
+            if let Err(e) = std::fs::write(&path, res.vitals.to_json()) {
+                eprintln!("warning: failed to write vitals for {label}: {e}");
+            }
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Simulator configuration: the fidelity knobs beyond the LogP quadruple.
 
 use crate::faults::FaultPlan;
+use crate::obs::{ObsSampling, SinkSpec};
 use logp_core::Cycles;
 
 /// Configuration for a simulation run.
@@ -85,6 +86,25 @@ pub struct SimConfig {
     /// backpressure), and runs needing gauge sampling
     /// (`metrics_grid > 0`) fall back to the classic engine.
     pub shards: u32,
+    /// Streaming observability sink: lifecycle records flow here as they
+    /// complete instead of accumulating in `SimResult::obs` (which stays
+    /// empty), so memory is bounded by in-flight messages, not total
+    /// traffic. Implies `record_msg_log`. See [`SinkSpec`] and
+    /// `docs/OBSERVABILITY.md`.
+    pub sink: Option<SinkSpec>,
+    /// Which records a streaming sink sees (default: all). Pure function
+    /// of record identity, so the sampled set is identical across lane
+    /// and thread counts.
+    pub sampling: ObsSampling,
+    /// Maintain [`crate::critpath::ObsAggregate`] online while records
+    /// stream: per-processor and global activity totals plus the
+    /// critical-path decomposition, without retaining the log. Implies a
+    /// streaming sink ([`SinkSpec::Null`] if none was set) and
+    /// `record_msg_log`.
+    pub aggregate: bool,
+    /// Time-bin width, in cycles, for the aggregate's over-time view
+    /// (`0` disables binning; a positive value implies `aggregate`).
+    pub agg_grid: Cycles,
 }
 
 impl Default for SimConfig {
@@ -105,6 +125,10 @@ impl Default for SimConfig {
             max_events: 2_000_000_000,
             faults: None,
             shards: 0,
+            sink: None,
+            sampling: ObsSampling::All,
+            aggregate: false,
+            agg_grid: 0,
         }
     }
 }
@@ -153,6 +177,43 @@ impl SimConfig {
         self.metrics_grid = grid;
         if grid > 0 {
             self.record_metrics = true;
+        }
+        self
+    }
+
+    /// Stream lifecycle records to `sink` instead of retaining them
+    /// (implies the lifecycle log machinery; `SimResult::obs` stays
+    /// empty).
+    pub fn with_sink(mut self, sink: SinkSpec) -> Self {
+        self.sink = Some(sink);
+        self.record_msg_log = true;
+        self.record_trace = true;
+        self
+    }
+
+    /// Apply a sampling policy to the streaming sink.
+    pub fn with_sampling(mut self, sampling: ObsSampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Maintain the online [`crate::critpath::ObsAggregate`] (implies a
+    /// streaming sink — [`SinkSpec::Null`] if none was configured).
+    pub fn with_aggregate(mut self, on: bool) -> Self {
+        self.aggregate = on;
+        if on {
+            self.record_msg_log = true;
+            self.record_trace = true;
+        }
+        self
+    }
+
+    /// Time-bin the aggregate every `grid` cycles (implies `aggregate`
+    /// when `grid > 0`).
+    pub fn with_agg_grid(mut self, grid: Cycles) -> Self {
+        self.agg_grid = grid;
+        if grid > 0 {
+            self = self.with_aggregate(true);
         }
         self
     }

@@ -72,7 +72,7 @@ impl StepKind {
         }
     }
 
-    fn from_activity(a: Activity) -> StepKind {
+    pub(crate) fn from_activity(a: Activity) -> StepKind {
         match a {
             Activity::SendOverhead | Activity::RecvOverhead => StepKind::O,
             Activity::Compute => StepKind::Compute,
@@ -118,7 +118,7 @@ impl Components {
         self.o + self.g + self.l + self.compute + self.stall + self.barrier + self.wait + self.retry
     }
 
-    fn add(&mut self, kind: StepKind, cycles: Cycles) {
+    pub(crate) fn add(&mut self, kind: StepKind, cycles: Cycles) {
         match kind {
             StepKind::O => self.o += cycles,
             StepKind::G => self.g += cycles,
@@ -194,7 +194,7 @@ enum Node {
 
 /// Classify the wait window `[from, to)` on `proc`: busy spans keep their
 /// activity class; idle cycles before `gate` are `g`, after it `wait`.
-fn attribute_window(
+pub(crate) fn attribute_window(
     spans: &[Span],
     proc: ProcId,
     from: Cycles,
@@ -435,6 +435,398 @@ pub fn critical_path(res: &SimResult) -> Option<CritPath> {
         components,
         steps,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Online aggregation (streaming observability)
+// ---------------------------------------------------------------------------
+
+/// Incremental o/g/L/compute/stall/retry accounting maintained while
+/// lifecycle records stream out of the engine (`SimConfig::aggregate`) —
+/// the paper's Fig 3/Fig 4-style decomposition for runs too large to
+/// retain an [`crate::obs::ObsLog`].
+///
+/// Two views coexist:
+///
+/// * **activity totals** — `global`, `per_proc`, and the time-binned
+///   `bins` accumulate every activity span by class (`o`, `compute`,
+///   `stall`, `barrier`); `global.l` additionally accumulates the network
+///   flight of every delivered message. These are order-independent, so
+///   they are identical for every lane count of the sharded engine.
+/// * **the critical path** — `critical_total`/`critical` reproduce
+///   [`critical_path`]'s decomposition of the terminal event's causal
+///   chain, computed forward (each record's cumulative components are its
+///   cause's plus its own wait-window attribution) instead of backward.
+///   On the classic engine this matches [`critical_path`] cycle-exactly;
+///   the one divergence is a timer firing inside a still-open barrier or
+///   stall span, whose busy cycles the online pass cannot yet see
+///   (documented in docs/OBSERVABILITY.md).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsAggregate {
+    /// Activity totals by class across the whole machine (plus `l` =
+    /// total delivered flight cycles).
+    pub global: Components,
+    /// Activity totals per processor.
+    pub per_proc: Vec<Components>,
+    /// Bin width of `bins` in cycles (`0` = time-binning off).
+    pub grid: Cycles,
+    /// Activity totals per `grid`-cycle time bin (spans split exactly at
+    /// bin boundaries).
+    pub bins: Vec<Components>,
+    /// Message records created (including fault-dropped sends).
+    pub msgs: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    pub computes: u64,
+    pub barriers: u64,
+    /// Timers armed.
+    pub timers: u64,
+    /// Records handed to the sink after sampling.
+    pub emitted: u64,
+    /// Completion instant of the terminal event (= `critical.sum()`).
+    pub critical_total: Cycles,
+    /// Critical-path decomposition of the terminal event's causal chain.
+    pub critical: Components,
+}
+
+/// The engine-side state behind [`ObsAggregate`]: per-processor span
+/// buffers pruned to the earliest outstanding wait window (`floors`),
+/// cumulative path components per live causal record (`cps`, refcounted
+/// by the commands that still cite them), and the running terminal
+/// candidate.
+pub(crate) struct OnlineAgg {
+    pub(crate) agg: ObsAggregate,
+    /// Per-processor activity spans, start-ordered, pruned below the
+    /// processor's earliest outstanding window start.
+    spans: Vec<Vec<Span>>,
+    /// Multiset of outstanding window starts per processor (command
+    /// submits awaiting execution, arrivals awaiting reception).
+    floors: Vec<std::collections::BTreeMap<Cycles, u32>>,
+    /// Cumulative critical-path components per live record, keyed by
+    /// [`OnlineAgg::cause_key`].
+    cps: std::collections::HashMap<u64, Components>,
+    /// Commands still citing each record as their cause.
+    rc: std::collections::HashMap<u64, i64>,
+    /// The base components of the most recently dequeued command's cause
+    /// (copied at `pop_meta` time, before any eviction).
+    pub(crate) pending_base: Components,
+    /// `(submit, base)` per processor currently waiting in the barrier.
+    barrier_bases: std::collections::HashMap<ProcId, (Cycles, Components)>,
+    /// Best terminal candidate: `(completion, kind-rank, id)` max, with
+    /// its cumulative components captured at completion time.
+    best: Option<(Cycles, u8, u64, Components)>,
+    scratch: Vec<PathStep>,
+}
+
+impl OnlineAgg {
+    pub(crate) fn new(p: usize, grid: Cycles) -> Self {
+        OnlineAgg {
+            agg: ObsAggregate {
+                per_proc: vec![Components::default(); p],
+                grid,
+                ..Default::default()
+            },
+            spans: vec![Vec::new(); p],
+            floors: vec![std::collections::BTreeMap::new(); p],
+            cps: std::collections::HashMap::new(),
+            rc: std::collections::HashMap::new(),
+            pending_base: Components::default(),
+            barrier_bases: std::collections::HashMap::new(),
+            best: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Pack a [`Cause`] into a map key: 3 kind bits over the 41-bit id
+    /// space of structured streaming ids. `None` for roots.
+    fn cause_key(c: Cause) -> Option<u64> {
+        match c {
+            Cause::Start => None,
+            Cause::Msg(id) => Some((1 << 61) | id),
+            Cause::Compute(id) => Some((2 << 61) | id),
+            Cause::Barrier(id) => Some((3 << 61) | id),
+            Cause::Retry(id) => Some((4 << 61) | id),
+        }
+    }
+
+    /// A handler triggered by `cause` queued `issued` commands on `p` at
+    /// time `now`.
+    pub(crate) fn on_push(&mut self, p: ProcId, cause: Cause, now: Cycles, issued: usize) {
+        if let Some(key) = Self::cause_key(cause) {
+            *self.rc.entry(key).or_insert(0) += issued as i64;
+        }
+        *self.floors[p as usize].entry(now).or_insert(0) += issued as u32;
+    }
+
+    /// A command citing `cause` was dequeued: capture its base components
+    /// and release one reference.
+    pub(crate) fn on_pop(&mut self, cause: Cause) {
+        let Some(key) = Self::cause_key(cause) else {
+            self.pending_base = Components::default();
+            return;
+        };
+        self.pending_base = self.cps.get(&key).copied().unwrap_or_default();
+        if let Some(n) = self.rc.get_mut(&key) {
+            *n -= 1;
+            if *n <= 0 {
+                self.rc.remove(&key);
+                self.cps.remove(&key);
+            }
+        }
+    }
+
+    /// A handler triggered by `cause` issued no commands: nothing will
+    /// ever cite the record again. Barrier causes are shared by every
+    /// released processor and stay (bounded by the barrier count).
+    pub(crate) fn on_leaf(&mut self, cause: Cause) {
+        if matches!(cause, Cause::Barrier(_)) {
+            return;
+        }
+        if let Some(key) = Self::cause_key(cause) {
+            if !self.rc.contains_key(&key) {
+                self.cps.remove(&key);
+            }
+        }
+    }
+
+    /// Record one activity span into the totals and the window buffer.
+    pub(crate) fn on_span(&mut self, sp: &Span) {
+        let kind = StepKind::from_activity(sp.activity);
+        let len = sp.end - sp.start;
+        self.agg.global.add(kind, len);
+        self.agg.per_proc[sp.proc as usize].add(kind, len);
+        if self.agg.grid > 0 {
+            // Split exactly at bin boundaries so binning is independent
+            // of emission order.
+            let g = self.agg.grid;
+            let mut cur = sp.start;
+            while cur < sp.end {
+                let bin = (cur / g) as usize;
+                if self.agg.bins.len() <= bin {
+                    self.agg.bins.resize(bin + 1, Components::default());
+                }
+                let seg = sp.end.min((cur / g + 1) * g);
+                self.agg.bins[bin].add(kind, seg - cur);
+                cur = seg;
+            }
+        }
+        let p = sp.proc as usize;
+        self.spans[p].push(*sp);
+        if self.spans[p].len() > 64 {
+            // Spans wholly before both the earliest outstanding window
+            // and this span's start can never be attributed again.
+            let bound = self.floors[p]
+                .keys()
+                .next()
+                .copied()
+                .unwrap_or(Cycles::MAX)
+                .min(sp.start);
+            let keep = self.spans[p].partition_point(|s| s.end <= bound);
+            if keep > 0 {
+                self.spans[p].drain(..keep);
+            }
+        }
+    }
+
+    /// Remove one outstanding-window entry at `t` on `p` (tolerates a
+    /// missing entry: crash cleanup abandons windows wholesale).
+    fn remove_floor(&mut self, p: ProcId, t: Cycles) {
+        if let Some(n) = self.floors[p as usize].get_mut(&t) {
+            *n -= 1;
+            if *n == 0 {
+                self.floors[p as usize].remove(&t);
+            }
+        }
+    }
+
+    /// Classify the wait window `[from, to)` on `proc` into `cum`
+    /// ([`attribute_window`] semantics; `retry` remaps idle to
+    /// [`StepKind::Retry`] as the backward walk does for timer windows).
+    fn window(
+        &mut self,
+        proc: ProcId,
+        from: Cycles,
+        to: Cycles,
+        gate: Cycles,
+        retry: bool,
+        cum: &mut Components,
+    ) {
+        self.scratch.clear();
+        attribute_window(
+            &self.spans[proc as usize],
+            proc,
+            from,
+            to,
+            gate,
+            &mut self.scratch,
+        );
+        for st in &self.scratch {
+            let kind = match st.kind {
+                StepKind::G | StepKind::Wait if retry => StepKind::Retry,
+                k => k,
+            };
+            cum.add(kind, st.cycles());
+        }
+    }
+
+    fn consider(&mut self, t: Cycles, kind: u8, id: u64, cum: &Components) {
+        let better = match &self.best {
+            None => true,
+            Some((bt, bk, bi, _)) => (t, kind, id) > (*bt, *bk, *bi),
+        };
+        if better {
+            self.best = Some((t, kind, id, *cum));
+        }
+    }
+
+    /// A message committed its injection: attribute the source-side wait
+    /// window plus the send overhead and flight, and return the partial
+    /// cumulative components to ride with the in-flight record.
+    /// `dup` marks the fault layer's trailing duplicate, which shares its
+    /// original's submit (whose floor entry was already consumed).
+    pub(crate) fn on_send(&mut self, m: &crate::obs::MsgRecord, dup: bool) -> Components {
+        let mut cum = self.pending_base;
+        self.window(m.src, m.submit, m.inject, m.send_gate, false, &mut cum);
+        cum.add(StepKind::O, m.sent - m.inject);
+        cum.add(StepKind::L, m.arrive - m.sent);
+        if !dup {
+            self.remove_floor(m.src, m.submit);
+        }
+        self.agg.msgs += 1;
+        cum
+    }
+
+    /// The fault layer dropped a send in flight: account the record,
+    /// release its window.
+    pub(crate) fn on_lost(&mut self, src: ProcId, submit: Cycles, dup: bool) {
+        if !dup {
+            self.remove_floor(src, submit);
+        }
+        self.agg.msgs += 1;
+    }
+
+    /// A message reached its destination's interface: its reception wait
+    /// window opens at `t`.
+    pub(crate) fn on_arrival(&mut self, dst: ProcId, t: Cycles) {
+        *self.floors[dst as usize].entry(t).or_insert(0) += 1;
+    }
+
+    /// Reception began: attribute the destination-side wait window.
+    pub(crate) fn on_reception(&mut self, m: &crate::obs::MsgRecord, cum: &mut Components) {
+        let (arrive, recv_start) = (m.arrive, m.recv_start);
+        self.window(m.dst, arrive, recv_start, m.recv_gate, false, cum);
+        self.remove_floor(m.dst, arrive);
+    }
+
+    /// Delivery completed: close the record's components, publish them
+    /// for the handler's commands, and consider it as the terminal.
+    pub(crate) fn on_delivery(&mut self, m: &crate::obs::MsgRecord, mut cum: Components) {
+        cum.add(StepKind::O, m.deliver - m.recv_start);
+        self.agg.global.add(StepKind::L, m.arrive - m.sent);
+        self.consider(m.deliver, 0, m.id, &cum);
+        self.cps.insert((1 << 61) | m.id, cum);
+        self.agg.delivered += 1;
+    }
+
+    /// A compute committed: its record is complete at creation (the end
+    /// is scheduled), so everything happens here.
+    pub(crate) fn on_compute(&mut self, c: &crate::obs::ComputeRecord) {
+        let mut cum = self.pending_base;
+        self.window(c.proc, c.submit, c.start, c.submit, false, &mut cum);
+        cum.add(StepKind::Compute, c.end - c.start);
+        self.remove_floor(c.proc, c.submit);
+        self.consider(c.end, 1, c.id, &cum);
+        self.cps.insert((2 << 61) | c.id, cum);
+        self.agg.computes += 1;
+    }
+
+    /// A processor entered the barrier: park its submit and base until
+    /// release decides the binding entrant.
+    pub(crate) fn on_barrier_enter(&mut self, p: ProcId, submit: Cycles) {
+        self.barrier_bases.insert(p, (submit, self.pending_base));
+    }
+
+    /// The barrier released: attribute the binding entrant's window and
+    /// the barrier cost, release every entrant's window.
+    pub(crate) fn on_barrier_release(&mut self, b: &crate::obs::BarrierRecord) {
+        let (_, base) = self
+            .barrier_bases
+            .get(&b.last_proc)
+            .copied()
+            .unwrap_or_default();
+        let mut cum = base;
+        self.window(b.last_proc, b.submit, b.enter, b.submit, false, &mut cum);
+        cum.add(StepKind::Barrier, b.release - b.enter);
+        self.consider(b.release, 2, b.id, &cum);
+        self.cps.insert((3 << 61) | b.id, cum);
+        for (p, (submit, _)) in std::mem::take(&mut self.barrier_bases) {
+            self.remove_floor(p, submit);
+        }
+        self.agg.barriers += 1;
+    }
+
+    /// A timer was armed (accounting only; its window stays open until
+    /// the fire).
+    pub(crate) fn on_timer_armed(&mut self) {
+        self.agg.timers += 1;
+    }
+
+    /// A timer fired: attribute its arming window with idle remapped to
+    /// `retry`, and publish the cumulative components under the
+    /// [`Cause::Retry`] key.
+    pub(crate) fn on_timer_fire(&mut self, t: &crate::obs::TimerRecord, base: Components) {
+        let mut cum = base;
+        self.window(t.proc, t.submit, t.fire, t.submit, true, &mut cum);
+        self.remove_floor(t.proc, t.submit);
+        self.cps.insert((4 << 61) | t.id, cum);
+    }
+
+    /// Close the aggregate: capture the terminal candidate's path.
+    pub(crate) fn finish(mut self, emitted: u64) -> ObsAggregate {
+        if let Some((t, _, _, cum)) = self.best.take() {
+            self.agg.critical_total = t;
+            self.agg.critical = cum;
+        }
+        self.agg.emitted = emitted;
+        self.agg
+    }
+}
+
+impl Components {
+    fn json(&self) -> String {
+        format!(
+            "{{\"o\":{},\"g\":{},\"l\":{},\"compute\":{},\"stall\":{},\"barrier\":{},\"wait\":{},\"retry\":{}}}",
+            self.o, self.g, self.l, self.compute, self.stall, self.barrier, self.wait, self.retry
+        )
+    }
+}
+
+impl ObsAggregate {
+    /// Render the aggregate as JSON: record counts, the global activity
+    /// totals, the critical-path decomposition, and the time bins.
+    /// `per_proc` is deliberately omitted — at `P = 10^6` it would be
+    /// the one unbounded part of an otherwise bounded artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = write!(
+            s,
+            "  \"msgs\": {},\n  \"delivered\": {},\n  \"computes\": {},\n  \"barriers\": {},\n  \"timers\": {},\n  \"emitted\": {},\n",
+            self.msgs, self.delivered, self.computes, self.barriers, self.timers, self.emitted
+        );
+        let _ = writeln!(s, "  \"global\": {},", self.global.json());
+        let _ = writeln!(s, "  \"critical_total\": {},", self.critical_total);
+        let _ = writeln!(s, "  \"critical\": {},", self.critical.json());
+        let _ = writeln!(s, "  \"grid\": {},", self.grid);
+        s.push_str("  \"bins\": [");
+        for (i, b) in self.bins.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&b.json());
+        }
+        s.push_str("]\n}\n");
+        s
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,9 @@ pub enum SimError {
     /// The machine went quiescent while processors still had unexecuted
     /// commands or were waiting in a barrier that can never release.
     Deadlock { stuck: Vec<ProcId> },
+    /// A streaming observability sink failed to create, write, or flush
+    /// its output (the simulation itself completed).
+    Sink(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -60,6 +63,9 @@ impl std::fmt::Display for SimError {
                     "simulation deadlocked with processors {stuck:?} still holding work"
                 )
             }
+            SimError::Sink(msg) => {
+                write!(f, "streaming observability sink failed: {msg}")
+            }
         }
     }
 }
@@ -67,17 +73,40 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Results of a completed run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct SimResult {
     pub stats: SimStats,
     pub trace: Trace,
     /// Message/compute/barrier lifecycle log (empty unless
-    /// `SimConfig::record_msg_log`).
+    /// `SimConfig::record_msg_log`; stays empty when a streaming sink
+    /// is configured — records flow to the sink instead).
     pub obs: ObsLog,
     /// Counters, gauges, and histograms (empty unless
     /// `SimConfig::record_metrics`).
     pub metrics: MetricsRegistry,
+    /// Online o/g/L/compute/stall/retry aggregate (present iff
+    /// `SimConfig::aggregate`).
+    pub aggregate: Option<crate::critpath::ObsAggregate>,
+    /// Host-side engine self-telemetry (wall time, lane loads,
+    /// lookahead-window stats). Host-dependent, so excluded from
+    /// equality.
+    pub vitals: crate::metrics::EngineVitals,
 }
+
+/// Equality over the *simulated* outcome only: vitals measure the host
+/// execution (wall clock, lane scheduling) and legitimately differ
+/// between bit-identical runs.
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.stats == other.stats
+            && self.trace == other.trace
+            && self.obs == other.obs
+            && self.metrics == other.metrics
+            && self.aggregate == other.aggregate
+    }
+}
+
+impl Eq for SimResult {}
 
 #[derive(Debug, Clone, Copy)]
 enum EventKind {
@@ -375,6 +404,87 @@ struct GaugeSet {
     per_dst: Vec<GaugeId>,
 }
 
+/// Streaming-observability state: present when a sink or the online
+/// aggregate is configured. Lifecycle records divert here the moment
+/// they complete — `ObsLog` stays empty and memory stays bounded by the
+/// *in-flight* population (messages in the network, armed timers), not
+/// the total traffic.
+struct StreamState {
+    sink: Box<dyn crate::obs::ObsSink>,
+    sampler: crate::obs::Sampler,
+    agg: Option<crate::critpath::OnlineAgg>,
+    /// Sharded-engine run: record ids are structured
+    /// `((proc + 1) << 40) | per_proc_seq` instead of dense, so they
+    /// depend only on processor-local execution order — never on the
+    /// lane count. `ObsLog::canonicalize` renumbers either form
+    /// identically.
+    sharded: bool,
+    /// Dense next-id counters (classic engine) — identical to the ids
+    /// the retained log would assign, so the streamed records equal the
+    /// retained ones verbatim.
+    next_msg: u64,
+    next_compute: u64,
+    next_timer: u64,
+    /// Barrier ids are dense on both engines (releases are globally
+    /// ordered).
+    next_barrier: u64,
+    /// Per-processor sequence counters for structured ids (sharded
+    /// engine; msgs key by source, computes and timers by owner).
+    sctr: Vec<u64>,
+    /// Messages injected but not yet delivered: the record so far plus
+    /// its critical-path cumulative at injection.
+    inflight: std::collections::HashMap<u64, (MsgRecord, crate::critpath::Components)>,
+    /// Armed timers that have not fired yet.
+    timers_live: std::collections::HashMap<u64, (TimerRecord, crate::critpath::Components)>,
+    /// Records offered to the sink (post-sampling).
+    emitted: u64,
+}
+
+impl StreamState {
+    fn msg_id(&mut self, src: ProcId) -> u64 {
+        if self.sharded {
+            Self::structured(&mut self.sctr, src)
+        } else {
+            let id = self.next_msg;
+            self.next_msg += 1;
+            id
+        }
+    }
+
+    fn compute_id(&mut self, p: ProcId) -> u64 {
+        if self.sharded {
+            Self::structured(&mut self.sctr, p)
+        } else {
+            let id = self.next_compute;
+            self.next_compute += 1;
+            id
+        }
+    }
+
+    fn timer_id(&mut self, p: ProcId) -> u64 {
+        if self.sharded {
+            Self::structured(&mut self.sctr, p)
+        } else {
+            let id = self.next_timer;
+            self.next_timer += 1;
+            id
+        }
+    }
+
+    fn barrier_id(&mut self) -> u64 {
+        let id = self.next_barrier;
+        self.next_barrier += 1;
+        id
+    }
+
+    fn structured(sctr: &mut [u64], p: ProcId) -> u64 {
+        let c = &mut sctr[p as usize];
+        let id = ((p as u64 + 1) << 40) | *c;
+        *c += 1;
+        id
+    }
+}
+
 /// Engine-side observability state; boxed behind an `Option` so the
 /// disabled path costs one null check per hook.
 struct ObsState {
@@ -415,6 +525,9 @@ struct ObsState {
     /// `(proc, submit, enter, cause)` of the last barrier entrant, for
     /// the [`BarrierRecord`] written at release.
     barrier_last: (ProcId, Cycles, Cycles, Cause),
+    /// Streaming mode (sink and/or online aggregate); `None` retains
+    /// records in `log` as always.
+    stream: Option<Box<StreamState>>,
 }
 
 impl ObsState {
@@ -458,6 +571,25 @@ impl ObsState {
             inbox_obs: std::collections::HashMap::new(),
             timer_obs: std::collections::HashMap::new(),
             barrier_last: (0, 0, 0, Cause::Start),
+            stream: (config.sink.is_some() || config.aggregate).then(|| {
+                let spec = config.sink.clone().unwrap_or(crate::obs::SinkSpec::Null);
+                Box::new(StreamState {
+                    sink: spec.build(),
+                    sampler: crate::obs::Sampler::new(config.sampling.clone()),
+                    agg: config
+                        .aggregate
+                        .then(|| crate::critpath::OnlineAgg::new(p, config.agg_grid)),
+                    sharded: false,
+                    next_msg: 0,
+                    next_compute: 0,
+                    next_timer: 0,
+                    next_barrier: 0,
+                    sctr: Vec::new(),
+                    inflight: std::collections::HashMap::new(),
+                    timers_live: std::collections::HashMap::new(),
+                    emitted: 0,
+                })
+            }),
         }
     }
 }
@@ -536,6 +668,17 @@ pub struct Sim {
     /// standard collectives.
     #[cfg(debug_assertions)]
     arena_reallocs: u64,
+    // ---- engine vitals (host-side self-telemetry; see EngineVitals) ----
+    /// Lookahead windows executed (sharded driver).
+    v_windows: u64,
+    /// Quiescence fast-forwards (sharded driver).
+    v_fast_forwards: u64,
+    /// Deepest calendar bucket drained in one batch (sharded driver).
+    v_bucket_max: u64,
+    /// Events spilled to a lane's `far` heap.
+    v_far_spills: u64,
+    /// Events processed per lane (sharded driver).
+    v_lane_events: Vec<u64>,
 }
 
 impl Sim {
@@ -543,6 +686,11 @@ impl Sim {
     /// [`crate::process::Passive`].
     pub fn new(model: LogP, config: SimConfig) -> Self {
         let mut config = config;
+        // A streaming sink or the online aggregate needs the lifecycle
+        // hooks live (records divert to the stream instead of the log).
+        if config.sink.is_some() || config.aggregate {
+            config.record_msg_log = true;
+        }
         // The critical-path analyzer attributes wait windows by scanning
         // activity spans, so the lifecycle log requires the trace; a
         // positive gauge grid requires the registry.
@@ -631,6 +779,11 @@ impl Sim {
             bdeltas: Vec::new(),
             #[cfg(debug_assertions)]
             arena_reallocs: 0,
+            v_windows: 0,
+            v_fast_forwards: 0,
+            v_bucket_max: 0,
+            v_far_spills: 0,
+            v_lane_events: Vec::new(),
         }
     }
 
@@ -740,6 +893,7 @@ impl Sim {
                 self.arena_reallocs += 1;
             }
             lane.far.push(key, kind);
+            self.v_far_spills += 1;
         }
     }
 
@@ -946,12 +1100,35 @@ impl Sim {
 
     fn span(&mut self, proc: ProcId, start: Cycles, end: Cycles, activity: Activity) {
         if self.config.record_trace {
-            self.trace.push(Span {
+            let sp = Span {
                 proc,
                 start,
                 end,
                 activity,
-            });
+            };
+            if let Some(obs) = self.obs.as_deref_mut() {
+                if let Some(st) = obs.stream.as_deref_mut() {
+                    Self::stream_span(st, &sp);
+                    return;
+                }
+            }
+            self.trace.push(sp);
+        }
+    }
+
+    /// Route one activity span into the streaming layer: the online
+    /// aggregate sees every span; the sink sees sampled non-empty ones.
+    #[cold]
+    #[inline(never)]
+    fn stream_span(st: &mut StreamState, sp: &Span) {
+        if sp.start >= sp.end {
+            return;
+        }
+        if let Some(agg) = st.agg.as_mut() {
+            agg.on_span(sp);
+        }
+        if st.sampler.spans_enabled() && st.sampler.pass_proc(sp.proc) {
+            st.sink.on_span(sp);
         }
     }
 
@@ -960,9 +1137,17 @@ impl Sim {
     #[inline]
     fn pop_meta(&mut self, idx: usize) -> (Cause, Cycles) {
         match self.obs.as_deref_mut() {
-            Some(o) if o.msg_log => o.cmd_meta[idx]
-                .pop_front()
-                .expect("cmd_meta tracks cmds in lockstep"),
+            Some(o) if o.msg_log => {
+                let meta = o.cmd_meta[idx]
+                    .pop_front()
+                    .expect("cmd_meta tracks cmds in lockstep");
+                if let Some(st) = o.stream.as_deref_mut() {
+                    if let Some(agg) = st.agg.as_mut() {
+                        agg.on_pop(meta.0);
+                    }
+                }
+                meta
+            }
             _ => (Cause::Start, self.now),
         }
     }
@@ -971,10 +1156,16 @@ impl Sim {
     /// key (out of line: only runs when observability is active).
     #[cold]
     #[inline(never)]
-    fn note_arrival(&mut self, slot: MsgSlot, key: u128) {
+    fn note_arrival(&mut self, dst: ProcId, slot: MsgSlot, key: u128) {
+        let now = self.now;
         let obs = self.obs.as_deref_mut().expect("only called when observed");
         let val = obs.msg_slab_obs[slot as usize];
         obs.inbox_obs.insert(key, val);
+        if let Some(st) = obs.stream.as_deref_mut() {
+            if let Some(agg) = st.agg.as_mut() {
+                agg.on_arrival(dst, now);
+            }
+        }
     }
 
     /// Claim a dequeued inbox message's observability payload and record
@@ -986,7 +1177,15 @@ impl Sim {
         if let Some(obs) = self.obs.as_deref_mut() {
             let val = obs.inbox_obs.remove(&key).unwrap_or(0);
             obs.recv_obs[p as usize] = val;
-            if obs.msg_log {
+            if let Some(st) = obs.stream.as_deref_mut() {
+                if let Some((rec, cum)) = st.inflight.get_mut(&val) {
+                    rec.recv_gate = recv_gate;
+                    rec.recv_start = now;
+                    if let Some(agg) = st.agg.as_mut() {
+                        agg.on_reception(rec, cum);
+                    }
+                }
+            } else if obs.msg_log {
                 let rec = &mut obs.log.msgs[val as usize];
                 rec.recv_gate = recv_gate;
                 rec.recv_start = now;
@@ -1012,29 +1211,56 @@ impl Sim {
         inject: Cycles,
         sent: Cycles,
         arrive: Cycles,
+        dup: bool,
     ) {
         let Some(obs) = self.obs.as_deref_mut() else {
             return;
         };
         let val = if obs.msg_log {
-            let id = obs.log.msgs.len() as u64;
-            obs.log.msgs.push(MsgRecord {
-                id,
-                src,
-                dst,
-                tag,
-                words,
-                cause: meta.0,
-                submit: meta.1,
-                send_gate,
-                inject,
-                sent,
-                arrive,
-                recv_gate: UNSET,
-                recv_start: UNSET,
-                deliver: UNSET,
-            });
-            id
+            if let Some(st) = obs.stream.as_deref_mut() {
+                let id = st.msg_id(src);
+                let rec = MsgRecord {
+                    id,
+                    src,
+                    dst,
+                    tag,
+                    words,
+                    cause: meta.0,
+                    submit: meta.1,
+                    send_gate,
+                    inject,
+                    sent,
+                    arrive,
+                    recv_gate: UNSET,
+                    recv_start: UNSET,
+                    deliver: UNSET,
+                };
+                let cum = match st.agg.as_mut() {
+                    Some(agg) => agg.on_send(&rec, dup),
+                    None => Default::default(),
+                };
+                st.inflight.insert(id, (rec, cum));
+                id
+            } else {
+                let id = obs.log.msgs.len() as u64;
+                obs.log.msgs.push(MsgRecord {
+                    id,
+                    src,
+                    dst,
+                    tag,
+                    words,
+                    cause: meta.0,
+                    submit: meta.1,
+                    send_gate,
+                    inject,
+                    sent,
+                    arrive,
+                    recv_gate: UNSET,
+                    recv_start: UNSET,
+                    deliver: UNSET,
+                });
+                id
+            }
         } else {
             inject
         };
@@ -1065,28 +1291,56 @@ impl Sim {
         send_gate: Cycles,
         inject: Cycles,
         sent: Cycles,
+        dup: bool,
     ) {
         let Some(obs) = self.obs.as_deref_mut() else {
             return;
         };
         if obs.msg_log {
-            let id = obs.log.msgs.len() as u64;
-            obs.log.msgs.push(MsgRecord {
-                id,
-                src,
-                dst,
-                tag,
-                words,
-                cause: meta.0,
-                submit: meta.1,
-                send_gate,
-                inject,
-                sent,
-                arrive: UNSET,
-                recv_gate: UNSET,
-                recv_start: UNSET,
-                deliver: UNSET,
-            });
+            if let Some(st) = obs.stream.as_deref_mut() {
+                let id = st.msg_id(src);
+                let rec = MsgRecord {
+                    id,
+                    src,
+                    dst,
+                    tag,
+                    words,
+                    cause: meta.0,
+                    submit: meta.1,
+                    send_gate,
+                    inject,
+                    sent,
+                    arrive: UNSET,
+                    recv_gate: UNSET,
+                    recv_start: UNSET,
+                    deliver: UNSET,
+                };
+                if let Some(agg) = st.agg.as_mut() {
+                    agg.on_lost(src, meta.1, dup);
+                }
+                if let Some(out) = st.sampler.offer_msg(rec) {
+                    st.emitted += 1;
+                    st.sink.on_msg(&out);
+                }
+            } else {
+                let id = obs.log.msgs.len() as u64;
+                obs.log.msgs.push(MsgRecord {
+                    id,
+                    src,
+                    dst,
+                    tag,
+                    words,
+                    cause: meta.0,
+                    submit: meta.1,
+                    send_gate,
+                    inject,
+                    sent,
+                    arrive: UNSET,
+                    recv_gate: UNSET,
+                    recv_start: UNSET,
+                    deliver: UNSET,
+                });
+            }
         }
         if obs.metrics_on {
             let c = obs.c_injected;
@@ -1102,17 +1356,39 @@ impl Sim {
         let now = self.now;
         if let Some(obs) = self.obs.as_deref_mut() {
             if obs.msg_log {
-                let id = obs.log.timers.len() as u64;
-                obs.log.timers.push(TimerRecord {
-                    id,
-                    proc: p,
-                    tag,
-                    cause: meta.0,
-                    submit: meta.1,
-                    armed: now,
-                    fire,
-                });
-                obs.timer_obs.insert(seq, id);
+                if let Some(st) = obs.stream.as_deref_mut() {
+                    let id = st.timer_id(p);
+                    let rec = TimerRecord {
+                        id,
+                        proc: p,
+                        tag,
+                        cause: meta.0,
+                        submit: meta.1,
+                        armed: now,
+                        fire,
+                    };
+                    let base = match st.agg.as_mut() {
+                        Some(agg) => {
+                            agg.on_timer_armed();
+                            agg.pending_base
+                        }
+                        None => Default::default(),
+                    };
+                    st.timers_live.insert(id, (rec, base));
+                    obs.timer_obs.insert(seq, id);
+                } else {
+                    let id = obs.log.timers.len() as u64;
+                    obs.log.timers.push(TimerRecord {
+                        id,
+                        proc: p,
+                        tag,
+                        cause: meta.0,
+                        submit: meta.1,
+                        armed: now,
+                        fire,
+                    });
+                    obs.timer_obs.insert(seq, id);
+                }
             }
         }
     }
@@ -1123,7 +1399,20 @@ impl Sim {
     fn timer_cause(&mut self, key: u128) -> Cause {
         match self.obs.as_deref_mut() {
             Some(o) if o.msg_log => match o.timer_obs.remove(&key_seq(key)) {
-                Some(id) => Cause::Retry(id),
+                Some(id) => {
+                    if let Some(st) = o.stream.as_deref_mut() {
+                        if let Some((rec, base)) = st.timers_live.remove(&id) {
+                            if let Some(agg) = st.agg.as_mut() {
+                                agg.on_timer_fire(&rec, base);
+                            }
+                            if st.sampler.pass_proc(rec.proc) {
+                                st.emitted += 1;
+                                st.sink.on_timer(&rec);
+                            }
+                        }
+                    }
+                    Cause::Retry(id)
+                }
                 None => Cause::Start,
             },
             _ => Cause::Start,
@@ -1153,9 +1442,27 @@ impl Sim {
             return;
         };
         let since = if obs.msg_log {
-            let rec = &mut obs.log.msgs[obs_val as usize];
-            rec.deliver = now;
-            rec.submit
+            if let Some(st) = obs.stream.as_deref_mut() {
+                match st.inflight.remove(&obs_val) {
+                    Some((mut rec, cum)) => {
+                        rec.deliver = now;
+                        if let Some(agg) = st.agg.as_mut() {
+                            agg.on_delivery(&rec, cum);
+                        }
+                        let submit = rec.submit;
+                        if let Some(out) = st.sampler.offer_msg(rec) {
+                            st.emitted += 1;
+                            st.sink.on_msg(&out);
+                        }
+                        submit
+                    }
+                    None => now,
+                }
+            } else {
+                let rec = &mut obs.log.msgs[obs_val as usize];
+                rec.deliver = now;
+                rec.submit
+            }
         } else {
             obs_val
         };
@@ -1163,6 +1470,101 @@ impl Sim {
             let (c, h) = (obs.c_delivered, obs.h_latency);
             obs.metrics.inc(c, 1);
             obs.metrics.observe(h, now - since);
+        }
+    }
+
+    /// Record a compute committing now: the record is complete at
+    /// creation because the end instant is already scheduled.
+    #[cold]
+    #[inline(never)]
+    fn record_compute(&mut self, p: ProcId, tag: u64, meta: (Cause, Cycles), dur: Cycles) {
+        let now = self.now;
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        if obs.msg_log {
+            if let Some(st) = obs.stream.as_deref_mut() {
+                let id = st.compute_id(p);
+                let rec = ComputeRecord {
+                    id,
+                    proc: p,
+                    tag,
+                    cause: meta.0,
+                    submit: meta.1,
+                    start: now,
+                    end: now + dur,
+                };
+                if let Some(agg) = st.agg.as_mut() {
+                    agg.on_compute(&rec);
+                }
+                if st.sampler.pass_proc(p) {
+                    st.emitted += 1;
+                    st.sink.on_compute(&rec);
+                }
+                obs.cur_compute[p as usize] = id;
+            } else {
+                let id = obs.log.computes.len() as u64;
+                obs.log.computes.push(ComputeRecord {
+                    id,
+                    proc: p,
+                    tag,
+                    cause: meta.0,
+                    submit: meta.1,
+                    start: now,
+                    end: now + dur,
+                });
+                obs.cur_compute[p as usize] = id;
+            }
+        }
+        if obs.metrics_on {
+            let c = obs.c_computes;
+            obs.metrics.inc(c, 1);
+        }
+    }
+
+    /// Record the barrier releasing now and return the [`Cause`] the
+    /// released handlers cite. Shared by the classic `BarrierRelease`
+    /// event and the sharded driver's canonical delta replay.
+    #[cold]
+    #[inline(never)]
+    fn record_barrier_release(&mut self) -> Cause {
+        let now = self.now;
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return Cause::Start;
+        };
+        if !obs.msg_log {
+            return Cause::Start;
+        }
+        let (last_proc, submit, enter, cause) = obs.barrier_last;
+        if let Some(st) = obs.stream.as_deref_mut() {
+            let id = st.barrier_id();
+            let rec = BarrierRecord {
+                id,
+                last_proc,
+                submit,
+                enter,
+                release: now,
+                cause,
+            };
+            if let Some(agg) = st.agg.as_mut() {
+                agg.on_barrier_release(&rec);
+            }
+            if st.sampler.pass_proc(last_proc) {
+                st.emitted += 1;
+                st.sink.on_barrier(&rec);
+            }
+            Cause::Barrier(id)
+        } else {
+            let id = obs.log.barriers.len() as u64;
+            obs.log.barriers.push(BarrierRecord {
+                id,
+                last_proc,
+                submit,
+                enter,
+                release: now,
+                cause,
+            });
+            Cause::Barrier(id)
         }
     }
 
@@ -1257,7 +1659,7 @@ impl Sim {
                     .max(self.in_flight_to[dst as usize]);
             }
             if OBS {
-                self.record_lost(src, dst, tag, words, meta, send_gate, now, now + o);
+                self.record_lost(src, dst, tag, words, meta, send_gate, now, now + o, false);
             }
             if !SHARDED {
                 self.schedule(
@@ -1297,6 +1699,7 @@ impl Sim {
                 now,
                 now + o,
                 now + o + stream + lat + d.delay,
+                false,
             );
         }
         if SHARDED {
@@ -1340,6 +1743,7 @@ impl Sim {
                     now,
                     now + o,
                     now + o + stream + lat + extra,
+                    true,
                 );
             }
             if SHARDED {
@@ -1453,6 +1857,8 @@ impl Sim {
         self.procs[p as usize].cmds.extend(cmds.drain(..));
         if OBS && issued > 0 {
             self.push_meta(p, cause, issued);
+        } else if OBS {
+            self.note_leaf(cause);
         }
         self.cmd_scratch = cmds;
     }
@@ -1467,6 +1873,25 @@ impl Sim {
                 let meta = &mut obs.cmd_meta[p as usize];
                 for _ in 0..issued {
                     meta.push_back((cause, now));
+                }
+                if let Some(st) = obs.stream.as_deref_mut() {
+                    if let Some(agg) = st.agg.as_mut() {
+                        agg.on_push(p, cause, now, issued);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A handler issued no commands: nothing will ever cite its trigger
+    /// again, so the online aggregate may drop the record's components.
+    #[cold]
+    #[inline(never)]
+    fn note_leaf(&mut self, cause: Cause) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if let Some(st) = obs.stream.as_deref_mut() {
+                if let Some(agg) = st.agg.as_mut() {
+                    agg.on_leaf(cause);
                 }
             }
         }
@@ -1617,6 +2042,7 @@ impl Sim {
                                 now,
                                 now + o,
                                 now + o + stream + lat,
+                                false,
                             );
                         }
                         // The capacity window mirrors the small-message
@@ -1732,6 +2158,7 @@ impl Sim {
                                 now,
                                 now + o,
                                 now + o + lat,
+                                false,
                             );
                         }
                         if SHARDED {
@@ -1761,24 +2188,8 @@ impl Sim {
                     st.stats.compute += dur;
                     st.engaged = true;
                     self.span(p, now, now + dur, Activity::Compute);
-                    if let Some(obs) = self.obs.as_deref_mut().filter(|_| OBS) {
-                        if obs.msg_log {
-                            let id = obs.log.computes.len() as u64;
-                            obs.log.computes.push(ComputeRecord {
-                                id,
-                                proc: p,
-                                tag,
-                                cause: meta.0,
-                                submit: meta.1,
-                                start: now,
-                                end: now + dur,
-                            });
-                            obs.cur_compute[idx] = id;
-                        }
-                        if obs.metrics_on {
-                            let c = obs.c_computes;
-                            obs.metrics.inc(c, 1);
-                        }
+                    if OBS {
+                        self.record_compute(p, tag, meta, dur);
                     }
                     self.sched::<SHARDED>(now + dur, EventKind::ComputeDone(p, tag));
                 }
@@ -1802,6 +2213,11 @@ impl Sim {
                     if let Some(obs) = self.obs.as_deref_mut().filter(|_| OBS) {
                         if obs.msg_log {
                             obs.barrier_last = (p, meta.1, now, meta.0);
+                            if let Some(st) = obs.stream.as_deref_mut() {
+                                if let Some(agg) = st.agg.as_mut() {
+                                    agg.on_barrier_enter(p, meta.1);
+                                }
+                            }
                         }
                         if obs.metrics_on {
                             let c = obs.c_barrier_entries;
@@ -1986,6 +2402,19 @@ impl Sim {
             && self.config.metrics_grid == 0
             && self.model.p >= 2
             && (self.model.p as u64) < (1 << 20);
+        // Tell the streaming layer which record-id scheme to use before
+        // the first record is allocated: dense (classic — identical to
+        // retained-log ids) or structured per-processor (sharded —
+        // lane-count-invariant).
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if let Some(st) = obs.stream.as_deref_mut() {
+                st.sharded = sharded;
+                if sharded {
+                    st.sctr = vec![0; self.model.p as usize];
+                }
+            }
+        }
+        let wall_start = std::time::Instant::now();
         match (self.obs.is_some(), self.faults.is_some(), sharded) {
             (false, false, false) => self.drive::<false, false>()?,
             (false, true, false) => self.drive::<false, true>()?,
@@ -1996,6 +2425,7 @@ impl Sim {
             (true, false, true) => self.drive_sharded::<true, false>()?,
             (true, true, true) => self.drive_sharded::<true, true>()?,
         }
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
         // Heap pops are time-ordered, so the clock is monotone and the
         // final `now` is the completion time — no per-event max needed.
         self.stats.completion = self.now;
@@ -2020,23 +2450,86 @@ impl Sim {
         if self.obs.is_some() {
             self.sample_gauges_to(self.now + 1);
         }
+        let mut aggregate = None;
+        let mut sink_err = None;
         let (obs_log, metrics) = match self.obs.take() {
-            Some(o) => (o.log, o.metrics),
+            Some(mut o) => {
+                if let Some(st) = o.stream.take() {
+                    match Self::finish_stream(*st) {
+                        Ok(agg) => aggregate = agg,
+                        Err(e) => sink_err = Some(e),
+                    }
+                }
+                (o.log, o.metrics)
+            }
             None => (ObsLog::default(), MetricsRegistry::default()),
         };
+        if let Some(e) = sink_err {
+            return Err(SimError::Sink(e));
+        }
         #[cfg(debug_assertions)]
         let reallocs = self.arena_reallocs;
         #[cfg(not(debug_assertions))]
         let reallocs = 0u64;
+        let vitals = crate::metrics::EngineVitals {
+            engine: if sharded { "sharded" } else { "classic" },
+            wall_ns,
+            events: self.stats.events,
+            lanes: if sharded { self.lanes.len() as u32 } else { 1 },
+            lane_events: std::mem::take(&mut self.v_lane_events),
+            windows: self.v_windows,
+            fast_forwards: self.v_fast_forwards,
+            bucket_depth_max: self.v_bucket_max,
+            far_spills: self.v_far_spills,
+            arena_reallocs: reallocs,
+        };
         Ok((
             SimResult {
                 stats: self.stats,
                 trace: self.trace,
                 obs: obs_log,
                 metrics,
+                aggregate,
+                vitals,
             },
             reallocs,
         ))
+    }
+
+    /// Close out a streaming run: emit the records the run left
+    /// incomplete (undelivered messages after crashes or drops, timers
+    /// cancelled by halt) sorted by id, release deferred sampling
+    /// selections, finalize the aggregate, and flush the sink.
+    fn finish_stream(mut st: StreamState) -> Result<Option<crate::critpath::ObsAggregate>, String> {
+        let mut msgs: Vec<MsgRecord> = std::mem::take(&mut st.inflight)
+            .into_values()
+            .map(|(m, _)| m)
+            .collect();
+        msgs.sort_unstable_by_key(|m| m.id);
+        for m in msgs {
+            if let Some(out) = st.sampler.offer_msg(m) {
+                st.emitted += 1;
+                st.sink.on_msg(&out);
+            }
+        }
+        let mut timers: Vec<TimerRecord> = std::mem::take(&mut st.timers_live)
+            .into_values()
+            .map(|(t, _)| t)
+            .collect();
+        timers.sort_unstable_by_key(|t| t.id);
+        for t in timers {
+            if st.sampler.pass_proc(t.proc) {
+                st.emitted += 1;
+                st.sink.on_timer(&t);
+            }
+        }
+        for m in st.sampler.drain() {
+            st.emitted += 1;
+            st.sink.on_msg(&m);
+        }
+        let agg = st.agg.take().map(|a| a.finish(st.emitted));
+        st.sink.finish()?;
+        Ok(agg)
     }
 
     /// The event loop, monomorphized over observability. With `OBS`
@@ -2116,7 +2609,7 @@ impl Sim {
                     self.seq += 1;
                     let key = InboxItem::key(self.now, self.seq);
                     if OBS {
-                        self.note_arrival(slot, key);
+                        self.note_arrival(dst, slot, key);
                     }
                     self.procs[dst as usize]
                         .inbox
@@ -2181,21 +2674,10 @@ impl Sim {
                 }
                 EventKind::BarrierRelease => {
                     self.barrier_count = 0;
-                    let bcause = match self.obs.as_deref_mut().filter(|_| OBS) {
-                        Some(obs) if obs.msg_log => {
-                            let id = obs.log.barriers.len() as u64;
-                            let (last_proc, submit, enter, cause) = obs.barrier_last;
-                            obs.log.barriers.push(BarrierRecord {
-                                id,
-                                last_proc,
-                                submit,
-                                enter,
-                                release: self.now,
-                                cause,
-                            });
-                            Cause::Barrier(id)
-                        }
-                        _ => Cause::Start,
+                    let bcause = if OBS {
+                        self.record_barrier_release()
+                    } else {
+                        Cause::Start
                     };
                     let mut released = std::mem::take(&mut self.released_scratch);
                     released

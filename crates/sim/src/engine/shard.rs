@@ -86,23 +86,6 @@ use logp_core::Cycles;
 use std::cmp::Reverse;
 use std::collections::VecDeque;
 
-/// Stable-sort `v` by `key`, renumbering positions; returns the
-/// old-index → new-index map used to rewrite causal references.
-fn sort_remap<T, K: Ord>(v: &mut Vec<T>, key: impl Fn(&T) -> K) -> Vec<u64> {
-    let mut idx: Vec<u32> = (0..v.len() as u32).collect();
-    idx.sort_by_key(|&i| (key(&v[i as usize]), i));
-    let mut map = vec![0u64; v.len()];
-    for (new, &old) in idx.iter().enumerate() {
-        map[old as usize] = new as u64;
-    }
-    let mut slots: Vec<Option<T>> = std::mem::take(v).into_iter().map(Some).collect();
-    *v = idx
-        .iter()
-        .map(|&old| slots[old as usize].take().expect("index permutation"))
-        .collect();
-    map
-}
-
 impl Sim {
     /// Partition the processors into contiguous lanes and build the
     /// sharded engine's state (lane heaps and slabs, canonical counters,
@@ -134,6 +117,7 @@ impl Sim {
         }
         self.pctr = vec![0; p];
         self.rings = vec![VecDeque::new(); p];
+        self.v_lane_events = vec![0; n];
     }
 
     /// The model's conservative lookahead: no send inside `[T, T + W)`
@@ -214,6 +198,7 @@ impl Sim {
         t_end: Cycles,
     ) -> Result<Option<Cycles>, SimError> {
         let mut last = None;
+        let mut n_ev = 0u64;
         let b = self.lanes[li].buckets.len() as u64;
         let mut t = self.lanes[li].bbase;
         while t < t_end {
@@ -243,8 +228,10 @@ impl Sim {
                 let (key, kind) = batch[i];
                 i += 1;
                 self.process_event::<OBS, FAULTS>(key, kind)?;
+                n_ev += 1;
                 last = Some(self.now);
             }
+            self.v_bucket_max = self.v_bucket_max.max(batch.len() as u64);
             batch.clear();
             // Hand the allocation back so steady-state cycles reuse it.
             let hole = &mut self.lanes[li].buckets[slot];
@@ -253,6 +240,7 @@ impl Sim {
             }
             t += 1;
         }
+        self.v_lane_events[li] += n_ev;
         Ok(last)
     }
 
@@ -291,7 +279,7 @@ impl Sim {
                 // destination is lane-count-invariant.
                 let ikey = InboxItem::key(self.now, key_seq(key));
                 if OBS {
-                    self.note_arrival(slot, ikey);
+                    self.note_arrival(dst, slot, ikey);
                 }
                 self.procs[dst as usize]
                     .inbox
@@ -416,21 +404,10 @@ impl Sim {
     fn apply_barrier_release<const OBS: bool, const FAULTS: bool>(&mut self, t_rel: Cycles) {
         self.now = t_rel;
         self.barrier_count = 0;
-        let bcause = match self.obs.as_deref_mut().filter(|_| OBS) {
-            Some(obs) if obs.msg_log => {
-                let id = obs.log.barriers.len() as u64;
-                let (last_proc, submit, enter, cause) = obs.barrier_last;
-                obs.log.barriers.push(crate::obs::BarrierRecord {
-                    id,
-                    last_proc,
-                    submit,
-                    enter,
-                    release: t_rel,
-                    cause,
-                });
-                Cause::Barrier(id)
-            }
-            _ => Cause::Start,
+        let bcause = if OBS {
+            self.record_barrier_release()
+        } else {
+            Cause::Start
         };
         let mut released = std::mem::take(&mut self.released_scratch);
         released.extend((0..self.model.p).filter(|&p| self.procs[p as usize].in_barrier));
@@ -454,12 +431,11 @@ impl Sim {
     }
 
     /// Re-sort the observability log and activity trace into canonical
-    /// order and rewrite causal references. Lane passes append records in
-    /// pass order; the canonical order is the per-record primary
-    /// timestamp with the owning processor as tiebreak (both
-    /// lane-count-invariant). Sorts are stable, and within one processor
-    /// the append order is already chronological, so same-key runs stay
-    /// correctly ordered.
+    /// order and rewrite causal references ([`crate::obs::ObsLog::canonicalize`]
+    /// — the same renumbering a replayed streaming trace gets). Lane
+    /// passes append records in pass order; the canonical order is the
+    /// per-record primary timestamp with the owning processor as
+    /// tiebreak (both lane-count-invariant).
     fn canonicalize_results(&mut self) {
         if self.config.record_trace {
             self.trace.spans.sort_by_key(|s| s.proc);
@@ -470,37 +446,7 @@ impl Sim {
         if !obs.msg_log {
             return;
         }
-        let log = &mut obs.log;
-        let msg_map = sort_remap(&mut log.msgs, |m| (m.inject, m.src));
-        let comp_map = sort_remap(&mut log.computes, |c| (c.start, c.proc));
-        let timer_map = sort_remap(&mut log.timers, |t| (t.armed, t.proc));
-        for (id, m) in log.msgs.iter_mut().enumerate() {
-            m.id = id as u64;
-        }
-        for (id, c) in log.computes.iter_mut().enumerate() {
-            c.id = id as u64;
-        }
-        for (id, t) in log.timers.iter_mut().enumerate() {
-            t.id = id as u64;
-        }
-        let fix = |cause: &mut Cause| match cause {
-            Cause::Msg(id) => *id = msg_map[*id as usize],
-            Cause::Compute(id) => *id = comp_map[*id as usize],
-            Cause::Retry(id) => *id = timer_map[*id as usize],
-            Cause::Start | Cause::Barrier(_) => {}
-        };
-        for m in &mut log.msgs {
-            fix(&mut m.cause);
-        }
-        for c in &mut log.computes {
-            fix(&mut c.cause);
-        }
-        for t in &mut log.timers {
-            fix(&mut t.cause);
-        }
-        for b in &mut log.barriers {
-            fix(&mut b.cause);
-        }
+        obs.log.canonicalize();
     }
 
     /// The windowed lane driver. Mirrors [`Sim::drive`]'s prologue and
@@ -546,6 +492,7 @@ impl Sim {
         }
         let mut pending_release: Option<Cycles> = None;
         let mut completion: Cycles = 0;
+        let mut prev_end: Option<Cycles> = None;
         loop {
             // Next window start: the earliest pending instant anywhere.
             // Jumping straight to it is the quiescence fast-forward — a
@@ -562,10 +509,15 @@ impl Sim {
             let Some(t0) = t0 else {
                 break;
             };
+            self.v_windows += 1;
+            if prev_end.is_some_and(|e| t0 > e) {
+                self.v_fast_forwards += 1;
+            }
             for li in 0..self.lanes.len() {
                 self.rebase_lane(li, t0);
             }
             let t_end = t0.saturating_add(w);
+            prev_end = Some(t_end);
             // Drain the window to a fixed point: a barrier release inside
             // the window re-arms processors across every lane, so lanes
             // are re-pumped (same bound) until nothing is due before

@@ -51,13 +51,16 @@ pub mod runner;
 pub mod trace;
 
 pub use config::SimConfig;
-pub use critpath::{critical_path, CritPath, PathStep, StepKind};
+pub use critpath::{critical_path, Components, CritPath, ObsAggregate, PathStep, StepKind};
 pub use engine::{Sim, SimError, SimResult};
 pub use faults::{FaultDecision, FaultPlan};
 pub use message::{Data, Message};
-pub use metrics::MetricsRegistry;
-pub use obs::{BarrierRecord, Cause, ComputeRecord, MsgId, MsgRecord, ObsLog, TimerRecord};
-pub use perfetto::perfetto_trace_json;
+pub use metrics::{EngineVitals, MetricsRegistry};
+pub use obs::{
+    replay_jsonl, BarrierRecord, Cause, ComputeRecord, JsonlSink, MsgId, MsgRecord, NullSink,
+    ObsLog, ObsSampling, ObsSink, SinkSpec, TimerRecord,
+};
+pub use perfetto::{perfetto_trace_json, PerfettoSink};
 pub use process::{Ctx, Process};
 pub use reliable::{Endpoint, EndpointStats, RetryConfig};
 pub use runner::{derive_seed, run_batch, run_sweep, sweep_map, RunSpec, Threads};

@@ -239,6 +239,144 @@ impl MetricsRegistry {
     }
 }
 
+/// Host-side self-telemetry for one engine run: how fast the engine
+/// itself ran, not what the simulated machine did.
+///
+/// Collected by both engines at negligible cost (a wall-clock read plus
+/// counters the sharded engine already touches) and reported through
+/// [`SimResult::vitals`](crate::engine::SimResult). Vitals describe the
+/// *host* execution, so they vary run to run and lane count to lane
+/// count; they are deliberately excluded from `SimResult` equality and
+/// never inserted into `SimResult::metrics` (which must stay
+/// lane-count-invariant). Benches merge them into artifacts via
+/// [`EngineVitals::install`] or `to_json` at write time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineVitals {
+    /// Which engine ran: `"classic"` or `"sharded"`.
+    pub engine: &'static str,
+    /// Host wall-clock time for the event loop, in nanoseconds.
+    pub wall_ns: u64,
+    /// Total simulated events processed (same as `SimStats::events`).
+    pub events: u64,
+    /// Number of event lanes (1 for the classic engine).
+    pub lanes: u32,
+    /// Events processed per lane (sharded engine only; empty for
+    /// classic).
+    pub lane_events: Vec<u64>,
+    /// Lookahead windows executed (sharded engine only; 0 for classic).
+    pub windows: u64,
+    /// Quiescence fast-forwards: windows whose start was advanced past
+    /// empty simulated time to the global next-event instant.
+    pub fast_forwards: u64,
+    /// Deepest calendar bucket drained in one per-cycle batch.
+    pub bucket_depth_max: u64,
+    /// Events that overflowed a lane's calendar ring into the `far`
+    /// heap.
+    pub far_spills: u64,
+    /// Arena regrowths observed during the run (debug builds count
+    /// them; release builds report 0).
+    pub arena_reallocs: u64,
+}
+
+impl Default for EngineVitals {
+    fn default() -> Self {
+        EngineVitals {
+            engine: "classic",
+            wall_ns: 0,
+            events: 0,
+            lanes: 1,
+            lane_events: Vec::new(),
+            windows: 0,
+            fast_forwards: 0,
+            bucket_depth_max: 0,
+            far_spills: 0,
+            arena_reallocs: 0,
+        }
+    }
+}
+
+impl EngineVitals {
+    /// Simulated events per host second (0.0 when the run was too fast
+    /// to time).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.events as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Mean events per lookahead window (sharded engine; 0.0 for
+    /// classic).
+    pub fn occupancy(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.events as f64 / self.windows as f64
+    }
+
+    /// Lane load-imbalance ratio: busiest lane over mean lane load
+    /// (1.0 = perfectly balanced; 0.0 when there are no lanes).
+    pub fn imbalance(&self) -> f64 {
+        if self.lane_events.is_empty() {
+            return 0.0;
+        }
+        let max = *self.lane_events.iter().max().unwrap() as f64;
+        let avg = self.lane_events.iter().sum::<u64>() as f64 / self.lane_events.len() as f64;
+        if avg == 0.0 {
+            return 0.0;
+        }
+        max / avg
+    }
+
+    /// Export as a standalone JSON object (the `--vitals-out` artifact
+    /// schema; see `docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"engine\": \"{}\",", self.engine);
+        let _ = writeln!(s, "  \"wall_ns\": {},", self.wall_ns);
+        let _ = writeln!(s, "  \"events\": {},", self.events);
+        let _ = writeln!(s, "  \"events_per_sec\": {:.1},", self.events_per_sec());
+        let _ = writeln!(s, "  \"lanes\": {},", self.lanes);
+        s.push_str("  \"lane_events\": [");
+        for (i, n) in self.lane_events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{n}");
+        }
+        s.push_str("],\n");
+        let _ = writeln!(s, "  \"windows\": {},", self.windows);
+        let _ = writeln!(s, "  \"window_occupancy\": {:.3},", self.occupancy());
+        let _ = writeln!(s, "  \"fast_forwards\": {},", self.fast_forwards);
+        let _ = writeln!(s, "  \"bucket_depth_max\": {},", self.bucket_depth_max);
+        let _ = writeln!(s, "  \"far_spills\": {},", self.far_spills);
+        let _ = writeln!(s, "  \"lane_imbalance\": {:.3},", self.imbalance());
+        let _ = writeln!(s, "  \"arena_reallocs\": {}", self.arena_reallocs);
+        s.push_str("}\n");
+        s
+    }
+
+    /// Install the vitals as `vitals_*` counters in a metrics registry.
+    /// Intended for artifact assembly only — installing into a
+    /// `SimResult`'s registry would break lane-count invariance.
+    pub fn install(&self, reg: &mut MetricsRegistry) {
+        let pairs: [(&'static str, u64); 8] = [
+            ("vitals_wall_ns", self.wall_ns),
+            ("vitals_events", self.events),
+            ("vitals_lanes", self.lanes as u64),
+            ("vitals_windows", self.windows),
+            ("vitals_fast_forwards", self.fast_forwards),
+            ("vitals_bucket_depth_max", self.bucket_depth_max),
+            ("vitals_far_spills", self.far_spills),
+            ("vitals_arena_reallocs", self.arena_reallocs),
+        ];
+        for (name, v) in pairs {
+            let id = reg.counter(name);
+            reg.inc(id, v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,9 +17,16 @@
 //! engine never touches these structures and the hot path stays
 //! allocation-free (see the `trace_overhead` bench).
 
+use crate::trace::Span;
 use logp_core::{Cycles, ProcId};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// Identifier of a [`MsgRecord`] within an [`ObsLog`] (index into `msgs`).
+/// In streaming mode on the sharded engine, ids are *structured*
+/// (`(proc + 1) << 40 | seq`) rather than dense; [`ObsLog::canonicalize`]
+/// renumbers either form into the canonical dense order.
 pub type MsgId = u64;
 
 /// Sentinel for a lifecycle timestamp that never happened (e.g. a message
@@ -199,6 +206,503 @@ impl ObsLog {
             };
         }
         chain
+    }
+
+    /// Renumber the log into canonical order: messages by
+    /// `(inject, src)`, computes by `(start, proc)`, timers by
+    /// `(armed, proc)` (all stable on the previous id, which preserves
+    /// per-processor issue order), ids re-assigned densely and every
+    /// [`Cause`] remapped. Barriers are already globally ordered by
+    /// release and stay put. The sharded engine applies this to every
+    /// retained log, and replayed streaming logs apply it so both
+    /// presentations of the same run compare equal.
+    pub fn canonicalize(&mut self) {
+        fn sort_remap<T, K: Ord>(v: &mut [T], key: impl Fn(&T) -> K) -> HashMap<u64, u64>
+        where
+            T: HasId,
+        {
+            v.sort_by_key(|r| (key(r), r.id()));
+            let mut map = HashMap::with_capacity(v.len());
+            for (i, r) in v.iter_mut().enumerate() {
+                map.insert(r.id(), i as u64);
+                r.set_id(i as u64);
+            }
+            map
+        }
+        let mmap = sort_remap(&mut self.msgs, |m| (m.inject, m.src));
+        let cmap = sort_remap(&mut self.computes, |c| (c.start, c.proc));
+        let tmap = sort_remap(&mut self.timers, |t| (t.armed, t.proc));
+        let fix = |c: &mut Cause| match *c {
+            Cause::Msg(id) => *c = Cause::Msg(mmap[&id]),
+            Cause::Compute(id) => *c = Cause::Compute(cmap[&id]),
+            Cause::Retry(id) => *c = Cause::Retry(tmap[&id]),
+            Cause::Start | Cause::Barrier(_) => {}
+        };
+        for m in &mut self.msgs {
+            fix(&mut m.cause);
+        }
+        for c in &mut self.computes {
+            fix(&mut c.cause);
+        }
+        for b in &mut self.barriers {
+            fix(&mut b.cause);
+        }
+        for t in &mut self.timers {
+            fix(&mut t.cause);
+        }
+    }
+}
+
+/// Record types that carry a rewritable id (canonicalization plumbing).
+trait HasId {
+    fn id(&self) -> u64;
+    fn set_id(&mut self, id: u64);
+}
+
+macro_rules! has_id {
+    ($($t:ty),*) => {$(
+        impl HasId for $t {
+            fn id(&self) -> u64 {
+                self.id
+            }
+            fn set_id(&mut self, id: u64) {
+                self.id = id;
+            }
+        }
+    )*};
+}
+has_id!(MsgRecord, ComputeRecord, TimerRecord);
+
+// ---------------------------------------------------------------------------
+// Streaming sinks
+// ---------------------------------------------------------------------------
+
+/// Where streaming lifecycle records go. Carried by `SimConfig`, so it
+/// must be cheap to clone and comparable (the sink itself is built by the
+/// engine at run start).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkSpec {
+    /// Discard records (useful with `SimConfig::aggregate`: the online
+    /// aggregate is maintained and nothing is retained or written).
+    Null,
+    /// One JSON object per line per record, written incrementally.
+    /// [`replay_jsonl`] parses the file back into an [`ObsLog`].
+    Jsonl(PathBuf),
+    /// A Perfetto `trace_event` JSON written incrementally (bounded
+    /// memory: slices and flows stream out as they complete).
+    Perfetto(PathBuf),
+}
+
+impl SinkSpec {
+    /// Construct the sink this spec describes. File-creation errors are
+    /// latched inside the sink and surface from [`ObsSink::finish`] (as
+    /// the run's `SimError::Sink`).
+    pub fn build(&self) -> Box<dyn ObsSink> {
+        match self {
+            SinkSpec::Null => Box::new(NullSink),
+            SinkSpec::Jsonl(p) => Box::new(JsonlSink::create(p)),
+            SinkSpec::Perfetto(p) => Box::new(crate::perfetto::PerfettoSink::create(p)),
+        }
+    }
+}
+
+/// A streaming consumer of lifecycle records. When a sink is configured,
+/// records flow here the moment they complete instead of accumulating in
+/// [`ObsLog`] — `SimResult::obs` stays empty and memory stays bounded by
+/// the number of *in-flight* messages, not the total sent.
+///
+/// Calls arrive in engine order (deterministic for a fixed config, but on
+/// the sharded engine dependent on the lane count; canonicalize replayed
+/// logs before comparing across lane counts).
+pub trait ObsSink {
+    fn on_msg(&mut self, _m: &MsgRecord) {}
+    fn on_compute(&mut self, _c: &ComputeRecord) {}
+    fn on_barrier(&mut self, _b: &BarrierRecord) {}
+    fn on_timer(&mut self, _t: &TimerRecord) {}
+    fn on_span(&mut self, _s: &Span) {}
+    /// Flush and close. Deferred I/O errors surface here (as the run's
+    /// `SimError::Sink`).
+    fn finish(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A sink that drops everything (the aggregation-only configuration).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {}
+
+/// Streaming JSONL writer: one record per line, kinds `m` (message), `c`
+/// (compute), `b` (barrier), `t` (timer), `s` (activity span). Timestamps
+/// print as raw `u64` (so [`UNSET`] round-trips exactly).
+pub struct JsonlSink {
+    out: Option<std::io::BufWriter<std::fs::File>>,
+    err: Option<String>,
+    buf: String,
+}
+
+impl JsonlSink {
+    pub fn create(path: &Path) -> Self {
+        let (out, err) = match std::fs::File::create(path) {
+            Ok(f) => (Some(std::io::BufWriter::new(f)), None),
+            Err(e) => (None, Some(format!("create {}: {e}", path.display()))),
+        };
+        JsonlSink {
+            out,
+            err,
+            buf: String::with_capacity(256),
+        }
+    }
+
+    fn line(&mut self) {
+        self.buf.push('\n');
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out.write_all(self.buf.as_bytes()) {
+                self.err.get_or_insert_with(|| format!("write: {e}"));
+                self.out = None;
+            }
+        }
+        self.buf.clear();
+    }
+}
+
+impl ObsSink for JsonlSink {
+    fn on_msg(&mut self, m: &MsgRecord) {
+        encode_msg(m, &mut self.buf);
+        self.line();
+    }
+    fn on_compute(&mut self, c: &ComputeRecord) {
+        encode_compute(c, &mut self.buf);
+        self.line();
+    }
+    fn on_barrier(&mut self, b: &BarrierRecord) {
+        encode_barrier(b, &mut self.buf);
+        self.line();
+    }
+    fn on_timer(&mut self, t: &TimerRecord) {
+        encode_timer(t, &mut self.buf);
+        self.line();
+    }
+    fn on_span(&mut self, s: &Span) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            self.buf,
+            "{{\"k\":\"s\",\"proc\":{},\"start\":{},\"end\":{},\"act\":{}}}",
+            s.proc, s.start, s.end, s.activity as u8
+        );
+        self.line();
+    }
+    fn finish(&mut self) -> Result<(), String> {
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out.flush() {
+                self.err.get_or_insert_with(|| format!("flush: {e}"));
+            }
+        }
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+fn cause_parts(c: Cause) -> (u8, u64) {
+    match c {
+        Cause::Start => (0, 0),
+        Cause::Msg(id) => (1, id),
+        Cause::Compute(id) => (2, id),
+        Cause::Barrier(id) => (3, id),
+        Cause::Retry(id) => (4, id),
+    }
+}
+
+fn cause_from_parts(cs: u64, ci: u64) -> Result<Cause, String> {
+    Ok(match cs {
+        0 => Cause::Start,
+        1 => Cause::Msg(ci),
+        2 => Cause::Compute(ci),
+        3 => Cause::Barrier(ci),
+        4 => Cause::Retry(ci),
+        _ => return Err(format!("unknown cause tag {cs}")),
+    })
+}
+
+fn encode_msg(m: &MsgRecord, buf: &mut String) {
+    use std::fmt::Write as _;
+    let (cs, ci) = cause_parts(m.cause);
+    let _ = write!(
+        buf,
+        "{{\"k\":\"m\",\"id\":{},\"src\":{},\"dst\":{},\"tag\":{},\"words\":{},\"cs\":{cs},\"ci\":{ci},\
+         \"submit\":{},\"gate\":{},\"inject\":{},\"sent\":{},\"arrive\":{},\"rgate\":{},\"rstart\":{},\"deliver\":{}}}",
+        m.id, m.src, m.dst, m.tag, m.words, m.submit, m.send_gate, m.inject, m.sent, m.arrive,
+        m.recv_gate, m.recv_start, m.deliver
+    );
+}
+
+fn encode_compute(c: &ComputeRecord, buf: &mut String) {
+    use std::fmt::Write as _;
+    let (cs, ci) = cause_parts(c.cause);
+    let _ = write!(
+        buf,
+        "{{\"k\":\"c\",\"id\":{},\"proc\":{},\"tag\":{},\"cs\":{cs},\"ci\":{ci},\"submit\":{},\"start\":{},\"end\":{}}}",
+        c.id, c.proc, c.tag, c.submit, c.start, c.end
+    );
+}
+
+fn encode_barrier(b: &BarrierRecord, buf: &mut String) {
+    use std::fmt::Write as _;
+    let (cs, ci) = cause_parts(b.cause);
+    let _ = write!(
+        buf,
+        "{{\"k\":\"b\",\"id\":{},\"proc\":{},\"cs\":{cs},\"ci\":{ci},\"submit\":{},\"enter\":{},\"release\":{}}}",
+        b.id, b.last_proc, b.submit, b.enter, b.release
+    );
+}
+
+fn encode_timer(t: &TimerRecord, buf: &mut String) {
+    use std::fmt::Write as _;
+    let (cs, ci) = cause_parts(t.cause);
+    let _ = write!(
+        buf,
+        "{{\"k\":\"t\",\"id\":{},\"proc\":{},\"tag\":{},\"cs\":{cs},\"ci\":{ci},\"submit\":{},\"armed\":{},\"fire\":{}}}",
+        t.id, t.proc, t.tag, t.submit, t.armed, t.fire
+    );
+}
+
+/// Extract the numeric value of `"key":` from a JSONL line (the encoder
+/// above never nests or quotes numbers, so a flat scan suffices).
+fn field(line: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\":");
+    let at = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key:?} in {line:?}"))?;
+    let rest = &line[at + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<u64>()
+        .map_err(|e| format!("bad {key:?} in {line:?}: {e}"))
+}
+
+/// Parse a [`JsonlSink`] stream back into an [`ObsLog`]. Records sort by
+/// id per kind; span lines (`"k":"s"`) are activity-trace material, not
+/// log records, and are skipped. On the classic engine the result is the
+/// retained log verbatim; on the sharded engine apply
+/// [`ObsLog::canonicalize`] before comparing.
+pub fn replay_jsonl(text: &str) -> Result<ObsLog, String> {
+    let mut log = ObsLog::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let k = line
+            .find("\"k\":\"")
+            .and_then(|i| line[i + 5..].chars().next())
+            .ok_or_else(|| format!("missing kind in {line:?}"))?;
+        let cause = cause_from_parts(
+            field(line, "cs").unwrap_or(0),
+            field(line, "ci").unwrap_or(0),
+        );
+        match k {
+            'm' => log.msgs.push(MsgRecord {
+                id: field(line, "id")?,
+                src: field(line, "src")? as ProcId,
+                dst: field(line, "dst")? as ProcId,
+                tag: field(line, "tag")? as u32,
+                words: field(line, "words")?,
+                cause: cause?,
+                submit: field(line, "submit")?,
+                send_gate: field(line, "gate")?,
+                inject: field(line, "inject")?,
+                sent: field(line, "sent")?,
+                arrive: field(line, "arrive")?,
+                recv_gate: field(line, "rgate")?,
+                recv_start: field(line, "rstart")?,
+                deliver: field(line, "deliver")?,
+            }),
+            'c' => log.computes.push(ComputeRecord {
+                id: field(line, "id")?,
+                proc: field(line, "proc")? as ProcId,
+                tag: field(line, "tag")?,
+                cause: cause?,
+                submit: field(line, "submit")?,
+                start: field(line, "start")?,
+                end: field(line, "end")?,
+            }),
+            'b' => log.barriers.push(BarrierRecord {
+                id: field(line, "id")?,
+                last_proc: field(line, "proc")? as ProcId,
+                submit: field(line, "submit")?,
+                enter: field(line, "enter")?,
+                release: field(line, "release")?,
+                cause: cause?,
+            }),
+            't' => log.timers.push(TimerRecord {
+                id: field(line, "id")?,
+                proc: field(line, "proc")? as ProcId,
+                tag: field(line, "tag")?,
+                cause: cause?,
+                submit: field(line, "submit")?,
+                armed: field(line, "armed")?,
+                fire: field(line, "fire")?,
+            }),
+            's' => {}
+            other => return Err(format!("unknown record kind {other:?}")),
+        }
+    }
+    log.msgs.sort_by_key(|m| m.id);
+    log.computes.sort_by_key(|c| c.id);
+    log.barriers.sort_by_key(|b| b.id);
+    log.timers.sort_by_key(|t| t.id);
+    Ok(log)
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+/// Which lifecycle records a streaming sink sees. Every policy is a pure
+/// function of record identity (never of engine internals), so the
+/// sampled *set* is identical across lane and thread counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ObsSampling {
+    /// Every record.
+    #[default]
+    All,
+    /// Records (and spans) of processors with `p % n == 0`.
+    Stride(u32),
+    /// Records (and spans) of an explicit processor set.
+    ProcSet(Vec<ProcId>),
+    /// The first and last `k` messages of each source (by per-source
+    /// issue order). Message records are buffered and emitted in id order
+    /// at the end of the run; spans are suppressed.
+    HeadTail(u32),
+    /// A seeded bottom-k reservoir over all messages: each message is
+    /// ranked by a pure hash of `(seed, src, per-source seq)` and the `k`
+    /// lowest ranks survive. Emitted in id order at the end of the run;
+    /// spans are suppressed.
+    Reservoir { k: u32, seed: u64 },
+}
+
+/// Reservoir entry ordered by rank (max-heap keeps the k lowest ranks).
+struct ResEntry {
+    rank: (u64, u64),
+    rec: MsgRecord,
+}
+
+impl PartialEq for ResEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank
+    }
+}
+impl Eq for ResEntry {}
+impl PartialOrd for ResEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ResEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank.cmp(&other.rank)
+    }
+}
+
+/// Applies an [`ObsSampling`] policy to the record stream.
+pub(crate) struct Sampler {
+    policy: ObsSampling,
+    /// Per-source message ordinal (head/tail and reservoir identity).
+    seq: HashMap<ProcId, u64>,
+    /// Head-k and tail-k buffers per source.
+    head: HashMap<ProcId, Vec<MsgRecord>>,
+    tail: HashMap<ProcId, VecDeque<MsgRecord>>,
+    /// Bottom-k reservoir.
+    res: BinaryHeap<ResEntry>,
+}
+
+impl Sampler {
+    pub(crate) fn new(policy: ObsSampling) -> Self {
+        Sampler {
+            policy,
+            seq: HashMap::new(),
+            head: HashMap::new(),
+            tail: HashMap::new(),
+            res: BinaryHeap::new(),
+        }
+    }
+
+    /// Whether processor `p`'s non-message records (computes, timers,
+    /// barrier last-entrant) and spans pass the policy.
+    pub(crate) fn pass_proc(&self, p: ProcId) -> bool {
+        match &self.policy {
+            ObsSampling::All => true,
+            ObsSampling::Stride(n) => *n <= 1 || p.is_multiple_of(*n),
+            ObsSampling::ProcSet(set) => set.contains(&p),
+            // Message-shaped policies keep the full causal skeleton:
+            // non-message records pass, spans are suppressed separately.
+            ObsSampling::HeadTail(_) | ObsSampling::Reservoir { .. } => true,
+        }
+    }
+
+    /// Whether activity spans stream at all under this policy.
+    pub(crate) fn spans_enabled(&self) -> bool {
+        !matches!(
+            self.policy,
+            ObsSampling::HeadTail(_) | ObsSampling::Reservoir { .. }
+        )
+    }
+
+    /// Offer a completed message record. `Some` means emit immediately;
+    /// `None` means it was dropped or deferred until [`Sampler::drain`].
+    pub(crate) fn offer_msg(&mut self, rec: MsgRecord) -> Option<MsgRecord> {
+        let n = self.seq.entry(rec.src).or_insert(0);
+        let ordinal = *n;
+        *n += 1;
+        match &self.policy {
+            ObsSampling::All => Some(rec),
+            ObsSampling::Stride(_) | ObsSampling::ProcSet(_) => {
+                self.pass_proc(rec.src).then_some(rec)
+            }
+            ObsSampling::HeadTail(k) => {
+                let k = *k as usize;
+                if ordinal < k as u64 {
+                    self.head.entry(rec.src).or_default().push(rec);
+                } else {
+                    let ring = self.tail.entry(rec.src).or_default();
+                    if ring.len() == k {
+                        ring.pop_front();
+                    }
+                    if k > 0 {
+                        ring.push_back(rec);
+                    }
+                }
+                None
+            }
+            ObsSampling::Reservoir { k, seed } => {
+                let rank = (
+                    logp_core::rng::mix(&[*seed, 0x5245_5356, rec.src as u64, ordinal]),
+                    ((rec.src as u64) << 40) | ordinal,
+                );
+                self.res.push(ResEntry { rank, rec });
+                if self.res.len() > *k as usize {
+                    self.res.pop();
+                }
+                None
+            }
+        }
+    }
+
+    /// Deferred records (head/tail, reservoir), sorted by id so the
+    /// emission order — and therefore the artifact bytes — are identical
+    /// for every lane count.
+    pub(crate) fn drain(&mut self) -> Vec<MsgRecord> {
+        let mut out: Vec<MsgRecord> = Vec::new();
+        for (_, v) in std::mem::take(&mut self.head) {
+            out.extend(v);
+        }
+        for (_, v) in std::mem::take(&mut self.tail) {
+            out.extend(v);
+        }
+        out.extend(std::mem::take(&mut self.res).into_iter().map(|e| e.rec));
+        out.sort_by_key(|m| m.id);
+        out
     }
 }
 

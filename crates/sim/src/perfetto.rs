@@ -14,8 +14,9 @@
 //! implementation.
 
 use crate::engine::SimResult;
-use crate::trace::Activity;
-use std::io;
+use crate::obs::{MsgRecord, ObsSink, UNSET};
+use crate::trace::{Activity, Span};
+use std::io::{self, Write};
 use std::path::Path;
 
 fn activity_name(a: Activity) -> &'static str {
@@ -26,6 +27,16 @@ fn activity_name(a: Activity) -> &'static str {
         Activity::Stall => "stall",
         Activity::Barrier => "barrier",
     }
+}
+
+/// Whether a message gets a flow arrow. Flow endpoints must land strictly
+/// inside a nonzero-width slice to bind (`"bp":"e"` attaches to the
+/// enclosing slice): a crashed receiver or an `o = 0` machine produces
+/// records whose overhead slices are empty, and an unmatched or unbound
+/// flow id renders as a dangling arrow in the Perfetto UI. Skipping those
+/// keeps every emitted flow bound on both ends.
+fn flow_ok(m: &MsgRecord) -> bool {
+    m.deliver != UNSET && m.sent > m.inject && m.deliver > m.recv_start
 }
 
 /// Render `res` as Chrome `trace_event` JSON (see module docs).
@@ -77,8 +88,10 @@ pub fn perfetto_trace_json(res: &SimResult) -> String {
 
     // Message flights as flow arrows: start inside the send-overhead
     // slice, end (binding to the enclosing slice's start) inside the
-    // receive-overhead slice.
-    for m in res.obs.delivered() {
+    // receive-overhead slice. Messages whose endpoints cannot bind
+    // (crashed receivers, zero-overhead machines) are skipped — see
+    // [`flow_ok`].
+    for m in res.obs.delivered().filter(|m| flow_ok(m)) {
         push(
             &mut s,
             format!(
@@ -127,6 +140,122 @@ pub fn write_artifacts(
         std::fs::write(path, res.metrics.to_json())?;
     }
     Ok(())
+}
+
+/// Streaming Perfetto writer: the same `trace_event` JSON as
+/// [`perfetto_trace_json`], written incrementally as records complete.
+/// Memory is bounded by the per-processor metadata bitmap — slices and
+/// flows go straight to the `BufWriter`. Thread-naming metadata is
+/// emitted lazily the first time a processor appears, so the sink never
+/// needs to know `P` up front. I/O errors are latched and surface from
+/// [`ObsSink::finish`] as the run's `SimError::Sink`.
+pub struct PerfettoSink {
+    out: Option<io::BufWriter<std::fs::File>>,
+    err: Option<String>,
+    buf: String,
+    first: bool,
+    /// Processors whose thread metadata has been written.
+    named: Vec<bool>,
+}
+
+impl PerfettoSink {
+    pub fn create(path: &Path) -> Self {
+        let (out, err) = match std::fs::File::create(path) {
+            Ok(f) => (Some(io::BufWriter::new(f)), None),
+            Err(e) => (None, Some(format!("create {}: {e}", path.display()))),
+        };
+        let mut sink = PerfettoSink {
+            out,
+            err,
+            buf: String::with_capacity(256),
+            first: true,
+            named: Vec::new(),
+        };
+        sink.buf.push_str("{\"traceEvents\":[\n");
+        sink.event(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"LogP machine\"}}",
+        );
+        sink
+    }
+
+    /// Append one event (comma-separated) and flush the buffer to disk.
+    fn event(&mut self, ev: &str) {
+        if !std::mem::take(&mut self.first) {
+            self.buf.push_str(",\n");
+        }
+        self.buf.push_str(ev);
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out.write_all(self.buf.as_bytes()) {
+                self.err.get_or_insert_with(|| format!("write: {e}"));
+                self.out = None;
+            }
+        }
+        self.buf.clear();
+    }
+
+    /// Emit thread metadata for `p` the first time it appears.
+    fn ensure_thread(&mut self, p: logp_core::ProcId) {
+        let i = p as usize;
+        if i >= self.named.len() {
+            self.named.resize(i + 1, false);
+        }
+        if self.named[i] {
+            return;
+        }
+        self.named[i] = true;
+        self.event(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{p},\"args\":{{\"name\":\"P{p}\"}}}}"
+        ));
+        self.event(&format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{p},\"args\":{{\"sort_index\":{p}}}}}"
+        ));
+    }
+}
+
+impl ObsSink for PerfettoSink {
+    fn on_msg(&mut self, m: &MsgRecord) {
+        if !flow_ok(m) {
+            return;
+        }
+        self.ensure_thread(m.src);
+        self.ensure_thread(m.dst);
+        self.event(&format!(
+            "{{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\"pid\":0,\"tid\":{},\"ts\":{}}}",
+            m.id, m.src, m.inject
+        ));
+        self.event(&format!(
+            "{{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":0,\"tid\":{},\"ts\":{}}}",
+            m.id, m.dst, m.recv_start
+        ));
+    }
+
+    fn on_span(&mut self, s: &Span) {
+        self.ensure_thread(s.proc);
+        self.event(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"activity\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            activity_name(s.activity),
+            s.proc,
+            s.start,
+            s.end - s.start
+        ));
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        // The `process_name` metadata event always precedes the footer,
+        // so no trailing-comma bookkeeping is needed here.
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out
+                .write_all(b"\n],\"displayTimeUnit\":\"ms\"}\n")
+                .and_then(|_| out.flush())
+            {
+                self.err.get_or_insert_with(|| format!("finish: {e}"));
+            }
+        }
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use logp::core::broadcast::optimal_broadcast_time;
 use logp::core::summation::sum_capacity_bounded;
 use logp::prelude::*;
 use logp::sim::critpath::StepKind;
-use logp::sim::{critical_path, perfetto_trace_json};
+use logp::sim::{critical_path, perfetto_trace_json, replay_jsonl, Activity, FaultPlan, SinkSpec};
 
 /// Three machine presets plus the paper's Figure-3/Figure-4 machines.
 fn presets() -> Vec<LogP> {
@@ -180,6 +180,276 @@ fn broadcast_ancestry_reaches_the_root() {
             assert!(chain.len() >= 2, "non-root senders were themselves caused");
         }
     }
+}
+
+/// The online aggregate reproduces the retained critical-path analysis
+/// cycle-exactly on every preset: the terminal instant and the full
+/// o/g/L/compute/... decomposition, without retaining a single record.
+#[test]
+fn online_aggregate_matches_critical_path() {
+    for m in presets() {
+        let retained = run_optimal_broadcast(&m, SimConfig::default().with_msg_log(true));
+        let cp = critical_path(&retained.result).expect("msg log recorded");
+        let streamed = run_optimal_broadcast(&m, SimConfig::default().with_aggregate(true));
+        let agg = streamed
+            .result
+            .aggregate
+            .as_ref()
+            .expect("aggregate maintained");
+        assert!(
+            streamed.result.obs.is_empty(),
+            "streaming retains no records on {m}"
+        );
+        assert_eq!(streamed.completion, retained.completion);
+        assert_eq!(agg.critical_total, cp.total, "terminal instant on {m}");
+        assert_eq!(agg.critical, cp.components, "decomposition on {m}");
+        assert_eq!(agg.delivered, retained.result.stats.total_msgs);
+        assert_eq!(agg.msgs, retained.result.stats.total_msgs);
+        // The global activity totals are the retained trace, re-summed.
+        let mut o = 0;
+        let mut compute = 0;
+        for sp in &retained.result.trace.spans {
+            match sp.activity {
+                Activity::SendOverhead | Activity::RecvOverhead => o += sp.end - sp.start,
+                Activity::Compute => compute += sp.end - sp.start,
+                _ => {}
+            }
+        }
+        assert_eq!(agg.global.o, o, "global o total on {m}");
+        assert_eq!(agg.global.compute, compute, "global compute total on {m}");
+        assert_eq!(
+            agg.per_proc.iter().map(|c| c.o).sum::<u64>(),
+            o,
+            "per-proc o totals tile the global on {m}"
+        );
+    }
+    // Summation puts compute segments on the path; the deadline `T` is
+    // the closed form the aggregate must land on.
+    for m in presets() {
+        for t in [18u64, 28, 40] {
+            if sum_capacity_bounded(&m, t, m.p) < 2 {
+                continue;
+            }
+            let retained = run_optimal_sum(&m, t, SimConfig::default().with_msg_log(true));
+            let cp = critical_path(&retained.result).expect("msg log recorded");
+            let streamed = run_optimal_sum(&m, t, SimConfig::default().with_aggregate(true));
+            let agg = streamed.result.aggregate.as_ref().unwrap();
+            assert_eq!(agg.critical_total, cp.total, "summation on {m}, T={t}");
+            assert_eq!(agg.critical, cp.components, "summation on {m}, T={t}");
+        }
+    }
+}
+
+/// Time-binned aggregation: the bins tile the global totals exactly,
+/// whatever the grid.
+#[test]
+fn aggregate_bins_tile_the_totals() {
+    let m = LogP::fig3();
+    for grid in [1u64, 4, 7, 64] {
+        let run = run_optimal_broadcast(&m, SimConfig::default().with_agg_grid(grid));
+        let agg = run.result.aggregate.as_ref().unwrap();
+        assert_eq!(agg.grid, grid);
+        let mut from_bins = 0u64;
+        for b in &agg.bins {
+            from_bins += b.o + b.compute + b.stall + b.barrier;
+        }
+        assert_eq!(
+            from_bins,
+            agg.global.o + agg.global.compute + agg.global.stall + agg.global.barrier,
+            "bins must tile the span totals at grid={grid}"
+        );
+    }
+}
+
+/// A JSONL streaming sink's replay reconstructs the retained `ObsLog`
+/// exactly on every preset — on the classic engine verbatim, on the
+/// sharded engine after canonical renumbering of the structured ids.
+#[test]
+fn streaming_replay_reconstructs_the_retained_log() {
+    let dir = std::env::temp_dir().join("logp_obs_replay_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, m) in presets().into_iter().enumerate() {
+        let retained = run_optimal_broadcast(&m, SimConfig::default().with_msg_log(true));
+        let path = dir.join(format!("classic_{i}.jsonl"));
+        let streamed = run_optimal_broadcast(
+            &m,
+            SimConfig::default().with_sink(SinkSpec::Jsonl(path.clone())),
+        );
+        assert!(streamed.result.obs.is_empty());
+        let log = replay_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(log, retained.result.obs, "classic replay on {m}");
+
+        let spath = dir.join(format!("sharded_{i}.jsonl"));
+        let sretained =
+            run_optimal_broadcast(&m, SimConfig::default().with_msg_log(true).with_shards(4));
+        let sstreamed = run_optimal_broadcast(
+            &m,
+            SimConfig::default()
+                .with_shards(4)
+                .with_sink(SinkSpec::Jsonl(spath.clone())),
+        );
+        assert!(sstreamed.result.obs.is_empty());
+        let mut slog = replay_jsonl(&std::fs::read_to_string(&spath).unwrap()).unwrap();
+        slog.canonicalize();
+        assert_eq!(slog, sretained.result.obs, "sharded replay on {m}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn assert_balanced_json(json: &str, what: &str) {
+    let (mut depth, mut min_depth) = (0i64, 0i64);
+    for b in json.bytes() {
+        match b {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            _ => {}
+        }
+        min_depth = min_depth.min(depth);
+    }
+    assert_eq!(depth, 0, "{what}: unbalanced JSON");
+    assert_eq!(min_depth, 0, "{what}: negative bracket depth");
+}
+
+fn flow_ids(json: &str, ph: char) -> Vec<u64> {
+    let pat = format!("\"ph\":\"{ph}\",");
+    let mut ids = Vec::new();
+    for (at, _) in json.match_indices(&pat) {
+        let rest = &json[at + pat.len()..];
+        if let Some(idx) = rest.find("\"id\":") {
+            let digits: String = rest[idx + 5..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            ids.push(digits.parse().unwrap());
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+/// Fire-and-forget scatter whose termination never depends on
+/// receptions, so it survives arbitrary drop/crash plans (the optimal
+/// broadcast helpers assert full delivery and cannot run faulted).
+struct FaultyScatter;
+
+impl Process for FaultyScatter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(u64::from(ctx.me() % 4) * 2, 0);
+        ctx.timer(1 + u64::from(ctx.me() % 3), 0);
+    }
+    fn on_timer(&mut self, round: u64, ctx: &mut Ctx<'_>) {
+        let p = u64::from(ctx.procs());
+        let me = u64::from(ctx.me());
+        for k in 0..2u64 {
+            let dst = (me + 1 + (me * 7 + round * 13 + k * 5) % (p - 1)) % p;
+            ctx.send(dst as u32, round as u32, Data::U64(me * 100 + round));
+        }
+        if round < 3 {
+            ctx.timer(2 + (me + round) % 4, round + 1);
+        }
+    }
+}
+
+fn run_scatter(m: &LogP, config: SimConfig) -> logp::sim::SimResult {
+    let mut sim = Sim::new(*m, config);
+    sim.set_all(|_| Box::new(FaultyScatter));
+    sim.run().expect("scatter terminates under any fault plan")
+}
+
+/// On crashed and faulted runs the Perfetto export must stay valid and
+/// every flow id must appear exactly once as a start and once as an end
+/// (no dangling arrows), for both the batch exporter and the streaming
+/// sink — and the two must agree on the flow set.
+#[test]
+fn perfetto_flows_stay_bound_on_faulted_runs() {
+    let dir = std::env::temp_dir().join("logp_perfetto_fault_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let m = LogP::fig3();
+    let plans = [
+        FaultPlan::new(0xFEED).with_drop_ppm(200_000),
+        FaultPlan::new(0xBEEF)
+            .with_dup_ppm(150_000)
+            .with_delay(100_000, 9),
+        FaultPlan::new(0xC0DE)
+            .with_drop_ppm(80_000)
+            .with_crash(m.p - 1, 12),
+    ];
+    for (i, plan) in plans.into_iter().enumerate() {
+        let res = run_scatter(&m, SimConfig::observed().with_faults(plan.clone()));
+        let json = perfetto_trace_json(&res);
+        assert_balanced_json(&json, "batch export");
+        let outs = flow_ids(&json, 's');
+        let ins = flow_ids(&json, 'f');
+        assert_eq!(outs, ins, "every flow start needs a matching end");
+        let mut uniq = outs.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), outs.len(), "flow ids must be unique");
+
+        // The streaming writer produces the same flow set (classic
+        // streaming ids are the retained dense ids).
+        let path = dir.join(format!("fault_{i}.trace.json"));
+        let sres = run_scatter(
+            &m,
+            SimConfig::default()
+                .with_faults(plan)
+                .with_sink(SinkSpec::Perfetto(path.clone())),
+        );
+        assert_eq!(sres.stats.completion, res.stats.completion);
+        let sjson = std::fs::read_to_string(&path).unwrap();
+        assert_balanced_json(&sjson, "streaming export");
+        assert_eq!(flow_ids(&sjson, 's'), outs, "streaming flow set");
+        assert_eq!(flow_ids(&sjson, 'f'), ins, "streaming flow ends");
+    }
+    // A zero-overhead machine has zero-width overhead slices: flows
+    // cannot bind, so none may be emitted.
+    let m0 = LogP::new(4, 0, 1, 16).unwrap();
+    let run = run_optimal_broadcast(&m0, SimConfig::observed());
+    let json = perfetto_trace_json(&run.result);
+    assert_balanced_json(&json, "o=0 export");
+    assert!(flow_ids(&json, 's').is_empty(), "no flows at o=0");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Engine vitals describe the run without participating in result
+/// equality: lane event counts tile the total, windows advance, and
+/// two identical runs compare equal despite different wall clocks.
+#[test]
+fn engine_vitals_describe_the_run() {
+    let m = LogP::new(14, 3, 5, 27).unwrap();
+    let classic = run_optimal_broadcast(&m, SimConfig::default());
+    let v = &classic.result.vitals;
+    assert_eq!(v.engine, "classic");
+    assert_eq!(v.lanes, 1);
+    assert_eq!(v.events, classic.result.stats.events);
+    assert!(v.lane_events.is_empty());
+
+    let sharded = run_optimal_broadcast(&m, SimConfig::default().with_shards(4));
+    let sv = &sharded.result.vitals;
+    assert_eq!(sv.engine, "sharded");
+    assert!(sv.lanes >= 2);
+    assert_eq!(sv.lane_events.len(), sv.lanes as usize);
+    assert_eq!(
+        sv.lane_events.iter().sum::<u64>(),
+        sv.events,
+        "lane events must tile the total"
+    );
+    assert!(sv.windows > 0, "at least one lookahead window ran");
+    assert!(sv.bucket_depth_max >= 1);
+    let json = sv.to_json();
+    for key in [
+        "\"engine\": \"sharded\"",
+        "\"events\":",
+        "\"lane_events\": [",
+        "\"windows\":",
+        "\"fast_forwards\":",
+        "\"far_spills\":",
+        "\"lane_imbalance\":",
+    ] {
+        assert!(json.contains(key), "vitals JSON must carry {key}");
+    }
+    // Vitals are diagnostics, not results: reruns compare equal.
+    let again = run_optimal_broadcast(&m, SimConfig::default().with_shards(4));
+    assert_eq!(sharded.result, again.result);
 }
 
 /// Observability off is really off: identical stats to an observed run,

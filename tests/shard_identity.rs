@@ -20,7 +20,7 @@
 use logp::algos::allreduce::{run_allreduce_doubling, run_allreduce_reduce_bcast};
 use logp::algos::broadcast::run_optimal_broadcast;
 use logp::prelude::*;
-use logp::sim::{FaultPlan, SimResult};
+use logp::sim::{replay_jsonl, FaultPlan, ObsSampling, SimResult, SinkSpec};
 
 fn machines() -> Vec<LogP> {
     vec![
@@ -188,6 +188,92 @@ fn classic_and_sharded_agree_on_barrier_programs() {
     let s2 = run(SimConfig::default().with_shards(2));
     let s8 = run(SimConfig::default().with_shards(8));
     assert_eq!(s2, s8);
+}
+
+/// A message's lane-invariant identity: every lifecycle timestamp, but
+/// neither the record id (dense on the classic engine, structured on the
+/// sharded one) nor the cause's id.
+type MsgKey = (
+    ProcId,
+    ProcId,
+    u32,
+    u64,
+    Cycles,
+    Cycles,
+    Cycles,
+    Cycles,
+    Cycles,
+    Cycles,
+    Cycles,
+    Cycles,
+);
+
+fn sampled_set(text: &str) -> Vec<MsgKey> {
+    let log = replay_jsonl(text).expect("replayable stream");
+    let mut keys: Vec<MsgKey> = log
+        .msgs
+        .iter()
+        .map(|m| {
+            (
+                m.src,
+                m.dst,
+                m.tag,
+                m.words,
+                m.submit,
+                m.send_gate,
+                m.inject,
+                m.sent,
+                m.arrive,
+                m.recv_gate,
+                m.recv_start,
+                m.deliver,
+            )
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Every sampling policy is a pure function of record identity, so the
+/// sampled message *set* streamed to a sink is identical across the
+/// classic engine and every sharded lane count {1, 2, 4, 8}.
+#[test]
+fn sampling_policies_invariant_across_lane_counts() {
+    let dir = std::env::temp_dir().join("logp_sampling_lanes_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let m = LogP::new(14, 3, 5, 27).unwrap();
+    let policies = [
+        ObsSampling::All,
+        ObsSampling::Stride(3),
+        ObsSampling::ProcSet(vec![0, 5, 13, 26]),
+        ObsSampling::HeadTail(2),
+        ObsSampling::Reservoir { k: 9, seed: 0x5EED },
+    ];
+    for (pi, policy) in policies.into_iter().enumerate() {
+        let run = |lanes: u32| -> Vec<MsgKey> {
+            let path = dir.join(format!("p{pi}_l{lanes}.jsonl"));
+            let config = SimConfig::default()
+                .with_shards(lanes)
+                .with_sink(SinkSpec::Jsonl(path.clone()))
+                .with_sampling(policy.clone());
+            let res = run_optimal_broadcast(&m, config).result;
+            assert!(res.obs.is_empty(), "streaming retains nothing");
+            sampled_set(&std::fs::read_to_string(&path).unwrap())
+        };
+        let baseline = run(1); // classic engine
+        assert!(
+            !baseline.is_empty(),
+            "policy {policy:?} must sample something"
+        );
+        for lanes in [2u32, 4, 8] {
+            assert_eq!(
+                baseline,
+                run(lanes),
+                "policy {policy:?} diverged at {lanes} lanes"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Arena pre-sizing: construction (classic) and lane setup (sharded)
