@@ -41,8 +41,9 @@ enum PendingKind {
 }
 
 /// A client program driving remote-memory operations through
-/// [`AmCtx`].
-pub trait AmClient {
+/// [`AmCtx`]. `Send` for the same reason [`Process`] is: the sharded
+/// engine may move processor state to a worker thread.
+pub trait AmClient: Send {
     fn on_start(&mut self, am: &mut AmCtx<'_, '_>);
     fn on_value(&mut self, _req: u64, _value: f64, _am: &mut AmCtx<'_, '_>) {}
     fn on_compute_done(&mut self, _tag: u64, _am: &mut AmCtx<'_, '_>) {}

@@ -91,13 +91,13 @@ impl Sim {
     /// sharded engine's state (lane heaps and slabs, canonical counters,
     /// source rings). Arenas are pre-sized so steady-state collectives
     /// never reallocate (pinned by the debug realloc counter).
-    fn setup_lanes(&mut self) {
+    pub(super) fn setup_lanes(&mut self) {
         let p = self.model.p as usize;
         let want = (self.config.shards as usize).min(p);
         let per = p.div_ceil(want);
         let n = p.div_ceil(per);
         let b = self.ring_span();
-        self.lane_of = vec![0; p];
+        self.lane_of = super::Off::from(vec![0; p]);
         self.lanes = Vec::with_capacity(n);
         for li in 0..n {
             let first = li * per;
@@ -115,14 +115,14 @@ impl Sim {
                 free: Vec::with_capacity(2 * lp + 16),
             });
         }
-        self.pctr = vec![0; p];
-        self.rings = vec![VecDeque::new(); p];
+        self.pctr = super::Off::from(vec![0; p]);
+        self.rings = super::Off::from(vec![VecDeque::new(); p]);
         self.v_lane_events = vec![0; n];
     }
 
     /// The model's conservative lookahead: no send inside `[T, T + W)`
     /// can cause an arrival before `T + W` where `W = o + (L - jitter)`.
-    fn model_lookahead(&self) -> Cycles {
+    pub(super) fn model_lookahead(&self) -> Cycles {
         let jclamp = self
             .config
             .latency_jitter
@@ -136,7 +136,7 @@ impl Sim {
     /// balloon the ring — beyond-horizon events overflow into the `far`
     /// heap and are spilled back when their window comes, so the cap
     /// costs time, never correctness.
-    fn ring_span(&self) -> Cycles {
+    pub(super) fn ring_span(&self) -> Cycles {
         let jclamp = self
             .config
             .latency_jitter
@@ -149,7 +149,7 @@ impl Sim {
     /// Effective window width: the model lookahead, narrowed if the
     /// capped ring cannot cover it (windows narrower than the lookahead
     /// are always legal — lanes just resynchronize more often).
-    fn window_width(&self) -> Cycles {
+    pub(super) fn window_width(&self) -> Cycles {
         self.model_lookahead().min(self.ring_span() / 2)
     }
 
@@ -157,7 +157,7 @@ impl Sim {
     /// always precede `far` entries (pushes beyond the horizon go to
     /// `far`; rebasing spills everything nearer back into the ring), so
     /// the ring scan short-circuits the heap.
-    fn lane_min(&self, li: usize) -> Option<Cycles> {
+    pub(super) fn lane_min(&self, li: usize) -> Option<Cycles> {
         let lane = &self.lanes[li];
         if lane.bcount == 0 {
             return lane.far.peek().map(key_time);
@@ -169,7 +169,7 @@ impl Sim {
     /// Move lane `li`'s ring base up to `t0` and spill newly in-horizon
     /// overflow events into the ring. Bucketed leftovers stay valid: they
     /// all lie in `[t0, old_base + span) ⊆ [t0, t0 + span)`.
-    fn rebase_lane(&mut self, li: usize, t0: Cycles) {
+    pub(super) fn rebase_lane(&mut self, li: usize, t0: Cycles) {
         let lane = &mut self.lanes[li];
         lane.bbase = t0;
         let b = lane.buckets.len() as u64;
@@ -192,7 +192,7 @@ impl Sim {
     /// in the vacated bucket and are merged into the unprocessed tail,
     /// preserving heap semantics (the next event is always the minimum
     /// remaining key).
-    fn pump_lane<const OBS: bool, const FAULTS: bool>(
+    pub(super) fn pump_lane<const OBS: bool, const FAULTS: bool>(
         &mut self,
         li: usize,
         t_end: Cycles,
@@ -369,7 +369,7 @@ impl Sim {
     /// instant `t_done + barrier_cost`. Also repairs `barrier_last` —
     /// lane passes update it in pass order, but the record belongs to the
     /// canonically last entrant.
-    fn barrier_release_time(&mut self, alive_base: i64) -> Cycles {
+    pub(super) fn barrier_release_time(&mut self, alive_base: i64) -> Cycles {
         self.bdeltas.sort_unstable_by_key(|d| (d.t, d.proc));
         let mut count = 0i64;
         let mut alive = alive_base;
@@ -400,17 +400,35 @@ impl Sim {
     }
 
     /// Release the barrier at `t_rel`: the classic `BarrierRelease` arm,
-    /// re-run against the canonical release instant.
+    /// re-run against the canonical release instant. Split into three
+    /// per-processor phases so the parallel executor (`engine::plane`)
+    /// can run each phase lane-by-lane in processor order — reproducing
+    /// this exact serial sequence — with the lifecycle record written
+    /// once by the coordinator between phases.
     fn apply_barrier_release<const OBS: bool, const FAULTS: bool>(&mut self, t_rel: Cycles) {
         self.now = t_rel;
-        self.barrier_count = 0;
         let bcause = if OBS {
             self.record_barrier_release()
         } else {
             Cause::Start
         };
+        self.barrier_release_collect(t_rel);
+        self.barrier_release_handlers::<OBS>(bcause);
+        self.barrier_release_advance::<OBS, FAULTS>();
+    }
+
+    /// Phase 1: collect this Sim's released processors into
+    /// `released_scratch` (kept there across the three phases) and close
+    /// their barrier state and spans.
+    pub(super) fn barrier_release_collect(&mut self, t_rel: Cycles) {
+        self.now = t_rel;
+        self.barrier_count = 0;
         let mut released = std::mem::take(&mut self.released_scratch);
-        released.extend((0..self.model.p).filter(|&p| self.procs[p as usize].in_barrier));
+        released.extend(
+            self.proc_range()
+                .map(|p| p as logp_core::ProcId)
+                .filter(|&p| self.procs[p as usize].in_barrier),
+        );
         for &p in &released {
             let st = &mut self.procs[p as usize];
             st.in_barrier = false;
@@ -420,9 +438,22 @@ impl Sim {
             st.stats.barrier_wait += t_rel - entered;
             self.span(p, entered, t_rel, Activity::Barrier);
         }
+        self.released_scratch = released;
+    }
+
+    /// Phase 2: run the released processors' `on_barrier_release`
+    /// handlers (no sink emissions — handler metadata is aggregate-only).
+    pub(super) fn barrier_release_handlers<const OBS: bool>(&mut self, bcause: Cause) {
+        let released = std::mem::take(&mut self.released_scratch);
         for &p in &released {
             self.run_handler::<OBS, _>(p, bcause, |prog, ctx| prog.on_barrier_release(ctx));
         }
+        self.released_scratch = released;
+    }
+
+    /// Phase 3: advance the released processors, consuming the scratch.
+    pub(super) fn barrier_release_advance<const OBS: bool, const FAULTS: bool>(&mut self) {
+        let mut released = std::mem::take(&mut self.released_scratch);
         for &p in &released {
             self.advance::<OBS, FAULTS, true>(p);
         }
@@ -436,7 +467,7 @@ impl Sim {
     /// passes append records in pass order; the canonical order is the
     /// per-record primary timestamp with the owning processor as
     /// tiebreak (both lane-count-invariant).
-    fn canonicalize_results(&mut self) {
+    pub(super) fn canonicalize_results(&mut self) {
         if self.config.record_trace {
             self.trace.spans.sort_by_key(|s| s.proc);
         }
@@ -559,7 +590,7 @@ impl Sim {
         // instant still parked in any source ring: rings evict an entry
         // only while processing an event at or after it, so the maximum
         // below matches the classic engine's final `Release` exactly.
-        for ring in &self.rings {
+        for ring in self.rings.iter() {
             if let Some(&r) = ring.back() {
                 completion = completion.max(r);
             }

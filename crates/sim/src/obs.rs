@@ -314,7 +314,12 @@ impl SinkSpec {
 /// Calls arrive in engine order (deterministic for a fixed config, but on
 /// the sharded engine dependent on the lane count; canonicalize replayed
 /// logs before comparing across lane counts).
-pub trait ObsSink {
+///
+/// Sinks must be `Send` so the engine's parallel lane executor can stage
+/// records on worker threads; the sink itself is only ever *called* from
+/// one thread at a time (the coordinator), in the same order as a serial
+/// run, so implementations need no internal synchronization.
+pub trait ObsSink: Send {
     fn on_msg(&mut self, _m: &MsgRecord) {}
     fn on_compute(&mut self, _c: &ComputeRecord) {}
     fn on_barrier(&mut self, _b: &BarrierRecord) {}

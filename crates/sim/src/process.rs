@@ -136,7 +136,13 @@ impl<'a> Ctx<'a> {
 /// All handlers default to "do nothing", so programs implement only what
 /// they react to. A processor whose handlers never issue commands simply
 /// receives messages as they arrive (paying `o` per reception).
-pub trait Process {
+///
+/// Processes must be `Send`: the sharded engine can move a processor's
+/// state to a worker thread when [`crate::SimConfig::with_workers`] is
+/// set. Handlers still run one-at-a-time per processor, and all shared
+/// state in this crate ([`crate::SharedCell`], message payloads) already
+/// satisfies the bound.
+pub trait Process: Send {
     /// Called once at time 0, in processor-id order.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
@@ -166,9 +172,9 @@ impl Process for Passive {}
 
 /// Adapter turning a closure into an `on_start`-only process, for compact
 /// test programs.
-pub struct StartFn<F: FnMut(&mut Ctx<'_>)>(pub F);
+pub struct StartFn<F: FnMut(&mut Ctx<'_>) + Send>(pub F);
 
-impl<F: FnMut(&mut Ctx<'_>)> Process for StartFn<F> {
+impl<F: FnMut(&mut Ctx<'_>) + Send> Process for StartFn<F> {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         (self.0)(ctx);
     }

@@ -178,6 +178,56 @@ proptest! {
             );
         }
     }
+
+    /// The parallel window executor is worker-count invariant on random
+    /// machines: at a fixed lane count, workers 1, 2, 4, and 8 reproduce
+    /// the serial sharded `SimResult` bit for bit — whatever the jitter,
+    /// observability, fault-plan, and sampling combination. Streaming
+    /// runs also compare the exported JSONL byte for byte.
+    #[test]
+    fn parallel_runs_are_worker_count_invariant(
+        m in machine(), seed in 0u64..10_000, jitter in 0u64..=8,
+        observed in proptest::bool::ANY, faulty in proptest::bool::ANY,
+        streamed in proptest::bool::ANY,
+    ) {
+        let base = if observed { SimConfig::observed() } else { SimConfig::default() };
+        let mut config = base.with_jitter(jitter).with_shards(4);
+        if faulty {
+            config = config
+                .with_faults(FaultPlan::new(seed).with_drop_ppm(50_000).with_dup_ppm(20_000));
+        }
+        let dir = std::env::temp_dir().join(format!("logp_worker_prop_{}", std::process::id()));
+        if streamed {
+            std::fs::create_dir_all(&dir).unwrap();
+        }
+        let run = |workers: u32| -> (logp::sim::SimResult, String) {
+            let mut config = config.clone().with_workers(workers);
+            let path = dir.join(format!("s{seed}_w{workers}.jsonl"));
+            if streamed {
+                config = config
+                    .with_sink(logp::sim::SinkSpec::Jsonl(path.clone()))
+                    .with_sampling(logp::sim::ObsSampling::Stride(2));
+            }
+            let mut sim = Sim::new(m, config);
+            sim.set_all(|_| Box::new(ScatterStorm { rounds: 3 }));
+            let r = sim.run().expect("scatter terminates without waiting on receptions");
+            let text = if streamed {
+                std::fs::read_to_string(&path).unwrap()
+            } else {
+                String::new()
+            };
+            (r, text)
+        };
+        let serial = run(0);
+        for workers in [1u32, 2, 4, 8] {
+            let par = run(workers);
+            prop_assert_eq!(&serial.0, &par.0, "diverged at {} workers", workers);
+            prop_assert_eq!(&serial.1, &par.1, "stream diverged at {} workers", workers);
+        }
+        if streamed {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
 }
 
 /// Fire-and-forget traffic for the shard invariance property: timers,
