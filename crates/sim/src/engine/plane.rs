@@ -764,6 +764,24 @@ impl Sim {
                 let mut completion: Cycles = 0;
                 let mut prev_end: Option<Cycles> = None;
                 loop {
+                    // The quorum may already be complete before any
+                    // window runs: if every processor enters a barrier
+                    // straight from `on_start` (or from a release
+                    // handler), no event is scheduled anywhere and the
+                    // release instant is the only pending instant.
+                    if pending_release.is_none() {
+                        let mut alive_sum = 0u32;
+                        let mut count_sum = 0u32;
+                        for cell in &cells {
+                            let cell = &mut *cell.lock().unwrap();
+                            this.bdeltas.append(&mut cell.sim.bdeltas);
+                            alive_sum += cell.sim.alive;
+                            count_sum += cell.sim.barrier_count;
+                        }
+                        if alive_sum > 0 && count_sum == alive_sum {
+                            pending_release = Some(this.barrier_release_time(alive_base));
+                        }
+                    }
                     let mut t0 = pending_release;
                     for cell in &cells {
                         if let Some(t) = cell.lock().unwrap().sim.lane_min(0) {
@@ -849,12 +867,26 @@ impl Sim {
                                 this.v_barrier_wait_ns += ctrl.await_workers(nworkers as u64);
                                 this.flush_stages(&stages);
                                 completion = completion.max(t_rel);
+                                // The parent's deltas predate the release
+                                // and are consumed. Entries pushed by the
+                                // release handlers themselves (a processor
+                                // can re-enter the next round, or halt,
+                                // inside `on_barrier_release`) are still
+                                // parked in the cells; they belong to the
+                                // next round's replay, so they are kept
+                                // and the baseline backs out their
+                                // alive-deltas.
                                 this.bdeltas.clear();
                                 let mut alive = 0i64;
                                 for cell in &cells {
                                     let cell = &mut *cell.lock().unwrap();
-                                    cell.sim.bdeltas.clear();
                                     alive += cell.sim.alive as i64;
+                                    alive -= cell
+                                        .sim
+                                        .bdeltas
+                                        .iter()
+                                        .map(|d| d.dalive as i64)
+                                        .sum::<i64>();
                                 }
                                 alive_base = alive;
                                 pending_release = None;

@@ -525,6 +525,14 @@ impl Sim {
         let mut completion: Cycles = 0;
         let mut prev_end: Option<Cycles> = None;
         loop {
+            // The quorum may already be complete before any window runs:
+            // if every processor enters a barrier straight from
+            // `on_start` (or from a release handler), no event is
+            // scheduled anywhere and the release instant is the only
+            // pending instant.
+            if pending_release.is_none() && self.alive > 0 && self.barrier_count == self.alive {
+                pending_release = Some(self.barrier_release_time(alive_base));
+            }
             // Next window start: the earliest pending instant anywhere.
             // Jumping straight to it is the quiescence fast-forward — a
             // machine with nothing due until cycle 10^9 costs one probe,
@@ -566,13 +574,20 @@ impl Sim {
                 }
                 if let Some(t_rel) = pending_release {
                     if t_rel < t_end {
+                        let consumed = self.bdeltas.len();
                         self.apply_barrier_release::<OBS, FAULTS>(t_rel);
                         completion = completion.max(t_rel);
                         // Deltas before the release are consumed; the
                         // next quorum replays from the post-release
-                        // state.
-                        self.bdeltas.clear();
-                        alive_base = self.alive as i64;
+                        // state. Entries pushed by the release handlers
+                        // themselves (a processor can re-enter the next
+                        // round, or halt, inside `on_barrier_release`)
+                        // belong to the next round and are kept, with
+                        // the replay baseline backed out of their
+                        // alive-deltas.
+                        self.bdeltas.drain(..consumed);
+                        alive_base = self.alive as i64
+                            - self.bdeltas.iter().map(|d| d.dalive as i64).sum::<i64>();
                         pending_release = None;
                         progressed = true;
                     }

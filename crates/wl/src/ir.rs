@@ -1,0 +1,655 @@
+//! The workload schedule IR: a validated DAG of `send` / `recv` /
+//! `compute` / `barrier` / `timer` nodes with per-node processor
+//! assignment, payload sizes, and dependency edges.
+//!
+//! A [`Workload`] is machine-independent in the network-oblivious sense:
+//! it names processors `0..procs` and cycle counts, but carries no
+//! L/o/g — the same DAG can be interpreted on any [`logp_core::LogP`]
+//! quadruple with enough processors (see [`crate::interp::run_workload`]).
+//!
+//! Construction paths: the text loader ([`crate::parse`]), the corpus
+//! emitters ([`crate::corpus`]), trace replay ([`crate::replay`]), the
+//! fuzz generator ([`crate::fuzz`]), or the [`Workload::node`] builder
+//! directly. Every path funnels through [`Workload::validate`] before the
+//! interpreter will touch it.
+
+use logp_core::{Cycles, ProcId};
+use logp_sim::Data;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index of a node within [`Workload::nodes`] (also its `id` field).
+pub type NodeId = u32;
+
+/// Source position of a token in the text form, 1-based. Programmatic
+/// builders leave it at `Span::NONE` (0:0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number (0 = not from text).
+    pub line: u32,
+    /// 1-based column number (0 = not from text).
+    pub col: u32,
+}
+
+impl Span {
+    /// The span of nodes built programmatically (not loaded from text).
+    pub const NONE: Span = Span { line: 0, col: 0 };
+
+    /// Construct a 1-based source position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+/// Payload carried by a DSL `send`. The model treats every message as
+/// small; `Block` exists so a workload can declare a payload *size* that
+/// shows up in word-count statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// No payload beyond the tag.
+    Empty,
+    /// One unsigned word (`data=N`).
+    Word(u64),
+    /// A zero-filled block of `N` words (`words=N`) — declares payload
+    /// size for statistics without inventing contents.
+    Block(u32),
+}
+
+impl Payload {
+    /// Lower to the engine's message payload.
+    pub fn to_data(self) -> Data {
+        match self {
+            Payload::Empty => Data::Empty,
+            Payload::Word(v) => Data::U64(v),
+            Payload::Block(n) => Data::Block(Arc::new(vec![0; n as usize])),
+        }
+    }
+}
+
+/// One schedule operation, assigned to the processor named by
+/// [`Node::proc`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Inject a message to `dst`. The node completes when the send
+    /// command is issued (the sender may proceed after its overhead `o`,
+    /// which the engine charges; completion here is issue time so
+    /// back-to-back sends pipeline at the gap `g` exactly like a
+    /// hand-written `Process`).
+    Send {
+        /// Destination processor.
+        dst: ProcId,
+        /// Message tag; pairs this send with a `recv` on the same
+        /// `(src, dst, tag)` channel.
+        tag: u32,
+        /// Declared payload.
+        payload: Payload,
+    },
+    /// Wait for the matching message from `src`. The i-th `recv` on a
+    /// `(src, dst, tag)` channel (in declaration order) completes when
+    /// the i-th message on that channel is delivered.
+    Recv {
+        /// Source processor.
+        src: ProcId,
+        /// Message tag (must match the paired send).
+        tag: u32,
+    },
+    /// Busy the processor for `cycles` cycles.
+    Compute {
+        /// Cycle cost.
+        cycles: Cycles,
+    },
+    /// Enter the global barrier; completes when the barrier releases.
+    Barrier,
+    /// Arm a timer; completes `cycles` after it is armed. Arming is
+    /// free and does not block later commands.
+    Timer {
+        /// Delay before the timer fires.
+        cycles: Cycles,
+    },
+}
+
+impl Op {
+    /// Statement keyword, as written in the text form.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Op::Send { .. } => "send",
+            Op::Recv { .. } => "recv",
+            Op::Compute { .. } => "compute",
+            Op::Barrier => "barrier",
+            Op::Timer { .. } => "timer",
+        }
+    }
+}
+
+/// One node of the schedule DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Index of this node in [`Workload::nodes`].
+    pub id: NodeId,
+    /// Unique label (the `name:` prefix in the text form).
+    pub label: String,
+    /// Processor this node executes on. For `send` this is the source;
+    /// for `recv`, the destination.
+    pub proc: ProcId,
+    /// The operation.
+    pub op: Op,
+    /// Explicit dependencies (`after:`): this node fires only once every
+    /// listed node has completed. Must all be on the same processor —
+    /// cross-processor ordering is carried by send/recv pairs.
+    pub deps: Vec<NodeId>,
+}
+
+/// Source positions for a node and each of its `after:` entries, kept
+/// out of [`Node`] so structural equality ignores formatting.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSpans {
+    /// Position of the node's label token.
+    pub node: Span,
+    /// Position of each `after:` label, parallel to [`Node::deps`].
+    pub deps: Vec<Span>,
+}
+
+/// A loaded workload: name, processor count, optional preset hint, and
+/// the schedule DAG.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// Workload name (`workload <name>`).
+    pub name: String,
+    /// Number of processors the schedule addresses (`procs <N>`). The
+    /// interpreter runs on exactly this many.
+    pub procs: u32,
+    /// Optional machine-preset hint (`preset <name>`); purely advisory —
+    /// the interpreter runs on whatever machine the caller supplies.
+    pub preset: Option<String>,
+    /// The DAG, in declaration order. Ready nodes on one processor fire
+    /// in declaration order, so this order is part of program semantics.
+    pub nodes: Vec<Node>,
+    /// Source positions, parallel to `nodes` (empty spans when built
+    /// programmatically).
+    pub spans: Vec<NodeSpans>,
+}
+
+impl PartialEq for Workload {
+    /// Structural equality: spans (formatting) are ignored, so a
+    /// text round-trip compares equal to the original.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.procs == other.procs
+            && self.preset == other.preset
+            && self.nodes == other.nodes
+    }
+}
+
+/// A loader or validator rejection, carrying the source position of the
+/// offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WlError {
+    /// 1-based line (0 when the workload was built programmatically).
+    pub line: u32,
+    /// 1-based column (0 when the workload was built programmatically).
+    pub col: u32,
+    /// What is wrong, mentioning the offending token.
+    pub msg: String,
+    /// Optional suggestion ("did you mean ...").
+    pub help: Option<String>,
+}
+
+impl WlError {
+    pub(crate) fn at(span: Span, msg: impl Into<String>) -> Self {
+        WlError {
+            line: span.line,
+            col: span.col,
+            msg: msg.into(),
+            help: None,
+        }
+    }
+
+    pub(crate) fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl std::fmt::Display for WlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)?;
+        if let Some(h) = &self.help {
+            write!(f, "\n  help: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WlError {}
+
+impl Workload {
+    /// Empty workload over `procs` processors.
+    pub fn new(name: impl Into<String>, procs: u32) -> Self {
+        Workload {
+            name: name.into(),
+            procs,
+            ..Workload::default()
+        }
+    }
+
+    /// Append a node and return its id. Dependencies must name already
+    /// appended nodes (forward references exist only in the text form,
+    /// where the parser resolves them).
+    pub fn node(
+        &mut self,
+        label: impl Into<String>,
+        proc: ProcId,
+        op: Op,
+        deps: &[NodeId],
+    ) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Node {
+            id,
+            label: label.into(),
+            proc,
+            op,
+            deps: deps.to_vec(),
+        });
+        self.spans.push(NodeSpans::default());
+        id
+    }
+
+    fn span_of(&self, id: NodeId) -> Span {
+        self.spans.get(id as usize).map_or(Span::NONE, |s| s.node)
+    }
+
+    fn dep_span(&self, id: NodeId, k: usize) -> Span {
+        self.spans
+            .get(id as usize)
+            .and_then(|s| s.deps.get(k).copied())
+            .unwrap_or(Span::NONE)
+    }
+
+    /// The barrier-round index of every barrier node: a processor's k-th
+    /// barrier (declaration order) participates in global round k.
+    fn barrier_rounds(&self) -> HashMap<NodeId, u32> {
+        let mut per_proc: HashMap<ProcId, u32> = HashMap::new();
+        let mut rounds = HashMap::new();
+        for n in &self.nodes {
+            if matches!(n.op, Op::Barrier) {
+                let r = per_proc.entry(n.proc).or_insert(0);
+                rounds.insert(n.id, *r);
+                *r += 1;
+            }
+        }
+        rounds
+    }
+
+    /// Reject every malformed program: duplicate labels, out-of-range
+    /// processors, self-sends, dangling or cross-processor dependencies,
+    /// unmatched send/recv pairs, uneven barrier participation, and
+    /// cycles (through explicit edges, channel order, and barrier
+    /// rounds). Never panics; every rejection carries the span of the
+    /// offending token.
+    pub fn validate(&self) -> Result<(), WlError> {
+        if self.procs == 0 {
+            return Err(WlError::at(
+                Span::NONE,
+                format!("workload `{}` declares procs 0; need at least 1", self.name),
+            ));
+        }
+        let n = self.nodes.len();
+        let mut seen: HashMap<&str, NodeId> = HashMap::with_capacity(n);
+        for node in &self.nodes {
+            let sp = self.span_of(node.id);
+            if let Some(&first) = seen.get(node.label.as_str()) {
+                return Err(WlError::at(
+                    sp,
+                    format!(
+                        "duplicate label `{}` (first defined at line {})",
+                        node.label,
+                        self.span_of(first).line
+                    ),
+                ));
+            }
+            seen.insert(node.label.as_str(), node.id);
+            if node.proc >= self.procs {
+                return Err(WlError::at(
+                    sp,
+                    format!(
+                        "node `{}` runs on processor {} but the workload declares procs {} \
+                         (valid: 0..={})",
+                        node.label,
+                        node.proc,
+                        self.procs,
+                        self.procs - 1
+                    ),
+                ));
+            }
+            match node.op {
+                Op::Send { dst, .. } => {
+                    if dst >= self.procs {
+                        return Err(WlError::at(
+                            sp,
+                            format!(
+                                "send `{}` targets processor {} but the workload declares \
+                                 procs {} (valid: 0..={})",
+                                node.label,
+                                dst,
+                                self.procs,
+                                self.procs - 1
+                            ),
+                        ));
+                    }
+                    if dst == node.proc {
+                        return Err(WlError::at(
+                            sp,
+                            format!(
+                                "send `{}` sends processor {} a message to itself; \
+                                 the LogP network has no self-loop",
+                                node.label, dst
+                            ),
+                        ));
+                    }
+                }
+                Op::Recv { src, .. } => {
+                    if src >= self.procs {
+                        return Err(WlError::at(
+                            sp,
+                            format!(
+                                "recv `{}` expects a message from processor {} but the \
+                                 workload declares procs {} (valid: 0..={})",
+                                node.label,
+                                src,
+                                self.procs,
+                                self.procs - 1
+                            ),
+                        ));
+                    }
+                    if src == node.proc {
+                        return Err(WlError::at(
+                            sp,
+                            format!(
+                                "recv `{}` expects a message from its own processor {}; \
+                                 the LogP network has no self-loop",
+                                node.label, src
+                            ),
+                        ));
+                    }
+                }
+                Op::Compute { .. } | Op::Barrier | Op::Timer { .. } => {}
+            }
+            let mut dedup: Vec<NodeId> = Vec::new();
+            for (k, &d) in node.deps.iter().enumerate() {
+                let dsp = self.dep_span(node.id, k);
+                let Some(dep) = self.nodes.get(d as usize) else {
+                    return Err(WlError::at(
+                        dsp,
+                        format!(
+                            "node `{}` depends on unknown node id {d} (the workload has \
+                             {n} nodes)",
+                            node.label
+                        ),
+                    ));
+                };
+                if d == node.id {
+                    return Err(WlError::at(
+                        dsp,
+                        format!("node `{}` depends on itself", node.label),
+                    ));
+                }
+                if dedup.contains(&d) {
+                    return Err(WlError::at(
+                        dsp,
+                        format!(
+                            "node `{}` lists dependency `{}` twice",
+                            node.label, dep.label
+                        ),
+                    ));
+                }
+                dedup.push(d);
+                if dep.proc != node.proc {
+                    return Err(WlError::at(
+                        dsp,
+                        format!(
+                            "node `{}` (processor {}) depends on `{}` (processor {}); \
+                             `after:` edges must stay on one processor",
+                            node.label, node.proc, dep.label, dep.proc
+                        ),
+                    )
+                    .with_help(
+                        "cross-processor ordering is carried by a send/recv pair on a \
+                         shared tag",
+                    ));
+                }
+            }
+        }
+        self.validate_channels()?;
+        self.validate_barriers()?;
+        self.validate_acyclic()
+    }
+
+    /// Every `(src, dst, tag)` channel must pair sends and recvs 1:1.
+    fn validate_channels(&self) -> Result<(), WlError> {
+        type Chan = (ProcId, ProcId, u32);
+        let mut sends: HashMap<Chan, Vec<NodeId>> = HashMap::new();
+        let mut recvs: HashMap<Chan, Vec<NodeId>> = HashMap::new();
+        for node in &self.nodes {
+            match node.op {
+                Op::Send { dst, tag, .. } => sends
+                    .entry((node.proc, dst, tag))
+                    .or_default()
+                    .push(node.id),
+                Op::Recv { src, tag } => recvs
+                    .entry((src, node.proc, tag))
+                    .or_default()
+                    .push(node.id),
+                _ => continue,
+            };
+        }
+        // Deterministic report order: first offending node in declaration
+        // order, across both surplus directions.
+        let mut worst: Option<(NodeId, String)> = None;
+        let empty: Vec<NodeId> = Vec::new();
+        for (&(src, dst, tag), s) in &sends {
+            let r = recvs.get(&(src, dst, tag)).unwrap_or(&empty);
+            if s.len() > r.len() {
+                let id = s[r.len()];
+                let msg = format!(
+                    "send `{}` has no matching recv: channel {src} -> {dst} tag={tag} has \
+                     {} send(s) but {} recv(s)",
+                    self.nodes[id as usize].label,
+                    s.len(),
+                    r.len()
+                );
+                if worst.as_ref().is_none_or(|(w, _)| id < *w) {
+                    worst = Some((id, msg));
+                }
+            }
+        }
+        for (&(src, dst, tag), r) in &recvs {
+            let s = sends.get(&(src, dst, tag)).unwrap_or(&empty);
+            if r.len() > s.len() {
+                let id = r[s.len()];
+                let msg = format!(
+                    "recv `{}` has no matching send: channel {src} -> {dst} tag={tag} has \
+                     {} send(s) but {} recv(s)",
+                    self.nodes[id as usize].label,
+                    s.len(),
+                    r.len()
+                );
+                if worst.as_ref().is_none_or(|(w, _)| id < *w) {
+                    worst = Some((id, msg));
+                }
+            }
+        }
+        match worst {
+            Some((id, msg)) => Err(WlError::at(self.span_of(id), msg).with_help(
+                "every send needs exactly one recv on the same (src, dst, tag) channel; \
+                 the i-th send pairs with the i-th recv in declaration order",
+            )),
+            None => Ok(()),
+        }
+    }
+
+    /// The global barrier releases only when every processor enters, so
+    /// every processor must declare the same number of barrier nodes.
+    fn validate_barriers(&self) -> Result<(), WlError> {
+        let mut count = vec![0u32; self.procs as usize];
+        let mut last_barrier = None;
+        for node in &self.nodes {
+            if matches!(node.op, Op::Barrier) {
+                count[node.proc as usize] += 1;
+                last_barrier = Some(node.id);
+            }
+        }
+        let Some(witness) = last_barrier else {
+            return Ok(());
+        };
+        let max = *count.iter().max().expect("procs >= 1");
+        if let Some(short) = count.iter().position(|&c| c < max) {
+            // Point at the first barrier node of a processor that has
+            // more rounds than the short one.
+            let id = self
+                .nodes
+                .iter()
+                .find(|nd| matches!(nd.op, Op::Barrier) && count[nd.proc as usize] == max)
+                .map_or(witness, |nd| nd.id);
+            return Err(WlError::at(
+                self.span_of(id),
+                format!(
+                    "uneven barrier participation: processor {} enters {} barrier(s) but \
+                     processor {short} enters {}; the global barrier would never release",
+                    self.nodes[id as usize].proc, max, count[short]
+                ),
+            )
+            .with_help("give every processor the same number of barrier statements"));
+        }
+        Ok(())
+    }
+
+    /// Kahn toposort over the real nodes plus one virtual node per
+    /// barrier round; leftover nodes form a cycle, reported by label.
+    fn validate_acyclic(&self) -> Result<(), WlError> {
+        let n = self.nodes.len();
+        let rounds = self.barrier_rounds();
+        let nrounds = rounds.values().map(|&r| r + 1).max().unwrap_or(0) as usize;
+        let total = n + nrounds;
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); total];
+        let mut indeg = vec![0u32; total];
+        let mut edge = |from: usize, to: usize| {
+            succs[from].push(to as u32);
+            indeg[to] += 1;
+        };
+        for node in &self.nodes {
+            let i = node.id as usize;
+            for &d in &node.deps {
+                // A dependency on a barrier node means "after that round
+                // releases", which involves every participant.
+                match rounds.get(&d) {
+                    Some(&r) => edge(n + r as usize, i),
+                    None => edge(d as usize, i),
+                }
+            }
+            if let Some(&r) = rounds.get(&node.id) {
+                // Entering round r contributes to its release, and a
+                // processor reaches round r only after round r-1 released.
+                edge(i, n + r as usize);
+                if r > 0 {
+                    edge(n + r as usize - 1, i);
+                }
+            }
+        }
+        // A barrier is a full fence on its processor (matching the
+        // interpreter): every earlier node on the processor completes
+        // before the barrier is entered, and every later node waits
+        // for the round's release.
+        let mut segment: Vec<Vec<usize>> = vec![Vec::new(); self.procs as usize];
+        let mut last_release: Vec<Option<usize>> = vec![None; self.procs as usize];
+        for node in &self.nodes {
+            let q = node.proc as usize;
+            let i = node.id as usize;
+            if let Some(&r) = rounds.get(&node.id) {
+                for &s in &segment[q] {
+                    edge(s, i);
+                }
+                segment[q].clear();
+                last_release[q] = Some(n + r as usize);
+            } else {
+                if let Some(rel) = last_release[q] {
+                    edge(rel, i);
+                }
+                segment[q].push(i);
+            }
+        }
+        // Channel order: the i-th send on a channel precedes the i-th recv.
+        type Chan = (ProcId, ProcId, u32);
+        let mut sends: HashMap<Chan, Vec<NodeId>> = HashMap::new();
+        let mut recvs: HashMap<Chan, Vec<NodeId>> = HashMap::new();
+        for node in &self.nodes {
+            match node.op {
+                Op::Send { dst, tag, .. } => sends
+                    .entry((node.proc, dst, tag))
+                    .or_default()
+                    .push(node.id),
+                Op::Recv { src, tag } => recvs
+                    .entry((src, node.proc, tag))
+                    .or_default()
+                    .push(node.id),
+                _ => continue,
+            };
+        }
+        for (chan, s) in &sends {
+            if let Some(r) = recvs.get(chan) {
+                for (&si, &ri) in s.iter().zip(r.iter()) {
+                    edge(si as usize, ri as usize);
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..total).filter(|&i| indeg[i] == 0).collect();
+        let mut done = 0usize;
+        while let Some(i) = ready.pop() {
+            done += 1;
+            for &s in &succs[i] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    ready.push(s as usize);
+                }
+            }
+        }
+        if done == total {
+            return Ok(());
+        }
+        // Walk the residual graph to print one concrete cycle.
+        let start = (0..total).find(|&i| indeg[i] > 0).expect("cycle exists");
+        let mut path = vec![start];
+        let mut on_path = vec![false; total];
+        on_path[start] = true;
+        let cycle = loop {
+            let cur = *path.last().expect("non-empty");
+            let next = succs[cur]
+                .iter()
+                .map(|&s| s as usize)
+                .find(|&s| indeg[s] > 0)
+                .expect("residual node keeps a residual successor");
+            if on_path[next] {
+                let from = path.iter().position(|&x| x == next).expect("on path");
+                break &path[from..];
+            }
+            on_path[next] = true;
+            path.push(next);
+        };
+        let name = |i: usize| -> String {
+            if i < n {
+                format!("`{}`", self.nodes[i].label)
+            } else {
+                format!("barrier round {}", i - n)
+            }
+        };
+        let mut labels: Vec<String> = cycle.iter().map(|&i| name(i)).collect();
+        labels.push(name(cycle[0]));
+        let anchor = cycle.iter().copied().find(|&i| i < n);
+        let span = anchor.map_or(Span::NONE, |i| self.span_of(i as NodeId));
+        Err(
+            WlError::at(span, format!("dependency cycle: {}", labels.join(" -> "))).with_help(
+                "a node cannot (transitively) wait on itself; check `after:` lists, \
+             send/recv pairing order, and barrier rounds",
+            ),
+        )
+    }
+}

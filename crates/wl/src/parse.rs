@@ -1,0 +1,617 @@
+//! Text form of the workload IR: a hand-rolled line parser with real
+//! errors (line/column, offending token, "did you mean"), plus the
+//! inverse printer [`to_text`].
+//!
+//! Grammar (one statement per line, `#` starts a comment):
+//!
+//! ```text
+//! workload <name>
+//! procs <N>
+//! preset <name>                                # optional, advisory
+//!
+//! <label>: send <src> -> <dst> [tag=N] [data=N | words=N] [after: a, b]
+//! <label>: recv <src> -> <dst> [tag=N]         [after: a, b]
+//! <label>: compute <cycles> @<proc>            [after: a, b]
+//! <label>: timer <cycles> @<proc>              [after: a, b]
+//! <label>: barrier @<proc>                     [after: a, b]
+//! ```
+//!
+//! Labels are identifiers (`[A-Za-z_][A-Za-z0-9_]*`) and may be
+//! referenced in `after:` before they are defined. [`parse_workload`]
+//! checks syntax only; [`load_workload`] also runs
+//! [`Workload::validate`] so the result is ready to interpret.
+
+use crate::ir::{Node, NodeId, NodeSpans, Op, Payload, Span, WlError, Workload};
+use logp_core::ProcId;
+use std::collections::HashMap;
+
+const OPS: [&str; 5] = ["send", "recv", "compute", "barrier", "timer"];
+const DIRECTIVES: [&str; 3] = ["workload", "procs", "preset"];
+
+/// Parse the text form, resolving labels. Syntax errors only — run
+/// [`load_workload`] to also validate the DAG.
+pub fn parse_workload(text: &str) -> Result<Workload, WlError> {
+    Parser::default().parse(text)
+}
+
+/// Parse and validate: the returned workload is accepted by
+/// [`Workload::validate`] and ready for the interpreter.
+pub fn load_workload(text: &str) -> Result<Workload, WlError> {
+    let wl = parse_workload(text)?;
+    wl.validate()?;
+    Ok(wl)
+}
+
+/// One raw statement before label resolution.
+struct RawNode {
+    label: String,
+    proc: ProcId,
+    op: Op,
+    deps: Vec<(String, Span)>,
+    span: Span,
+}
+
+#[derive(Default)]
+struct Parser {
+    name: Option<String>,
+    procs: Option<u32>,
+    preset: Option<String>,
+    nodes: Vec<RawNode>,
+}
+
+/// A token with its 1-based source position.
+#[derive(Clone, Copy)]
+struct Tok<'a> {
+    s: &'a str,
+    span: Span,
+}
+
+fn err(span: Span, msg: impl Into<String>) -> WlError {
+    WlError::at(span, msg)
+}
+
+/// Levenshtein distance, for "did you mean" suggestions.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within edit distance 2, if any.
+fn did_you_mean<'c>(s: &str, candidates: impl IntoIterator<Item = &'c str>) -> Option<&'c str> {
+    candidates
+        .into_iter()
+        .map(|c| (levenshtein(s, c), c))
+        .filter(|&(d, c)| d <= 2 && d < c.len())
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Split a line into tokens. Words are runs of `[A-Za-z0-9_@=]`, with a
+/// trailing `:` attached (for `label:` and `after:`); `->` and `,` are
+/// punctuation tokens; `#` starts a comment.
+fn tokenize(line: &str, lineno: u32) -> Result<Vec<Tok<'_>>, WlError> {
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let span = Span::new(lineno, i as u32 + 1);
+        if c == '#' {
+            break;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == '-' && bytes.get(i + 1) == Some(&b'>') {
+            toks.push(Tok { s: "->", span });
+            i += 2;
+        } else if c == ',' {
+            toks.push(Tok { s: ",", span });
+            i += 1;
+        } else if c.is_ascii_alphanumeric() || c == '_' || c == '@' || c == '=' {
+            let start = i;
+            while i < bytes.len() {
+                let w = bytes[i] as char;
+                if w.is_ascii_alphanumeric() || w == '_' || w == '@' || w == '=' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            if bytes.get(i) == Some(&b':') {
+                i += 1;
+            }
+            toks.push(Tok {
+                s: &line[start..i],
+                span,
+            });
+        } else {
+            return Err(err(span, format!("unexpected character `{c}`")));
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_num(t: Tok<'_>, what: &str) -> Result<u64, WlError> {
+    t.s.parse::<u64>()
+        .map_err(|_| err(t.span, format!("expected {what} (a number), got `{}`", t.s)))
+}
+
+fn parse_proc(t: Tok<'_>, what: &str) -> Result<ProcId, WlError> {
+    let v = parse_num(t, what)?;
+    u32::try_from(v).map_err(|_| err(t.span, format!("{what} {v} does not fit a processor id")))
+}
+
+impl Parser {
+    fn parse(mut self, text: &str) -> Result<Workload, WlError> {
+        for (idx, line) in text.lines().enumerate() {
+            let toks = tokenize(line, idx as u32 + 1)?;
+            if toks.is_empty() {
+                continue;
+            }
+            self.statement(&toks)?;
+        }
+        let Some(name) = self.name.take() else {
+            return Err(err(
+                Span::new(1, 1),
+                "missing `workload <name>` header (it must be the first statement)",
+            ));
+        };
+        let Some(procs) = self.procs.take() else {
+            return Err(err(
+                Span::new(1, 1),
+                "missing `procs <N>` header (declare the processor count)",
+            ));
+        };
+        self.resolve(name, procs)
+    }
+
+    fn statement(&mut self, toks: &[Tok<'_>]) -> Result<(), WlError> {
+        let head = toks[0];
+        if DIRECTIVES.contains(&head.s) {
+            return self.directive(head, &toks[1..]);
+        }
+        let Some(label) = head.s.strip_suffix(':').filter(|l| !l.is_empty()) else {
+            let mut e = err(
+                head.span,
+                format!("expected `label:` to open the statement, got `{}`", head.s),
+            );
+            if OPS.contains(&head.s) {
+                e = e.with_help(format!(
+                    "statements are labeled; try `n{}: {} ...`",
+                    self.nodes.len(),
+                    head.s
+                ));
+            } else if let Some(m) = did_you_mean(head.s, DIRECTIVES) {
+                e = e.with_help(format!("did you mean the directive `{m}`?"));
+            }
+            return Err(e);
+        };
+        if !is_ident(label) {
+            return Err(err(
+                head.span,
+                format!("invalid label `{label}` (labels are [A-Za-z_][A-Za-z0-9_]*)"),
+            ));
+        }
+        if self.name.is_none() {
+            return Err(err(
+                head.span,
+                "missing `workload <name>` header (it must come before the first node)",
+            ));
+        }
+        if self.procs.is_none() {
+            return Err(err(
+                head.span,
+                "missing `procs <N>` header (it must come before the first node)",
+            ));
+        }
+        let Some(&kw) = toks.get(1) else {
+            return Err(err(
+                head.span,
+                format!("label `{label}` has no operation; expected one of {OPS:?}"),
+            ));
+        };
+        if !OPS.contains(&kw.s) {
+            let mut e = err(kw.span, format!("unknown operation `{}`", kw.s));
+            if let Some(m) = did_you_mean(kw.s, OPS) {
+                e = e.with_help(format!("did you mean `{m}`?"));
+            }
+            return Err(e);
+        }
+        let (proc, op, rest) = self.operation(kw, &toks[2..])?;
+        let deps = Self::after(rest, kw)?;
+        self.nodes.push(RawNode {
+            label: label.to_string(),
+            proc,
+            op,
+            deps,
+            span: head.span,
+        });
+        Ok(())
+    }
+
+    fn directive(&mut self, head: Tok<'_>, rest: &[Tok<'_>]) -> Result<(), WlError> {
+        let one_word = |what: &str| -> Result<String, WlError> {
+            match rest {
+                [t] => Ok(t.s.to_string()),
+                [] => Err(err(head.span, format!("`{}` needs {what}", head.s))),
+                [_, extra, ..] => Err(err(
+                    extra.span,
+                    format!("unexpected token `{}` after `{} <{what}>`", extra.s, head.s),
+                )),
+            }
+        };
+        match head.s {
+            "workload" => {
+                if self.name.is_some() {
+                    return Err(err(head.span, "duplicate `workload` directive"));
+                }
+                let name = one_word("a name")?;
+                if !is_ident(&name) {
+                    return Err(err(
+                        rest[0].span,
+                        format!("invalid workload name `{name}` (use [A-Za-z_][A-Za-z0-9_]*)"),
+                    ));
+                }
+                self.name = Some(name);
+            }
+            "procs" => {
+                if self.procs.is_some() {
+                    return Err(err(head.span, "duplicate `procs` directive"));
+                }
+                let [t] = rest else {
+                    return Err(err(head.span, "`procs` needs a processor count"));
+                };
+                let n = parse_proc(*t, "the processor count")?;
+                if n == 0 {
+                    return Err(err(t.span, "procs must be at least 1"));
+                }
+                self.procs = Some(n);
+            }
+            "preset" => {
+                if self.preset.is_some() {
+                    return Err(err(head.span, "duplicate `preset` directive"));
+                }
+                self.preset = Some(one_word("a machine-preset name")?);
+            }
+            _ => unreachable!("caller checked DIRECTIVES"),
+        }
+        Ok(())
+    }
+
+    /// Parse one operation's positional arguments and `key=value`
+    /// options; returns `(proc, op, unconsumed-suffix)` where the suffix
+    /// is empty or an `after:` clause.
+    fn operation<'a, 't>(
+        &self,
+        kw: Tok<'t>,
+        args: &'a [Tok<'t>],
+    ) -> Result<(ProcId, Op, &'a [Tok<'t>]), WlError> {
+        match kw.s {
+            "send" | "recv" => {
+                let [src_t, arrow, dst_t, rest @ ..] = args else {
+                    return Err(err(kw.span, format!("`{}` needs `<src> -> <dst>`", kw.s)));
+                };
+                let src = parse_proc(*src_t, "the source processor")?;
+                if arrow.s != "->" {
+                    return Err(err(
+                        arrow.span,
+                        format!(
+                            "expected `->` after the source processor, got `{}`",
+                            arrow.s
+                        ),
+                    ));
+                }
+                let dst = parse_proc(*dst_t, "the destination processor")?;
+                let (opts, rest) = Self::options(rest, kw)?;
+                let mut tag = 0u32;
+                let mut payload = Payload::Empty;
+                for (key, val, span) in opts {
+                    match key {
+                        "tag" => {
+                            tag = u32::try_from(val).map_err(|_| {
+                                err(span, format!("tag {val} does not fit 32 bits"))
+                            })?;
+                        }
+                        "data" if kw.s == "send" => payload = Payload::Word(val),
+                        "words" if kw.s == "send" => {
+                            let w = u32::try_from(val).map_err(|_| {
+                                err(span, format!("payload size {val} words is too large"))
+                            })?;
+                            payload = Payload::Block(w);
+                        }
+                        "data" | "words" => {
+                            return Err(err(
+                                span,
+                                format!("`{key}=` is only valid on `send`, not `recv`"),
+                            ));
+                        }
+                        other => {
+                            let mut e =
+                                err(span, format!("unknown option `{other}=` on `{}`", kw.s));
+                            let known: &[&str] = if kw.s == "send" {
+                                &["tag", "data", "words"]
+                            } else {
+                                &["tag"]
+                            };
+                            if let Some(m) = did_you_mean(other, known.iter().copied()) {
+                                e = e.with_help(format!("did you mean `{m}=`?"));
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+                let (proc, op) = if kw.s == "send" {
+                    (src, Op::Send { dst, tag, payload })
+                } else {
+                    (dst, Op::Recv { src, tag })
+                };
+                Ok((proc, op, rest))
+            }
+            "compute" | "timer" => {
+                let [cyc_t, rest @ ..] = args else {
+                    return Err(err(kw.span, format!("`{}` needs `<cycles> @<proc>`", kw.s)));
+                };
+                let cycles = parse_num(*cyc_t, "a cycle count")?;
+                let (proc, rest) = Self::at_proc(rest, kw, "the cycle count")?;
+                let op = if kw.s == "compute" {
+                    Op::Compute { cycles }
+                } else {
+                    Op::Timer { cycles }
+                };
+                Ok((proc, op, rest))
+            }
+            "barrier" => {
+                let (proc, rest) = Self::at_proc(args, kw, "`barrier`")?;
+                Ok((proc, Op::Barrier, rest))
+            }
+            _ => unreachable!("caller checked OPS"),
+        }
+    }
+
+    /// Expect a `@<proc>` token next.
+    fn at_proc<'a, 't>(
+        args: &'a [Tok<'t>],
+        kw: Tok<'t>,
+        after_what: &str,
+    ) -> Result<(ProcId, &'a [Tok<'t>]), WlError> {
+        let [t, rest @ ..] = args else {
+            return Err(err(
+                kw.span,
+                format!("`{}` needs a `@<proc>` processor assignment", kw.s),
+            ));
+        };
+        let Some(num) = t.s.strip_prefix('@') else {
+            return Err(err(
+                t.span,
+                format!("expected `@<proc>` after {after_what}, got `{}`", t.s),
+            ));
+        };
+        let proc = parse_proc(
+            Tok {
+                s: num,
+                span: Span::new(t.span.line, t.span.col + 1),
+            },
+            "the processor id",
+        )?;
+        Ok((proc, rest))
+    }
+
+    /// Collect leading `key=value` tokens; stops at `after:` or end.
+    #[allow(clippy::type_complexity)]
+    fn options<'a, 't>(
+        args: &'a [Tok<'t>],
+        kw: Tok<'t>,
+    ) -> Result<(Vec<(&'t str, u64, Span)>, &'a [Tok<'t>]), WlError> {
+        let mut opts = Vec::new();
+        let mut rest = args;
+        while let [t, tail @ ..] = rest {
+            if t.s == "after:" {
+                break;
+            }
+            let Some((key, val)) = t.s.split_once('=') else {
+                let mut e = err(
+                    t.span,
+                    format!("unexpected token `{}` after `{} <src> -> <dst>`", t.s, kw.s),
+                );
+                if t.s == "after" {
+                    e = e.with_help("did you mean `after:` (with the colon)?");
+                }
+                return Err(e);
+            };
+            let v = parse_num(
+                Tok {
+                    s: val,
+                    span: Span::new(t.span.line, t.span.col + key.len() as u32 + 1),
+                },
+                &format!("a value for `{key}=`"),
+            )?;
+            opts.push((key, v, t.span));
+            rest = tail;
+        }
+        Ok((opts, rest))
+    }
+
+    /// Parse the trailing `after: a, b, c` clause (labels, comma or
+    /// whitespace separated).
+    fn after(rest: &[Tok<'_>], kw: Tok<'_>) -> Result<Vec<(String, Span)>, WlError> {
+        let [head, labels @ ..] = rest else {
+            return Ok(Vec::new());
+        };
+        if head.s != "after:" {
+            let mut e = err(
+                head.span,
+                format!(
+                    "unexpected token `{}` at end of `{}` statement",
+                    head.s, kw.s
+                ),
+            );
+            if head.s == "after" || did_you_mean(head.s, ["after:"]).is_some() {
+                e = e.with_help("did you mean `after:` (with the colon)?");
+            }
+            return Err(e);
+        }
+        let mut deps = Vec::new();
+        let mut want_label = true;
+        for t in labels {
+            if t.s == "," {
+                if want_label {
+                    return Err(err(
+                        t.span,
+                        "expected a dependency label, got `,`".to_string(),
+                    ));
+                }
+                want_label = true;
+            } else if is_ident(t.s) {
+                deps.push((t.s.to_string(), t.span));
+                want_label = false;
+            } else {
+                return Err(err(
+                    t.span,
+                    format!("expected a dependency label, got `{}`", t.s),
+                ));
+            }
+        }
+        if deps.is_empty() {
+            return Err(err(
+                head.span,
+                "`after:` needs at least one dependency label",
+            ));
+        }
+        if want_label {
+            let last = labels.last().expect("deps non-empty implies labels");
+            return Err(err(
+                last.span,
+                "trailing `,` in `after:` list (expected another label)",
+            ));
+        }
+        Ok(deps)
+    }
+
+    /// Resolve dependency labels to node ids and assemble the workload.
+    fn resolve(self, name: String, procs: u32) -> Result<Workload, WlError> {
+        let mut ids: HashMap<&str, NodeId> = HashMap::with_capacity(self.nodes.len());
+        for (i, raw) in self.nodes.iter().enumerate() {
+            if let Some(&first) = ids.get(raw.label.as_str()) {
+                return Err(err(
+                    raw.span,
+                    format!(
+                        "duplicate label `{}` (first defined at line {})",
+                        raw.label, self.nodes[first as usize].span.line
+                    ),
+                ));
+            }
+            ids.insert(raw.label.as_str(), i as NodeId);
+        }
+        let mut wl = Workload {
+            name,
+            procs,
+            preset: self.preset.clone(),
+            nodes: Vec::with_capacity(self.nodes.len()),
+            spans: Vec::with_capacity(self.nodes.len()),
+        };
+        for (i, raw) in self.nodes.iter().enumerate() {
+            let mut deps = Vec::with_capacity(raw.deps.len());
+            let mut dep_spans = Vec::with_capacity(raw.deps.len());
+            for (dep, span) in &raw.deps {
+                let Some(&id) = ids.get(dep.as_str()) else {
+                    let mut e = err(*span, format!("unknown dependency `{dep}`"));
+                    if let Some(m) = did_you_mean(dep, ids.keys().copied()) {
+                        e = e.with_help(format!("did you mean `{m}`?"));
+                    }
+                    return Err(e);
+                };
+                deps.push(id);
+                dep_spans.push(*span);
+            }
+            wl.nodes.push(Node {
+                id: i as NodeId,
+                label: raw.label.clone(),
+                proc: raw.proc,
+                op: raw.op.clone(),
+                deps,
+            });
+            wl.spans.push(NodeSpans {
+                node: raw.span,
+                deps: dep_spans,
+            });
+        }
+        Ok(wl)
+    }
+}
+
+/// Print a workload in the text form. `parse_workload(&to_text(&wl))`
+/// round-trips to a structurally equal workload.
+pub fn to_text(wl: &Workload) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "workload {}", wl.name);
+    let _ = writeln!(out, "procs {}", wl.procs);
+    if let Some(p) = &wl.preset {
+        let _ = writeln!(out, "preset {p}");
+    }
+    let _ = writeln!(out);
+    for node in &wl.nodes {
+        let _ = write!(out, "{}: ", node.label);
+        match &node.op {
+            Op::Send { dst, tag, payload } => {
+                let _ = write!(out, "send {} -> {}", node.proc, dst);
+                if *tag != 0 {
+                    let _ = write!(out, " tag={tag}");
+                }
+                match payload {
+                    Payload::Empty => {}
+                    Payload::Word(v) => {
+                        let _ = write!(out, " data={v}");
+                    }
+                    Payload::Block(n) => {
+                        let _ = write!(out, " words={n}");
+                    }
+                }
+            }
+            Op::Recv { src, tag } => {
+                let _ = write!(out, "recv {} -> {}", src, node.proc);
+                if *tag != 0 {
+                    let _ = write!(out, " tag={tag}");
+                }
+            }
+            Op::Compute { cycles } => {
+                let _ = write!(out, "compute {} @{}", cycles, node.proc);
+            }
+            Op::Barrier => {
+                let _ = write!(out, "barrier @{}", node.proc);
+            }
+            Op::Timer { cycles } => {
+                let _ = write!(out, "timer {} @{}", cycles, node.proc);
+            }
+        }
+        if !node.deps.is_empty() {
+            let labels: Vec<&str> = node
+                .deps
+                .iter()
+                .map(|&d| wl.nodes[d as usize].label.as_str())
+                .collect();
+            let _ = write!(out, " after: {}", labels.join(", "));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}

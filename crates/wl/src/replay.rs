@@ -1,0 +1,139 @@
+//! Trace replay: convert a recorded [`ObsLog`] (retained in-memory or
+//! read back from JSONL via `logp_sim::replay_jsonl`) into a workload
+//! DAG, so any previously recorded run is itself a loadable program.
+//!
+//! The conversion is per-processor serialization: every record becomes
+//! a node, placed in its processor's timeline at the moment it started
+//! *executing* (send → overhead start, recv → program delivery, compute
+//! → execution start, timer → arming, barrier → release), and chained
+//! sequentially. Cross-processor ordering re-emerges from the send/recv
+//! channel pairing, so replaying the DAG reproduces the original run's
+//! command issue order — and therefore its timing — exactly, which
+//! `tests/workloads.rs` pins cycle-for-cycle.
+//!
+//! Caveats (rejected or approximated, never silently wrong):
+//! * undelivered messages (dropped by a fault plan, or in flight at
+//!   quiescence) are an error — a DAG recv must complete;
+//! * logs whose fault plan *delayed* messages past a later send on the
+//!   same channel can pair sends with the wrong recv; the validator's
+//!   cycle check catches contradictory cases;
+//! * every processor is assumed to participate in every barrier episode
+//!   (the log records only the last entrant).
+
+use crate::ir::{Op, Payload, WlError, Workload};
+use logp_core::{Cycles, ProcId};
+use logp_sim::obs::UNSET;
+use logp_sim::ObsLog;
+
+/// One log record placed in a processor's timeline.
+struct Item {
+    proc: ProcId,
+    /// (execution-start time, same-time kind rank, record id).
+    key: (Cycles, u8, u64),
+    label: String,
+    op: Op,
+}
+
+/// Same-instant ordering: a delivery is observed before anything the
+/// handler it runs issues; a barrier release precedes the released
+/// handlers' commands; timer arming is free so it precedes a
+/// simultaneous send's overhead; computes start after a simultaneous
+/// send's overhead ends.
+const RANK_RECV: u8 = 0;
+const RANK_BARRIER: u8 = 1;
+const RANK_TIMER: u8 = 2;
+const RANK_SEND: u8 = 3;
+const RANK_COMPUTE: u8 = 4;
+
+/// Convert a recorded log over `procs` processors into a workload DAG.
+///
+/// Errors (with an explanatory message, no span — logs have no source
+/// text) if a message was never delivered or names a processor outside
+/// `0..procs`.
+pub fn workload_from_obslog(log: &ObsLog, procs: u32, name: &str) -> Result<Workload, WlError> {
+    let mut items: Vec<Item> = Vec::new();
+    for r in &log.msgs {
+        if r.src >= procs || r.dst >= procs {
+            return Err(WlError::at(
+                crate::ir::Span::NONE,
+                format!(
+                    "message {} runs {} -> {} but the replay declares procs {procs}",
+                    r.id, r.src, r.dst
+                ),
+            ));
+        }
+        if r.deliver == UNSET {
+            return Err(WlError::at(
+                crate::ir::Span::NONE,
+                format!(
+                    "message {} ({} -> {} tag={}) was never delivered; a DAG recv must \
+                     complete — replay needs a fault-free (or fully delivered) log",
+                    r.id, r.src, r.dst, r.tag
+                ),
+            ));
+        }
+        let payload = match r.words {
+            0 => Payload::Empty,
+            1 => Payload::Word(r.id),
+            w => Payload::Block(w as u32),
+        };
+        items.push(Item {
+            proc: r.src,
+            key: (r.inject, RANK_SEND, r.id),
+            label: format!("m{}_tx", r.id),
+            op: Op::Send {
+                dst: r.dst,
+                tag: r.tag,
+                payload,
+            },
+        });
+        items.push(Item {
+            proc: r.dst,
+            key: (r.deliver, RANK_RECV, r.id),
+            label: format!("m{}_rx", r.id),
+            op: Op::Recv {
+                src: r.src,
+                tag: r.tag,
+            },
+        });
+    }
+    for c in &log.computes {
+        items.push(Item {
+            proc: c.proc,
+            key: (c.start, RANK_COMPUTE, c.id),
+            label: format!("c{}", c.id),
+            op: Op::Compute {
+                cycles: c.end - c.start,
+            },
+        });
+    }
+    for t in &log.timers {
+        items.push(Item {
+            proc: t.proc,
+            key: (t.armed, RANK_TIMER, t.id),
+            label: format!("t{}", t.id),
+            op: Op::Timer {
+                cycles: t.fire - t.armed,
+            },
+        });
+    }
+    for (k, b) in log.barriers.iter().enumerate() {
+        for q in 0..procs {
+            items.push(Item {
+                proc: q,
+                key: (b.release, RANK_BARRIER, k as u64),
+                label: format!("b{k}_p{q}"),
+                op: Op::Barrier,
+            });
+        }
+    }
+    items.sort_by_key(|a| (a.proc, a.key));
+    let mut wl = Workload::new(name, procs);
+    let mut prev: Vec<Option<u32>> = vec![None; procs as usize];
+    for item in items {
+        let deps: Vec<u32> = prev[item.proc as usize].into_iter().collect();
+        let id = wl.node(item.label, item.proc, item.op, &deps);
+        prev[item.proc as usize] = Some(id);
+    }
+    Ok(wl)
+}

@@ -75,7 +75,11 @@ fn main() {
         min_sum_time(&m, 1000, m.p)
     );
 
-    // 3. Execute a custom program on the simulated machine.
+    // 3. Execute a custom program on the simulated machine. At large P,
+    //    swap `SimConfig::default()` for `.with_shards(8)` (per-lane
+    //    calendar queues) and `.with_workers(4)` (parallel window
+    //    executor) — results stay bit-identical; see `examples/
+    //    workload_dsl.rs` and the `shard_scale` bench.
     let lap_times: SharedCell<Vec<Cycles>> = SharedCell::new();
     let mut sim = Sim::new(m, SimConfig::default());
     for p in 0..m.p {

@@ -1,0 +1,39 @@
+workload allreduce_reduce_bcast
+procs 8
+preset fig3
+
+up0_1: recv 1 -> 0 tag=145
+add0_1: compute 1 @0 after: up0_1
+up0_2: recv 2 -> 0 tag=145
+add0_2: compute 1 @0 after: up0_2
+up0_4: recv 4 -> 0 tag=145
+add0_4: compute 1 @0 after: up0_4
+dn0_1: send 0 -> 1 tag=146 data=0 after: add0_1, add0_2, add0_4
+dn0_2: send 0 -> 2 tag=146 data=0 after: add0_1, add0_2, add0_4
+dn0_3: send 0 -> 3 tag=146 data=0 after: add0_1, add0_2, add0_4
+dn0_5: send 0 -> 5 tag=146 data=0 after: add0_1, add0_2, add0_4
+tx1: send 1 -> 0 tag=145 data=1
+dn_rx1: recv 0 -> 1 tag=146
+dn1_4: send 1 -> 4 tag=146 data=1 after: dn_rx1
+dn1_6: send 1 -> 6 tag=146 data=1 after: dn_rx1
+up2_3: recv 3 -> 2 tag=145
+add2_3: compute 1 @2 after: up2_3
+tx2: send 2 -> 0 tag=145 data=2 after: add2_3
+dn_rx2: recv 0 -> 2 tag=146
+dn2_7: send 2 -> 7 tag=146 data=2 after: dn_rx2
+tx3: send 3 -> 2 tag=145 data=3
+dn_rx3: recv 0 -> 3 tag=146
+up4_5: recv 5 -> 4 tag=145
+add4_5: compute 1 @4 after: up4_5
+up4_6: recv 6 -> 4 tag=145
+add4_6: compute 1 @4 after: up4_6
+tx4: send 4 -> 0 tag=145 data=4 after: add4_5, add4_6
+dn_rx4: recv 1 -> 4 tag=146
+tx5: send 5 -> 4 tag=145 data=5
+dn_rx5: recv 0 -> 5 tag=146
+up6_7: recv 7 -> 6 tag=145
+add6_7: compute 1 @6 after: up6_7
+tx6: send 6 -> 4 tag=145 data=6 after: add6_7
+dn_rx6: recv 1 -> 6 tag=146
+tx7: send 7 -> 6 tag=145 data=7
+dn_rx7: recv 2 -> 7 tag=146

@@ -1,0 +1,18 @@
+workload optimal_broadcast
+procs 8
+preset fig3
+
+tx0_1: send 0 -> 1 tag=66 data=48879
+tx0_2: send 0 -> 2 tag=66 data=48879
+tx0_3: send 0 -> 3 tag=66 data=48879
+tx0_5: send 0 -> 5 tag=66 data=48879
+rx1: recv 0 -> 1 tag=66
+tx1_4: send 1 -> 4 tag=66 data=48879 after: rx1
+tx1_6: send 1 -> 6 tag=66 data=48879 after: rx1
+rx2: recv 0 -> 2 tag=66
+tx2_7: send 2 -> 7 tag=66 data=48879 after: rx2
+rx3: recv 0 -> 3 tag=66
+rx4: recv 1 -> 4 tag=66
+rx5: recv 0 -> 5 tag=66
+rx6: recv 1 -> 6 tag=66
+rx7: recv 2 -> 7 tag=66

@@ -1,0 +1,33 @@
+workload optimal_summation
+procs 8
+preset fig4
+
+init0: compute 13 @0
+rx0_7: recv 7 -> 0 tag=80
+add0_7: compute 2 @0 after: rx0_7, init0
+rx0_6: recv 6 -> 0 tag=80
+add0_6: compute 2 @0 after: rx0_6, add0_7
+rx0_4: recv 4 -> 0 tag=80
+add0_4: compute 2 @0 after: rx0_4, add0_6
+rx0_1: recv 1 -> 0 tag=80
+add0_1: compute 1 @0 after: rx0_1, add0_4
+init1: compute 11 @1
+rx1_3: recv 3 -> 1 tag=80
+add1_3: compute 2 @1 after: rx1_3, init1
+rx1_2: recv 2 -> 1 tag=80
+add1_2: compute 1 @1 after: rx1_2, add1_3
+tx1: send 1 -> 0 tag=80 data=13 after: add1_2
+init2: compute 8 @2
+tx2: send 2 -> 1 tag=80 data=9 after: init2
+init3: compute 4 @3
+tx3: send 3 -> 1 tag=80 data=5 after: init3
+init4: compute 11 @4
+rx4_5: recv 5 -> 4 tag=80
+add4_5: compute 1 @4 after: rx4_5, init4
+tx4: send 4 -> 0 tag=80 data=12 after: add4_5
+init5: compute 4 @5
+tx5: send 5 -> 4 tag=80 data=5 after: init5
+init6: compute 10 @6
+tx6: send 6 -> 0 tag=80 data=11 after: init6
+init7: compute 6 @7
+tx7: send 7 -> 0 tag=80 data=7 after: init7

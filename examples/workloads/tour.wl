@@ -1,0 +1,32 @@
+# A guided tour of the workload DSL: every statement kind, labels,
+# tags, both payload forms, explicit `after:` dependency lists, a
+# global barrier, and a timer. Loaded, executed, and trace-replayed by
+# tests/workloads.rs; see docs/WORKLOADS.md for the grammar.
+
+workload tour
+procs 3
+preset fig3
+
+# Phase 1: processor 0 computes, then fans a token out.
+warm:  compute 5 @0
+t_a:   send 0 -> 1 tag=7 data=42 after: warm
+t_b:   send 0 -> 2 tag=7 words=3 after: warm
+r_a:   recv 0 -> 1 tag=7
+r_b:   recv 0 -> 2 tag=7
+
+# Each receiver does local work; processor 1 also arms a timer.
+w_a:   compute 9 @1 after: r_a
+alarm: timer 15 @1 after: r_a
+w_b:   compute 4 @2 after: r_b
+
+# A global barrier separates the phases (one statement per processor).
+bar0:  barrier @0 after: t_a, t_b
+bar1:  barrier @1 after: w_a
+bar2:  barrier @2 after: w_b
+
+# Phase 2: the workers report back on distinct tags.
+u_a:   send 1 -> 0 tag=1 after: bar1
+u_b:   send 2 -> 0 tag=2 after: bar2
+f_a:   recv 1 -> 0 tag=1 after: bar0
+f_b:   recv 2 -> 0 tag=2 after: bar0
+done:  compute 1 @0 after: f_a, f_b

@@ -17,7 +17,9 @@
 //! * [`net`] (`logp-net`) — topologies, unloaded timing, saturation;
 //! * [`baselines`] (`logp-baselines`) — executable PRAM and BSP;
 //! * [`calib`] (`logp-calib`) — black-box (L, o, g, P) calibration by
-//!   micro-benchmark, with simulator and packet-network backends.
+//!   micro-benchmark, with simulator and packet-network backends;
+//! * [`wl`] (`logp-wl`) — the workload DSL: schedule IR, text loader,
+//!   DAG interpreter, trace replay, and fuzz generation.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use logp_calib as calib;
 pub use logp_core as core;
 pub use logp_net as net;
 pub use logp_sim as sim;
+pub use logp_wl as wl;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
@@ -49,4 +52,5 @@ pub mod prelude {
     pub use logp_algos::remap::{RemapSchedule, RemapSpec};
     pub use logp_core::{Cycles, LogP, MachinePreset, ProcId};
     pub use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig};
+    pub use logp_wl::{load_workload, run_workload, Workload};
 }

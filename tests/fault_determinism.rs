@@ -325,6 +325,50 @@ fn reliable_collectives_survive_5pct_drops_on_all_presets() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differential testing over random workload DAGs (`logp-wl`): any
+    /// generated program completes bit-identically on the classic
+    /// engine, the sharded engine at 2 and 4 lanes, and the parallel
+    /// window executor — with and without a (delay + duplicate) fault
+    /// plan. The machine keeps capacity slack (⌈L/g⌉ = 64) so the
+    /// classic engine's capacity stall, which the sharded engine
+    /// intentionally relaxes, never engages; drops are excluded because
+    /// a dropped delivery leaves a DAG recv permanently unsatisfied
+    /// (by design — `run_workload` reports it as `Incomplete`).
+    #[test]
+    fn fuzz_dags_are_engine_invariant_under_faults(
+        seed in 0u64..10_000,
+        faulty in proptest::bool::ANY,
+    ) {
+        use logp::wl::{gen_workload, run_workload, FuzzConfig};
+        let m = LogP::new(64, 2, 1, 8).expect("valid model");
+        let wl = gen_workload(seed, &FuzzConfig::default());
+        let base = if faulty {
+            SimConfig::default()
+                .with_faults(FaultPlan::new(seed ^ 0xFA17).with_delay(120_000, 9).with_dup_ppm(60_000))
+        } else {
+            SimConfig::default()
+        };
+        let fingerprint = |cfg: SimConfig| {
+            let run = run_workload(&wl, &m, cfg).expect("fault-free-or-delayed DAG completes");
+            (
+                run.completion,
+                run.node_times.clone(),
+                run.unmatched,
+                run.result.stats.completion,
+                run.result.stats.total_msgs,
+                run.result.stats.procs.clone(),
+            )
+        };
+        let classic = fingerprint(base.clone());
+        prop_assert_eq!(&classic, &fingerprint(base.clone().with_shards(2)));
+        prop_assert_eq!(&classic, &fingerprint(base.clone().with_shards(4)));
+        prop_assert_eq!(&classic, &fingerprint(base.clone().with_shards(4).with_workers(2)));
+    }
+}
+
 /// A crashed root re-roots the broadcast on the lowest survivor; a plan
 /// that crashes everyone errors cleanly instead of hanging.
 #[test]

@@ -1,0 +1,824 @@
+//! Workload DSL end-to-end tests: golden-corpus parity against the
+//! built-in `Process` implementations (cycle-exact on all five
+//! presets, identical across lane and worker counts), loader
+//! error-message snapshots (every rejection path asserts its span and
+//! message), text round-trips, trace-replay round-trips, and the
+//! replayed-JSONL canonicalization pin.
+
+use logp::algos::allreduce::run_allreduce_reduce_bcast;
+use logp::algos::broadcast::run_optimal_broadcast;
+use logp::algos::reduce::run_sum_schedule;
+use logp::core::summation::optimal_sum_schedule;
+use logp::prelude::*;
+use logp::sim::{replay_jsonl, SinkSpec};
+use logp::wl::{
+    allreduce_workload, broadcast_workload, gen_workload, load_workload, parse_workload, preset,
+    projection, run_workload, summation_workload, to_text, workload_from_obslog, FuzzConfig, WlRun,
+};
+
+/// `(name, machine, summation deadline)` for the five oracle presets.
+fn presets() -> Vec<(&'static str, LogP, Cycles)> {
+    vec![
+        ("fig3", LogP::fig3(), 40),                          // L=6, o=2, g=4, P=8
+        ("fig4", LogP::fig4(), 28),                          // L=5, o=2, g=4, P=8
+        ("cm5", LogP::new(60, 20, 40, 16).unwrap(), 200),    // CM-5-like (§5)
+        ("latency", LogP::new(200, 4, 8, 32).unwrap(), 250), // latency-dominated
+        ("gap", LogP::new(2, 1, 12, 24).unwrap(), 40),       // gap-dominated
+    ]
+}
+
+/// Every engine configuration the acceptance bar names: classic
+/// (lane count 1), sharded lanes {2, 4, 8}, and the parallel window
+/// executor at worker counts {1, 2, 4, 8}.
+///
+/// All configs relax the finite-capacity stall (the sharded engine
+/// never enforces it), so cross-engine bit-identity is defined on the
+/// capacity-relaxed semantics. The capacity-enforced classic engine is
+/// still compared against the built-ins separately in each parity test.
+fn engines() -> Vec<(String, SimConfig)> {
+    let relax = |mut c: SimConfig| {
+        c.enforce_capacity = false;
+        c
+    };
+    let mut v = vec![("lanes1".to_string(), relax(SimConfig::default()))];
+    for lanes in [2u32, 4, 8] {
+        v.push((
+            format!("lanes{lanes}"),
+            relax(SimConfig::default().with_shards(lanes)),
+        ));
+    }
+    for w in [1u32, 2, 4, 8] {
+        v.push((
+            format!("lanes8-workers{w}"),
+            relax(SimConfig::default().with_shards(8).with_workers(w)),
+        ));
+    }
+    v
+}
+
+type Projection = (Cycles, u64, u64, Vec<ProcStats>);
+
+fn fingerprint(run: &WlRun) -> (Cycles, Vec<Cycles>, Projection) {
+    (
+        run.completion,
+        run.node_times.clone(),
+        projection(&run.result),
+    )
+}
+
+use logp::sim::ProcStats;
+
+// ---------------------------------------------------------------------
+// Golden-corpus parity: DSL == built-in, cycle-exactly, on every
+// preset and every engine configuration.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dsl_broadcast_matches_builtin_on_all_presets_and_engines() {
+    for (name, m, _) in presets() {
+        let wl = broadcast_workload(&m);
+        wl.validate().expect("emitter output validates");
+        // Capacity-enforced classic engine, compared like-for-like.
+        let strict = run_workload(&wl, &m, SimConfig::default()).expect("strict classic");
+        let strict_builtin = run_optimal_broadcast(&m, SimConfig::default());
+        assert_eq!(
+            strict.completion, strict_builtin.completion,
+            "{name}: strict"
+        );
+        assert_eq!(
+            projection(&strict.result),
+            projection(&strict_builtin.result),
+            "{name}: strict projection"
+        );
+        let mut baseline = None;
+        for (eng, cfg) in engines() {
+            let run =
+                run_workload(&wl, &m, cfg.clone()).unwrap_or_else(|e| panic!("{name}/{eng}: {e}"));
+            let builtin = run_optimal_broadcast(&m, cfg);
+            assert_eq!(
+                run.completion, builtin.completion,
+                "{name}/{eng}: completion"
+            );
+            assert_eq!(
+                projection(&run.result),
+                projection(&builtin.result),
+                "{name}/{eng}: projection vs built-in"
+            );
+            let fp = fingerprint(&run);
+            match &baseline {
+                None => baseline = Some(fp),
+                Some(b) => assert_eq!(*b, fp, "{name}/{eng}: engine invariance"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dsl_summation_matches_builtin_on_all_presets_and_engines() {
+    for (name, m, t) in presets() {
+        let sched = optimal_sum_schedule(&m, t);
+        assert!(
+            sched.procs() >= 2,
+            "{name}: deadline {t} must engage more than one processor"
+        );
+        let wl = summation_workload(&m, t);
+        wl.validate().expect("emitter output validates");
+        // Capacity-enforced classic engine, compared like-for-like.
+        let strict = run_workload(&wl, &m, SimConfig::default()).expect("strict classic");
+        let strict_builtin = run_sum_schedule(&sched, SimConfig::default());
+        assert_eq!(
+            strict.completion, strict_builtin.completion,
+            "{name}: strict"
+        );
+        assert_eq!(
+            projection(&strict.result),
+            projection(&strict_builtin.result),
+            "{name}: strict projection"
+        );
+        let mut baseline = None;
+        for (eng, cfg) in engines() {
+            let run =
+                run_workload(&wl, &m, cfg.clone()).unwrap_or_else(|e| panic!("{name}/{eng}: {e}"));
+            let builtin = run_sum_schedule(&sched, cfg);
+            assert_eq!(
+                run.completion, builtin.completion,
+                "{name}/{eng}: completion"
+            );
+            assert_eq!(
+                projection(&run.result),
+                projection(&builtin.result),
+                "{name}/{eng}: projection vs built-in"
+            );
+            let fp = fingerprint(&run);
+            match &baseline {
+                None => baseline = Some(fp),
+                Some(b) => assert_eq!(*b, fp, "{name}/{eng}: engine invariance"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dsl_allreduce_matches_builtin_on_all_presets_and_engines() {
+    for (name, m, _) in presets() {
+        let wl = allreduce_workload(&m);
+        wl.validate().expect("emitter output validates");
+        let values: Vec<f64> = (0..m.p).map(f64::from).collect();
+        // Capacity-enforced classic engine, compared like-for-like.
+        let strict = run_workload(&wl, &m, SimConfig::default()).expect("strict classic");
+        let strict_builtin = run_allreduce_reduce_bcast(&m, &values, SimConfig::default());
+        assert_eq!(
+            strict.completion, strict_builtin.completion,
+            "{name}: strict"
+        );
+        assert_eq!(
+            projection(&strict.result),
+            projection(&strict_builtin.result),
+            "{name}: strict projection"
+        );
+        let mut baseline = None;
+        for (eng, cfg) in engines() {
+            let run =
+                run_workload(&wl, &m, cfg.clone()).unwrap_or_else(|e| panic!("{name}/{eng}: {e}"));
+            let builtin = run_allreduce_reduce_bcast(&m, &values, cfg);
+            assert_eq!(
+                run.completion, builtin.completion,
+                "{name}/{eng}: completion"
+            );
+            assert_eq!(
+                projection(&run.result),
+                projection(&builtin.result),
+                "{name}/{eng}: projection vs built-in"
+            );
+            let fp = fingerprint(&run);
+            match &baseline {
+                None => baseline = Some(fp),
+                Some(b) => assert_eq!(*b, fp, "{name}/{eng}: engine invariance"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden corpus files: the checked-in text must equal the emitters.
+// ---------------------------------------------------------------------
+
+#[test]
+fn corpus_files_match_their_emitters() {
+    let cases = [
+        ("examples/workloads/broadcast_fig3.wl", {
+            let mut wl = broadcast_workload(&LogP::fig3());
+            wl.preset = Some("fig3".to_string());
+            wl
+        }),
+        ("examples/workloads/summation_fig4.wl", {
+            let mut wl = summation_workload(&LogP::fig4(), 28);
+            wl.preset = Some("fig4".to_string());
+            wl
+        }),
+        ("examples/workloads/allreduce_fig3.wl", {
+            let mut wl = allreduce_workload(&LogP::fig3());
+            wl.preset = Some("fig3".to_string());
+            wl
+        }),
+    ];
+    for (path, wl) in cases {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("{path}: {e} (regenerate with `wl_run --emit-corpus`)"));
+        assert_eq!(
+            text,
+            to_text(&wl),
+            "{path} drifted from its emitter; regenerate with `wl_run --emit-corpus`"
+        );
+        let loaded = load_workload(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert_eq!(loaded, wl, "{path}: loaded form differs from emitter");
+        let m = preset(loaded.preset.as_deref().unwrap()).unwrap();
+        run_workload(&loaded, &m, SimConfig::default()).unwrap_or_else(|e| panic!("{path}: {e}"));
+    }
+    // The hand-written tour exercises every statement kind and loads.
+    let tour = std::fs::read_to_string("examples/workloads/tour.wl").expect("tour.wl");
+    let wl = load_workload(&tour).expect("tour.wl loads");
+    assert!(wl
+        .nodes
+        .iter()
+        .any(|n| matches!(n.op, logp::wl::Op::Barrier)));
+    assert!(wl
+        .nodes
+        .iter()
+        .any(|n| matches!(n.op, logp::wl::Op::Timer { .. })));
+    run_workload(&wl, &LogP::fig3(), SimConfig::default()).expect("tour.wl runs");
+}
+
+// ---------------------------------------------------------------------
+// Text round-trips.
+// ---------------------------------------------------------------------
+
+#[test]
+fn to_text_round_trips_structurally() {
+    let mut cases = vec![
+        broadcast_workload(&LogP::fig3()),
+        summation_workload(&LogP::fig4(), 28),
+        allreduce_workload(&LogP::new(60, 20, 40, 16).unwrap()),
+    ];
+    for seed in 0..64 {
+        cases.push(gen_workload(seed, &FuzzConfig::default()));
+    }
+    for wl in cases {
+        let text = to_text(&wl);
+        let back = parse_workload(&text)
+            .unwrap_or_else(|e| panic!("{}: round-trip parse failed: {e}\n{text}", wl.name));
+        assert_eq!(back, wl, "round-trip changed `{}`", wl.name);
+    }
+}
+
+#[test]
+fn fuzz_generator_only_emits_validator_accepted_programs() {
+    for seed in 0..256 {
+        let wl = gen_workload(seed, &FuzzConfig::default());
+        wl.validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: generator emitted invalid DAG: {e}"));
+        // And the loaded text form agrees.
+        let back = load_workload(&to_text(&wl)).expect("text form validates");
+        assert_eq!(back, wl);
+    }
+}
+
+#[test]
+fn fuzz_workloads_complete_identically_on_both_engines() {
+    let m = LogP::new(64, 2, 1, 8).unwrap(); // capacity 64: never binds
+    for seed in 0..32 {
+        let wl = gen_workload(seed, &FuzzConfig::default());
+        let classic = run_workload(&wl, &m, SimConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed} classic: {e}"));
+        for lanes in [2u32, 4] {
+            let sharded = run_workload(&wl, &m, SimConfig::default().with_shards(lanes))
+                .unwrap_or_else(|e| panic!("seed {seed} lanes{lanes}: {e}"));
+            assert_eq!(
+                fingerprint(&classic),
+                fingerprint(&sharded),
+                "seed {seed} lanes{lanes}"
+            );
+        }
+    }
+}
+
+/// Back-to-back global barrier rounds with no other work: every
+/// processor enters round 0 straight from `on_start` (so the quorum
+/// completes with no event scheduled anywhere) and re-enters each next
+/// round inside `on_barrier_release` (so the entry deltas are pushed
+/// during the release itself). Both shapes used to deadlock or panic
+/// the sharded window driver; this pins the fix on every engine.
+#[test]
+fn barrier_only_programs_run_on_every_engine() {
+    let mut src = String::from("workload rounds\nprocs 4\n");
+    for round in 0..3 {
+        for q in 0..4 {
+            src.push_str(&format!("b{round}_{q}: barrier @{q}\n"));
+        }
+    }
+    let wl = load_workload(&src).expect("valid");
+    let m = LogP::fig3().with_p(4);
+    let mut baseline = None;
+    for (eng, cfg) in engines() {
+        let run = run_workload(&wl, &m, cfg).unwrap_or_else(|e| panic!("{eng}: {e}"));
+        let fp = fingerprint(&run);
+        match &baseline {
+            None => baseline = Some(fp),
+            Some(b) => assert_eq!(*b, fp, "{eng}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace replay: ObsLog -> DAG -> run reproduces the original timing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replayed_broadcast_reproduces_the_original_run() {
+    for (name, m, _) in presets() {
+        let cfg = SimConfig::default().with_msg_log(true);
+        let original = run_optimal_broadcast(&m, cfg.clone());
+        let wl = workload_from_obslog(&original.result.obs, m.p, "replay").expect("replayable");
+        wl.validate().expect("replay output validates");
+        let run = run_workload(&wl, &m, cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(run.completion, original.completion, "{name}: completion");
+        assert_eq!(
+            projection(&run.result),
+            projection(&original.result),
+            "{name}: projection"
+        );
+    }
+}
+
+#[test]
+fn replayed_workload_with_barriers_and_timers_reproduces_itself() {
+    let tour = std::fs::read_to_string("examples/workloads/tour.wl").expect("tour.wl");
+    let wl = load_workload(&tour).expect("loads");
+    let m = LogP::fig3();
+    let cfg = SimConfig::default().with_msg_log(true);
+    let original = run_workload(&wl, &m, cfg.clone()).expect("runs");
+    let replay =
+        workload_from_obslog(&original.result.obs, wl.procs, "tour_replay").expect("replayable");
+    let rerun = run_workload(&replay, &m, cfg).expect("replay runs");
+    assert_eq!(rerun.completion, original.completion);
+    assert_eq!(projection(&rerun.result), projection(&original.result));
+}
+
+#[test]
+fn jsonl_to_dag_round_trip() {
+    let m = LogP::fig3();
+    let wl = broadcast_workload(&m);
+    let path = std::env::temp_dir().join("logp_wl_roundtrip.obs.jsonl");
+    let cfg = SimConfig::default().with_sink(SinkSpec::Jsonl(path.clone()));
+    let original = run_workload(&wl, &m, cfg).expect("streamed run");
+    let text = std::fs::read_to_string(&path).expect("jsonl written");
+    let log = replay_jsonl(&text).expect("jsonl parses");
+    let replay = workload_from_obslog(&log, m.p, "replay").expect("replayable");
+    let rerun = run_workload(&replay, &m, SimConfig::default()).expect("replay runs");
+    assert_eq!(rerun.completion, original.completion);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The small fix pinned while wiring the converter: a *replayed* JSONL
+/// log re-canonicalizes to exactly the ids of the retained log, under
+/// shards (structured per-processor ids) at every lane count.
+#[test]
+fn replayed_jsonl_log_recanonicalizes_identically_under_shards() {
+    let m = LogP::fig3();
+    let wl = broadcast_workload(&m);
+    let mut canonical: Option<logp::sim::ObsLog> = None;
+    for lanes in [2u32, 4] {
+        // Retained in-memory log.
+        let retained = run_workload(
+            &wl,
+            &m,
+            SimConfig::default().with_shards(lanes).with_msg_log(true),
+        )
+        .expect("retained run");
+        // Streamed to JSONL and replayed back.
+        let path = std::env::temp_dir().join(format!("logp_wl_canon_{lanes}.obs.jsonl"));
+        run_workload(
+            &wl,
+            &m,
+            SimConfig::default()
+                .with_shards(lanes)
+                .with_sink(SinkSpec::Jsonl(path.clone())),
+        )
+        .expect("streamed run");
+        let text = std::fs::read_to_string(&path).expect("jsonl written");
+        let mut replayed = replay_jsonl(&text).expect("jsonl parses");
+        let mut kept = retained.result.obs.clone();
+        // Streamed records use structured sharded ids; the retained log
+        // and the replayed log must canonicalize to the same dense ids.
+        kept.canonicalize();
+        replayed.canonicalize();
+        assert_eq!(kept, replayed, "lanes{lanes}: canonical logs differ");
+        // Canonicalization is idempotent on a replayed log.
+        let mut again = replayed.clone();
+        again.canonicalize();
+        assert_eq!(again, replayed, "lanes{lanes}: canonicalize not idempotent");
+        match &canonical {
+            None => canonical = Some(replayed),
+            Some(c) => assert_eq!(*c, replayed, "lanes{lanes}: lane-count variance"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loader error snapshots: every rejection path, with exact span,
+// message, and help text.
+// ---------------------------------------------------------------------
+
+/// Load `src`, expect rejection, return `(line, col, msg, help)`.
+fn reject(src: &str) -> (u32, u32, String, Option<String>) {
+    match load_workload(src) {
+        Ok(_) => panic!("program unexpectedly accepted:\n{src}"),
+        Err(e) => (e.line, e.col, e.msg, e.help),
+    }
+}
+
+fn snap(src: &str, line: u32, col: u32, msg: &str, help: Option<&str>) {
+    let got = reject(src);
+    assert_eq!(
+        got,
+        (line, col, msg.to_string(), help.map(str::to_string)),
+        "for program:\n{src}"
+    );
+}
+
+const HDR: &str = "workload t\nprocs 4\n";
+
+#[test]
+fn snapshot_header_errors() {
+    snap(
+        "",
+        1,
+        1,
+        "missing `workload <name>` header (it must be the first statement)",
+        None,
+    );
+    snap(
+        "workload t\n",
+        1,
+        1,
+        "missing `procs <N>` header (declare the processor count)",
+        None,
+    );
+    snap(
+        "a: compute 1 @0\n",
+        1,
+        1,
+        "missing `workload <name>` header (it must come before the first node)",
+        None,
+    );
+    snap(
+        "workload t\na: compute 1 @0\n",
+        2,
+        1,
+        "missing `procs <N>` header (it must come before the first node)",
+        None,
+    );
+    snap(
+        "workload t\nworkload u\n",
+        2,
+        1,
+        "duplicate `workload` directive",
+        None,
+    );
+    snap(
+        "workload 0bad\n",
+        1,
+        10,
+        "invalid workload name `0bad` (use [A-Za-z_][A-Za-z0-9_]*)",
+        None,
+    );
+    snap(
+        "workload t\nprocs 0\n",
+        2,
+        7,
+        "procs must be at least 1",
+        None,
+    );
+    snap(
+        "workload t\nprocs many\n",
+        2,
+        7,
+        "expected the processor count (a number), got `many`",
+        None,
+    );
+    snap(
+        "workload t\nprocs 2\nprocs 3\n",
+        3,
+        1,
+        "duplicate `procs` directive",
+        None,
+    );
+    snap(
+        "workload t\nprocs 2\npreset fig3\npreset fig4\n",
+        4,
+        1,
+        "duplicate `preset` directive",
+        None,
+    );
+    snap(
+        "workload t extra\n",
+        1,
+        12,
+        "unexpected token `extra` after `workload <a name>`",
+        None,
+    );
+    snap(
+        "wrkload t\n",
+        1,
+        1,
+        "expected `label:` to open the statement, got `wrkload`",
+        Some("did you mean the directive `workload`?"),
+    );
+}
+
+#[test]
+fn snapshot_statement_errors() {
+    snap(
+        &format!("{HDR}send 0 -> 1\n"),
+        3,
+        1,
+        "expected `label:` to open the statement, got `send`",
+        Some("statements are labeled; try `n0: send ...`"),
+    );
+    snap(
+        &format!("{HDR}0a: compute 1 @0\n"),
+        3,
+        1,
+        "invalid label `0a` (labels are [A-Za-z_][A-Za-z0-9_]*)",
+        None,
+    );
+    snap(
+        &format!("{HDR}a:\n"),
+        3,
+        1,
+        "label `a` has no operation; expected one of [\"send\", \"recv\", \"compute\", \
+         \"barrier\", \"timer\"]",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: snd 0 -> 1\n"),
+        3,
+        4,
+        "unknown operation `snd`",
+        Some("did you mean `send`?"),
+    );
+    snap(
+        &format!("{HDR}a: send 0 1\n"),
+        3,
+        4,
+        "`send` needs `<src> -> <dst>`",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send 0 to 1\n"),
+        3,
+        11,
+        "expected `->` after the source processor, got `to`",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send\n"),
+        3,
+        4,
+        "`send` needs `<src> -> <dst>`",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send x -> 1\n"),
+        3,
+        9,
+        "expected the source processor (a number), got `x`",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send 0 -> 1 tga=3\nb: recv 0 -> 1\n"),
+        3,
+        16,
+        "unknown option `tga=` on `send`",
+        Some("did you mean `tag=`?"),
+    );
+    snap(
+        &format!("{HDR}a: send 1 -> 0\nb: recv 1 -> 0 data=4\n"),
+        4,
+        16,
+        "`data=` is only valid on `send`, not `recv`",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send 0 -> 1 tag=x\n"),
+        3,
+        20,
+        "expected a value for `tag=` (a number), got `x`",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send 0 -> 1 tag=5000000000\n"),
+        3,
+        16,
+        "tag 5000000000 does not fit 32 bits",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: compute 5\n"),
+        3,
+        4,
+        "`compute` needs a `@<proc>` processor assignment",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: compute 5 p2\n"),
+        3,
+        14,
+        "expected `@<proc>` after the cycle count, got `p2`",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: barrier\n"),
+        3,
+        4,
+        "`barrier` needs a `@<proc>` processor assignment",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0\nb: compute 5 @0 after a\n"),
+        4,
+        17,
+        "unexpected token `after` at end of `compute` statement",
+        Some("did you mean `after:` (with the colon)?"),
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0\nb: compute 5 @0 after:\n"),
+        4,
+        17,
+        "`after:` needs at least one dependency label",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0\nb: compute 5 @0 after: , a\n"),
+        4,
+        24,
+        "expected a dependency label, got `,`",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0\nb: compute 5 @0 after: a,\n"),
+        4,
+        25,
+        "trailing `,` in `after:` list (expected another label)",
+        None,
+    );
+    snap(
+        &format!("{HDR}aa: compute 1 @0\nb: compute 5 @0 after: ax\n"),
+        4,
+        24,
+        "unknown dependency `ax`",
+        Some("did you mean `aa`?"),
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0\na: compute 2 @0\n"),
+        4,
+        1,
+        "duplicate label `a` (first defined at line 3)",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0 $\n"),
+        3,
+        17,
+        "unexpected character `$`",
+        None,
+    );
+}
+
+#[test]
+fn snapshot_validator_errors() {
+    snap(
+        &format!("{HDR}a: compute 1 @9\n"),
+        3,
+        1,
+        "node `a` runs on processor 9 but the workload declares procs 4 (valid: 0..=3)",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send 0 -> 9\n"),
+        3,
+        1,
+        "send `a` targets processor 9 but the workload declares procs 4 (valid: 0..=3)",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send 2 -> 2\n"),
+        3,
+        1,
+        "send `a` sends processor 2 a message to itself; the LogP network has no self-loop",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: recv 3 -> 3\n"),
+        3,
+        1,
+        "recv `a` expects a message from its own processor 3; the LogP network has no self-loop",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0\nb: compute 1 @1 after: a\n"),
+        4,
+        24,
+        "node `b` (processor 1) depends on `a` (processor 0); `after:` edges must stay on \
+         one processor",
+        Some("cross-processor ordering is carried by a send/recv pair on a shared tag"),
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0\nb: compute 1 @0 after: a, a\n"),
+        4,
+        27,
+        "node `b` lists dependency `a` twice",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0 after: a\n"),
+        3,
+        24,
+        "node `a` depends on itself",
+        None,
+    );
+    snap(
+        &format!("{HDR}a: send 0 -> 1\n"),
+        3,
+        1,
+        "send `a` has no matching recv: channel 0 -> 1 tag=0 has 1 send(s) but 0 recv(s)",
+        Some(
+            "every send needs exactly one recv on the same (src, dst, tag) channel; the \
+             i-th send pairs with the i-th recv in declaration order",
+        ),
+    );
+    snap(
+        &format!("{HDR}a: recv 0 -> 1\n"),
+        3,
+        1,
+        "recv `a` has no matching send: channel 0 -> 1 tag=0 has 0 send(s) but 1 recv(s)",
+        Some(
+            "every send needs exactly one recv on the same (src, dst, tag) channel; the \
+             i-th send pairs with the i-th recv in declaration order",
+        ),
+    );
+    // Same channel, mismatched tags count as unmatched too.
+    snap(
+        &format!("{HDR}a: send 0 -> 1 tag=1\nb: recv 0 -> 1 tag=2\n"),
+        3,
+        1,
+        "send `a` has no matching recv: channel 0 -> 1 tag=1 has 1 send(s) but 0 recv(s)",
+        Some(
+            "every send needs exactly one recv on the same (src, dst, tag) channel; the \
+             i-th send pairs with the i-th recv in declaration order",
+        ),
+    );
+    snap(
+        &format!("{HDR}a: barrier @0\nb: barrier @0\nc: barrier @1\n"),
+        3,
+        1,
+        "uneven barrier participation: processor 0 enters 2 barrier(s) but processor 1 \
+         enters 1; the global barrier would never release",
+        Some("give every processor the same number of barrier statements"),
+    );
+    snap(
+        &format!("{HDR}a: compute 1 @0 after: b\nb: compute 1 @0 after: a\n"),
+        3,
+        1,
+        "dependency cycle: `a` -> `b` -> `a`",
+        Some(
+            "a node cannot (transitively) wait on itself; check `after:` lists, send/recv \
+             pairing order, and barrier rounds",
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Interpreter diagnostics are errors, not panics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dropped_message_reports_incomplete_not_panic() {
+    let wl = load_workload(
+        "workload drop\nprocs 2\n\
+         tx: send 0 -> 1\n\
+         rx: recv 0 -> 1\n",
+    )
+    .expect("valid");
+    let m = LogP::fig3().with_p(2);
+    // A plan that drops everything: the recv can never complete.
+    let plan = logp::sim::FaultPlan::new(7).with_drop_ppm(1_000_000);
+    let err = run_workload(&wl, &m, SimConfig::default().with_faults(plan))
+        .expect_err("dropped message must surface");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("`rx`") && msg.contains("1/2"),
+        "unexpected diagnostic: {msg}"
+    );
+}
