@@ -1,0 +1,457 @@
+//! Hierarchical collectives: level-aware broadcast, summation and
+//! all-reduce for clusters of multi-core machines.
+//!
+//! The schedules come from `logp_core::hier`: leaders are elected per
+//! level (the lowest rank of each group), the flat-optimal tree of
+//! §3.3 runs *within* each level with that level's parameters, and a
+//! sender's child list is ordered outermost level first so long-haul
+//! messages leave before cheap local ones
+//! ([`logp_core::hier::hier_broadcast_children`]). This module makes
+//! those schedules executable on the engine's hierarchical machine
+//! ([`logp_sim::Sim::new_hier`]) and pairs every hierarchical runner
+//! with a *topology-oblivious* comparator — the flat-optimal tree of
+//! the hierarchy's projection, executed on the same machine — so the
+//! hier-vs-flat crossover is measurable by simulation and predicted
+//! closed-form by [`logp_core::hier::eval_broadcast`] /
+//! [`logp_core::hier::eval_reduce`] / [`logp_core::hier::eval_allreduce`]
+//! (the closure is pinned cycle-exactly in `tests/hierarchy.rs`).
+//!
+//! The normative handbook is `docs/HIERARCHY.md`; the crossover sweep
+//! lives in the `hier_sweep` bench binary.
+
+use logp_core::broadcast::optimal_broadcast_tree;
+use logp_core::hier::{hier_broadcast_children, Hierarchy};
+use logp_core::{Cycles, ProcId};
+use logp_sim::{Ctx, Data, Message, Process, SharedCell, Sim, SimConfig, SimResult};
+
+const TAG_UP: u32 = 0xB1;
+const TAG_DOWN: u32 = 0xB2;
+
+/// Per-processor completion records of one collective run.
+#[derive(Debug, Clone, Default)]
+struct Outcome {
+    finals: Vec<(ProcId, f64, Cycles)>,
+}
+
+/// Result of one hierarchical (or flat-on-hierarchical) collective run.
+#[derive(Debug, Clone)]
+pub struct HierRun {
+    /// The collective's value: the broadcast datum, or the reduced sum.
+    pub value: f64,
+    /// Completion time: the last involved processor's finish instant.
+    pub completion: Cycles,
+    /// Per-processor finish instants, indexed by rank. For broadcasts
+    /// this is the time each rank holds the datum; for reductions the
+    /// time each rank's partial is complete (root: the total); for
+    /// all-reduce the time each rank holds the final value.
+    pub per_proc: Vec<Cycles>,
+    pub messages: u64,
+    /// The underlying engine result (stats, trace, obs, metrics).
+    pub result: SimResult,
+}
+
+// ---------------------------------------------------------------------
+// Tree programs
+// ---------------------------------------------------------------------
+
+/// Forward one datum down a fixed tree: on receipt, retransmit to the
+/// child list in order (outermost level first for hierarchical trees).
+struct BcastTree {
+    value: f64,
+    children: Vec<ProcId>,
+    is_root: bool,
+    out: SharedCell<Outcome>,
+}
+
+impl BcastTree {
+    fn distribute(&mut self, ctx: &mut Ctx<'_>) {
+        for &c in &self.children {
+            ctx.send(c, TAG_DOWN, Data::F64(self.value));
+        }
+        let rec = (ctx.me(), self.value, ctx.now());
+        self.out.with(|o| o.finals.push(rec));
+    }
+}
+
+impl Process for BcastTree {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_root {
+            self.distribute(ctx);
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(msg.tag, TAG_DOWN);
+        self.value = msg.data.as_f64();
+        self.distribute(ctx);
+    }
+}
+
+/// Combine partials up the reverse of a fixed tree (one combine cycle
+/// per received partial, as every reduction in this workspace pays),
+/// and — for all-reduce — fan the total back down a second tree.
+struct UpDownTree {
+    value: f64,
+    expect_up: u32,
+    got_up: u32,
+    up_parent: Option<ProcId>,
+    down_children: Vec<ProcId>,
+    /// All-reduce when true; plain reduction when false.
+    do_down: bool,
+    reduced: bool,
+    out: SharedCell<Outcome>,
+}
+
+impl UpDownTree {
+    fn try_send_up(&mut self, ctx: &mut Ctx<'_>) {
+        if self.got_up != self.expect_up || self.reduced {
+            return;
+        }
+        self.reduced = true;
+        match self.up_parent {
+            Some(p) => {
+                ctx.send(p, TAG_UP, Data::F64(self.value));
+                if !self.do_down {
+                    // Reduction only: this rank's role ends here.
+                    let rec = (ctx.me(), self.value, ctx.now());
+                    self.out.with(|o| o.finals.push(rec));
+                }
+            }
+            None if self.do_down => self.distribute(ctx),
+            None => {
+                let rec = (ctx.me(), self.value, ctx.now());
+                self.out.with(|o| o.finals.push(rec));
+            }
+        }
+    }
+
+    fn distribute(&mut self, ctx: &mut Ctx<'_>) {
+        for &c in &self.down_children {
+            ctx.send(c, TAG_DOWN, Data::F64(self.value));
+        }
+        let rec = (ctx.me(), self.value, ctx.now());
+        self.out.with(|o| o.finals.push(rec));
+    }
+}
+
+impl Process for UpDownTree {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.try_send_up(ctx);
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Ctx<'_>) {
+        match msg.tag {
+            TAG_UP => {
+                self.value += msg.data.as_f64();
+                self.got_up += 1;
+                // One combine addition per received partial sum.
+                ctx.compute(1, 0);
+            }
+            TAG_DOWN => {
+                self.value = msg.data.as_f64();
+                self.distribute(ctx);
+            }
+            other => unreachable!("unknown tag {other}"),
+        }
+    }
+
+    fn on_compute_done(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        self.try_send_up(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree builders and runners
+// ---------------------------------------------------------------------
+
+/// The hierarchical tree: per-level leader election + per-level optimal
+/// trees (re-exported from `logp_core` for callers composing their own
+/// runs).
+pub fn hier_tree(h: &Hierarchy) -> Vec<Vec<ProcId>> {
+    hier_broadcast_children(h)
+}
+
+/// The topology-oblivious comparator tree: the flat-optimal broadcast
+/// tree of the hierarchy's projection ([`Hierarchy::flat_projection`]).
+pub fn flat_tree(h: &Hierarchy) -> Vec<Vec<ProcId>> {
+    optimal_broadcast_tree(&h.flat_projection()).children()
+}
+
+fn parent_map(children: &[Vec<ProcId>]) -> Vec<Option<ProcId>> {
+    let mut parent = vec![None; children.len()];
+    for (i, kids) in children.iter().enumerate() {
+        for &c in kids {
+            debug_assert!(parent[c as usize].is_none(), "rank {c} has two parents");
+            parent[c as usize] = Some(i as ProcId);
+        }
+    }
+    parent
+}
+
+fn collect(out: SharedCell<Outcome>, result: SimResult, p: u32) -> HierRun {
+    let oc = out.get();
+    assert_eq!(oc.finals.len(), p as usize, "every rank must finish");
+    let mut per_proc = vec![0; p as usize];
+    for &(q, _, t) in &oc.finals {
+        per_proc[q as usize] = t;
+    }
+    let completion = per_proc.iter().copied().max().unwrap_or(0);
+    let value = oc
+        .finals
+        .iter()
+        .find(|f| f.0 == 0)
+        .expect("rank 0 always finishes")
+        .1;
+    HierRun {
+        value,
+        completion,
+        per_proc,
+        messages: result.stats.total_msgs,
+        result,
+    }
+}
+
+/// Broadcast `value` from rank 0 along an explicit tree on the
+/// hierarchical machine. [`HierRun::per_proc`] matches
+/// [`logp_core::hier::eval_broadcast`] cycle-exactly on jitter-free
+/// configurations.
+pub fn run_tree_broadcast_on(
+    h: &Hierarchy,
+    children: &[Vec<ProcId>],
+    value: f64,
+    config: SimConfig,
+) -> HierRun {
+    let p = h.p();
+    assert_eq!(children.len(), p as usize);
+    let parent = parent_map(children);
+    let out: SharedCell<Outcome> = SharedCell::new();
+    let mut sim = Sim::new_hier(h, config);
+    for q in 0..p {
+        sim.set_process(
+            q,
+            Box::new(BcastTree {
+                value: if q == 0 { value } else { f64::NAN },
+                children: children[q as usize].clone(),
+                is_root: q == 0,
+                out: out.clone(),
+            }),
+        );
+    }
+    assert!(parent[0].is_none(), "the tree must be rooted at rank 0");
+    let result = sim.run().expect("broadcast terminates");
+    let run = collect(out, result, p);
+    assert!(run.per_proc.iter().all(|&t| t < Cycles::MAX));
+    run
+}
+
+/// Reduce (sum) `values` to rank 0 up the reverse of an explicit tree.
+/// The root's [`HierRun::per_proc`] entry is the reduction's completion
+/// and matches [`logp_core::hier::eval_reduce`] cycle-exactly on
+/// jitter-free configurations.
+pub fn run_tree_reduce_on(
+    h: &Hierarchy,
+    children: &[Vec<ProcId>],
+    values: &[f64],
+    config: SimConfig,
+) -> HierRun {
+    run_updown(h, children, children, values, false, config)
+}
+
+/// All-reduce: sum `values` up the reverse of `up`, broadcast the total
+/// down `down`. Matches [`logp_core::hier::eval_allreduce`]
+/// cycle-exactly on jitter-free configurations.
+pub fn run_tree_allreduce_on(
+    h: &Hierarchy,
+    up: &[Vec<ProcId>],
+    down: &[Vec<ProcId>],
+    values: &[f64],
+    config: SimConfig,
+) -> HierRun {
+    run_updown(h, up, down, values, true, config)
+}
+
+fn run_updown(
+    h: &Hierarchy,
+    up: &[Vec<ProcId>],
+    down: &[Vec<ProcId>],
+    values: &[f64],
+    do_down: bool,
+    config: SimConfig,
+) -> HierRun {
+    let p = h.p();
+    assert_eq!(up.len(), p as usize);
+    assert_eq!(down.len(), p as usize);
+    assert_eq!(values.len(), p as usize);
+    let up_parent = parent_map(up);
+    assert!(up_parent[0].is_none(), "the up tree must be rooted at 0");
+    let out: SharedCell<Outcome> = SharedCell::new();
+    let mut sim = Sim::new_hier(h, config);
+    for q in 0..p {
+        sim.set_process(
+            q,
+            Box::new(UpDownTree {
+                value: values[q as usize],
+                expect_up: up[q as usize].len() as u32,
+                got_up: 0,
+                up_parent: up_parent[q as usize],
+                down_children: down[q as usize].clone(),
+                do_down,
+                reduced: false,
+                out: out.clone(),
+            }),
+        );
+    }
+    let result = sim.run().expect("collective terminates");
+    let run = collect(out, result, p);
+    let expect: f64 = values.iter().sum();
+    let tol = 1e-12 * expect.abs().max(1.0);
+    assert!(
+        (run.value - expect).abs() <= tol,
+        "root holds a wrong total: {} vs {expect}",
+        run.value
+    );
+    run
+}
+
+/// Hierarchical broadcast from rank 0 (per-level leaders + per-level
+/// optimal trees).
+pub fn run_hier_broadcast(h: &Hierarchy, value: f64, config: SimConfig) -> HierRun {
+    run_tree_broadcast_on(h, &hier_tree(h), value, config)
+}
+
+/// Topology-oblivious broadcast comparator: the flat-optimal tree on
+/// the same hierarchical machine.
+pub fn run_flat_broadcast_on(h: &Hierarchy, value: f64, config: SimConfig) -> HierRun {
+    run_tree_broadcast_on(h, &flat_tree(h), value, config)
+}
+
+/// Hierarchical summation to rank 0.
+pub fn run_hier_sum(h: &Hierarchy, values: &[f64], config: SimConfig) -> HierRun {
+    run_tree_reduce_on(h, &hier_tree(h), values, config)
+}
+
+/// Topology-oblivious summation comparator.
+pub fn run_flat_sum_on(h: &Hierarchy, values: &[f64], config: SimConfig) -> HierRun {
+    run_tree_reduce_on(h, &flat_tree(h), values, config)
+}
+
+/// Hierarchical all-reduce (reduce and broadcast along the same
+/// hierarchical tree).
+pub fn run_hier_allreduce(h: &Hierarchy, values: &[f64], config: SimConfig) -> HierRun {
+    let t = hier_tree(h);
+    run_tree_allreduce_on(h, &t, &t, values, config)
+}
+
+/// Topology-oblivious all-reduce comparator.
+pub fn run_flat_allreduce_on(h: &Hierarchy, values: &[f64], config: SimConfig) -> HierRun {
+    let t = flat_tree(h);
+    run_tree_allreduce_on(h, &t, &t, values, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logp_core::hier::{
+        eval_allreduce, eval_broadcast, eval_reduce, flat_allreduce_time_on,
+        flat_broadcast_time_on, flat_sum_time_on, hier_allreduce_time, hier_broadcast_time,
+        hier_sum_time,
+    };
+    use logp_core::LogP;
+
+    fn steep() -> Hierarchy {
+        // Local links ~10x cheaper than the fabric: hierarchy pays off.
+        Hierarchy::two_level((6, 2, 4), 8, (60, 10, 12), 4).unwrap()
+    }
+
+    fn vals(p: u32) -> Vec<f64> {
+        (0..p).map(|i| i as f64 + 1.0).collect()
+    }
+
+    #[test]
+    fn broadcast_simulation_matches_analytic() {
+        for h in [steep(), Hierarchy::flat(&LogP::fig3())] {
+            for tree in [hier_tree(&h), flat_tree(&h)] {
+                let run = run_tree_broadcast_on(&h, &tree, 7.5, SimConfig::default());
+                assert_eq!(run.per_proc, eval_broadcast(&h, &tree));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_simulation_matches_analytic() {
+        let h = steep();
+        for tree in [hier_tree(&h), flat_tree(&h)] {
+            let run = run_tree_reduce_on(&h, &tree, &vals(h.p()), SimConfig::default());
+            assert_eq!(run.per_proc, eval_reduce(&h, &tree));
+        }
+    }
+
+    #[test]
+    fn allreduce_simulation_matches_analytic() {
+        let h = steep();
+        for tree in [hier_tree(&h), flat_tree(&h)] {
+            let run = run_tree_allreduce_on(&h, &tree, &tree, &vals(h.p()), SimConfig::default());
+            assert_eq!(run.per_proc, eval_allreduce(&h, &tree, &tree));
+        }
+    }
+
+    #[test]
+    fn hier_beats_flat_on_a_steep_machine() {
+        let h = steep();
+        let v = vals(h.p());
+        let cfg = SimConfig::default;
+        assert!(
+            run_hier_broadcast(&h, 1.0, cfg()).completion
+                < run_flat_broadcast_on(&h, 1.0, cfg()).completion
+        );
+        assert!(run_hier_sum(&h, &v, cfg()).completion < run_flat_sum_on(&h, &v, cfg()).completion);
+        assert!(
+            run_hier_allreduce(&h, &v, cfg()).completion
+                < run_flat_allreduce_on(&h, &v, cfg()).completion
+        );
+        // And the analytic formulas predicted exactly these numbers.
+        assert_eq!(
+            run_hier_broadcast(&h, 1.0, cfg()).completion,
+            hier_broadcast_time(&h)
+        );
+        assert_eq!(
+            run_flat_broadcast_on(&h, 1.0, cfg()).completion,
+            flat_broadcast_time_on(&h)
+        );
+        assert_eq!(run_hier_sum(&h, &v, cfg()).per_proc[0], hier_sum_time(&h));
+        assert_eq!(
+            run_flat_sum_on(&h, &v, cfg()).per_proc[0],
+            flat_sum_time_on(&h)
+        );
+        assert_eq!(
+            run_hier_allreduce(&h, &v, cfg()).completion,
+            hier_allreduce_time(&h)
+        );
+        assert_eq!(
+            run_flat_allreduce_on(&h, &v, cfg()).completion,
+            flat_allreduce_time_on(&h)
+        );
+    }
+
+    #[test]
+    fn correct_under_jitter_and_shards() {
+        let h = steep();
+        let v = vals(h.p());
+        for cfg in [
+            SimConfig::default().with_jitter(3).with_seed(7),
+            SimConfig::default().with_shards(4),
+        ] {
+            let run = run_hier_allreduce(&h, &v, cfg);
+            assert_eq!(run.value, v.iter().sum::<f64>());
+        }
+    }
+
+    #[test]
+    fn single_rank_hierarchy_is_free() {
+        let h = Hierarchy::flat(&LogP::new(6, 2, 4, 1).unwrap());
+        let run = run_hier_allreduce(&h, &[5.0], SimConfig::default());
+        assert_eq!(run.value, 5.0);
+        assert_eq!(run.completion, 0);
+        assert_eq!(run.messages, 0);
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`allreduce`] | — | reduce+broadcast vs recursive doubling |
 //! | [`scan`] | §6.2 | block parallel prefix by recursive doubling |
 //! | [`gather`] | §6.6 | scatter / gather / ring all-gather primitives |
+//! | [`hier`] | ext. | level-aware broadcast/sum/all-reduce on hierarchical machines |
 //! | [`kbroadcast`] | §3.3 ext. | k-item broadcast: pipelined trees vs scatter+all-gather |
 //! | [`remap`] | §4.1.2–4 | all-to-all schedules: naive/staggered/barrier |
 //! | [`fft`] | §4.1 | hybrid-layout FFT with real data + Fig. 6/7/8 driver |
@@ -37,6 +38,7 @@ pub mod bulk;
 pub mod cc;
 pub mod fft;
 pub mod gather;
+pub mod hier;
 pub mod kbroadcast;
 pub mod lu;
 pub mod matmul;

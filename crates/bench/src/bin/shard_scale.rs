@@ -196,8 +196,9 @@ impl Sweep {
             })
             .collect();
         format!(
-            "{{\"name\":\"{}\",\"p\":{},\"legacy_events\":{},\"msgs\":{},\"completion\":{},\"reps\":{},\"points\":[{}]}}",
+            "{{\"name\":\"{}\",\"host_cores\":{},\"p\":{},\"legacy_events\":{},\"msgs\":{},\"completion\":{},\"reps\":{},\"points\":[{}]}}",
             self.name,
+            host_cores(),
             self.p,
             self.legacy_events,
             self.msgs,
@@ -280,8 +281,9 @@ struct WorkerPoint {
 impl WorkerPoint {
     fn json(&self) -> String {
         format!(
-            "{{\"name\":\"{}\",\"shards\":{},\"workers\":{},\"serial_best_secs\":{:.6},\"parallel_best_secs\":{:.6},\"speedup_vs_serial_lanes\":{:.3}}}",
+            "{{\"name\":\"{}\",\"host_cores\":{},\"shards\":{},\"workers\":{},\"serial_best_secs\":{:.6},\"parallel_best_secs\":{:.6},\"speedup_vs_serial_lanes\":{:.3}}}",
             self.name,
+            host_cores(),
             self.shards,
             self.workers,
             self.serial_best_secs,
@@ -337,6 +339,17 @@ fn worker_scale(
         });
     }
     points
+}
+
+/// Logical cores visible to this process. Recorded in *every* JSON
+/// section, not just the envelope: sections are routinely copy-pasted
+/// into comparisons on their own, and a speedup column measured on a
+/// 1-core host (where parallel lanes cannot help) is meaningless
+/// without this qualifier attached. See EXPERIMENTS.md.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0)
 }
 
 /// The engine-independent outcome two engines must agree on.
@@ -706,8 +719,9 @@ fn main() {
             delta_pct
         );
         parity_items.push(format!(
-            "{{\"name\":\"{}\",\"events\":{},\"classic_best_secs\":{:.6},\"one_shard_best_secs\":{:.6},\"classic_events_per_sec\":{:.0},\"one_shard_events_per_sec\":{:.0},\"delta_pct\":{:.2}}}",
+            "{{\"name\":\"{}\",\"host_cores\":{},\"events\":{},\"classic_best_secs\":{:.6},\"one_shard_best_secs\":{:.6},\"classic_events_per_sec\":{:.0},\"one_shard_events_per_sec\":{:.0},\"delta_pct\":{:.2}}}",
             name,
+            host_cores(),
             events,
             best_c,
             best_s,
@@ -717,12 +731,9 @@ fn main() {
         ));
     }
 
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(0);
     let json = format!(
         "{{\"bench\":\"shard_scale\",\"host_cores\":{},\"sweeps\":[{},{},{}],\"worker_scale\":[{}],\"hotloop_parity\":[{}]}}",
-        host_cores,
+        host_cores(),
         a2a.json(),
         bcast.json(),
         ared.json(),

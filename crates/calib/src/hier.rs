@@ -1,0 +1,211 @@
+//! Per-level calibration of hierarchical machines by clustered
+//! pairwise probing.
+//!
+//! A hierarchical machine prices a message by the lowest common level
+//! of its endpoints, so the one-exchange round trip from rank 0 to
+//! rank `d` is a *step function* of `d`: it jumps exactly where `d`
+//! crosses a group boundary. The probing pipeline exploits that:
+//!
+//! 1. **structure** — measure RTT(0 → d) for every `d`; the plateaus
+//!    are the levels and the jump positions are the cumulative group
+//!    sizes (from which each level's arity follows by division);
+//! 2. **parameters** — for each discovered level, run the full flat
+//!    calibration pipeline ([`crate::calibrate::calibrate`]) between
+//!    rank 0 and the *first rank of the adjacent sibling group* — the
+//!    nearest endpoint pair whose traffic pays exactly that level's
+//!    (L, o, g);
+//! 3. **round-trip** — assemble the per-level estimates into a
+//!    [`Hierarchy`] via [`Hierarchy::from_estimates`]. On a noiseless
+//!    simulated machine the recovered hierarchy equals the configured
+//!    one level-for-level (`tests/hierarchy.rs` pins this).
+//!
+//! Limitations, stated rather than hidden: two adjacent levels whose
+//! round trips coincide (`2o + L` equal) are observationally one
+//! plateau and merge into a single level — the probe recovers the
+//! *observable* structure, which is also the structure that matters
+//! for schedule design. Structure probing costs `P − 1` one-exchange
+//! runs, fine for the machine sizes calibration targets.
+
+use crate::calibrate::{calibrate, CalibConfig, Calibration};
+use crate::machine::Machine;
+use crate::script::Script;
+use crate::sim_backend::ScriptProcess;
+use logp_core::hier::Hierarchy;
+use logp_sim::{SharedCell, Sim, SimConfig};
+
+/// The hierarchical `logp-sim` engine as a black-box calibration
+/// target: [`SimMachine`](crate::sim_backend::SimMachine) with
+/// [`Sim::new_hier`] underneath, so traffic between two ranks pays the
+/// parameters of their lowest common level.
+#[derive(Debug, Clone)]
+pub struct HierSimMachine {
+    pub hierarchy: Hierarchy,
+    pub config: SimConfig,
+}
+
+impl HierSimMachine {
+    /// Target with the default (exact, jitter-free) fidelity config.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        HierSimMachine {
+            hierarchy,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Target with an explicit fidelity config.
+    pub fn with_config(hierarchy: Hierarchy, config: SimConfig) -> Self {
+        HierSimMachine { hierarchy, config }
+    }
+}
+
+impl Machine for HierSimMachine {
+    fn procs(&self) -> u32 {
+        self.hierarchy.p()
+    }
+
+    fn run(&mut self, programs: &[(u32, Script)]) -> Vec<u64> {
+        let cells: Vec<SharedCell<u64>> = programs.iter().map(|_| SharedCell::of(0)).collect();
+        let mut sim = Sim::new_hier(&self.hierarchy, self.config.clone());
+        for ((proc, script), cell) in programs.iter().zip(&cells) {
+            sim.set_process(
+                *proc,
+                Box::new(ScriptProcess::new(script.clone(), cell.clone())),
+            );
+        }
+        sim.run().expect("calibration scripts terminate");
+        cells.iter().map(|c| c.get()).collect()
+    }
+}
+
+/// The clustered-probing report: discovered structure, one flat
+/// calibration per level, and the assembled hierarchy.
+#[derive(Debug, Clone)]
+pub struct HierCalibration {
+    /// Measured one-exchange round trip to each rank `d` (index 0 is
+    /// `d = 1`): the raw step function the structure was read from.
+    pub rtt_by_distance: Vec<u64>,
+    /// Cumulative group sizes, innermost level first; the last entry
+    /// is always `P`.
+    pub group_sizes: Vec<u64>,
+    /// Per-level flat calibrations, innermost first.
+    pub levels: Vec<Calibration>,
+    /// The recovered machine.
+    pub hierarchy: Hierarchy,
+}
+
+impl HierCalibration {
+    /// Number of observationally distinct levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Run the clustered-probing pipeline against a black-box machine.
+///
+/// `cfg` drives the per-level flat calibrations; its endpoint fields
+/// are ignored (the probe chooses endpoints per level).
+///
+/// Panics if the measured plateau boundaries are not nested divisors
+/// of each other — a machine whose groups are not aligned is not a
+/// hierarchy in this model's sense (on a noisy target, jitter can
+/// shift a boundary; calibrate with a jitter-free config or widen the
+/// probe).
+pub fn calibrate_hier(m: &mut dyn Machine, cfg: &CalibConfig) -> HierCalibration {
+    let p = m.procs();
+    assert!(p >= 2, "structure probing needs at least two processors");
+
+    // 1. Structure: one exchange to every rank. RTT(0, d) depends only
+    // on the lowest common level of 0 and d, so plateaus <=> levels.
+    let rtt_by_distance: Vec<u64> = (1..p)
+        .map(|d| m.run(&[(0, Script::ping(d, 1)), (d, Script::pong(0, 1))])[0])
+        .collect();
+    let mut group_sizes: Vec<u64> = Vec::new();
+    for d in 2..p as u64 {
+        if rtt_by_distance[d as usize - 1] != rtt_by_distance[d as usize - 2] {
+            group_sizes.push(d);
+        }
+    }
+    group_sizes.push(p as u64);
+
+    // Nested divisibility: every boundary must divide the next, or the
+    // plateaus do not describe aligned groups.
+    let mut prev = 1u64;
+    for &gs in &group_sizes {
+        assert!(
+            gs % prev == 0,
+            "plateau boundary {gs} is not a multiple of inner group size {prev}: \
+             the probed machine is not hierarchical"
+        );
+        prev = gs;
+    }
+
+    // 2. Parameters: per level, calibrate between rank 0 and the first
+    // rank outside the enclosed group (= inner group size), the
+    // closest pair whose lowest common level is exactly this one.
+    let mut inner = 1u64;
+    let mut levels = Vec::with_capacity(group_sizes.len());
+    let mut estimates = Vec::with_capacity(group_sizes.len());
+    for &gs in &group_sizes {
+        let probe = cfg.clone().with_endpoints(0, inner as u32);
+        let cal = calibrate(m, &probe);
+        estimates.push((cal.logp, (gs / inner) as u32));
+        levels.push(cal);
+        inner = gs;
+    }
+
+    // 3. Round-trip into the model type.
+    let hierarchy = Hierarchy::from_estimates(&estimates)
+        .expect("calibrated levels clamp into validity and arities are positive");
+
+    HierCalibration {
+        rtt_by_distance,
+        group_sizes,
+        levels,
+        hierarchy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logp_core::{LogP, LogPEstimate};
+
+    #[test]
+    fn two_level_machine_round_trips_exactly() {
+        let truth = Hierarchy::two_level((60, 20, 40), 4, (300, 25, 50), 4).unwrap();
+        let mut m = HierSimMachine::new(truth.clone());
+        let cal = calibrate_hier(&mut m, &CalibConfig::quick());
+        assert_eq!(cal.depth(), 2);
+        assert_eq!(cal.group_sizes, vec![4, 16]);
+        assert_eq!(cal.hierarchy, truth);
+        for (got, want) in cal.levels.iter().zip(truth.levels()) {
+            let flat = LogP::new(want.l, want.o, want.g, 2).unwrap();
+            assert!(
+                LogPEstimate { p: 2, ..got.logp }.recovers_exactly(&flat),
+                "level mis-measured: {:?} vs {flat}",
+                got.logp
+            );
+        }
+    }
+
+    #[test]
+    fn flat_machine_probes_as_depth_one() {
+        let flat = LogP::new(60, 20, 40, 8).unwrap();
+        let mut m = HierSimMachine::new(Hierarchy::flat(&flat));
+        let cal = calibrate_hier(&mut m, &CalibConfig::quick());
+        assert_eq!(cal.depth(), 1);
+        assert_eq!(cal.group_sizes, vec![8]);
+        assert_eq!(cal.hierarchy.flat_projection(), flat);
+    }
+
+    #[test]
+    fn rtt_step_function_matches_the_model_laws() {
+        let truth = Hierarchy::two_level((6, 2, 4), 2, (200, 20, 30), 3).unwrap();
+        let mut m = HierSimMachine::new(truth.clone());
+        let cal = calibrate_hier(&mut m, &CalibConfig::quick());
+        for (i, &rtt) in cal.rtt_by_distance.iter().enumerate() {
+            let lv = truth.params_between(0, (i + 1) as u32);
+            assert_eq!(rtt, 2 * lv.point_to_point());
+        }
+    }
+}

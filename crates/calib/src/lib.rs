@@ -21,6 +21,11 @@
 //!   it must *round-trip*: a machine configured with known (L, o, g, P)
 //!   is recovered cycle-exactly, a standing oracle for engine and
 //!   calibrator alike (`tests/calibration.rs` pins every preset);
+//! * [`hier`] — clustered pairwise probing for hierarchical machines:
+//!   RTT plateaus reveal the level structure, then the flat pipeline
+//!   runs per level and [`hier::calibrate_hier`] reassembles a
+//!   `Hierarchy` ([`hier::HierSimMachine`] is the engine-backed
+//!   target);
 //! * [`net_backend`] — the `logp-net` packet router as a target:
 //!   endpoint constants come from Table 1, and calibration under
 //!   background load reproduces §5.3's saturation as a measured
@@ -34,6 +39,7 @@
 pub mod calibrate;
 pub mod experiments;
 pub mod fit;
+pub mod hier;
 pub mod machine;
 pub mod net_backend;
 pub mod script;
@@ -41,6 +47,7 @@ pub mod sim_backend;
 
 pub use calibrate::{calibrate, CalibConfig, Calibration};
 pub use fit::{median, theil_sen, LineFit};
+pub use hier::{calibrate_hier, HierCalibration, HierSimMachine};
 pub use logp_core::{LogPEstimate, ParamEstimate};
 pub use machine::Machine;
 pub use net_backend::{g_knee, g_of_load, PacketMachine};

@@ -28,8 +28,9 @@ const TAG_STEP: u64 = 0xCA11_0000;
 /// Compute tag for the zero-cycle finish marker.
 const TAG_FIN: u64 = 0xCA11_0001;
 
-/// A [`Script`] interpreter running on one simulated processor.
-struct ScriptProcess {
+/// A [`Script`] interpreter running on one simulated processor (shared
+/// with the hierarchical backend in [`crate::hier`]).
+pub(crate) struct ScriptProcess {
     ops: VecDeque<Op>,
     /// Messages received but not yet consumed by a `Recv` op.
     pending: u64,
@@ -40,7 +41,7 @@ struct ScriptProcess {
 }
 
 impl ScriptProcess {
-    fn new(script: Script, finish: SharedCell<u64>) -> Self {
+    pub(crate) fn new(script: Script, finish: SharedCell<u64>) -> Self {
         ScriptProcess {
             ops: script.ops.into(),
             pending: 0,

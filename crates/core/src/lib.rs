@@ -25,6 +25,9 @@
 //!   layouts (§4);
 //! * [`models`] — PRAM and BSP predictions for the comparisons of §6;
 //! * [`extensions`] — long messages/DMA (§5.4) and multiple gaps (§5.6);
+//! * [`hier`] — the hierarchical extension: nested levels of (L, o, g)
+//!   for clusters of multi-core machines ([`hier::Hierarchy`]), with
+//!   level-aware broadcast trees and engine-exact analytic evaluation;
 //! * [`sweep`] — exploration of the 4-dimensional machine space (§7);
 //! * [`product_line`] — vendor product lines as curves in that space (§7);
 //! * [`techtrends`] — the Figure 2 microprocessor growth data and fit.
@@ -36,6 +39,7 @@ pub mod broadcast;
 pub mod cost;
 pub mod estimate;
 pub mod extensions;
+pub mod hier;
 pub mod machines;
 pub mod models;
 pub mod params;
@@ -46,5 +50,6 @@ pub mod sweep;
 pub mod techtrends;
 
 pub use estimate::{LogPEstimate, ParamEstimate};
+pub use hier::{HierError, Hierarchy, Level};
 pub use machines::MachinePreset;
 pub use params::{Cycles, LogP, ParamError, ProcId};

@@ -8,6 +8,7 @@
 //! the two Active-Message rows); we embed the published constants and
 //! regenerate the `T(M=160)` column exactly.
 
+use logp_core::hier::{HierError, Hierarchy};
 use logp_core::{LogPEstimate, ParamEstimate};
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +95,49 @@ impl MachineTiming {
             g: self.g_estimate(m_bits),
             p,
         }
+    }
+
+    /// Datasheet-derived *hierarchical* machine: one level per
+    /// `(hops, arity)` pair, innermost first. Endpoint costs (`o`, the
+    /// serialization-limited `g`) come from this row's constants at
+    /// every level — the NIC is the NIC wherever the message goes —
+    /// while each level's `L` uses its own route distance,
+    /// `L_k = hops_k · r + ⌈M/w⌉`. This is the datasheet analogue of
+    /// the measured per-level structure `logp-calib` recovers by
+    /// clustered probing.
+    ///
+    /// ```
+    /// use logp_net::table1;
+    /// let cm5 = &table1()[1]; // CM-5 row
+    /// // 16-rank nodes one hop apart, 8 nodes across a 6-hop fabric.
+    /// let h = cm5.hierarchy_estimate(160, &[(1.0, 16), (6.0, 8)]).unwrap();
+    /// assert_eq!(h.p(), 128);
+    /// assert!(h.level(1).l > h.level(0).l);
+    /// assert_eq!(h.level(0).o, h.level(1).o);
+    /// ```
+    pub fn hierarchy_estimate(
+        &self,
+        m_bits: u64,
+        levels: &[(f64, u32)],
+    ) -> Result<Hierarchy, HierError> {
+        let ests: Vec<(LogPEstimate, u32)> = levels
+            .iter()
+            .map(|&(hops, arity)| {
+                let l = ParamEstimate::exact(
+                    hops * self.r as f64 + self.serialization_cycles(m_bits) as f64,
+                );
+                (
+                    LogPEstimate {
+                        l,
+                        o: self.o_estimate(),
+                        g: self.g_estimate(m_bits),
+                        p: arity,
+                    },
+                    arity,
+                )
+            })
+            .collect();
+        Hierarchy::from_estimates(&ests)
     }
 }
 

@@ -30,6 +30,7 @@ use crate::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, PPK_SCALE};
 use crate::obs::{BarrierRecord, Cause, ComputeRecord, MsgRecord, ObsLog, TimerRecord, UNSET};
 use crate::process::{Command, Ctx, Process};
 use crate::trace::{Activity, ProcStats, SimStats, Span, Trace};
+use logp_core::hier::Hierarchy;
 use logp_core::{Cycles, LogP, ProcId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -758,6 +759,19 @@ impl ObsState {
     }
 }
 
+/// Hierarchical-machine state ([`Sim::new_hier`]): the level structure
+/// plus the per-level admission windows. When present, every message
+/// pays the (L, o, g) of the src/dst pair's lowest common level, and the
+/// classic engine's capacity windows are kept per level (stride-indexed
+/// `level * P + proc` in `in_flight_from`/`in_flight_to`).
+#[derive(Debug, Clone)]
+struct HierState {
+    h: Hierarchy,
+    /// Per-level source/destination windows `⌈L_k/g_k⌉`
+    /// (`u64::MAX` when capacity is unenforced).
+    caps: Vec<u64>,
+}
+
 /// A configured LogP machine with programs loaded on its processors.
 pub struct Sim {
     model: LogP,
@@ -801,6 +815,11 @@ pub struct Sim {
     /// Fault-injection state; `None` monomorphizes every fault branch
     /// away (`FAULTS` is `self.faults.is_some()`, fixed at [`Sim::run`]).
     faults: Option<Box<FaultState>>,
+    /// Hierarchical machine description; `None` runs the flat model
+    /// (`Sim::new`). Installed by [`Sim::new_hier`] — always, even for a
+    /// one-level hierarchy, so the flat-projection identity tests
+    /// exercise the per-pair parameter path end to end.
+    hier: Option<Box<HierState>>,
     /// Observability state; `None` keeps every hook a single null check.
     /// Everything observability-owned (including message payload
     /// side-maps) lives behind this box so `Sim`'s own layout — and the
@@ -952,6 +971,7 @@ impl Sim {
                 }
                 Box::new(FaultState::new(plan, p))
             }),
+            hier: None,
             obs: (config.record_msg_log || config.record_metrics)
                 .then(|| Box::new(ObsState::new(p, &config))),
             config,
@@ -972,6 +992,78 @@ impl Sim {
             v_lane_wall_ns: Vec::new(),
             v_barrier_wait_ns: 0,
             v_capacity_relaxed: 0,
+        }
+    }
+
+    /// Create a machine over a hierarchical description: every message
+    /// pays the (L, o, g) of its src/dst pair's lowest common level
+    /// (`docs/HIERARCHY.md`). The flat [`Sim::model`] is the hierarchy's
+    /// outermost-level projection; a one-level hierarchy reproduces
+    /// `Sim::new(h.flat_projection(), config)` cycle-exactly (pinned in
+    /// `tests/hierarchy.rs`).
+    ///
+    /// Capacity semantics: the classic engine enforces each level's
+    /// `⌈L_k/g_k⌉` window separately per endpoint; the sharded engine's
+    /// source window uses the loosest level ([`Hierarchy::capacity`]) —
+    /// the same documented relaxation as its flat destination-side rule.
+    pub fn new_hier(h: &Hierarchy, config: SimConfig) -> Self {
+        let mut sim = Sim::new(h.flat_projection(), config);
+        let p = sim.model.p as usize;
+        let enforce = sim.config.enforce_capacity;
+        let caps: Vec<u64> = (0..h.depth())
+            .map(|k| {
+                if enforce {
+                    h.level_capacity(k)
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
+        // The scalar window (sharded source ring, NI-buffer base) is the
+        // loosest level's; per-level admission uses `caps`.
+        sim.capacity = if enforce { h.capacity() } else { u64::MAX };
+        let ni_buffer = if enforce {
+            sim.config.ni_buffer.unwrap_or_else(|| h.capacity() + 2)
+        } else {
+            u64::MAX
+        };
+        sim.max_outstanding = sim.capacity.saturating_add(ni_buffer);
+        sim.in_flight_from = vec![0; h.depth() * p];
+        sim.in_flight_to = vec![0; h.depth() * p];
+        sim.hier = Some(Box::new(HierState { h: h.clone(), caps }));
+        sim
+    }
+
+    /// The hierarchy this machine runs under, if built by
+    /// [`Sim::new_hier`].
+    pub fn hierarchy(&self) -> Option<&Hierarchy> {
+        self.hier.as_deref().map(|hs| &hs.h)
+    }
+
+    /// The (L, o, g) a message from `src` to `dst` pays: the pair's
+    /// lowest-common-level parameters under a hierarchy, the flat model
+    /// otherwise.
+    #[inline]
+    fn pair_log(&self, src: ProcId, dst: ProcId) -> (Cycles, Cycles, Cycles) {
+        match self.hier.as_deref() {
+            Some(hs) => {
+                let lv = hs.h.params_between(src, dst);
+                (lv.l, lv.o, lv.g)
+            }
+            None => (self.model.l, self.model.o, self.model.g),
+        }
+    }
+
+    /// The level whose capacity window a `src → dst` message occupies
+    /// (0 on flat machines), and that level's admission bound.
+    #[inline]
+    fn pair_level(&self, src: ProcId, dst: ProcId) -> (usize, u64) {
+        match self.hier.as_deref() {
+            Some(hs) => {
+                let k = hs.h.common_level(src, dst);
+                (k, hs.caps[k])
+            }
+            None => (0, self.capacity),
         }
     }
 
@@ -1228,20 +1320,17 @@ impl Sim {
     /// engines draw different (equally legitimate) jitter streams; they
     /// coincide exactly when `latency_jitter` is 0.
     #[inline]
-    fn draw_latency_on<const SHARDED: bool>(&mut self, src: ProcId) -> Cycles {
+    fn draw_latency_on<const SHARDED: bool>(&mut self, src: ProcId, l: Cycles) -> Cycles {
         if !SHARDED {
-            return self.draw_latency();
+            return self.draw_latency(l);
         }
-        let j = self
-            .config
-            .latency_jitter
-            .min(self.model.l.saturating_sub(1));
+        let j = self.config.latency_jitter.min(l.saturating_sub(1));
         if j == 0 {
-            self.model.l
+            l
         } else {
             let ctr = self.bump_pctr(src);
             let r = logp_core::rng::mix(&[self.config.seed, 0x004C_4154, src as u64, ctr]);
-            self.model.l - r % (j + 1)
+            l - r % (j + 1)
         }
     }
 
@@ -1273,27 +1362,27 @@ impl Sim {
     /// the high-water marks reported in [`SimStats`]. Shared by `Send`
     /// and `SendBulk` so the two paths cannot drift apart.
     #[inline]
-    fn note_injection(&mut self, src: usize, dst: usize) {
-        self.in_flight_from[src] += 1;
-        self.in_flight_to[dst] += 1;
+    fn note_injection(&mut self, lvl: usize, src: usize, dst: usize) {
+        let b = lvl * self.model.p as usize;
+        self.in_flight_from[b + src] += 1;
+        self.in_flight_to[b + dst] += 1;
         self.outstanding_to[dst] += 1;
         self.stats.max_inflight_per_src = self
             .stats
             .max_inflight_per_src
-            .max(self.in_flight_from[src]);
-        self.stats.max_inflight_per_dst =
-            self.stats.max_inflight_per_dst.max(self.in_flight_to[dst]);
+            .max(self.in_flight_from[b + src]);
+        self.stats.max_inflight_per_dst = self
+            .stats
+            .max_inflight_per_dst
+            .max(self.in_flight_to[b + dst]);
     }
 
-    fn draw_latency(&mut self) -> Cycles {
-        let j = self
-            .config
-            .latency_jitter
-            .min(self.model.l.saturating_sub(1));
+    fn draw_latency(&mut self, l: Cycles) -> Cycles {
+        let j = self.config.latency_jitter.min(l.saturating_sub(1));
         if j == 0 {
-            self.model.l
+            l
         } else {
-            self.model.l - self.rng.gen_range(0..=j)
+            l - self.rng.gen_range(0..=j)
         }
     }
 
@@ -1801,6 +1890,8 @@ impl Sim {
                 Some(o) if o.gauges.is_some() && o.next_sample < t => o.next_sample,
                 _ => return,
             };
+            // Each in-flight message occupies exactly one (level, dst)
+            // entry, so the stride-flattened sum is still the total.
             let inflight_total: u64 = self.in_flight_to.iter().sum();
             let ready_cmds: u64 = self.procs.iter().map(|p| p.cmds.len() as u64).sum();
             let inbox_depth: u64 = self.procs.iter().map(|p| p.inbox.len() as u64).sum();
@@ -1817,9 +1908,13 @@ impl Sim {
             obs.metrics.sample(gr, s, ready_cmds);
             obs.metrics.sample(gb, s, inbox_depth);
             obs.metrics.sample(gu, s, util_ppk);
-            for d in 0..self.in_flight_to.len() {
+            // Per-destination gauges sum a destination's windows across
+            // levels (one entry per destination regardless of depth).
+            let np = self.model.p as usize;
+            for d in 0..np {
                 let gd = obs.gauges.as_ref().expect("checked above").per_dst[d];
-                obs.metrics.sample(gd, s, self.in_flight_to[d]);
+                let v: u64 = self.in_flight_to[d..].iter().step_by(np).sum();
+                obs.metrics.sample(gd, s, v);
             }
             obs.next_sample += obs.grid;
         }
@@ -1869,16 +1964,18 @@ impl Sim {
             if SHARDED {
                 self.ring_push(idx, now + stream + lat + d.delay);
             } else {
-                self.in_flight_from[idx] += 1;
-                self.in_flight_to[dst as usize] += 1;
+                let (lvl, _) = self.pair_level(src, dst);
+                let b = lvl * self.model.p as usize;
+                self.in_flight_from[b + idx] += 1;
+                self.in_flight_to[b + dst as usize] += 1;
                 self.stats.max_inflight_per_src = self
                     .stats
                     .max_inflight_per_src
-                    .max(self.in_flight_from[idx]);
+                    .max(self.in_flight_from[b + idx]);
                 self.stats.max_inflight_per_dst = self
                     .stats
                     .max_inflight_per_dst
-                    .max(self.in_flight_to[dst as usize]);
+                    .max(self.in_flight_to[b + dst as usize]);
             }
             if OBS {
                 self.record_lost(src, dst, tag, words, meta, send_gate, now, now + o, false);
@@ -1896,7 +1993,8 @@ impl Sim {
         }
         let copy = d.duplicate.then(|| data.clone());
         if !SHARDED {
-            self.note_injection(idx, dst as usize);
+            let (lvl, _) = self.pair_level(src, dst);
+            self.note_injection(lvl, idx, dst as usize);
         }
         let msg = Message {
             src,
@@ -1940,7 +2038,8 @@ impl Sim {
             self.stats.msgs_duplicated += 1;
             let extra = d.delay + d.dup_delay;
             if !SHARDED {
-                self.note_injection(idx, dst as usize);
+                let (lvl, _) = self.pair_level(src, dst);
+                self.note_injection(lvl, idx, dst as usize);
             }
             let msg = Message {
                 src,
@@ -2181,13 +2280,15 @@ impl Sim {
                             return;
                         }
                     } else {
-                        if self.in_flight_from[idx] >= self.capacity {
+                        let (lvl, cap) = self.pair_level(p, dst);
+                        let b = lvl * self.model.p as usize;
+                        if self.in_flight_from[b + idx] >= cap {
                             let st = &mut self.procs[idx];
                             st.stall_since.get_or_insert(now);
                             st.waiting_on_src = true;
                             return;
                         }
-                        if self.in_flight_to[dst as usize] >= self.capacity
+                        if self.in_flight_to[b + dst as usize] >= cap
                             || self.outstanding_to[dst as usize] >= self.max_outstanding
                         {
                             let st = &mut self.procs[idx];
@@ -2220,27 +2321,28 @@ impl Sim {
                             self.record_stall(now - since);
                         }
                     }
-                    let o = self.model.o;
+                    let (pl, o, g) = self.pair_log(p, dst);
                     // LogGP semantics: the processor pays only `o`; the
                     // interface streams the remaining words at `G` each,
                     // blocking the *next* injection until done.
                     let stream = (words - 1) * big_g;
                     let st = &mut self.procs[idx];
                     st.busy_until = now + o;
-                    st.next_send_slot = (now + self.model.g).max(now + o + stream);
+                    st.next_send_slot = (now + g).max(now + o + stream);
                     st.stats.send_overhead += o;
                     st.stats.msgs_sent += 1;
                     self.span(p, now, now + o, Activity::SendOverhead);
                     if FAULTS {
-                        let lat = self.draw_latency_on::<SHARDED>(p);
+                        let lat = self.draw_latency_on::<SHARDED>(p, pl);
                         self.inject_faulty::<OBS, SHARDED>(
                             p, dst, tag, data, words, meta, send_gate, o, stream, lat,
                         );
                     } else {
                         if !SHARDED {
-                            self.note_injection(idx, dst as usize);
+                            let (lvl, _) = self.pair_level(p, dst);
+                            self.note_injection(lvl, idx, dst as usize);
                         }
-                        let lat = self.draw_latency_on::<SHARDED>(p);
+                        let lat = self.draw_latency_on::<SHARDED>(p, pl);
                         let msg = Message {
                             src: p,
                             dst,
@@ -2300,14 +2402,16 @@ impl Sim {
                             return;
                         }
                     } else {
-                        if self.in_flight_from[idx] >= self.capacity {
+                        let (lvl, cap) = self.pair_level(p, dst);
+                        let b = lvl * self.model.p as usize;
+                        if self.in_flight_from[b + idx] >= cap {
                             // Stall until one of our own messages arrives.
                             let st = &mut self.procs[idx];
                             st.stall_since.get_or_insert(now);
                             st.waiting_on_src = true;
                             return;
                         }
-                        if self.in_flight_to[dst as usize] >= self.capacity
+                        if self.in_flight_to[b + dst as usize] >= cap
                             || self.outstanding_to[dst as usize] >= self.max_outstanding
                         {
                             let st = &mut self.procs[idx];
@@ -2340,23 +2444,24 @@ impl Sim {
                             self.record_stall(now - since);
                         }
                     }
-                    let o = self.model.o;
+                    let (pl, o, g) = self.pair_log(p, dst);
                     let st = &mut self.procs[idx];
                     st.busy_until = now + o;
-                    st.next_send_slot = now + self.model.g;
+                    st.next_send_slot = now + g;
                     st.stats.send_overhead += o;
                     st.stats.msgs_sent += 1;
                     self.span(p, now, now + o, Activity::SendOverhead);
                     if FAULTS {
-                        let lat = self.draw_latency_on::<SHARDED>(p);
+                        let lat = self.draw_latency_on::<SHARDED>(p, pl);
                         self.inject_faulty::<OBS, SHARDED>(
                             p, dst, tag, data, 1, meta, send_gate, o, 0, lat,
                         );
                     } else {
                         if !SHARDED {
-                            self.note_injection(idx, dst as usize);
+                            let (lvl, _) = self.pair_level(p, dst);
+                            self.note_injection(lvl, idx, dst as usize);
                         }
-                        let lat = self.draw_latency_on::<SHARDED>(p);
+                        let lat = self.draw_latency_on::<SHARDED>(p, pl);
                         let msg = Message {
                             src: p,
                             dst,
@@ -2518,7 +2623,7 @@ impl Sim {
         let idx = p as usize;
         let Reverse(item) = self.procs[idx].inbox.pop().expect("inbox non-empty");
         debug_assert!(item.arrival() <= now);
-        let o = self.model.o;
+        let (_, o, g) = self.pair_log(item.msg.src, p);
         // A capacity-stalled send may have been woken and then preempted
         // by this reception; close its stall span so stall and reception
         // time stay disjoint in the accounting (the send re-opens it if
@@ -2532,7 +2637,7 @@ impl Sim {
         }
         let st = &mut self.procs[idx];
         let recv_gate = st.next_recv_slot;
-        st.next_recv_slot = now + self.model.g;
+        st.next_recv_slot = now + g;
         st.busy_until = now + o;
         st.stats.recv_overhead += o;
         st.receiving = Some(item.msg);
@@ -2837,8 +2942,10 @@ impl Sim {
             self.now = key_time(key);
             match kind {
                 EventKind::Release { src, dst } => {
-                    self.in_flight_from[src as usize] -= 1;
-                    self.in_flight_to[dst as usize] -= 1;
+                    let (lvl, _) = self.pair_level(src, dst);
+                    let b = lvl * self.model.p as usize;
+                    self.in_flight_from[b + src as usize] -= 1;
+                    self.in_flight_to[b + dst as usize] -= 1;
                     // Wake capacity waiters of this destination (FIFO; each
                     // re-checks and re-queues if still blocked).
                     self.wake_dst_waiters::<OBS, FAULTS>(dst as usize);

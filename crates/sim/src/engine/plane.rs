@@ -489,6 +489,7 @@ impl Sim {
                 msg_slab: Vec::new(),
                 msg_free: Vec::new(),
                 max_outstanding: self.max_outstanding,
+                hier: self.hier.clone(),
                 faults: (FAULTS).then(|| {
                     Box::new(crate::faults::FaultState::for_range(
                         plan.clone().expect("FAULTS implies a fault plan"),
@@ -695,7 +696,7 @@ impl Sim {
     ) -> Result<(), SimError> {
         let p = self.model.p as usize;
         let want = (self.config.shards as usize).min(p);
-        let per = p.div_ceil(want);
+        let per = self.lane_width(want);
         let n = p.div_ceil(per);
         let nworkers = (workers as usize).clamp(1, n);
         self.v_workers = nworkers as u32;

@@ -94,7 +94,7 @@ impl Sim {
     pub(super) fn setup_lanes(&mut self) {
         let p = self.model.p as usize;
         let want = (self.config.shards as usize).min(p);
-        let per = p.div_ceil(want);
+        let per = self.lane_width(want);
         let n = p.div_ceil(per);
         let b = self.ring_span();
         self.lane_of = super::Off::from(vec![0; p]);
@@ -120,28 +120,57 @@ impl Sim {
         self.v_lane_events = vec![0; n];
     }
 
+    /// The lane width for `want` requested lanes: processors per
+    /// contiguous lane, rounded up to a topology-group boundary on
+    /// hierarchical machines so intra-group traffic stays lane-local
+    /// (results are lane-count invariant either way; alignment only
+    /// moves the cut points). Shared by the serial sharded driver and
+    /// the parallel executor so their partitions cannot drift apart.
+    pub(super) fn lane_width(&self, want: usize) -> usize {
+        let p = self.model.p as usize;
+        let per = p.div_ceil(want.max(1));
+        match self.hierarchy() {
+            Some(h) => h.align_lane(per),
+            None => per,
+        }
+    }
+
     /// The model's conservative lookahead: no send inside `[T, T + W)`
     /// can cause an arrival before `T + W` where `W = o + (L - jitter)`.
+    /// On hierarchical machines the bound must hold whichever level a
+    /// message uses, so it is the minimum over levels.
     pub(super) fn model_lookahead(&self) -> Cycles {
-        let jclamp = self
-            .config
-            .latency_jitter
-            .min(self.model.l.saturating_sub(1));
-        self.model.o + (self.model.l - jclamp)
+        match self.hierarchy() {
+            Some(h) => h.min_lookahead(self.config.latency_jitter),
+            None => {
+                let jclamp = self
+                    .config
+                    .latency_jitter
+                    .min(self.model.l.saturating_sub(1));
+                self.model.o + (self.model.l - jclamp)
+            }
+        }
+    }
+
+    /// The furthest an arrival can land past its send start: `o + L`
+    /// (the *loosest* level's on hierarchical machines — the ring must
+    /// cover the slowest message, where the lookahead tracks the
+    /// fastest).
+    fn max_reach(&self) -> Cycles {
+        match self.hierarchy() {
+            Some(h) => h.max_reach(),
+            None => self.model.o + self.model.l,
+        }
     }
 
     /// Calendar-ring span: a power of two covering one full window plus
-    /// the arrival horizon (`W + o + L` past the window start), so every
+    /// the arrival horizon (`o + L` past the window start), so every
     /// plain-send arrival inserts O(1). Capped so absurd `L` cannot
     /// balloon the ring — beyond-horizon events overflow into the `far`
     /// heap and are spilled back when their window comes, so the cap
     /// costs time, never correctness.
     pub(super) fn ring_span(&self) -> Cycles {
-        let jclamp = self
-            .config
-            .latency_jitter
-            .min(self.model.l.saturating_sub(1));
-        (2 * self.model_lookahead() + jclamp + 2)
+        (self.model_lookahead() + self.max_reach() + 2)
             .next_power_of_two()
             .clamp(16, 8192)
     }

@@ -21,6 +21,7 @@
 //! the same bar as every built-in `Process`.
 
 use crate::ir::{NodeId, Op, WlError, Workload};
+use logp_core::hier::Hierarchy;
 use logp_core::{Cycles, LogP, ProcId};
 use logp_sim::{Ctx, Message, ProcStats, Process, SharedCell, Sim, SimConfig, SimError, SimResult};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -326,10 +327,40 @@ pub struct WlRun {
 pub fn run_workload(wl: &Workload, m: &LogP, config: SimConfig) -> Result<WlRun, WlRunError> {
     wl.validate().map_err(WlRunError::Invalid)?;
     let machine = m.with_p(wl.procs);
+    run_on(wl, Sim::new(machine, config))
+}
+
+/// Interpret a workload on a hierarchical machine: every message pays
+/// the (L, o, g) of its endpoints' lowest common level, per-level
+/// capacity windows apply, and sharded lanes align to topology
+/// boundaries. Unlike [`run_workload`], the machine is not
+/// re-dimensioned — a hierarchy's shape is its processor count, so
+/// `wl.procs` must equal `h.p()`.
+pub fn run_workload_hier(
+    wl: &Workload,
+    h: &Hierarchy,
+    config: SimConfig,
+) -> Result<WlRun, WlRunError> {
+    wl.validate().map_err(WlRunError::Invalid)?;
+    if wl.procs != h.p() {
+        return Err(WlRunError::Invalid(WlError {
+            line: 0,
+            col: 0,
+            msg: format!(
+                "workload uses {} processors but the hierarchy has {}",
+                wl.procs,
+                h.p()
+            ),
+            help: Some("size the workload's `procs` to the hierarchy's total rank count".into()),
+        }));
+    }
+    run_on(wl, Sim::new_hier(h, config))
+}
+
+fn run_on(wl: &Workload, mut sim: Sim) -> Result<WlRun, WlRunError> {
     let compiled = compile(wl);
     let times = SharedCell::of(vec![UNSET; compiled.node_count]);
     let unmatched = SharedCell::of(0u64);
-    let mut sim = Sim::new(machine, config);
     sim.set_all(|p| {
         Box::new(WlProc::new(
             compiled.plans[p as usize].clone(),

@@ -5,7 +5,8 @@
 //! `send` / `recv` / `compute` / `barrier` / `timer` nodes), a
 //! human-writable text format with a real error-reporting loader, a
 //! deterministic interpreter that executes any loaded DAG on the
-//! classic or sharded engine, trace replay (ObsLog → DAG), and a
+//! classic or sharded engine — flat or hierarchical
+//! ([`run_workload_hier`]) — trace replay (ObsLog → DAG), and a
 //! seeded fuzz generator for differential testing.
 //!
 //! ```
@@ -41,7 +42,7 @@ pub use corpus::{
     allreduce_workload, broadcast_workload, preset, summation_workload, PRESET_NAMES,
 };
 pub use fuzz::{gen_workload, FuzzConfig};
-pub use interp::{projection, run_workload, WlRun, WlRunError, UNSET};
+pub use interp::{projection, run_workload, run_workload_hier, WlRun, WlRunError, UNSET};
 pub use ir::{Node, NodeId, Op, Payload, Span, WlError, Workload};
 pub use parse::{load_workload, parse_workload, to_text};
 pub use replay::workload_from_obslog;
